@@ -1,0 +1,27 @@
+"""E3: q = 0 indistinguishability of the paper's construction.
+
+Paper claim (Section 3): under the relaxation q = 0 the searchable-encryption
+construction is secure.  Empirically, every implemented q = 0 distinguisher --
+including the one that breaks bucketization -- must end up with advantage
+statistically indistinguishable from zero against both backends.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_e3_dph_indistinguishability
+
+
+def test_e3_dph_indistinguishability(benchmark, record_table):
+    result = run_once(benchmark, run_e3_dph_indistinguishability, trials=150)
+    record_table("e3_dph_indistinguishability", result.to_table())
+
+    assert result.rows, "experiment produced no rows"
+    for row in result.rows:
+        assert row.scheme in ("dph-swp", "dph-index")
+        # Advantage ~0 for every adversary against both backends.
+        assert abs(row.advantage) <= 0.22, (
+            f"{row.adversary} achieved advantage {row.advantage:.3f} against {row.scheme}"
+        )
+        assert not row.result.broken_by(threshold=0.5)

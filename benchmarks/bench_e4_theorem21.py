@@ -1,0 +1,27 @@
+"""E4: Theorem 2.1 -- any database PH is insecure in the Definition 2.1 sense once q > 0.
+
+Paper claim: the generic result-size adversaries win against *every* scheme
+(including the paper's own construction) as soon as a single encrypted query
+is available, actively or passively; with q = 0 the same adversaries are
+powerless, which is exactly the relaxation the construction targets.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_e4_theorem21
+
+
+def test_e4_theorem21(benchmark, record_table):
+    result = run_once(benchmark, run_e4_theorem21, trials=40, table_size=8)
+    record_table("e4_theorem21", result.to_table())
+
+    with_queries = [r for r in result.rows if r.parameter in ("q=1 active", "q=1 passive")]
+    without_queries = [r for r in result.rows if r.parameter == "q=0 active"]
+
+    assert with_queries and without_queries
+    # Every scheme falls once q > 0 ...
+    assert all(r.success_rate >= 0.9 for r in with_queries)
+    # ... and the adversary has nothing to work with at q = 0.
+    assert all(abs(r.advantage) <= 0.35 for r in without_queries)

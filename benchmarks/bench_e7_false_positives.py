@@ -1,0 +1,35 @@
+"""E7: false-positive rate of the SWP searchable scheme vs the check length m.
+
+Paper claim (Section 3): "some searchable encryption schemes, and in
+particular the scheme presented in [7], sometimes return false positives.
+Alex needs to run a filter on the output.  As the error rate is relatively
+small for all practical purposes, this does not affect the efficiency of our
+construction."  The observed rate should track the predicted 2^-8m.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_e7_false_positives
+
+
+def test_e7_false_positives(benchmark, record_table):
+    result = run_once(
+        benchmark,
+        run_e7_false_positives,
+        check_lengths=(1, 2, 3),
+        words_per_setting=30000,
+    )
+    record_table("e7_false_positives", result.to_table())
+
+    by_m = {row.check_length_bytes: row for row in result.rows}
+
+    # m = 1 byte: predicted 1/256 ~ 0.0039; observed should be the same order.
+    assert 0.0005 <= by_m[1].observed_rate <= 0.02
+    # m = 2 bytes: predicted 1/65536; with 30k words we expect ~0-3 hits.
+    assert by_m[2].false_positives <= 5
+    # m = 3 bytes: essentially impossible at this sample size.
+    assert by_m[3].false_positives == 0
+    # The rate is monotonically non-increasing in m.
+    assert by_m[1].observed_rate >= by_m[2].observed_rate >= by_m[3].observed_rate

@@ -1,0 +1,48 @@
+"""E8: end-to-end cost of an outsourced exact select, per scheme and table size.
+
+Paper claim: the construction's overhead is the price of provable (q = 0)
+security -- encryption, query encryption, server-side search and client-side
+decryption+filtering all scale linearly in the table size, with the searchable
+backends costing a constant factor more than the weakly-protected baselines
+and the plaintext floor.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import run_e8_throughput
+
+SIZES = (100, 1000, 5000)
+
+
+def test_e8_throughput(benchmark, record_table):
+    result = run_once(benchmark, run_e8_throughput, sizes=SIZES)
+    record_table("e8_throughput", result.to_table())
+
+    by_scheme = defaultdict(dict)
+    for row in result.rows:
+        by_scheme[row.scheme][row.relation_size] = row
+
+    expected_schemes = {
+        "dph-swp", "dph-index", "bucketization", "damiani-hash", "deterministic", "plaintext",
+    }
+    assert set(by_scheme) == expected_schemes
+
+    for scheme, per_size in by_scheme.items():
+        # Every phase completed and returned a correct-looking result.
+        assert all(row.result_size > 0 for row in per_size.values()), scheme
+        # Linear-ish scaling: 50x more tuples must not cost more than ~500x
+        # (i.e. clearly not quadratic) for encryption and server evaluation.
+        small, large = per_size[SIZES[0]], per_size[SIZES[-1]]
+        growth = SIZES[-1] / SIZES[0]
+        assert large.encrypt_ms <= max(1.0, small.encrypt_ms) * growth * 10, scheme
+        assert large.server_eval_ms <= max(1.0, small.server_eval_ms) * growth * 10, scheme
+
+    # The secure construction is more expensive than the plaintext floor at scale.
+    assert (
+        by_scheme["dph-swp"][SIZES[-1]].encrypt_ms
+        >= by_scheme["plaintext"][SIZES[-1]].encrypt_ms
+    )

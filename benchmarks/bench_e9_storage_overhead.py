@@ -1,0 +1,41 @@
+"""E9: ciphertext expansion of every scheme relative to the plaintext serialization.
+
+Paper claim (implicit in the construction): the overhead is a constant factor
+per tuple -- fixed-width searchable words plus an authenticated payload -- and
+does not grow with the table size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import run_e9_storage_overhead
+
+
+def test_e9_storage_overhead(benchmark, record_table):
+    result = run_once(benchmark, run_e9_storage_overhead, sizes=(200, 2000))
+    record_table("e9_storage_overhead", result.to_table())
+
+    by_scheme_size = {(r.scheme, r.relation_size): r for r in result.rows}
+    schemes = {r.scheme for r in result.rows}
+    assert "dph-swp" in schemes and "plaintext" in schemes
+
+    for row in result.rows:
+        # Every scheme stores at least the data itself (plaintext baseline ~1x,
+        # everything else strictly more) and less than ~12x.
+        assert 1.0 <= row.expansion < 12.0, row
+    # Plaintext is the floor; the searchable construction costs more.
+    for size in (200, 2000):
+        assert (
+            by_scheme_size[("dph-swp", size)].expansion
+            > by_scheme_size[("plaintext", size)].expansion
+        )
+        assert (
+            by_scheme_size[("bucketization", size)].expansion
+            >= by_scheme_size[("plaintext", size)].expansion
+        )
+    # Expansion is a per-tuple constant: independent of the table size (within 10%).
+    for scheme in schemes:
+        small = by_scheme_size[(scheme, 200)].expansion
+        large = by_scheme_size[(scheme, 2000)].expansion
+        assert abs(small - large) / small < 0.1, scheme

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment table (E1-E10, see DESIGN.md) and
+
+* records the wall-clock of the full experiment through ``pytest-benchmark``;
+* asserts the qualitative *shape* of the result (who wins, by roughly what
+  factor) so a regression in the library shows up as a benchmark failure;
+* writes the rendered table to ``benchmarks/results/<experiment>.txt`` so the
+  rows can be compared against ``EXPERIMENTS.md`` even when pytest captures
+  stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Return a callable that persists a rendered experiment table."""
+
+    def _record(name: str, table) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        rendered = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+        print()
+        print(rendered)
+        return rendered
+
+    return _record
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0)

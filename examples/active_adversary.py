@@ -1,0 +1,81 @@
+"""The active adversary of Section 2: the "John" attack and Theorem 2.1.
+
+Part 1 -- the John attack: with a query-encryption oracle (in practice, a
+confused client application that encrypts queries on request, cf. the
+Bleichenbacher-style argument in the paper), Eve learns in which hospital the
+patient "John" was treated and what happened to him.
+
+Part 2 -- Theorem 2.1 as an executable statement: the generic result-size
+adversary wins the Definition 2.1 game against *every* scheme in the library
+as soon as q = 1, and against none of the secure ones at q = 0.
+
+Run with::
+
+    python examples/active_adversary.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SearchableSelectDph
+from repro.crypto.keys import SecretKey
+from repro.schemes import BucketizationConfig, DeterministicDph, HacigumusDph
+from repro.security import (
+    AdversaryModel,
+    DphIndistinguishabilityGame,
+    GenericActiveAdversary,
+)
+from repro.security.attacks import run_active_query_attack
+from repro.workloads import HospitalWorkload
+
+
+def john_attack() -> None:
+    workload = HospitalWorkload.generate(2000, target_name="John", seed=17)
+    dph = SearchableSelectDph(workload.schema, SecretKey.generate(), backend="swp")
+    print("Part 1: locating John with a handful of oracle queries")
+    print(f"  ground truth: hospital {workload.target_hospital}, outcome {workload.target_outcome!r}")
+
+    result = run_active_query_attack(dph, workload, oracle_budget=6)
+    print(f"  Eve used {result.oracle_queries_used} oracle queries")
+    print(f"  Eve's answer: hospital {result.inferred_hospital}, outcome {result.inferred_outcome!r}")
+    print(f"  hospital correct: {result.hospital_correct}, outcome correct: {result.outcome_correct}")
+
+
+def theorem_21() -> None:
+    print("\nPart 2: Theorem 2.1 -- every database PH falls once q > 0")
+    factories = {
+        "dph-swp": lambda schema, rng: SearchableSelectDph(
+            schema, SecretKey.generate(rng=rng), backend="swp", rng=rng
+        ),
+        "bucketization": lambda schema, rng: HacigumusDph(
+            schema,
+            SecretKey.generate(rng=rng),
+            config=BucketizationConfig.uniform(schema, num_buckets=16, minimum=0, maximum=10000),
+            rng=rng,
+        ),
+        "deterministic": lambda schema, rng: DeterministicDph(
+            schema, SecretKey.generate(rng=rng), rng=rng
+        ),
+    }
+    adversary = GenericActiveAdversary(table_size=8)
+    print(f"  {'scheme':<15} {'q':>3} {'success':>8} {'advantage':>10}")
+    for name, factory in factories.items():
+        for budget in (1, 0):
+            game = DphIndistinguishabilityGame(
+                factory, query_budget=budget, adversary_model=AdversaryModel.ACTIVE, scheme_name=name
+            )
+            result = game.run(adversary, trials=60, seed=5)
+            print(f"  {name:<15} {budget:>3} {result.success_rate:>8.2f} {result.advantage:>10.2f}")
+    print(
+        "  With one oracle query the generic adversary wins against every scheme;\n"
+        "  with q = 0 it degenerates to guessing -- the relaxation under which the\n"
+        "  paper proves its construction secure."
+    )
+
+
+def main() -> None:
+    john_attack()
+    theorem_21()
+
+
+if __name__ == "__main__":
+    main()

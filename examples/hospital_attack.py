@@ -1,0 +1,65 @@
+"""The hospital inference attack (paper, Section 2) as a narrative demo.
+
+Alex outsources a patient database (three hospitals, flows 0.2/0.3/0.5, fatal
+outcome rate 0.08) encrypted with the paper's own construction, then issues
+the four queries of the paper's example.  Eve -- the provider -- sees only
+ciphertext, yet recovers the fatality ratio of every hospital from the sizes
+and overlaps of the encrypted results.
+
+Run with::
+
+    python examples/hospital_attack.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SearchableSelectDph
+from repro.crypto.keys import SecretKey
+from repro.security.attacks import observe_alex_queries, run_hospital_inference
+from repro.workloads import HospitalWorkload
+
+
+def main() -> None:
+    workload = HospitalWorkload.generate(5000, seed=2026)
+    print(
+        f"Alex's database: {workload.size} patients, flows {workload.flows}, "
+        f"outcome rates {workload.outcome_rates}"
+    )
+
+    dph = SearchableSelectDph(workload.schema, SecretKey.generate(), backend="index")
+    print(f"Encrypted with {dph.name} (secure at q = 0).")
+
+    print("\nAlex issues the paper's query sequence:")
+    for query in workload.alex_queries():
+        print(f"  {query!r}")
+
+    view, roles = observe_alex_queries(dph, workload)
+    print("\nWhat Eve observes (only ciphertext and result sizes):")
+    for index, observed in enumerate(view.observed_queries):
+        print(
+            f"  encrypted query #{index}: {observed.encrypted_query.size_in_bytes()} token bytes, "
+            f"{observed.result_size} matching tuple ciphertexts"
+        )
+
+    result = run_hospital_inference(dph, workload, view=view, true_roles=roles)
+    print(
+        "\nEve matches queries to roles using her priors "
+        f"(identification correct: {result.identification_correct})."
+    )
+    print("\nRecovered per-hospital fatality ratios (Eve's estimate vs ground truth):")
+    for hospital in sorted(result.true_fatality):
+        estimate = result.estimated_fatality[hospital]
+        truth = result.true_fatality[hospital]
+        print(
+            f"  hospital {hospital}: estimated {estimate:.4f}   "
+            f"true {truth:.4f}   |error| {abs(estimate - truth):.4f}"
+        )
+    print(
+        "\nNo cryptography was broken: result sizes and intersections alone leak "
+        "the sensitive statistic, which is why Theorem 2.1 rules out security "
+        "once queries flow (q > 0)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""A fuller outsourced-database scenario: schemes side by side.
+
+The paper motivates database outsourcing with a client who wants the provider
+to do the work without being trusted with the data.  This example runs the
+same workload -- a synthetic employee database, a mix of department and
+per-employee queries, plus a streaming insert -- through every scheme in the
+library and prints what each one costs and what each one leaks:
+
+* the paper's construction (SWP and secure-index backends): no equality
+  pattern in the ciphertext, modest false positives, higher cost;
+* bucketization and hashed indexes: cheaper, but equal values produce equal
+  labels (the leak the paper's Section-1 attack exploits);
+* deterministic encryption and plaintext: the two ends of the spectrum.
+
+Run with::
+
+    python examples/outsourced_employee_db.py
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+from repro.core import SearchableSelectDph
+from repro.crypto.keys import SecretKey
+from repro.outsourcing import OutsourcedDatabaseServer, OutsourcingClient
+from repro.schemes import (
+    BucketizationConfig,
+    DamianiDph,
+    DeterministicDph,
+    HacigumusDph,
+    PlaintextDph,
+)
+from repro.workloads import EmployeeWorkload
+
+
+def build_schemes(schema):
+    """One instance of every scheme over the employee schema."""
+    key = SecretKey.generate()
+    config = BucketizationConfig.uniform(schema, num_buckets=16, minimum=0, maximum=10000)
+    return [
+        SearchableSelectDph(schema, key, backend="swp"),
+        SearchableSelectDph(schema, key, backend="index"),
+        HacigumusDph(schema, key, config=config),
+        DamianiDph(schema, key),
+        DeterministicDph(schema, key),
+        PlaintextDph(schema, key),
+    ]
+
+
+def equality_leak(encrypted_relation) -> int:
+    """How many searchable-field values repeat across tuples (0 = nothing leaks)."""
+    repeats = 0
+    positions = max(
+        (len(t.search_fields) for t in encrypted_relation.encrypted_tuples), default=0
+    )
+    for position in range(positions):
+        counts = Counter(
+            t.search_fields[position]
+            for t in encrypted_relation.encrypted_tuples
+            if position < len(t.search_fields)
+        )
+        repeats += sum(c - 1 for c in counts.values() if c > 1)
+    return repeats
+
+
+def main() -> None:
+    workload = EmployeeWorkload.generate(800, seed=7)
+    print(f"Workload: {workload.size} employees, departments {workload.departments}")
+
+    queries = [
+        "SELECT * FROM Emp WHERE dept = 'HR'",
+        "SELECT * FROM Emp WHERE dept = 'FIN'",
+        "SELECT name, salary FROM Emp WHERE name = 'emp400'",
+    ]
+
+    header = (
+        f"{'scheme':<15} {'store ms':>9} {'query ms':>9} {'bytes':>9} "
+        f"{'false pos':>9} {'equality leak':>14}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+
+    for scheme in build_schemes(workload.schema):
+        server = OutsourcedDatabaseServer()
+        client = OutsourcingClient(scheme, server, relation_name="Emp")
+
+        start = time.perf_counter()
+        shipped = client.outsource(workload.relation)
+        store_ms = (time.perf_counter() - start) * 1000
+
+        start = time.perf_counter()
+        false_positives = 0
+        for statement in queries:
+            outcome = client.select(statement)
+            false_positives += outcome.false_positives
+        query_ms = (time.perf_counter() - start) * 1000
+
+        # Streaming insert, then confirm it is findable.
+        client.insert({"name": "newhire", "dept": "HR", "salary": 4242})
+        found = client.select("SELECT * FROM Emp WHERE name = 'newhire'")
+        assert len(found.relation) == 1
+
+        leak = equality_leak(server.stored_relation("Emp"))
+        print(
+            f"{scheme.name:<15} {store_ms:>9.1f} {query_ms:>9.1f} {shipped:>9} "
+            f"{false_positives:>9} {leak:>14}"
+        )
+
+    print(
+        "\n'equality leak' counts pairs of tuples whose stored searchable fields "
+        "coincide: 0 for the paper's construction, large for every deterministic "
+        "baseline -- exactly the property the Section-1 attack exploits."
+    )
+
+
+if __name__ == "__main__":
+    main()

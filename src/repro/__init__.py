@@ -1,0 +1,59 @@
+"""Reproduction of *Provable Security for Outsourcing Database Operations*.
+
+Evdokimov, Fischmann, Günther -- ICDE 2006.
+
+The library implements, from scratch:
+
+* the **database privacy homomorphism** framework of Definition 1.1
+  (:mod:`repro.core`), including the paper's construction of a DPH preserving
+  exact selects from searchable encryption (Section 3);
+* the **searchable encryption substrate** (:mod:`repro.searchable`): the
+  Song--Wagner--Perrig scheme and a secure-index optimization;
+* the **relational substrate** (:mod:`repro.relational`): schemas, relations,
+  exact-select queries, a small SQL parser and a plaintext reference engine;
+* the **baseline schemes** the paper attacks (:mod:`repro.schemes`):
+  Hacigumus bucketization, Damiani hashed indexes, deterministic encryption;
+* the **security framework** (:mod:`repro.security`): the indistinguishability
+  games of Definitions 1.2 and 2.1, the concrete attacks of Sections 1 and 2,
+  the generic Theorem-2.1 adversary and empirical advantage estimation;
+* the **outsourcing protocol** (:mod:`repro.outsourcing`): an untrusted server
+  (Eve), a client (Alex) and the messages they exchange;
+* **workload generators** and **analysis utilities** for the experiment suite
+  (:mod:`repro.workloads`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import SearchableSelectDph, SecretKey
+    from repro.relational import Relation, RelationSchema, Selection
+
+    schema = RelationSchema.parse("Emp(name:string[10], dept:string[5], salary:int[6])")
+    emp = Relation.from_rows(schema, [("Montgomery", "HR", 7500), ("Smith", "IT", 5200)])
+
+    dph = SearchableSelectDph(schema, SecretKey.generate())
+    encrypted = dph.encrypt_relation(emp)              # E_k(R), stored at the provider
+    psi = dph.encrypt_query(Selection.equals("dept", "HR"))   # Eq_k(sigma)
+    result = dph.server_evaluator().evaluate(psi, encrypted)  # runs at the provider
+    report = dph.decrypt_result(result, Selection.equals("dept", "HR"))
+    print(report.relation.tuples)
+"""
+
+from repro.core.construction import SearchableSelectDph
+from repro.core.dph import (
+    DatabasePrivacyHomomorphism,
+    EncryptedQuery,
+    EncryptedRelation,
+    EncryptedTuple,
+)
+from repro.crypto.keys import SecretKey
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SearchableSelectDph",
+    "DatabasePrivacyHomomorphism",
+    "EncryptedQuery",
+    "EncryptedRelation",
+    "EncryptedTuple",
+    "SecretKey",
+    "__version__",
+]

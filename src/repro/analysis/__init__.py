@@ -1,0 +1,18 @@
+"""Statistical analysis and reporting utilities for the experiment suite."""
+
+from repro.analysis.stats import (
+    BinomialEstimate,
+    hoeffding_bound,
+    mean_and_std,
+    wilson_interval,
+)
+from repro.analysis.reporting import ExperimentTable, format_table
+
+__all__ = [
+    "BinomialEstimate",
+    "hoeffding_bound",
+    "mean_and_std",
+    "wilson_interval",
+    "ExperimentTable",
+    "format_table",
+]

@@ -1,0 +1,61 @@
+"""Plain-text experiment tables.
+
+Every benchmark in ``benchmarks/`` prints the rows it reproduces using
+:class:`ExperimentTable`, so the output of ``pytest benchmarks/`` can be
+compared line by line with the tables recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table with a fixed header and appendable rows."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append a row; values are converted with :func:`format_value`."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([format_value(v) for v in values])
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        return format_table(self.title, self.columns, self.rows)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_value(value) -> str:
+    """Human-friendly formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(title: str, columns: list[str], rows: list[list[str]]) -> str:
+    """Render a title, header and rows as an aligned monospace table."""
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", render_row(columns), separator]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)

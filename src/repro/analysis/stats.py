@@ -1,0 +1,138 @@
+"""Statistics for empirical security estimates.
+
+The security games of the paper are probabilistic experiments; every number
+the experiment harness reports (attack success probability, adversary
+advantage, false-positive rate) is a binomial proportion estimated from a
+finite number of trials.  This module provides the estimators and the
+confidence machinery:
+
+* :func:`wilson_interval` -- the Wilson score interval for a binomial
+  proportion (well-behaved at proportions near 0 and 1, which is exactly
+  where security experiments live);
+* :func:`hoeffding_bound` -- the two-sided Hoeffding deviation bound, used to
+  state how many trials are needed to resolve a given advantage;
+* :class:`BinomialEstimate` -- a proportion together with its interval and the
+  derived distinguishing *advantage* ``2p - 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; for ``trials == 0`` the maximally uninformative
+    interval ``(0, 1)`` is returned.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if trials == 0:
+        return (0.0, 1.0)
+    z = _z_value(confidence)
+    p_hat = successes / trials
+    denominator = 1 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def hoeffding_bound(trials: int, deviation: float) -> float:
+    """Probability bound ``2 exp(-2 n t^2)`` that the empirical mean deviates by ``deviation``."""
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if deviation < 0:
+        raise ValueError("deviation must be non-negative")
+    return min(1.0, 2.0 * math.exp(-2.0 * trials * deviation * deviation))
+
+
+def trials_for_advantage(deviation: float, failure_probability: float = 0.05) -> int:
+    """Number of trials needed so the Hoeffding bound drops below ``failure_probability``."""
+    if deviation <= 0:
+        raise ValueError("deviation must be positive")
+    if not 0 < failure_probability < 1:
+        raise ValueError("failure_probability must be in (0, 1)")
+    return math.ceil(math.log(2.0 / failure_probability) / (2.0 * deviation * deviation))
+
+
+def mean_and_std(values: list[float]) -> tuple[float, float]:
+    """Sample mean and (population) standard deviation."""
+    if not values:
+        raise ValueError("need at least one value")
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(variance)
+
+
+def _z_value(confidence: float) -> float:
+    """Two-sided normal quantile via the inverse error function."""
+    # erfinv through Newton iterations on erf; adequate for the few confidence
+    # levels experiments use and avoids a scipy dependency in the library core.
+    target = confidence
+    low, high = 0.0, 10.0
+    for _ in range(200):
+        mid = (low + high) / 2
+        if math.erf(mid / math.sqrt(2.0)) < target:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+@dataclass(frozen=True)
+class BinomialEstimate:
+    """A binomial proportion estimate with its Wilson interval."""
+
+    successes: int
+    trials: int
+    confidence: float = 0.95
+
+    @property
+    def proportion(self) -> float:
+        """Point estimate of the success probability."""
+        if self.trials == 0:
+            return 0.0
+        return self.successes / self.trials
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """Wilson confidence interval of the success probability."""
+        return wilson_interval(self.successes, self.trials, self.confidence)
+
+    @property
+    def advantage(self) -> float:
+        """Distinguishing advantage ``2p - 1`` (can be negative for bad guessers)."""
+        return 2.0 * self.proportion - 1.0
+
+    @property
+    def advantage_interval(self) -> tuple[float, float]:
+        """Wilson interval mapped to the advantage scale."""
+        low, high = self.interval
+        return (2.0 * low - 1.0, 2.0 * high - 1.0)
+
+    def is_negligible(self, threshold: float = 0.1) -> bool:
+        """Whether the advantage is statistically indistinguishable from 0.
+
+        True when the advantage interval contains 0 or stays below
+        ``threshold`` in absolute value -- the empirical stand-in for the
+        asymptotic notion of a negligible winning probability.
+        """
+        low, high = self.advantage_interval
+        if low <= 0.0 <= high:
+            return True
+        return max(abs(low), abs(high)) < threshold
+
+    def is_overwhelming(self, threshold: float = 0.9) -> bool:
+        """Whether the advantage is confidently above ``threshold`` (attack succeeds)."""
+        low, _ = self.advantage_interval
+        return low >= threshold

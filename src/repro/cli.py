@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Installed as ``python -m repro.cli`` (or imported and called programmatically),
+the CLI exposes the reproduction's main entry points without writing any code:
+
+``experiments``
+    Run one or all of the E1-E10 experiments with the registry's quick
+    parameters and print the resulting tables.
+
+``demo``
+    Outsource a synthetic employee database with a chosen scheme and run a few
+    exact selects against the untrusted server, printing what the provider
+    observed.
+
+``attack``
+    Run one of the paper's attacks (``salary-pair``, ``hospital``, ``john``)
+    and report the outcome.
+
+Examples::
+
+    python -m repro.cli experiments --only E1 E4
+    python -m repro.cli demo --scheme swp --size 500
+    python -m repro.cli attack hospital --size 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import SearchableSelectDph
+from repro.crypto.keys import SecretKey
+from repro.experiments import EXPERIMENTS
+from repro.outsourcing import OutsourcedDatabaseServer, OutsourcingClient
+from repro.schemes import (
+    BucketizationConfig,
+    DamianiDph,
+    DeterministicDph,
+    HacigumusDph,
+    PlaintextDph,
+)
+from repro.security import IndistinguishabilityGame
+from repro.security.attacks import (
+    SalaryPairAdversary,
+    run_active_query_attack,
+    run_hospital_inference,
+)
+from repro.workloads import EmployeeWorkload, HospitalWorkload
+
+#: Scheme names accepted by ``--scheme``.
+SCHEME_CHOICES = ("swp", "index", "bucketization", "damiani", "deterministic", "plaintext")
+
+
+def build_scheme(name: str, schema):
+    """Instantiate a freshly keyed scheme by CLI name."""
+    key = SecretKey.generate()
+    if name == "swp":
+        return SearchableSelectDph(schema, key, backend="swp")
+    if name == "index":
+        return SearchableSelectDph(schema, key, backend="index")
+    if name == "bucketization":
+        config = BucketizationConfig.uniform(schema, num_buckets=16, minimum=0, maximum=10000)
+        return HacigumusDph(schema, key, config=config)
+    if name == "damiani":
+        return DamianiDph(schema, key)
+    if name == "deterministic":
+        return DeterministicDph(schema, key)
+    if name == "plaintext":
+        return PlaintextDph(schema, key)
+    raise ValueError(f"unknown scheme {name!r}")
+
+
+def command_experiments(args: argparse.Namespace) -> int:
+    """Run registered experiments and print their tables."""
+    wanted = {identifier.upper() for identifier in (args.only or [])}
+    unknown = wanted - {spec.identifier for spec in EXPERIMENTS}
+    if unknown:
+        print(f"unknown experiment id(s): {sorted(unknown)}", file=sys.stderr)
+        return 2
+    for spec in EXPERIMENTS:
+        if wanted and spec.identifier not in wanted:
+            continue
+        print(f"[{spec.identifier}] {spec.claim}")
+        result = spec.run_quick()
+        print(result.to_table().render())
+        print()
+    return 0
+
+
+def command_demo(args: argparse.Namespace) -> int:
+    """Outsource a synthetic employee relation and run a few queries."""
+    workload = EmployeeWorkload.generate(args.size, seed=args.seed)
+    scheme = build_scheme(args.scheme, workload.schema)
+    server = OutsourcedDatabaseServer()
+    client = OutsourcingClient(scheme, server, relation_name="Emp")
+    shipped = client.outsource(workload.relation)
+    print(f"Outsourced {workload.size} tuples with {scheme.name}: {shipped} ciphertext bytes.")
+
+    statements = [
+        "SELECT * FROM Emp WHERE dept = 'HR'",
+        f"SELECT name, salary FROM Emp WHERE name = 'emp{args.size // 2}'",
+    ]
+    for statement in statements:
+        outcome = client.select(statement)
+        print(f"{statement}")
+        print(
+            f"  -> {len(outcome.relation)} tuple(s), "
+            f"{outcome.false_positives} false positive(s) filtered"
+        )
+    print(f"Provider's view: {server.audit_log.summary()}")
+    return 0
+
+
+def command_attack(args: argparse.Namespace) -> int:
+    """Run one of the paper's attacks."""
+    if args.attack == "salary-pair":
+        scheme = args.scheme or "bucketization"
+        table_schema = SalaryPairAdversary().schema
+
+        def factory(schema, rng):
+            return build_scheme(scheme, schema)
+
+        result = IndistinguishabilityGame(factory, scheme).run(
+            SalaryPairAdversary(), trials=args.trials, seed=args.seed
+        )
+        print(
+            f"salary-pair attack vs {scheme} (schema {table_schema.name}): "
+            f"success {result.success_rate:.2f}, advantage {result.advantage:+.2f} "
+            f"over {result.trials} trials"
+        )
+        return 0
+
+    workload = HospitalWorkload.generate(args.size, target_name="John", seed=args.seed)
+    dph = SearchableSelectDph(workload.schema, SecretKey.generate(), backend="index")
+    if args.attack == "hospital":
+        result = run_hospital_inference(dph, workload)
+        print(f"query identification correct: {result.identification_correct}")
+        for hospital in sorted(result.true_fatality):
+            print(
+                f"  hospital {hospital}: estimated fatality "
+                f"{result.estimated_fatality[hospital]:.4f} "
+                f"(true {result.true_fatality[hospital]:.4f})"
+            )
+        return 0
+    if args.attack == "john":
+        result = run_active_query_attack(dph, workload)
+        print(
+            f"target {result.target_name!r}: hospital {result.inferred_hospital} "
+            f"(true {result.true_hospital}), outcome {result.inferred_outcome!r} "
+            f"(true {result.true_outcome!r}), oracle queries {result.oracle_queries_used}"
+        )
+        return 0
+    print(f"unknown attack {args.attack!r}", file=sys.stderr)
+    return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Provable Security for Outsourcing Database Operations' (ICDE 2006)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser("experiments", help="run E1-E10 with quick parameters")
+    experiments.add_argument("--only", nargs="*", metavar="ID", help="experiment ids, e.g. E1 E4")
+    experiments.set_defaults(handler=command_experiments)
+
+    demo = subparsers.add_parser("demo", help="outsource a synthetic employee database")
+    demo.add_argument("--scheme", choices=SCHEME_CHOICES, default="swp")
+    demo.add_argument("--size", type=int, default=500)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(handler=command_demo)
+
+    attack = subparsers.add_parser("attack", help="run one of the paper's attacks")
+    attack.add_argument("attack", choices=("salary-pair", "hospital", "john"))
+    attack.add_argument("--scheme", choices=SCHEME_CHOICES, default=None,
+                        help="target scheme for salary-pair (default bucketization)")
+    attack.add_argument("--size", type=int, default=1000, help="hospital database size")
+    attack.add_argument("--trials", type=int, default=100, help="game trials for salary-pair")
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(handler=command_attack)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

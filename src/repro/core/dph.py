@@ -1,0 +1,224 @@
+"""The database privacy homomorphism abstraction (Definition 1.1).
+
+A database PH is a tuple ``(K, E, Eq, D)`` where
+
+* ``E : K x R -> C`` encrypts relations (tuple by tuple),
+* ``D : K x C -> R`` decrypts them,
+* ``Eq : K x {sigma_i} -> {psi_i}`` encrypts queries, and
+* for every relation ``R`` and relational operation ``sigma_i``:
+  ``E_k(sigma_i(R)) = psi_i(E_k(R))`` -- the encrypted operation applied to the
+  encrypted table yields an encryption of the plaintext result.
+
+This module fixes the concrete data model shared by every scheme in the
+reproduction (the paper's construction in :mod:`repro.core.construction` and
+the baselines in :mod:`repro.schemes`):
+
+* :class:`EncryptedTuple` -- one ciphertext ``c_i`` of the tuple-by-tuple
+  encryption: a strongly encrypted payload plus scheme-specific *searchable
+  fields* that the server operates on.
+* :class:`EncryptedRelation` -- the set ``C = {c_1, ..., c_n}``.
+* :class:`EncryptedQuery` -- the image ``psi_i = Eq_k(sigma_i)``, carried as a
+  tuple of opaque per-predicate tokens.
+* :class:`ServerEvaluator` -- the keyless procedure the untrusted server runs
+  to apply ``psi_i`` to ``E_k(R)``.  Keeping it a separate object (constructed
+  from public parameters only) makes the trust boundary explicit: nothing the
+  server executes ever touches key material.
+* :class:`DatabasePrivacyHomomorphism` -- the client-side ``(E, Eq, D)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.relational.query import Query
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+class DphError(Exception):
+    """Base error of the database-PH layer."""
+
+
+@dataclass(frozen=True)
+class EncryptedTuple:
+    """The ciphertext of a single tuple.
+
+    Attributes
+    ----------
+    tuple_id:
+        Public per-tuple identifier (a random nonce).  It never depends on the
+        plaintext, so revealing it leaks nothing beyond the tuple count, which
+        Definition 2.1 already concedes to the adversary.
+    payload:
+        Authenticated encryption of the fully serialized tuple; only the key
+        holder can open it.
+    search_fields:
+        Scheme-specific searchable material the server matches encrypted
+        queries against: word ciphertexts for the SWP construction, permuted
+        bucket labels for the Hacigumus baseline, keyed hashes for Damiani,
+        and so on.
+    metadata:
+        Additional opaque scheme bytes (e.g. the secure index of the
+        index-SSE construction).
+    """
+
+    tuple_id: bytes
+    payload: bytes
+    search_fields: tuple[bytes, ...] = ()
+    metadata: bytes = b""
+
+    def size_in_bytes(self) -> int:
+        """Total storage footprint of this ciphertext."""
+        return (
+            len(self.tuple_id)
+            + len(self.payload)
+            + sum(len(f) for f in self.search_fields)
+            + len(self.metadata)
+        )
+
+
+@dataclass(frozen=True)
+class EncryptedRelation:
+    """The encryption ``E_k(R)`` of a relation: a set of tuple ciphertexts.
+
+    The relation *schema* is treated as public knowledge, as the paper assumes
+    throughout ("Eve knows the database schema").
+    """
+
+    schema: RelationSchema
+    encrypted_tuples: tuple[EncryptedTuple, ...]
+
+    def __len__(self) -> int:
+        return len(self.encrypted_tuples)
+
+    def __iter__(self) -> Iterator[EncryptedTuple]:
+        return iter(self.encrypted_tuples)
+
+    def size_in_bytes(self) -> int:
+        """Total storage footprint of the encrypted relation."""
+        return sum(t.size_in_bytes() for t in self.encrypted_tuples)
+
+    def restrict_to(self, tuple_ids: Sequence[bytes]) -> "EncryptedRelation":
+        """Return the sub-relation containing only the named tuple ids."""
+        wanted = set(tuple_ids)
+        return EncryptedRelation(
+            schema=self.schema,
+            encrypted_tuples=tuple(
+                t for t in self.encrypted_tuples if t.tuple_id in wanted
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class EncryptedQuery:
+    """The encrypted query ``psi = Eq_k(sigma)``.
+
+    ``tokens`` holds one opaque search token per equality predicate; a
+    conjunctive selection carries several and the server intersects their
+    matches.  ``scheme_name`` lets the server pick the right evaluation
+    procedure without learning anything about the plaintext query.
+    """
+
+    scheme_name: str
+    tokens: tuple[bytes, ...]
+    metadata: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not self.tokens:
+            raise DphError("an encrypted query needs at least one token")
+
+    def size_in_bytes(self) -> int:
+        """Wire size of the encrypted query."""
+        return sum(len(t) for t in self.tokens) + len(self.metadata)
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """What the server returns: the matching tuple ciphertexts."""
+
+    matching: EncryptedRelation
+    #: Number of tuple ciphertexts the server had to examine.
+    examined: int = 0
+    #: Number of search-token evaluations the server performed.
+    token_evaluations: int = 0
+
+
+class ServerEvaluator(ABC):
+    """The keyless ciphertext operation ``psi`` executed by the service provider.
+
+    Instances are constructed from *public parameters only* and are therefore
+    safe to hand to the untrusted server; they constitute the entire code the
+    server needs to answer encrypted queries.
+    """
+
+    @property
+    @abstractmethod
+    def scheme_name(self) -> str:
+        """Identifier matching :attr:`EncryptedQuery.scheme_name`."""
+
+    @abstractmethod
+    def evaluate(
+        self, encrypted_query: EncryptedQuery, encrypted_relation: EncryptedRelation
+    ) -> EvaluationResult:
+        """Apply the encrypted query to the encrypted relation."""
+
+
+@dataclass(frozen=True)
+class DecryptionReport:
+    """Outcome of decrypting a server result, including the false-positive filter."""
+
+    relation: Relation
+    #: Tuples returned by the server before filtering.
+    returned: int
+    #: Tuples removed by the client-side filter (false positives).
+    false_positives: int
+    #: Tuples in the final result.
+    kept: int
+
+
+class DatabasePrivacyHomomorphism(ABC):
+    """Client-side interface of a database PH: the ``(E, Eq, D)`` of Definition 1.1."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable scheme name (used in reports and benchmarks)."""
+
+    @property
+    @abstractmethod
+    def schema(self) -> RelationSchema:
+        """The relation schema this instance encrypts."""
+
+    @abstractmethod
+    def encrypt_relation(self, relation: Relation) -> EncryptedRelation:
+        """``E``: encrypt a relation tuple by tuple."""
+
+    @abstractmethod
+    def decrypt_relation(self, encrypted_relation: EncryptedRelation) -> Relation:
+        """``D``: decrypt a (full or partial) encrypted relation."""
+
+    @abstractmethod
+    def encrypt_query(self, query: Query) -> EncryptedQuery:
+        """``Eq``: encrypt an exact-select query."""
+
+    @abstractmethod
+    def server_evaluator(self) -> ServerEvaluator:
+        """Return the keyless evaluator the untrusted server runs (``psi``)."""
+
+    def decrypt_result(
+        self, result: EncryptedRelation | EvaluationResult, query: Query | None = None
+    ) -> DecryptionReport:
+        """Decrypt a server result and filter false positives against ``query``.
+
+        This is the paper's "Alex needs to run a filter on the output": the
+        searchable scheme (and the lossy baselines even more so) may return
+        tuples that do not satisfy the plaintext query; the client removes
+        them after decryption.
+        """
+        from repro.core.filtering import filter_decrypted_result
+
+        encrypted = result.matching if isinstance(result, EvaluationResult) else result
+        decrypted = self.decrypt_relation(encrypted)
+        return filter_decrypted_result(decrypted, query)

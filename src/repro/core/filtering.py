@@ -1,0 +1,53 @@
+"""Client-side false-positive filtering.
+
+Searchable encryption schemes "sometimes return false positives.  Alex needs
+to run a filter on the output.  As the error rate is relatively small for all
+practical purposes, this does not affect the efficiency of our construction."
+(paper, Section 3).  For the lossy baselines -- bucketization and hashed
+indexes -- the filter is not an afterthought but an essential part of query
+processing, because many distinct values share a bucket.
+
+:func:`filter_decrypted_result` applies the plaintext query to the decrypted
+tuples and reports how many false positives were discarded, so experiments E7
+and E8 can quantify the filtering overhead.
+"""
+
+from __future__ import annotations
+
+from repro.relational.engine import PlaintextEngine
+from repro.relational.query import Projection, Query
+from repro.relational.relation import Relation
+
+from repro.core.dph import DecryptionReport
+
+
+def filter_decrypted_result(
+    decrypted: Relation, query: Query | None = None
+) -> DecryptionReport:
+    """Apply ``query`` to ``decrypted`` tuples and report the filtering statistics.
+
+    When ``query`` is ``None`` the tuples are returned unfiltered (this is the
+    behaviour of plain ``D`` on a full encrypted relation).
+    Projections are ignored at this stage -- the filter's job is only to drop
+    tuples that do not satisfy the selection predicates; projecting columns is
+    a separate, lossless step the caller can apply afterwards.
+    """
+    if query is None:
+        return DecryptionReport(
+            relation=decrypted,
+            returned=len(decrypted),
+            false_positives=0,
+            kept=len(decrypted),
+        )
+
+    selection = query.inner if isinstance(query, Projection) else query
+    engine = PlaintextEngine()
+    filtered = engine.execute(selection, decrypted)
+    if not isinstance(filtered, Relation):  # pragma: no cover - selections only
+        raise TypeError("filtering expects a selection query")
+    return DecryptionReport(
+        relation=filtered,
+        returned=len(decrypted),
+        false_positives=len(decrypted) - len(filtered),
+        kept=len(filtered),
+    )

@@ -1,0 +1,121 @@
+"""Executable check of the homomorphism property of Definition 1.1.
+
+The defining property of a database PH is ``E_k(sigma_i(R)) = psi_i(E_k(R))``.
+With randomized tuple encryption the two sides cannot be compared bit for bit,
+so the check is stated (equivalently, since ``D(E(x)) = x``) at the plaintext
+level:
+
+* **soundness after filtering** -- ``D_k(psi_i(E_k(R)))``, filtered against the
+  plaintext query, equals ``sigma_i(R)`` as a multiset;
+* **completeness before filtering** -- every tuple of ``sigma_i(R)`` appears in
+  the decrypted server result (no false negatives);
+* the number of extra tuples before filtering is reported as the scheme's
+  false-positive count for that query.
+
+:func:`check_homomorphism` runs this for a batch of queries and returns a
+machine-readable report used both by the integration tests and by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.dph import DatabasePrivacyHomomorphism
+from repro.relational.engine import PlaintextEngine
+from repro.relational.query import Query
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class QueryCheck:
+    """The homomorphism check outcome for a single query."""
+
+    query: Query
+    expected: int
+    returned: int
+    kept: int
+    false_positives: int
+    complete: bool
+    sound: bool
+
+    @property
+    def holds(self) -> bool:
+        """The homomorphism property holds for this query."""
+        return self.complete and self.sound
+
+
+@dataclass(frozen=True)
+class HomomorphismReport:
+    """Aggregated homomorphism check over a batch of queries."""
+
+    checks: tuple[QueryCheck, ...]
+
+    @property
+    def holds(self) -> bool:
+        """The property holds for every checked query."""
+        return all(c.holds for c in self.checks)
+
+    @property
+    def total_false_positives(self) -> int:
+        """Total number of false positives across all queries."""
+        return sum(c.false_positives for c in self.checks)
+
+    @property
+    def total_returned(self) -> int:
+        """Total number of tuples returned by the server across all queries."""
+        return sum(c.returned for c in self.checks)
+
+    def false_positive_rate(self) -> float:
+        """Fraction of returned tuples that were false positives."""
+        if self.total_returned == 0:
+            return 0.0
+        return self.total_false_positives / self.total_returned
+
+
+def check_homomorphism(
+    dph: DatabasePrivacyHomomorphism,
+    relation: Relation,
+    queries: Sequence[Query],
+) -> HomomorphismReport:
+    """Verify ``E_k(sigma(R)) = psi(E_k(R))`` empirically for each query.
+
+    The encrypted relation is produced once; every query is encrypted,
+    evaluated by the scheme's keyless server evaluator and decrypted with
+    filtering, then compared against the plaintext engine.
+    """
+    engine = PlaintextEngine()
+    encrypted_relation = dph.encrypt_relation(relation)
+    evaluator = dph.server_evaluator()
+
+    checks = []
+    for query in queries:
+        expected = engine.execute(query, relation)
+        if not isinstance(expected, Relation):
+            raise TypeError("homomorphism checks are defined over selection queries")
+
+        encrypted_query = dph.encrypt_query(query)
+        evaluation = evaluator.evaluate(encrypted_query, encrypted_relation)
+        unfiltered = dph.decrypt_relation(evaluation.matching)
+        report = dph.decrypt_result(evaluation, query)
+
+        expected_multiset = expected.as_multiset()
+        unfiltered_multiset = unfiltered.as_multiset()
+        complete = all(
+            unfiltered_multiset[t] >= count for t, count in expected_multiset.items()
+        )
+        sound = report.relation == expected
+
+        checks.append(
+            QueryCheck(
+                query=query,
+                expected=len(expected),
+                returned=report.returned,
+                kept=report.kept,
+                false_positives=report.false_positives,
+                complete=complete,
+                sound=sound,
+            )
+        )
+    return HomomorphismReport(checks=tuple(checks))

@@ -1,0 +1,237 @@
+"""Variable-length attribute optimization (full-version extension).
+
+The poster fixes one global word length -- "the length of the longest
+attribute value plus the length of an attribute identifier" -- which wastes
+space when one attribute (say, ``name:string[40]``) is much wider than the
+rest.  The full version of the paper mentions "a few straight-forward
+optimizations such as attributes of variable length"; this module implements
+that optimization:
+
+* every attribute gets its **own** word width (its declared maximum plus the
+  identifier width) and its **own** independently keyed searchable-encryption
+  instance;
+* a tuple's ``search_fields`` therefore contain one word ciphertext per
+  attribute, each as short as that attribute allows;
+* an encrypted query carries the attribute position alongside the trapdoor so
+  the keyless evaluator knows which field (and which public word length) to
+  test.
+
+Security is unchanged: each per-attribute scheme is the same SWP construction
+over a fixed-width domain, and the attribute position of a query token was
+already public in the fixed-width construction (the token length reveals it).
+The gain is purely storage/throughput and is quantified by the ablation
+benchmark ``benchmarks/bench_a1_variable_length.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.dph import (
+    DatabasePrivacyHomomorphism,
+    DphError,
+    EncryptedQuery,
+    EncryptedRelation,
+    EncryptedTuple,
+    EvaluationResult,
+    ServerEvaluator,
+)
+from repro.crypto.keys import KeyHierarchy, SecretKey
+from repro.crypto.rng import RandomSource, SystemRng
+from repro.crypto.symmetric import SymmetricCipher
+from repro.relational.encoding import TupleCodec, ValueCodec
+from repro.relational.query import Query, selection_predicates
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.tuples import RelationTuple
+from repro.searchable.interfaces import EncryptedDocument
+from repro.searchable.swp import DEFAULT_CHECK_LEN, SwpScheme, swp_search
+from repro.searchable.tokens import SwpToken
+from repro.searchable.words import WordCodec
+
+#: Wire name of the variable-width construction.
+VARIABLE_BACKEND = "dph-swp-variable"
+
+
+class VariableWidthSelectDph(DatabasePrivacyHomomorphism):
+    """Exact-select database PH with per-attribute word widths.
+
+    Parameters mirror :class:`repro.core.construction.SearchableSelectDph`;
+    the searchable backend is SWP (the optimization is about word layout, not
+    about the index structure).
+    """
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        secret_key: SecretKey | bytes,
+        check_length: int = DEFAULT_CHECK_LEN,
+        attribute_id_width: int = 1,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if isinstance(secret_key, (bytes, bytearray)):
+            secret_key = SecretKey(bytes(secret_key))
+        if attribute_id_width != 1:
+            raise DphError("attribute identifiers are one character wide in this construction")
+        self._schema = schema
+        self._keys = KeyHierarchy(secret_key)
+        self._rng = rng if rng is not None else SystemRng()
+        self._check_length = check_length
+        self._tuple_codec = TupleCodec(schema)
+        self._payload_cipher = SymmetricCipher(self._keys.get("vdph/payload"), rng=self._rng)
+
+        self._codecs: list[WordCodec] = []
+        self._schemes: list[SwpScheme] = []
+        for attribute in schema.attributes:
+            codec = WordCodec(attribute.max_length, attribute_id_width)
+            # The check value must leave at least one stream byte per word.
+            effective_check = min(check_length, codec.word_length - 1)
+            scheme = SwpScheme(
+                self._keys.get(f"vdph/searchable/{attribute.name}"),
+                word_length=codec.word_length,
+                check_length=effective_check,
+                rng=self._rng,
+            )
+            self._codecs.append(codec)
+            self._schemes.append(scheme)
+
+    # ------------------------------------------------------------------ #
+    # DatabasePrivacyHomomorphism interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """Scheme identifier."""
+        return VARIABLE_BACKEND
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The outsourced relation's schema."""
+        return self._schema
+
+    def word_length_of(self, attribute_name: str) -> int:
+        """The per-attribute word length (value width + identifier width)."""
+        index = self._schema.attribute_names.index(attribute_name)
+        return self._codecs[index].word_length
+
+    def encrypt_relation(self, relation: Relation) -> EncryptedRelation:
+        """``E``: one variable-width searchable word per attribute, plus payload."""
+        if relation.schema != self._schema:
+            raise DphError("relation schema does not match the construction's schema")
+        encrypted = tuple(self.encrypt_tuple(t) for t in relation)
+        return EncryptedRelation(schema=self._schema, encrypted_tuples=encrypted)
+
+    def encrypt_tuple(self, relation_tuple: RelationTuple) -> EncryptedTuple:
+        """Encrypt a single tuple.
+
+        All per-attribute words share the tuple's single random nonce; this is
+        safe because each attribute's scheme is independently keyed, and it
+        keeps the per-tuple overhead at one nonce regardless of arity.
+        """
+        tuple_id = self._rng.bytes(16)
+        fields = []
+        for index, attribute in enumerate(self._schema.attributes):
+            value_bytes = ValueCodec.encode(attribute, relation_tuple.value(attribute.name))
+            word = self._codecs[index].encode(attribute.identifier.encode("ascii"), value_bytes)
+            document = self._schemes[index].encrypt_document([word], document_id=tuple_id)
+            fields.append(document.encrypted_words[0])
+        payload = self._payload_cipher.encrypt_bytes(
+            self._tuple_codec.encode(relation_tuple), associated_data=tuple_id
+        )
+        return EncryptedTuple(
+            tuple_id=tuple_id,
+            payload=payload,
+            search_fields=tuple(fields),
+        )
+
+    def decrypt_relation(self, encrypted_relation: EncryptedRelation) -> Relation:
+        """``D``: decrypt every tuple payload."""
+        tuples = [self.decrypt_tuple(t) for t in encrypted_relation.encrypted_tuples]
+        return Relation(self._schema, tuples)
+
+    def decrypt_tuple(self, encrypted_tuple: EncryptedTuple) -> RelationTuple:
+        """Decrypt a single tuple ciphertext."""
+        raw = self._payload_cipher.decrypt_bytes(
+            encrypted_tuple.payload, associated_data=encrypted_tuple.tuple_id
+        )
+        return self._tuple_codec.decode(raw)
+
+    def encrypt_query(self, query: Query) -> EncryptedQuery:
+        """``Eq``: a position-tagged trapdoor per predicate, under that attribute's scheme."""
+        tokens = []
+        for predicate in selection_predicates(query):
+            attribute = self._schema.attribute(predicate.attribute)
+            attribute.validate_value(predicate.value)
+            index = self._schema.attribute_names.index(predicate.attribute)
+            value_bytes = ValueCodec.encode(attribute, predicate.value)
+            word = self._codecs[index].encode(attribute.identifier.encode("ascii"), value_bytes)
+            trapdoor = self._schemes[index].trapdoor(word)
+            tokens.append(index.to_bytes(2, "big") + trapdoor.to_bytes())
+        return EncryptedQuery(scheme_name=VARIABLE_BACKEND, tokens=tuple(tokens))
+
+    def server_evaluator(self) -> "VariableWidthServerEvaluator":
+        """The keyless evaluator (public per-attribute word/check lengths only)."""
+        parameters = tuple(
+            (codec.word_length, scheme.check_length)
+            for codec, scheme in zip(self._codecs, self._schemes)
+        )
+        return VariableWidthServerEvaluator(parameters)
+
+
+class VariableWidthServerEvaluator(ServerEvaluator):
+    """Keyless evaluation of position-tagged SWP trapdoors over per-attribute fields."""
+
+    def __init__(self, attribute_parameters: tuple[tuple[int, int], ...]) -> None:
+        if not attribute_parameters:
+            raise DphError("at least one attribute parameter pair is required")
+        self._parameters = attribute_parameters
+
+    @property
+    def scheme_name(self) -> str:
+        """Identifier matched against :attr:`EncryptedQuery.scheme_name`."""
+        return VARIABLE_BACKEND
+
+    def evaluate(
+        self, encrypted_query: EncryptedQuery, encrypted_relation: EncryptedRelation
+    ) -> EvaluationResult:
+        """Return tuples matched by every token (conjunction)."""
+        if encrypted_query.scheme_name != VARIABLE_BACKEND:
+            raise DphError(
+                f"query was encrypted for {encrypted_query.scheme_name!r}, "
+                f"this evaluator handles {VARIABLE_BACKEND!r}"
+            )
+        conditions = []
+        for raw in encrypted_query.tokens:
+            if len(raw) < 2:
+                raise DphError("malformed variable-width query token")
+            index = int.from_bytes(raw[:2], "big")
+            if index >= len(self._parameters):
+                raise DphError(f"token refers to unknown attribute position {index}")
+            conditions.append((index, SwpToken.from_bytes(raw[2:])))
+
+        matching = []
+        token_evaluations = 0
+        for encrypted_tuple in encrypted_relation.encrypted_tuples:
+            matched_all = True
+            for index, token in conditions:
+                token_evaluations += 1
+                if not self._matches(encrypted_tuple, index, token):
+                    matched_all = False
+                    break
+            if matched_all:
+                matching.append(encrypted_tuple)
+        return EvaluationResult(
+            matching=EncryptedRelation(
+                schema=encrypted_relation.schema, encrypted_tuples=tuple(matching)
+            ),
+            examined=len(encrypted_relation),
+            token_evaluations=token_evaluations,
+        )
+
+    def _matches(self, encrypted_tuple: EncryptedTuple, index: int, token: SwpToken) -> bool:
+        if index >= len(encrypted_tuple.search_fields):
+            return False
+        word_length, check_length = self._parameters[index]
+        document = EncryptedDocument(
+            document_id=encrypted_tuple.tuple_id,
+            encrypted_words=(encrypted_tuple.search_fields[index],),
+        )
+        return swp_search(document, token, word_length, check_length).matched

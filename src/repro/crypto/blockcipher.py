@@ -1,0 +1,48 @@
+"""A 16-byte block cipher and its key schedule.
+
+The paper assumes an abstract "secure cipher" for tuple payloads.  This module
+provides one built from the Feistel PRP of :mod:`repro.crypto.prp` with a
+128-bit block.  By the Luby--Rackoff theorem a Feistel network whose round
+functions are PRFs is a strong pseudorandom permutation, which is the standard
+modelling assumption for a block cipher.
+
+The cipher is deliberately simple -- correctness and clean interfaces matter
+more here than raw speed -- but it is a real, invertible, keyed permutation
+and the modes built on it (:mod:`repro.crypto.modes`) behave exactly like
+their textbook counterparts, including the ECB weakness the distinguishing
+attacks of Section 1 exploit when a scheme encrypts deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.errors import KeyError_, ParameterError
+from repro.crypto.prp import FeistelPrp
+
+#: Block length in bytes (128-bit blocks).
+BLOCK_LEN = 16
+
+
+class BlockCipher:
+    """A keyed permutation of 16-byte blocks."""
+
+    def __init__(self, key: bytes) -> None:
+        if not isinstance(key, (bytes, bytearray)) or len(key) < 16:
+            raise KeyError_("block cipher key must be at least 16 bytes")
+        self._prp = FeistelPrp(bytes(key), BLOCK_LEN)
+
+    @property
+    def block_len(self) -> int:
+        """Block length in bytes."""
+        return BLOCK_LEN
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_LEN:
+            raise ParameterError(f"block must be {BLOCK_LEN} bytes, got {len(block)}")
+        return self._prp.permute(block)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_LEN:
+            raise ParameterError(f"block must be {BLOCK_LEN} bytes, got {len(block)}")
+        return self._prp.invert(block)

@@ -1,0 +1,94 @@
+"""Key generation and hierarchical key management.
+
+Definition 1.1 models a database PH as a tuple ``(K, E, Eq, D)`` where keys
+are drawn uniformly from a key space ``K`` whose bit length is the security
+parameter ``n``.  :func:`generate_key` draws such keys; :class:`KeyHierarchy`
+expands one of them into the labelled sub-keys every concrete scheme needs,
+so that the user-visible key material stays a single secret.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.errors import KeyError_
+from repro.crypto.kdf import derive_key
+from repro.crypto.rng import RandomSource, SystemRng
+
+#: Default security parameter in bits (key length = n / 8 bytes).
+DEFAULT_SECURITY_PARAMETER = 256
+
+
+def generate_key(
+    security_parameter: int = DEFAULT_SECURITY_PARAMETER,
+    rng: RandomSource | None = None,
+) -> bytes:
+    """Draw a uniformly random key of ``security_parameter`` bits.
+
+    ``security_parameter`` must be a multiple of 8 and at least 128.
+    """
+    if security_parameter % 8 != 0:
+        raise KeyError_("security parameter must be a multiple of 8 bits")
+    if security_parameter < 128:
+        raise KeyError_("security parameter must be at least 128 bits")
+    rng = rng if rng is not None else SystemRng()
+    return rng.bytes(security_parameter // 8)
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """A master secret together with its security parameter."""
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.material, (bytes, bytearray)) or len(self.material) < 16:
+            raise KeyError_("secret key material must be at least 16 bytes")
+
+    @property
+    def security_parameter(self) -> int:
+        """Key length in bits (the ``n`` of the paper)."""
+        return len(self.material) * 8
+
+    @classmethod
+    def generate(
+        cls,
+        security_parameter: int = DEFAULT_SECURITY_PARAMETER,
+        rng: RandomSource | None = None,
+    ) -> "SecretKey":
+        """Generate a fresh uniformly random key."""
+        return cls(generate_key(security_parameter, rng))
+
+    def subkey(self, label: str, length: int = 32) -> bytes:
+        """Derive the sub-key identified by ``label``."""
+        return derive_key(self.material, label, length)
+
+    def __repr__(self) -> str:  # never print key material
+        return f"SecretKey(<{self.security_parameter} bits>)"
+
+
+class KeyHierarchy:
+    """Caches labelled sub-keys derived from a single :class:`SecretKey`.
+
+    The concrete schemes ask for keys by purpose, e.g.::
+
+        keys = KeyHierarchy(master)
+        payload_key = keys.get("dph/payload")
+        word_key = keys.get("swp/word")
+    """
+
+    def __init__(self, master: SecretKey) -> None:
+        self._master = master
+        self._cache: dict[tuple[str, int], bytes] = {}
+
+    @property
+    def master(self) -> SecretKey:
+        """The master secret this hierarchy derives from."""
+        return self._master
+
+    def get(self, label: str, length: int = 32) -> bytes:
+        """Return (and cache) the sub-key for ``label``."""
+        cache_key = (label, length)
+        if cache_key not in self._cache:
+            self._cache[cache_key] = self._master.subkey(label, length)
+        return self._cache[cache_key]

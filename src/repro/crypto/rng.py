@@ -1,0 +1,146 @@
+"""Randomness sources.
+
+The security games of the paper (Definitions 1.2 and 2.1) are probabilistic
+experiments; to make the reproduction's measurements repeatable we route every
+random choice through a :class:`RandomSource`.  Two implementations are
+provided:
+
+* :class:`SystemRng` -- wraps :func:`os.urandom`; used by default for key
+  generation in the library proper.
+* :class:`DeterministicRng` -- a seeded, hash-based generator producing an
+  unlimited stream of pseudorandom bytes; used by tests, benchmarks and the
+  experiment harness so that every reported number can be regenerated.
+
+The deterministic generator is *not* meant to be cryptographically strong in
+an adversarial sense (its seed is known to the experimenter); it is an
+instrument for reproducibility, exactly like seeding ``numpy.random``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from abc import ABC, abstractmethod
+
+
+class RandomSource(ABC):
+    """Abstract source of random bytes and derived convenience samplers."""
+
+    @abstractmethod
+    def bytes(self, n: int) -> bytes:
+        """Return ``n`` random bytes."""
+
+    def randint(self, low: int, high: int) -> int:
+        """Return a uniformly random integer in the inclusive range ``[low, high]``.
+
+        Uses rejection sampling over the minimal number of bytes so that the
+        distribution is exactly uniform.
+        """
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        if span == 1:
+            return low
+        nbytes = (span.bit_length() + 7) // 8
+        limit = (256**nbytes // span) * span
+        while True:
+            value = int.from_bytes(self.bytes(nbytes), "big")
+            if value < limit:
+                return low + (value % span)
+
+    def bit(self) -> int:
+        """Return a uniformly random bit (0 or 1)."""
+        return self.bytes(1)[0] & 1
+
+    def choice(self, sequence):
+        """Return a uniformly random element of a non-empty sequence."""
+        if not sequence:
+            raise ValueError("cannot choose from an empty sequence")
+        return sequence[self.randint(0, len(sequence) - 1)]
+
+    def shuffle(self, items: list) -> list:
+        """Return a new list with the items in a uniformly random order.
+
+        Fisher--Yates over a copy; the input list is left untouched.
+        """
+        result = list(items)
+        for i in range(len(result) - 1, 0, -1):
+            j = self.randint(0, i)
+            result[i], result[j] = result[j], result[i]
+        return result
+
+    def random(self) -> float:
+        """Return a float uniform in ``[0, 1)`` with 53 bits of precision."""
+        return int.from_bytes(self.bytes(7), "big") % (1 << 53) / float(1 << 53)
+
+    def sample_distribution(self, weights: list[float]) -> int:
+        """Sample an index proportionally to the given non-negative weights."""
+        if any(weight < 0 for weight in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        point = self.random() * total
+        acc = 0.0
+        for index, weight in enumerate(weights):
+            acc += weight
+            if point < acc:
+                return index
+        return len(weights) - 1
+
+
+class SystemRng(RandomSource):
+    """Operating-system randomness (``os.urandom``)."""
+
+    def bytes(self, n: int) -> bytes:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return os.urandom(n)
+
+
+class DeterministicRng(RandomSource):
+    """Seeded hash-counter generator for reproducible experiments.
+
+    The byte stream is ``SHA-256(seed || counter)`` for ``counter = 0, 1, ...``
+    which gives independent-looking blocks for distinct seeds and never
+    repeats state across instances with different seeds.
+    """
+
+    def __init__(self, seed: int | bytes | str = 0) -> None:
+        if isinstance(seed, int):
+            seed_bytes = seed.to_bytes(16, "big", signed=False)
+        elif isinstance(seed, str):
+            seed_bytes = seed.encode("utf-8")
+        else:
+            seed_bytes = bytes(seed)
+        self._seed = seed_bytes
+        self._counter = 0
+        self._buffer = b""
+
+    def bytes(self, n: int) -> bytes:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        while len(self._buffer) < n:
+            block = hashlib.sha256(
+                self._seed + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def fork(self, label: str) -> "DeterministicRng":
+        """Derive an independent generator for a sub-experiment.
+
+        Forking lets concurrent components (e.g. the challenger and the data
+        generator of a security game) draw from independent streams that are
+        still fully determined by the top-level seed.
+        """
+        return DeterministicRng(hashlib.sha256(self._seed + label.encode("utf-8")).digest())
+
+
+def default_rng(seed: int | None = None) -> RandomSource:
+    """Return a :class:`DeterministicRng` if ``seed`` is given, else :class:`SystemRng`."""
+    if seed is None:
+        return SystemRng()
+    return DeterministicRng(seed)

@@ -1,0 +1,89 @@
+"""Randomized authenticated symmetric encryption.
+
+This is the "secure cipher" of the paper: the scheme with which every tuple
+payload is encrypted before being stored at the untrusted server.  It is a
+standard encrypt-then-MAC composition:
+
+* confidentiality: CTR keystream derived from a PRF and a fresh random nonce
+  (IND-CPA under the PRF assumption);
+* integrity: HMAC-SHA256 over ``nonce || ciphertext`` (INT-CTXT).
+
+Ciphertexts are represented by :class:`SymmetricCiphertext` and serialize to
+``nonce || tag || body`` via :meth:`SymmetricCiphertext.to_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.errors import DecryptionError, KeyError_
+from repro.crypto.kdf import derive_key
+from repro.crypto.mac import TAG_LEN, Hmac
+from repro.crypto.prg import keystream, xor_bytes
+from repro.crypto.rng import RandomSource, SystemRng
+
+#: Nonce length in bytes.
+NONCE_LEN = 16
+
+
+@dataclass(frozen=True)
+class SymmetricCiphertext:
+    """A ciphertext produced by :class:`SymmetricCipher`."""
+
+    nonce: bytes
+    tag: bytes
+    body: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize as ``nonce || tag || body``."""
+        return self.nonce + self.tag + self.body
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "SymmetricCiphertext":
+        """Parse the ``nonce || tag || body`` wire format."""
+        if len(raw) < NONCE_LEN + TAG_LEN:
+            raise DecryptionError("ciphertext too short")
+        return cls(
+            nonce=raw[:NONCE_LEN],
+            tag=raw[NONCE_LEN: NONCE_LEN + TAG_LEN],
+            body=raw[NONCE_LEN + TAG_LEN:],
+        )
+
+    def __len__(self) -> int:
+        return NONCE_LEN + TAG_LEN + len(self.body)
+
+
+class SymmetricCipher:
+    """Authenticated encryption with associated data (encrypt-then-MAC)."""
+
+    def __init__(self, key: bytes, rng: RandomSource | None = None) -> None:
+        if not isinstance(key, (bytes, bytearray)) or len(key) < 16:
+            raise KeyError_("symmetric key must be at least 16 bytes")
+        self._enc_key = derive_key(bytes(key), "symmetric/enc")
+        self._mac = Hmac(derive_key(bytes(key), "symmetric/mac"))
+        self._rng = rng if rng is not None else SystemRng()
+
+    def encrypt(self, plaintext: bytes, associated_data: bytes = b"") -> SymmetricCiphertext:
+        """Encrypt and authenticate ``plaintext`` (binding ``associated_data``)."""
+        nonce = self._rng.bytes(NONCE_LEN)
+        body = xor_bytes(plaintext, keystream(self._enc_key, len(plaintext), nonce=nonce))
+        tag = self._mac.tag(associated_data + nonce + body)
+        return SymmetricCiphertext(nonce=nonce, tag=tag, body=body)
+
+    def decrypt(self, ciphertext: SymmetricCiphertext, associated_data: bytes = b"") -> bytes:
+        """Verify and decrypt; raises :class:`~repro.crypto.errors.IntegrityError` on tampering."""
+        self._mac.verify(
+            associated_data + ciphertext.nonce + ciphertext.body, ciphertext.tag
+        )
+        return xor_bytes(
+            ciphertext.body,
+            keystream(self._enc_key, len(ciphertext.body), nonce=ciphertext.nonce),
+        )
+
+    def encrypt_bytes(self, plaintext: bytes, associated_data: bytes = b"") -> bytes:
+        """Encrypt and return the serialized wire format."""
+        return self.encrypt(plaintext, associated_data).to_bytes()
+
+    def decrypt_bytes(self, raw: bytes, associated_data: bytes = b"") -> bytes:
+        """Parse the wire format and decrypt."""
+        return self.decrypt(SymmetricCiphertext.from_bytes(raw), associated_data)

@@ -1,0 +1,236 @@
+"""Experiments E1-E4: distinguishing attacks and the impossibility result.
+
+* **E1** -- the paper's Section-1 salary-pair attack against the Hacigumus
+  bucketization scheme, swept over the number of buckets.  Expected shape:
+  success probability ~1 for any reasonable bucket count (it can only dip when
+  the bucketization is so coarse that the two distinct salaries collide).
+* **E2** -- the same attack against the Damiani hashed-index scheme, swept over
+  the number of hash values.
+* **E3** -- the same family of q = 0 distinguishers against the paper's own
+  construction (both backends): every advantage must be statistically
+  indistinguishable from zero.
+* **E4** -- the generic Theorem 2.1 adversaries against *every* scheme at
+  q = 1 (they win) and q = 0 (they do not), demonstrating both the theorem and
+  the exact relaxation under which the construction is secure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.analysis.reporting import ExperimentTable
+from repro.core import SearchableSelectDph
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import RandomSource
+from repro.relational.schema import RelationSchema
+from repro.schemes import (
+    BucketizationConfig,
+    DamianiDph,
+    DeterministicDph,
+    HacigumusDph,
+)
+from repro.security import (
+    AdversaryModel,
+    DphIndistinguishabilityGame,
+    GameResult,
+    GenericActiveAdversary,
+    IndistinguishabilityGame,
+    ResultSizeAdversary,
+)
+from repro.security.attacks import (
+    CiphertextSizeAdversary,
+    RandomGuessAdversary,
+    SalaryPairAdversary,
+    paper_salary_tables,
+)
+
+#: Domain of the salary values in the paper's example tables.
+SALARY_DOMAIN = (0, 10000)
+
+
+def swp_factory(schema: RelationSchema, rng: RandomSource) -> SearchableSelectDph:
+    """Fresh-keyed construction with the SWP backend."""
+    return SearchableSelectDph(schema, SecretKey.generate(rng=rng), backend="swp", rng=rng)
+
+
+def index_factory(schema: RelationSchema, rng: RandomSource) -> SearchableSelectDph:
+    """Fresh-keyed construction with the secure-index backend."""
+    return SearchableSelectDph(schema, SecretKey.generate(rng=rng), backend="index", rng=rng)
+
+
+def bucketization_factory(num_buckets: int) -> Callable:
+    """Factory of fresh-keyed bucketization schemes with ``num_buckets`` buckets."""
+
+    def factory(schema: RelationSchema, rng: RandomSource) -> HacigumusDph:
+        config = BucketizationConfig.uniform(
+            schema, num_buckets=num_buckets, minimum=SALARY_DOMAIN[0], maximum=SALARY_DOMAIN[1]
+        )
+        return HacigumusDph(schema, SecretKey.generate(rng=rng), config=config, rng=rng)
+
+    return factory
+
+
+def damiani_factory(num_hash_values: int) -> Callable:
+    """Factory of fresh-keyed Damiani schemes with ``num_hash_values`` index values."""
+
+    def factory(schema: RelationSchema, rng: RandomSource) -> DamianiDph:
+        return DamianiDph(
+            schema, SecretKey.generate(rng=rng), num_hash_values=num_hash_values, rng=rng
+        )
+
+    return factory
+
+
+def deterministic_factory(schema: RelationSchema, rng: RandomSource) -> DeterministicDph:
+    """Fresh-keyed deterministic-encryption scheme."""
+    return DeterministicDph(schema, SecretKey.generate(rng=rng), rng=rng)
+
+
+@dataclass(frozen=True)
+class AttackRow:
+    """One row of an attack experiment."""
+
+    scheme: str
+    parameter: str
+    adversary: str
+    result: GameResult
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical winning probability of the adversary."""
+        return self.result.success_rate
+
+    @property
+    def advantage(self) -> float:
+        """Empirical advantage ``2p - 1``."""
+        return self.result.advantage
+
+
+@dataclass(frozen=True)
+class AttackExperimentResult:
+    """Rows of an E1-E4 style experiment."""
+
+    experiment: str
+    rows: tuple[AttackRow, ...]
+
+    def to_table(self) -> ExperimentTable:
+        """Render the rows as the table recorded in EXPERIMENTS.md."""
+        table = ExperimentTable(
+            self.experiment,
+            ["scheme", "parameter", "adversary", "trials", "success", "advantage", "broken"],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.scheme,
+                row.parameter,
+                row.adversary,
+                row.result.trials,
+                row.success_rate,
+                row.advantage,
+                row.result.broken_by(threshold=0.5),
+            )
+        return table
+
+
+def run_e1_bucketization_attack(
+    trials: int = 200,
+    bucket_counts: Sequence[int] = (2, 4, 16, 64, 256),
+    seed: int = 1,
+) -> AttackExperimentResult:
+    """E1: salary-pair distinguishing attack against bucketization."""
+    adversary = SalaryPairAdversary()
+    rows = []
+    for num_buckets in bucket_counts:
+        game = IndistinguishabilityGame(bucketization_factory(num_buckets), "bucketization")
+        result = game.run(adversary, trials=trials, seed=seed)
+        rows.append(
+            AttackRow("bucketization", f"buckets={num_buckets}", adversary.name, result)
+        )
+    # Reference row: the paper's construction against the same adversary.
+    reference = IndistinguishabilityGame(swp_factory, "dph-swp").run(
+        adversary, trials=trials, seed=seed
+    )
+    rows.append(AttackRow("dph-swp", "-", adversary.name, reference))
+    return AttackExperimentResult("E1: salary-pair attack vs bucketization", tuple(rows))
+
+
+def run_e2_damiani_attack(
+    trials: int = 200,
+    hash_value_counts: Sequence[int] = (2, 16, 64, 256),
+    seed: int = 2,
+) -> AttackExperimentResult:
+    """E2: salary-pair distinguishing attack against the Damiani hashed index."""
+    adversary = SalaryPairAdversary()
+    rows = []
+    for num_hash_values in hash_value_counts:
+        game = IndistinguishabilityGame(damiani_factory(num_hash_values), "damiani-hash")
+        result = game.run(adversary, trials=trials, seed=seed)
+        rows.append(
+            AttackRow("damiani-hash", f"hash-values={num_hash_values}", adversary.name, result)
+        )
+    reference = IndistinguishabilityGame(deterministic_factory, "deterministic").run(
+        adversary, trials=trials, seed=seed
+    )
+    rows.append(AttackRow("deterministic", "-", adversary.name, reference))
+    return AttackExperimentResult("E2: salary-pair attack vs hashed index", tuple(rows))
+
+
+def run_e3_dph_indistinguishability(
+    trials: int = 200,
+    seed: int = 3,
+) -> AttackExperimentResult:
+    """E3: q = 0 distinguishers against the paper's construction (advantage ~0)."""
+    table_1, table_2 = paper_salary_tables()
+    adversaries = [
+        SalaryPairAdversary(),
+        RandomGuessAdversary(table_1, table_2),
+        CiphertextSizeAdversary(table_1, table_2),
+    ]
+    rows = []
+    for backend_name, factory in (("dph-swp", swp_factory), ("dph-index", index_factory)):
+        for adversary in adversaries:
+            result = IndistinguishabilityGame(factory, backend_name).run(
+                adversary, trials=trials, seed=seed
+            )
+            rows.append(AttackRow(backend_name, "q=0", adversary.name, result))
+    return AttackExperimentResult(
+        "E3: indistinguishability of the construction at q=0", tuple(rows)
+    )
+
+
+def run_e4_theorem21(
+    trials: int = 60,
+    table_size: int = 8,
+    seed: int = 4,
+) -> AttackExperimentResult:
+    """E4: the generic Theorem 2.1 adversaries against every scheme, q in {0, 1}."""
+    factories = [
+        ("dph-swp", swp_factory),
+        ("dph-index", index_factory),
+        ("bucketization", bucketization_factory(16)),
+        ("deterministic", deterministic_factory),
+    ]
+    rows = []
+    active = GenericActiveAdversary(table_size=table_size)
+    passive = ResultSizeAdversary(table_size=table_size)
+    for scheme_name, factory in factories:
+        for budget in (1, 0):
+            game = DphIndistinguishabilityGame(
+                factory,
+                query_budget=budget,
+                adversary_model=AdversaryModel.ACTIVE,
+                scheme_name=scheme_name,
+            )
+            result = game.run(active, trials=trials, seed=seed)
+            rows.append(AttackRow(scheme_name, f"q={budget} active", active.name, result))
+        passive_game = DphIndistinguishabilityGame(
+            factory,
+            query_budget=1,
+            adversary_model=AdversaryModel.PASSIVE,
+            query_workload=ResultSizeAdversary.workload,
+            scheme_name=scheme_name,
+        )
+        result = passive_game.run(passive, trials=trials, seed=seed)
+        rows.append(AttackRow(scheme_name, "q=1 passive", passive.name, result))
+    return AttackExperimentResult("E4: Theorem 2.1 -- every DPH falls once q > 0", tuple(rows))

@@ -1,0 +1,183 @@
+"""Experiments E5-E6: inference attacks on the hospital database (Section 2).
+
+* **E5** -- the passive attack: from the sizes and overlaps of four observed
+  query results Eve recovers per-hospital fatality ratios.  Reported per
+  database size: how often the query identification succeeds and how close the
+  recovered ratios are to the ground truth.
+* **E6** -- the active attack: with a handful of query-encryption-oracle calls
+  Eve locates the record of a known patient ("John") and learns his hospital
+  and outcome.  Reported per database size: success probability and the number
+  of oracle queries used.
+
+Both attacks run against the paper's own (q = 0 secure) construction -- that
+they succeed is the point: security evaporates as soon as queries flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.reporting import ExperimentTable
+from repro.analysis.stats import mean_and_std
+from repro.core import SearchableSelectDph
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import DeterministicRng
+from repro.security.attacks import run_active_query_attack, run_hospital_inference
+from repro.workloads import HospitalWorkload
+
+
+@dataclass(frozen=True)
+class InferenceRow:
+    """One row of the E5 experiment."""
+
+    backend: str
+    database_size: int
+    trials: int
+    identification_rate: float
+    mean_absolute_error: float
+    max_absolute_error: float
+
+
+@dataclass(frozen=True)
+class HospitalInferenceExperiment:
+    """E5 result."""
+
+    rows: tuple[InferenceRow, ...]
+
+    def to_table(self) -> ExperimentTable:
+        """Render the E5 table."""
+        table = ExperimentTable(
+            "E5: passive hospital inference (fatality-ratio recovery)",
+            ["backend", "patients", "trials", "query-id rate", "mean |err|", "max |err|"],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.backend,
+                row.database_size,
+                row.trials,
+                row.identification_rate,
+                row.mean_absolute_error,
+                row.max_absolute_error,
+            )
+        return table
+
+
+def run_e5_hospital_inference(
+    sizes: Sequence[int] = (500, 2000, 8000),
+    trials: int = 5,
+    backend: str = "index",
+    seed: int = 5,
+) -> HospitalInferenceExperiment:
+    """E5: run the passive inference attack over several database sizes."""
+    rows = []
+    for size in sizes:
+        identifications = 0
+        errors = []
+        max_error = 0.0
+        for trial in range(trials):
+            workload = HospitalWorkload.generate(size, seed=seed * 1000 + trial)
+            dph = SearchableSelectDph(
+                workload.schema,
+                SecretKey.generate(rng=DeterministicRng((seed, size, trial).__repr__())),
+                backend=backend,
+                rng=DeterministicRng((seed, size, trial, "rng").__repr__()),
+            )
+            result = run_hospital_inference(dph, workload)
+            identifications += int(result.identification_correct)
+            errors.extend(result.absolute_error(h) for h in workload.hospitals)
+            max_error = max(max_error, result.max_absolute_error)
+        mean_error, _ = mean_and_std(errors)
+        rows.append(
+            InferenceRow(
+                backend=f"dph-{backend}",
+                database_size=size,
+                trials=trials,
+                identification_rate=identifications / trials,
+                mean_absolute_error=mean_error,
+                max_absolute_error=max_error,
+            )
+        )
+    return HospitalInferenceExperiment(tuple(rows))
+
+
+@dataclass(frozen=True)
+class ActiveAttackRow:
+    """One row of the E6 experiment."""
+
+    backend: str
+    database_size: int
+    trials: int
+    hospital_success_rate: float
+    outcome_success_rate: float
+    full_success_rate: float
+    mean_oracle_queries: float
+
+
+@dataclass(frozen=True)
+class ActiveAttackExperiment:
+    """E6 result."""
+
+    rows: tuple[ActiveAttackRow, ...]
+
+    def to_table(self) -> ExperimentTable:
+        """Render the E6 table."""
+        table = ExperimentTable(
+            "E6: active adversary locates a known patient ('John')",
+            ["backend", "patients", "trials", "hospital ok", "outcome ok", "both ok", "oracle queries"],
+        )
+        for row in self.rows:
+            table.add_row(
+                row.backend,
+                row.database_size,
+                row.trials,
+                row.hospital_success_rate,
+                row.outcome_success_rate,
+                row.full_success_rate,
+                row.mean_oracle_queries,
+            )
+        return table
+
+
+def run_e6_active_adversary(
+    sizes: Sequence[int] = (500, 2000, 8000),
+    trials: int = 5,
+    backend: str = "index",
+    oracle_budget: int = 6,
+    seed: int = 6,
+) -> ActiveAttackExperiment:
+    """E6: run the active "John" attack over several database sizes."""
+    rows = []
+    for size in sizes:
+        hospital_hits = 0
+        outcome_hits = 0
+        full_hits = 0
+        queries_used = []
+        for trial in range(trials):
+            workload = HospitalWorkload.generate(
+                size, target_name="John", seed=seed * 1000 + trial
+            )
+            dph = SearchableSelectDph(
+                workload.schema,
+                SecretKey.generate(rng=DeterministicRng((seed, size, trial).__repr__())),
+                backend=backend,
+                rng=DeterministicRng((seed, size, trial, "rng").__repr__()),
+            )
+            result = run_active_query_attack(dph, workload, oracle_budget=oracle_budget)
+            hospital_hits += int(result.hospital_correct)
+            outcome_hits += int(result.outcome_correct)
+            full_hits += int(result.fully_successful)
+            queries_used.append(float(result.oracle_queries_used))
+        mean_queries, _ = mean_and_std(queries_used)
+        rows.append(
+            ActiveAttackRow(
+                backend=f"dph-{backend}",
+                database_size=size,
+                trials=trials,
+                hospital_success_rate=hospital_hits / trials,
+                outcome_success_rate=outcome_hits / trials,
+                full_success_rate=full_hits / trials,
+                mean_oracle_queries=mean_queries,
+            )
+        )
+    return ActiveAttackExperiment(tuple(rows))

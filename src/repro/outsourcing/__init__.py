@@ -1,0 +1,49 @@
+"""End-to-end outsourcing protocol: client (Alex), untrusted server (Eve).
+
+* :mod:`repro.outsourcing.client` -- the key-holding client;
+* :mod:`repro.outsourcing.server` -- the keyless service provider;
+* :mod:`repro.outsourcing.protocol` -- the byte-level wire format of the
+  ciphertext objects the two exchange;
+* :mod:`repro.outsourcing.audit` -- the provider's observation log (the raw
+  material of every attack in :mod:`repro.security`).
+"""
+
+from repro.outsourcing.audit import AuditEvent, AuditEventKind, ServerAuditLog
+from repro.outsourcing.client import ClientError, OutsourcingClient, SelectOutcome
+from repro.outsourcing.protocol import (
+    Message,
+    MessageKind,
+    ProtocolError,
+    decode_encrypted_query,
+    decode_encrypted_relation,
+    decode_encrypted_tuple,
+    encode_encrypted_query,
+    encode_encrypted_relation,
+    encode_encrypted_tuple,
+)
+from repro.outsourcing.server import (
+    OutsourcedDatabaseServer,
+    ServerError,
+    StoredRelation,
+)
+
+__all__ = [
+    "AuditEvent",
+    "AuditEventKind",
+    "ServerAuditLog",
+    "ClientError",
+    "OutsourcingClient",
+    "SelectOutcome",
+    "Message",
+    "MessageKind",
+    "ProtocolError",
+    "decode_encrypted_query",
+    "decode_encrypted_relation",
+    "decode_encrypted_tuple",
+    "encode_encrypted_query",
+    "encode_encrypted_relation",
+    "encode_encrypted_tuple",
+    "OutsourcedDatabaseServer",
+    "ServerError",
+    "StoredRelation",
+]

@@ -1,0 +1,73 @@
+"""Server-side observation log.
+
+The paper's threat model is an honest-but-curious (or later adversarial)
+service provider: Eve executes the protocol faithfully but records everything
+she sees.  :class:`ServerAuditLog` is that record -- each stored relation,
+each encrypted query and each result size.  The security experiments read the
+log to build the adversary's view, and the examples print it to show exactly
+how little (or how much) an outsourced deployment reveals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class AuditEventKind(Enum):
+    """Types of events the service provider observes."""
+
+    RELATION_STORED = "relation-stored"
+    TUPLE_INSERTED = "tuple-inserted"
+    QUERY_EXECUTED = "query-executed"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One observation made by the service provider."""
+
+    kind: AuditEventKind
+    relation_name: str
+    detail: dict = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.time)
+
+
+class ServerAuditLog:
+    """Append-only log of everything the untrusted server observes."""
+
+    def __init__(self) -> None:
+        self._events: list[AuditEvent] = []
+
+    @property
+    def events(self) -> tuple[AuditEvent, ...]:
+        """All recorded events, oldest first."""
+        return tuple(self._events)
+
+    def record(self, kind: AuditEventKind, relation_name: str, **detail) -> AuditEvent:
+        """Append an event."""
+        event = AuditEvent(kind=kind, relation_name=relation_name, detail=dict(detail))
+        self._events.append(event)
+        return event
+
+    def events_of_kind(self, kind: AuditEventKind) -> list[AuditEvent]:
+        """All events of one kind."""
+        return [e for e in self._events if e.kind is kind]
+
+    def query_result_sizes(self, relation_name: str | None = None) -> list[int]:
+        """Result sizes of all executed queries (what result-size attacks consume)."""
+        sizes = []
+        for event in self.events_of_kind(AuditEventKind.QUERY_EXECUTED):
+            if relation_name is not None and event.relation_name != relation_name:
+                continue
+            sizes.append(event.detail.get("result_size", 0))
+        return sizes
+
+    def summary(self) -> dict[str, int]:
+        """Event counts per kind."""
+        return {
+            kind.value: len(self.events_of_kind(kind)) for kind in AuditEventKind
+        }
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,185 @@
+"""Wire format of the outsourcing protocol.
+
+The client (Alex) and the service provider (Eve) exchange only ciphertext
+objects; this module defines a compact, self-describing byte encoding for them
+so the protocol layer is genuinely message-based (and so the storage /
+bandwidth overhead experiments E8-E9 measure realistic serialized sizes, not
+Python object graphs).
+
+Encoding conventions: all integers are big-endian; variable-length byte
+strings are length-prefixed with 4 bytes; sequences are prefixed with a
+4-byte element count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.dph import EncryptedQuery, EncryptedRelation, EncryptedTuple
+from repro.relational.schema import RelationSchema
+
+
+class ProtocolError(Exception):
+    """A message could not be encoded or decoded."""
+
+
+# --------------------------------------------------------------------------- #
+# Primitive encoders
+# --------------------------------------------------------------------------- #
+
+def _encode_bytes(value: bytes) -> bytes:
+    return len(value).to_bytes(4, "big") + value
+
+
+def _decode_bytes(raw: bytes, offset: int) -> tuple[bytes, int]:
+    if offset + 4 > len(raw):
+        raise ProtocolError("truncated length prefix")
+    length = int.from_bytes(raw[offset: offset + 4], "big")
+    offset += 4
+    if offset + length > len(raw):
+        raise ProtocolError("truncated byte string")
+    return raw[offset: offset + length], offset + length
+
+
+def _encode_sequence(items: list[bytes]) -> bytes:
+    return len(items).to_bytes(4, "big") + b"".join(_encode_bytes(i) for i in items)
+
+
+def _decode_sequence(raw: bytes, offset: int) -> tuple[list[bytes], int]:
+    if offset + 4 > len(raw):
+        raise ProtocolError("truncated sequence count")
+    count = int.from_bytes(raw[offset: offset + 4], "big")
+    offset += 4
+    items = []
+    for _ in range(count):
+        item, offset = _decode_bytes(raw, offset)
+        items.append(item)
+    return items, offset
+
+
+# --------------------------------------------------------------------------- #
+# Ciphertext object encoders
+# --------------------------------------------------------------------------- #
+
+def encode_encrypted_tuple(encrypted_tuple: EncryptedTuple) -> bytes:
+    """Serialize one tuple ciphertext."""
+    return (
+        _encode_bytes(encrypted_tuple.tuple_id)
+        + _encode_bytes(encrypted_tuple.payload)
+        + _encode_sequence(list(encrypted_tuple.search_fields))
+        + _encode_bytes(encrypted_tuple.metadata)
+    )
+
+
+def decode_encrypted_tuple(raw: bytes, offset: int = 0) -> tuple[EncryptedTuple, int]:
+    """Parse one tuple ciphertext, returning it and the next offset."""
+    tuple_id, offset = _decode_bytes(raw, offset)
+    payload, offset = _decode_bytes(raw, offset)
+    fields, offset = _decode_sequence(raw, offset)
+    metadata, offset = _decode_bytes(raw, offset)
+    return (
+        EncryptedTuple(
+            tuple_id=tuple_id,
+            payload=payload,
+            search_fields=tuple(fields),
+            metadata=metadata,
+        ),
+        offset,
+    )
+
+
+def encode_encrypted_relation(encrypted_relation: EncryptedRelation) -> bytes:
+    """Serialize an encrypted relation (schema travels as its public declaration)."""
+    schema_decl = _schema_declaration(encrypted_relation.schema)
+    body = [encode_encrypted_tuple(t) for t in encrypted_relation.encrypted_tuples]
+    return _encode_bytes(schema_decl.encode("utf-8")) + _encode_sequence(body)
+
+
+def decode_encrypted_relation(raw: bytes) -> EncryptedRelation:
+    """Parse an encrypted relation."""
+    schema_bytes, offset = _decode_bytes(raw, 0)
+    schema = RelationSchema.parse(schema_bytes.decode("utf-8"))
+    bodies, offset = _decode_sequence(raw, offset)
+    if offset != len(raw):
+        raise ProtocolError("trailing bytes after encrypted relation")
+    tuples = []
+    for body in bodies:
+        encrypted_tuple, consumed = decode_encrypted_tuple(body, 0)
+        if consumed != len(body):
+            raise ProtocolError("trailing bytes after encrypted tuple")
+        tuples.append(encrypted_tuple)
+    return EncryptedRelation(schema=schema, encrypted_tuples=tuple(tuples))
+
+
+def encode_encrypted_query(encrypted_query: EncryptedQuery) -> bytes:
+    """Serialize an encrypted query."""
+    return (
+        _encode_bytes(encrypted_query.scheme_name.encode("utf-8"))
+        + _encode_sequence(list(encrypted_query.tokens))
+        + _encode_bytes(encrypted_query.metadata)
+    )
+
+
+def decode_encrypted_query(raw: bytes) -> EncryptedQuery:
+    """Parse an encrypted query."""
+    name, offset = _decode_bytes(raw, 0)
+    tokens, offset = _decode_sequence(raw, offset)
+    metadata, offset = _decode_bytes(raw, offset)
+    if offset != len(raw):
+        raise ProtocolError("trailing bytes after encrypted query")
+    return EncryptedQuery(
+        scheme_name=name.decode("utf-8"), tokens=tuple(tokens), metadata=metadata
+    )
+
+
+def _schema_declaration(schema: RelationSchema) -> str:
+    columns = ", ".join(
+        f"{a.name}:{a.attribute_type.value}[{a.max_length}]" for a in schema.attributes
+    )
+    return f"{schema.name}({columns})"
+
+
+# --------------------------------------------------------------------------- #
+# Message envelope
+# --------------------------------------------------------------------------- #
+
+class MessageKind(Enum):
+    """Protocol message types."""
+
+    STORE_RELATION = "store-relation"
+    INSERT_TUPLE = "insert-tuple"
+    QUERY = "query"
+    QUERY_RESULT = "query-result"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message: a kind, a target relation name, and a ciphertext body."""
+
+    kind: MessageKind
+    relation_name: str
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Serialize the envelope."""
+        return (
+            _encode_bytes(self.kind.value.encode("utf-8"))
+            + _encode_bytes(self.relation_name.encode("utf-8"))
+            + _encode_bytes(self.body)
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Message":
+        """Parse an envelope."""
+        kind_bytes, offset = _decode_bytes(raw, 0)
+        name_bytes, offset = _decode_bytes(raw, offset)
+        body, offset = _decode_bytes(raw, offset)
+        if offset != len(raw):
+            raise ProtocolError("trailing bytes after message")
+        try:
+            kind = MessageKind(kind_bytes.decode("utf-8"))
+        except ValueError as exc:
+            raise ProtocolError(f"unknown message kind {kind_bytes!r}") from exc
+        return cls(kind=kind, relation_name=name_bytes.decode("utf-8"), body=body)

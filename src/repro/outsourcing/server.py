@@ -1,0 +1,124 @@
+"""The untrusted database service provider (Eve).
+
+The server stores encrypted relations, answers encrypted queries by running
+the keyless :class:`~repro.core.dph.ServerEvaluator` the client registered for
+the scheme, and records everything it sees in a
+:class:`~repro.outsourcing.audit.ServerAuditLog`.  It never holds key
+material; the only plaintext it learns is what the ciphertexts and the query
+results structurally reveal -- which is precisely what the paper's security
+analysis is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dph import (
+    EncryptedQuery,
+    EncryptedRelation,
+    EncryptedTuple,
+    EvaluationResult,
+    ServerEvaluator,
+)
+from repro.outsourcing.audit import AuditEventKind, ServerAuditLog
+
+
+class ServerError(Exception):
+    """The server refused or failed to process a request."""
+
+
+@dataclass
+class StoredRelation:
+    """A named encrypted relation together with its registered evaluator."""
+
+    name: str
+    encrypted_relation: EncryptedRelation
+    evaluator: ServerEvaluator
+
+
+class OutsourcedDatabaseServer:
+    """In-memory implementation of the untrusted service provider."""
+
+    def __init__(self, audit_log: ServerAuditLog | None = None) -> None:
+        self._relations: dict[str, StoredRelation] = {}
+        self._audit = audit_log if audit_log is not None else ServerAuditLog()
+
+    @property
+    def audit_log(self) -> ServerAuditLog:
+        """Everything the provider has observed so far."""
+        return self._audit
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of the stored relations."""
+        return tuple(self._relations)
+
+    def store_relation(
+        self,
+        name: str,
+        encrypted_relation: EncryptedRelation,
+        evaluator: ServerEvaluator,
+    ) -> None:
+        """Store (or replace) an encrypted relation and its query evaluator."""
+        if not name:
+            raise ServerError("relation name must be non-empty")
+        self._relations[name] = StoredRelation(
+            name=name, encrypted_relation=encrypted_relation, evaluator=evaluator
+        )
+        self._audit.record(
+            AuditEventKind.RELATION_STORED,
+            name,
+            tuple_count=len(encrypted_relation),
+            size_in_bytes=encrypted_relation.size_in_bytes(),
+            scheme=evaluator.scheme_name,
+        )
+
+    def insert_tuple(self, name: str, encrypted_tuple: EncryptedTuple) -> None:
+        """Append one tuple ciphertext to a stored relation."""
+        stored = self._stored(name)
+        stored.encrypted_relation = EncryptedRelation(
+            schema=stored.encrypted_relation.schema,
+            encrypted_tuples=stored.encrypted_relation.encrypted_tuples + (encrypted_tuple,),
+        )
+        self._audit.record(
+            AuditEventKind.TUPLE_INSERTED,
+            name,
+            size_in_bytes=encrypted_tuple.size_in_bytes(),
+        )
+
+    def execute_query(self, name: str, encrypted_query: EncryptedQuery) -> EvaluationResult:
+        """Run the encrypted query against a stored relation."""
+        stored = self._stored(name)
+        if encrypted_query.scheme_name != stored.evaluator.scheme_name:
+            raise ServerError(
+                f"query scheme {encrypted_query.scheme_name!r} does not match the "
+                f"relation's scheme {stored.evaluator.scheme_name!r}"
+            )
+        result = stored.evaluator.evaluate(encrypted_query, stored.encrypted_relation)
+        self._audit.record(
+            AuditEventKind.QUERY_EXECUTED,
+            name,
+            result_size=len(result.matching),
+            examined=result.examined,
+            token_evaluations=result.token_evaluations,
+            token_count=len(encrypted_query.tokens),
+        )
+        return result
+
+    def stored_relation(self, name: str) -> EncryptedRelation:
+        """The provider's copy of a relation (what a leak would expose)."""
+        return self._stored(name).encrypted_relation
+
+    def storage_in_bytes(self, name: str | None = None) -> int:
+        """Total ciphertext bytes stored (for one relation or overall)."""
+        if name is not None:
+            return self._stored(name).encrypted_relation.size_in_bytes()
+        return sum(
+            s.encrypted_relation.size_in_bytes() for s in self._relations.values()
+        )
+
+    def _stored(self, name: str) -> StoredRelation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise ServerError(f"no relation named {name!r} is stored") from exc

@@ -1,0 +1,61 @@
+"""Relational database substrate.
+
+The paper outsources *relations* and evaluates *relational operations* (exact
+selects) over them.  This package implements that substrate from scratch:
+
+* :mod:`repro.relational.types` / :mod:`repro.relational.schema` -- typed
+  attributes and relation schemas (e.g. ``Emp(name:string[9], dept:string[5],
+  salary:int)`` from the paper's Section 3 example).
+* :mod:`repro.relational.tuples` / :mod:`repro.relational.relation` -- tuples
+  and relations with multiset semantics.
+* :mod:`repro.relational.query` -- the query AST: exact-match selections
+  (``sigma_{attr=value}``), conjunctions of them, and projections.
+* :mod:`repro.relational.sql` -- a small SQL parser covering the
+  ``SELECT ... FROM ... WHERE attr = value [AND ...]`` fragment used in the
+  paper's examples.
+* :mod:`repro.relational.engine` -- a plaintext query engine, used both as the
+  reference semantics for correctness tests and as the client-side
+  post-filtering step of the database-PH construction.
+* :mod:`repro.relational.encoding` -- the byte encoding of attribute values
+  that feeds the fixed-width word layout of the searchable scheme.
+"""
+
+from repro.relational.engine import PlaintextEngine, evaluate
+from repro.relational.errors import (
+    EncodingError,
+    QueryError,
+    RelationalError,
+    SchemaError,
+)
+from repro.relational.query import (
+    ConjunctiveSelection,
+    EqualityPredicate,
+    Projection,
+    Query,
+    Selection,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.sql import parse_sql
+from repro.relational.tuples import RelationTuple
+from repro.relational.types import AttributeType
+
+__all__ = [
+    "PlaintextEngine",
+    "evaluate",
+    "EncodingError",
+    "QueryError",
+    "RelationalError",
+    "SchemaError",
+    "ConjunctiveSelection",
+    "EqualityPredicate",
+    "Projection",
+    "Query",
+    "Selection",
+    "Relation",
+    "Attribute",
+    "RelationSchema",
+    "parse_sql",
+    "RelationTuple",
+    "AttributeType",
+]

@@ -1,0 +1,102 @@
+"""Byte encoding of attribute values and tuples.
+
+Two encodings live here:
+
+* **Value encoding** -- how a single attribute value becomes the byte string
+  that is padded into a searchable word (:class:`ValueCodec`).  Strings are
+  ASCII; integers are rendered in decimal exactly as the paper's
+  ``"7500######S"`` example shows.
+* **Tuple encoding** -- a reversible serialization of a whole tuple
+  (:class:`TupleCodec`), used as the payload of the authenticated tuple
+  ciphertext so the client can recover full tuples without relying on word
+  decryption alone.
+"""
+
+from __future__ import annotations
+
+from repro.relational.errors import EncodingError
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.tuples import RelationTuple
+from repro.relational.types import AttributeType
+
+
+class ValueCodec:
+    """Encode and decode single attribute values as bytes."""
+
+    @staticmethod
+    def encode(attribute: Attribute, value) -> bytes:
+        """Encode ``value`` for ``attribute`` (ASCII string / decimal integer)."""
+        attribute.validate_value(value)
+        if attribute.attribute_type is AttributeType.STRING:
+            return str(value).encode("ascii")
+        if attribute.attribute_type is AttributeType.INTEGER:
+            return str(int(value)).encode("ascii")
+        raise EncodingError(f"unsupported type {attribute.attribute_type}")  # pragma: no cover
+
+    @staticmethod
+    def decode(attribute: Attribute, raw: bytes):
+        """Decode bytes produced by :meth:`encode` back into a Python value."""
+        try:
+            text = raw.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise EncodingError(f"value bytes are not ASCII: {raw!r}") from exc
+        if attribute.attribute_type is AttributeType.STRING:
+            return text
+        if attribute.attribute_type is AttributeType.INTEGER:
+            try:
+                return int(text)
+            except ValueError as exc:
+                raise EncodingError(f"invalid integer encoding {text!r}") from exc
+        raise EncodingError(f"unsupported type {attribute.attribute_type}")  # pragma: no cover
+
+
+class TupleCodec:
+    """Reversible length-prefixed serialization of whole tuples.
+
+    Wire format: for each attribute in schema order,
+    ``len(value_bytes) (2 bytes big-endian) || value_bytes``.
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self._schema = schema
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The schema this codec serializes tuples of."""
+        return self._schema
+
+    def encode(self, relation_tuple: RelationTuple) -> bytes:
+        """Serialize a tuple."""
+        if relation_tuple.schema != self._schema:
+            raise EncodingError("tuple schema does not match codec schema")
+        parts = []
+        for attribute in self._schema.attributes:
+            raw = ValueCodec.encode(attribute, relation_tuple.value(attribute.name))
+            if len(raw) > 0xFFFF:
+                raise EncodingError("encoded value too long")
+            parts.append(len(raw).to_bytes(2, "big") + raw)
+        return b"".join(parts)
+
+    def decode(self, raw: bytes) -> RelationTuple:
+        """Parse bytes produced by :meth:`encode` back into a tuple."""
+        values = {}
+        offset = 0
+        for attribute in self._schema.attributes:
+            if offset + 2 > len(raw):
+                raise EncodingError("truncated tuple encoding (missing length prefix)")
+            length = int.from_bytes(raw[offset: offset + 2], "big")
+            offset += 2
+            if offset + length > len(raw):
+                raise EncodingError("truncated tuple encoding (missing value bytes)")
+            values[attribute.name] = ValueCodec.decode(
+                attribute, raw[offset: offset + length]
+            )
+            offset += length
+        if offset != len(raw):
+            raise EncodingError("trailing bytes after tuple encoding")
+        return RelationTuple(self._schema, values)
+
+
+def word_value_width(schema: RelationSchema) -> int:
+    """Return the paper's globally fixed value width: the longest attribute width."""
+    return schema.max_value_length()

@@ -1,0 +1,61 @@
+"""Plaintext query engine.
+
+This engine defines the *reference semantics* of the reproduced system: the
+homomorphism property of Definition 1.1 is checked by comparing, for every
+query, the engine's plaintext result with the decryption of the ciphertext
+result produced by the outsourced construction.  The same engine is reused by
+the client for post-filtering false positives (the paper: "Alex needs to run a
+filter on the output").
+"""
+
+from __future__ import annotations
+
+from repro.relational.errors import QueryError
+from repro.relational.query import (
+    ConjunctiveSelection,
+    Projection,
+    Query,
+    Selection,
+)
+from repro.relational.relation import Relation
+
+
+class PlaintextEngine:
+    """Evaluates the supported query AST directly over plaintext relations."""
+
+    def execute(self, query: Query, relation: Relation) -> Relation | list[tuple]:
+        """Evaluate ``query`` over ``relation``.
+
+        Selections return a :class:`Relation`; projections return a list of
+        positional value tuples (bag semantics, like SQL without DISTINCT).
+        """
+        if isinstance(query, Selection):
+            return self._execute_selection(query, relation)
+        if isinstance(query, ConjunctiveSelection):
+            return self._execute_conjunction(query, relation)
+        if isinstance(query, Projection):
+            inner = self.execute(query.inner, relation)
+            if not isinstance(inner, Relation):
+                raise QueryError("nested projections are not supported")
+            if not query.attributes:
+                return [t.project(list(relation.schema.attribute_names)) for t in inner]
+            return inner.project(list(query.attributes))
+        raise QueryError(f"unsupported query node {type(query).__name__}")
+
+    def _execute_selection(self, query: Selection, relation: Relation) -> Relation:
+        query.validate(relation.schema)
+        return relation.select_equal(query.attribute, query.value)
+
+    def _execute_conjunction(
+        self, query: ConjunctiveSelection, relation: Relation
+    ) -> Relation:
+        query.validate(relation.schema)
+        result = relation
+        for predicate in query.conditions:
+            result = result.select_equal(predicate.attribute, predicate.value)
+        return Relation(relation.schema, result.tuples)
+
+
+def evaluate(query: Query, relation: Relation) -> Relation | list[tuple]:
+    """One-shot evaluation helper."""
+    return PlaintextEngine().execute(query, relation)

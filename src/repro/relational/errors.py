@@ -1,0 +1,23 @@
+"""Exception hierarchy of the relational substrate."""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all relational-layer errors."""
+
+
+class SchemaError(RelationalError):
+    """A schema, attribute or tuple violates a structural constraint."""
+
+
+class QueryError(RelationalError):
+    """A query is malformed or refers to unknown attributes."""
+
+
+class EncodingError(RelationalError):
+    """An attribute value cannot be encoded into (or decoded from) bytes."""
+
+
+class SqlParseError(QueryError):
+    """A SQL string could not be parsed into the supported fragment."""

@@ -1,0 +1,146 @@
+"""Query AST: exact-match selections, conjunctions and projections.
+
+The paper's construction supports *exact selects* ``sigma_{attr=value}``.  The
+AST mirrors that: a :class:`Selection` is one equality predicate, a
+:class:`ConjunctiveSelection` is a conjunction of several (evaluated by the
+construction as an intersection of per-predicate results), and a
+:class:`Projection` optionally narrows the output attributes.  All nodes are
+immutable value objects so queries can serve as dictionary keys (e.g. in the
+adversary's observation logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.relational.errors import QueryError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+class Query:
+    """Marker base class of all query AST nodes."""
+
+
+@dataclass(frozen=True)
+class EqualityPredicate:
+    """One ``attribute = value`` condition."""
+
+    attribute: str
+    value: object
+
+    def matches(self, relation_tuple) -> bool:
+        """Evaluate the predicate on one tuple."""
+        return relation_tuple.value(self.attribute) == self.value
+
+    def validate(self, schema: RelationSchema) -> None:
+        """Check the attribute exists and the value has the right type."""
+        try:
+            attribute = schema.attribute(self.attribute)
+            attribute.validate_value(self.value)
+        except Exception as exc:
+            raise QueryError(str(exc)) from exc
+
+    def __repr__(self) -> str:
+        return f"{self.attribute} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Selection(Query):
+    """An exact select ``sigma_{attribute = value}(R)``."""
+
+    predicate: EqualityPredicate
+
+    @classmethod
+    def equals(cls, attribute: str, value: object) -> "Selection":
+        """Convenience constructor."""
+        return cls(EqualityPredicate(attribute, value))
+
+    @property
+    def attribute(self) -> str:
+        """The selected attribute name."""
+        return self.predicate.attribute
+
+    @property
+    def value(self) -> object:
+        """The value the attribute is compared against."""
+        return self.predicate.value
+
+    def validate(self, schema: RelationSchema) -> None:
+        """Validate against a schema."""
+        self.predicate.validate(schema)
+
+    def predicates(self) -> tuple[EqualityPredicate, ...]:
+        """Uniform access shared with :class:`ConjunctiveSelection`."""
+        return (self.predicate,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.predicate!r}]"
+
+
+@dataclass(frozen=True)
+class ConjunctiveSelection(Query):
+    """A conjunction of exact selects ``sigma_{a1=v1 AND a2=v2 AND ...}(R)``."""
+
+    conditions: tuple[EqualityPredicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.conditions:
+            raise QueryError("a conjunctive selection needs at least one predicate")
+        attributes = [p.attribute for p in self.conditions]
+        if len(set(attributes)) != len(attributes):
+            raise QueryError("conjunctive selections must not repeat an attribute")
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, object]) -> "ConjunctiveSelection":
+        """Build from ``(attribute, value)`` pairs."""
+        return cls(tuple(EqualityPredicate(a, v) for a, v in pairs))
+
+    def validate(self, schema: RelationSchema) -> None:
+        """Validate every predicate against a schema."""
+        for predicate in self.conditions:
+            predicate.validate(schema)
+
+    def predicates(self) -> tuple[EqualityPredicate, ...]:
+        """The conjuncts."""
+        return self.conditions
+
+    def __repr__(self) -> str:
+        inner = " AND ".join(repr(p) for p in self.conditions)
+        return f"σ[{inner}]"
+
+
+@dataclass(frozen=True)
+class Projection(Query):
+    """A projection ``pi_{attributes}(inner)`` over a selection."""
+
+    inner: Query
+    attributes: tuple[str, ...] = field(default_factory=tuple)
+
+    def validate(self, schema: RelationSchema) -> None:
+        """Validate the projected attributes and the inner query."""
+        for name in self.attributes:
+            if not schema.has_attribute(name):
+                raise QueryError(f"unknown attribute {name!r} in projection")
+        validate = getattr(self.inner, "validate", None)
+        if validate is not None:
+            validate(schema)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.attributes) if self.attributes else "*"
+        return f"π[{cols}]({self.inner!r})"
+
+
+def selection_predicates(query: Query) -> Sequence[EqualityPredicate]:
+    """Return the equality predicates of a (possibly projected) selection query."""
+    if isinstance(query, Projection):
+        return selection_predicates(query.inner)
+    if isinstance(query, (Selection, ConjunctiveSelection)):
+        return query.predicates()
+    raise QueryError(f"unsupported query node {type(query).__name__}")
+
+
+def full_relation_scan(relation: Relation) -> Relation:
+    """Identity query helper: a copy of the whole relation."""
+    return Relation(relation.schema, relation.tuples)

@@ -1,0 +1,37 @@
+"""Baseline outsourced-database schemes the paper discusses and attacks.
+
+* :class:`repro.schemes.hacigumus.HacigumusDph` -- interval bucketization with
+  secretly permuted bucket identifiers (SIGMOD 2002, the paper's reference [4]).
+* :class:`repro.schemes.damiani.DamianiDph` -- truncated keyed-hash indexes
+  (CCS 2003, reference [3]).
+* :class:`repro.schemes.deterministic.DeterministicDph` -- per-value
+  deterministic encryption, the idealized "no collisions" variant of the above.
+* :class:`repro.schemes.plaintext.PlaintextDph` -- no encryption; performance
+  floor for the overhead experiments.
+
+All of them implement the same
+:class:`repro.core.dph.DatabasePrivacyHomomorphism` interface as the paper's
+construction, so the security games and benchmarks can treat every scheme
+uniformly.
+"""
+
+from repro.schemes.base import FieldMatchDph, FieldMatchEvaluator
+from repro.schemes.damiani import DamianiDph
+from repro.schemes.deterministic import DeterministicDph
+from repro.schemes.hacigumus import (
+    AttributeBucketing,
+    BucketizationConfig,
+    HacigumusDph,
+)
+from repro.schemes.plaintext import PlaintextDph
+
+__all__ = [
+    "FieldMatchDph",
+    "FieldMatchEvaluator",
+    "DamianiDph",
+    "DeterministicDph",
+    "AttributeBucketing",
+    "BucketizationConfig",
+    "HacigumusDph",
+    "PlaintextDph",
+]

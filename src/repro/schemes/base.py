@@ -1,0 +1,200 @@
+"""Shared machinery of the baseline ("field match") schemes.
+
+The three baselines the paper discusses -- the Hacigumus bucketization scheme,
+the Damiani hashed-index scheme and plain deterministic encryption -- share a
+common shape: every tuple ciphertext carries a strongly encrypted payload plus
+one *deterministic* searchable field per attribute, and an encrypted query is
+the deterministic image of the searched value.  What distinguishes the schemes
+is only the function that maps an attribute value to its searchable field.
+
+That determinism is precisely what the paper's distinguishing attacks exploit
+(equal plaintext values produce equal fields, Section 1), so keeping the
+mechanism in one base class makes the comparison with the randomized
+construction of Section 3 as direct as possible.
+
+:class:`FieldMatchDph` implements Definition 1.1's ``(E, Eq, D)`` generically;
+subclasses provide :meth:`FieldMatchDph._search_field`.
+:class:`FieldMatchEvaluator` is the keyless server-side ``psi``.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+from repro.core.dph import (
+    DatabasePrivacyHomomorphism,
+    DphError,
+    EncryptedQuery,
+    EncryptedRelation,
+    EncryptedTuple,
+    EvaluationResult,
+    ServerEvaluator,
+)
+from repro.crypto.keys import KeyHierarchy, SecretKey
+from repro.crypto.rng import RandomSource, SystemRng
+from repro.crypto.symmetric import SymmetricCipher
+from repro.relational.encoding import TupleCodec
+from repro.relational.query import Query, selection_predicates
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.tuples import RelationTuple
+
+#: Length in bytes of the random per-tuple identifier.
+TUPLE_ID_LEN = 16
+
+
+def encode_field_token(attribute_index: int, field: bytes) -> bytes:
+    """Serialize a query token as ``attribute_index (2 bytes) || field``."""
+    if not 0 <= attribute_index < 0xFFFF:
+        raise DphError("attribute index out of range")
+    return attribute_index.to_bytes(2, "big") + field
+
+
+def decode_field_token(raw: bytes) -> tuple[int, bytes]:
+    """Parse a token serialized by :func:`encode_field_token`."""
+    if len(raw) < 2:
+        raise DphError("malformed field token")
+    return int.from_bytes(raw[:2], "big"), raw[2:]
+
+
+class FieldMatchDph(DatabasePrivacyHomomorphism):
+    """Base class of schemes with one deterministic searchable field per attribute."""
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        secret_key: SecretKey | bytes,
+        rng: RandomSource | None = None,
+        encrypt_payload: bool = True,
+    ) -> None:
+        if isinstance(secret_key, (bytes, bytearray)):
+            secret_key = SecretKey(bytes(secret_key))
+        self._schema = schema
+        self._keys = KeyHierarchy(secret_key)
+        self._rng = rng if rng is not None else SystemRng()
+        self._tuple_codec = TupleCodec(schema)
+        self._encrypt_payload = encrypt_payload
+        self._payload_cipher = (
+            SymmetricCipher(self._keys.get(f"{self.name}/payload"), rng=self._rng)
+            if encrypt_payload
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Subclass hooks
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def _search_field(self, attribute: Attribute, value) -> bytes:
+        """Deterministic searchable field for ``value`` of ``attribute``."""
+
+    # ------------------------------------------------------------------ #
+    # DatabasePrivacyHomomorphism interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The outsourced relation's schema."""
+        return self._schema
+
+    @property
+    def keys(self) -> KeyHierarchy:
+        """The key hierarchy (exposed for subclasses)."""
+        return self._keys
+
+    def encrypt_relation(self, relation: Relation) -> EncryptedRelation:
+        """``E``: payload encryption plus per-attribute deterministic fields."""
+        if relation.schema != self._schema:
+            raise DphError("relation schema does not match the scheme's schema")
+        encrypted = tuple(self.encrypt_tuple(t) for t in relation)
+        return EncryptedRelation(schema=self._schema, encrypted_tuples=encrypted)
+
+    def encrypt_tuple(self, relation_tuple: RelationTuple) -> EncryptedTuple:
+        """Encrypt a single tuple."""
+        tuple_id = self._rng.bytes(TUPLE_ID_LEN)
+        serialized = self._tuple_codec.encode(relation_tuple)
+        if self._payload_cipher is not None:
+            payload = self._payload_cipher.encrypt_bytes(serialized, associated_data=tuple_id)
+        else:
+            payload = serialized
+        fields = tuple(
+            self._search_field(attribute, relation_tuple.value(attribute.name))
+            for attribute in self._schema.attributes
+        )
+        return EncryptedTuple(tuple_id=tuple_id, payload=payload, search_fields=fields)
+
+    def decrypt_relation(self, encrypted_relation: EncryptedRelation) -> Relation:
+        """``D``: decrypt every payload."""
+        return Relation(
+            self._schema,
+            [self.decrypt_tuple(t) for t in encrypted_relation.encrypted_tuples],
+        )
+
+    def decrypt_tuple(self, encrypted_tuple: EncryptedTuple) -> RelationTuple:
+        """Decrypt a single tuple ciphertext."""
+        if self._payload_cipher is not None:
+            raw = self._payload_cipher.decrypt_bytes(
+                encrypted_tuple.payload, associated_data=encrypted_tuple.tuple_id
+            )
+        else:
+            raw = encrypted_tuple.payload
+        return self._tuple_codec.decode(raw)
+
+    def encrypt_query(self, query: Query) -> EncryptedQuery:
+        """``Eq``: the deterministic field of the searched value, per predicate."""
+        tokens = []
+        for predicate in selection_predicates(query):
+            attribute = self._schema.attribute(predicate.attribute)
+            attribute.validate_value(predicate.value)
+            index = self._schema.attribute_names.index(predicate.attribute)
+            field = self._search_field(attribute, predicate.value)
+            tokens.append(encode_field_token(index, field))
+        return EncryptedQuery(scheme_name=self.name, tokens=tuple(tokens))
+
+    def server_evaluator(self) -> "FieldMatchEvaluator":
+        """The keyless field-equality evaluator."""
+        return FieldMatchEvaluator(self.name)
+
+
+class FieldMatchEvaluator(ServerEvaluator):
+    """Keyless server-side evaluation: match tokens against stored fields."""
+
+    def __init__(self, scheme_name: str) -> None:
+        self._scheme_name = scheme_name
+
+    @property
+    def scheme_name(self) -> str:
+        """Identifier matched against :attr:`EncryptedQuery.scheme_name`."""
+        return self._scheme_name
+
+    def evaluate(
+        self, encrypted_query: EncryptedQuery, encrypted_relation: EncryptedRelation
+    ) -> EvaluationResult:
+        """Return tuples whose fields equal every token's field (conjunction)."""
+        if encrypted_query.scheme_name != self._scheme_name:
+            raise DphError(
+                f"query was encrypted for {encrypted_query.scheme_name!r}, "
+                f"this evaluator handles {self._scheme_name!r}"
+            )
+        conditions = [decode_field_token(t) for t in encrypted_query.tokens]
+        matching = []
+        token_evaluations = 0
+        for encrypted_tuple in encrypted_relation.encrypted_tuples:
+            matched_all = True
+            for attribute_index, field in conditions:
+                token_evaluations += 1
+                if attribute_index >= len(encrypted_tuple.search_fields):
+                    matched_all = False
+                    break
+                if encrypted_tuple.search_fields[attribute_index] != field:
+                    matched_all = False
+                    break
+            if matched_all:
+                matching.append(encrypted_tuple)
+        return EvaluationResult(
+            matching=EncryptedRelation(
+                schema=encrypted_relation.schema, encrypted_tuples=tuple(matching)
+            ),
+            examined=len(encrypted_relation),
+            token_evaluations=token_evaluations,
+        )

@@ -1,0 +1,47 @@
+"""Searchable symmetric encryption substrates.
+
+Section 3 of the paper gives "a general construction of a database PH based on
+searchable encryption schemes" and instantiates it with the scheme of Song,
+Wagner and Perrig (IEEE S&P 2000), noting that "others can be used instead".
+This package provides both:
+
+* :class:`repro.searchable.swp.SwpScheme` -- a faithful reimplementation of the
+  SWP *hidden search* scheme: fixed-length words are pre-encrypted with a
+  deterministic permutation, then XOR-masked with a position-dependent
+  keystream carrying an embedded PRF check value.  Searching requires a linear
+  scan of the ciphertext and may return **false positives** with probability
+  about ``2^{-8m}`` per word for an ``m``-byte check value -- exactly the
+  behaviour the paper tells the client to filter out.
+* :class:`repro.searchable.index_sse.IndexSseScheme` -- an index-based scheme
+  in the style of Goh's secure indexes: each document stores salted hashes of
+  per-word PRF labels.  Same interface, no false negatives, false positives
+  only from hash truncation, and a much cheaper per-document search check.
+  This plays the role of the "straight-forward optimizations" mentioned for
+  the full version of the paper.
+
+Both schemes implement :class:`repro.searchable.interfaces.SearchableEncryptionScheme`,
+which is the only interface the database-PH construction in
+:mod:`repro.core.construction` relies on.
+"""
+
+from repro.searchable.interfaces import (
+    EncryptedDocument,
+    SearchableEncryptionScheme,
+    SearchMatch,
+)
+from repro.searchable.index_sse import IndexSseScheme
+from repro.searchable.swp import SwpScheme
+from repro.searchable.tokens import IndexToken, SwpToken
+from repro.searchable.words import Word, WordCodec
+
+__all__ = [
+    "EncryptedDocument",
+    "SearchableEncryptionScheme",
+    "SearchMatch",
+    "IndexSseScheme",
+    "SwpScheme",
+    "IndexToken",
+    "SwpToken",
+    "Word",
+    "WordCodec",
+]

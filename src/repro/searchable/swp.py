@@ -1,0 +1,219 @@
+"""The Song--Wagner--Perrig searchable encryption scheme ("hidden search").
+
+This is the scheme the paper instantiates its construction with ([7] in the
+paper: Song, Wagner, Perrig, *Practical Techniques for Searches on Encrypted
+Data*, IEEE S&P 2000).  For a fixed word length ``w`` and check length ``m``:
+
+**Encryption** of the ``i``-th word ``W`` of a document with public nonce
+``nid``::
+
+    X   = P_{k_word}(W)                       # deterministic pre-encryption
+    L,R = X[:w-m], X[w-m:]
+    S_i = G_{k_stream}(nid, i)                # w-m pseudorandom bytes
+    k_i = f_{k_check}(L)                      # per-word check key
+    C_i = X  XOR  ( S_i || F_{k_i}(S_i) )     # F outputs m bytes
+
+**Trapdoor** for a word ``W``: the pair ``(X, k)`` with ``X = P_{k_word}(W)``
+and ``k = f_{k_check}(X[:w-m])``.
+
+**Search** (server side, no key): for every stored ``C_i`` compute
+``T = C_i XOR X`` and accept iff ``F_k(T[:w-m]) == T[w-m:]``.  For words other
+than ``W`` the check succeeds only by accident, with probability about
+``2^{-8m}`` -- these are the *false positives* the paper says the client must
+filter out.
+
+**Decryption**: the key holder regenerates ``S_i``, recovers ``L``, derives
+``k_i``, recovers ``R`` and inverts the pre-encryption.
+
+The per-document nonce replaces SWP's global stream position so that the
+scheme composes with the tuple-by-tuple encryption required by Definition 1.1:
+two tuples containing the same value still produce independent-looking
+ciphertexts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.errors import DecryptionError, ParameterError
+from repro.crypto.kdf import derive_key
+from repro.crypto.prf import Prf
+from repro.crypto.prg import xor_bytes
+from repro.crypto.prp import UnbalancedFeistelPrp
+from repro.crypto.rng import RandomSource, SystemRng
+from repro.searchable.interfaces import (
+    EncryptedDocument,
+    SearchableEncryptionScheme,
+    SearchMatch,
+)
+from repro.searchable.tokens import SwpToken
+from repro.searchable.words import Word
+
+#: Length in bytes of the public per-document nonce.
+DOCUMENT_ID_LEN = 16
+
+#: Default check length in bytes (false positive probability ~ 2^-48 per word).
+DEFAULT_CHECK_LEN = 6
+
+
+def swp_search(
+    document: EncryptedDocument,
+    token: SwpToken,
+    word_length: int,
+    check_length: int,
+) -> SearchMatch:
+    """Server-side SWP search: requires only the trapdoor and public parameters.
+
+    This free function is what the untrusted server actually runs -- it is
+    deliberately independent of :class:`SwpScheme` so that no code path on the
+    server side ever has access to key material.
+    """
+    left_length = word_length - check_length
+    positions = []
+    check_prf = Prf(token.check_key)
+    for index, ciphertext in enumerate(document.encrypted_words):
+        if len(ciphertext) != word_length:
+            continue
+        masked = xor_bytes(ciphertext, token.pre_encrypted_word)
+        stream_part = masked[:left_length]
+        check_part = masked[left_length:]
+        if check_prf.evaluate(stream_part, check_length) == check_part:
+            positions.append(index)
+    return SearchMatch(matched=bool(positions), positions=tuple(positions))
+
+
+class SwpScheme(SearchableEncryptionScheme):
+    """Song--Wagner--Perrig searchable encryption over fixed-length words.
+
+    Parameters
+    ----------
+    key:
+        Master secret; sub-keys for the pre-encryption permutation, the
+        keystream and the check PRF are derived from it.
+    word_length:
+        Length ``w`` in bytes of every word.
+    check_length:
+        Length ``m`` in bytes of the embedded check value (``1 <= m < w``).
+        Smaller values are faster and smaller but raise the false-positive
+        rate to ``~2^{-8m}`` -- experiment E7 sweeps this parameter.
+    rng:
+        Randomness source for document nonces.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        word_length: int,
+        check_length: int = DEFAULT_CHECK_LEN,
+        rng: RandomSource | None = None,
+    ) -> None:
+        if word_length < 2:
+            raise ParameterError("word length must be at least 2 bytes")
+        if not 1 <= check_length < word_length:
+            raise ParameterError(
+                "check length must satisfy 1 <= m < word_length "
+                f"(got m={check_length}, w={word_length})"
+            )
+        self._word_length = word_length
+        self._check_length = check_length
+        self._left_length = word_length - check_length
+        self._pre_prp = UnbalancedFeistelPrp(derive_key(key, "swp/word"), word_length)
+        self._stream_prf = Prf(derive_key(key, "swp/stream"))
+        self._check_prf = Prf(derive_key(key, "swp/check"))
+        self._rng = rng if rng is not None else SystemRng()
+
+    # ------------------------------------------------------------------ #
+    # SearchableEncryptionScheme interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def word_length(self) -> int:
+        """Length ``w`` in bytes of every word."""
+        return self._word_length
+
+    @property
+    def check_length(self) -> int:
+        """Length ``m`` in bytes of the embedded check value."""
+        return self._check_length
+
+    def encrypt_document(
+        self, words: Sequence[Word], document_id: bytes | None = None
+    ) -> EncryptedDocument:
+        """Encrypt a sequence of words under a fresh (or caller-supplied) document nonce.
+
+        Passing ``document_id`` explicitly is safe as long as the caller never
+        reuses a nonce *under the same key*; the variable-width construction
+        uses it to share one nonce across its independently keyed
+        per-attribute schemes.
+        """
+        if document_id is None:
+            document_id = self._rng.bytes(DOCUMENT_ID_LEN)
+        if len(document_id) != DOCUMENT_ID_LEN:
+            raise ParameterError(f"document id must be {DOCUMENT_ID_LEN} bytes")
+        encrypted = tuple(
+            self._encrypt_word(bytes(word), document_id, index)
+            for index, word in enumerate(words)
+        )
+        return EncryptedDocument(document_id=document_id, encrypted_words=encrypted)
+
+    def decrypt_document(self, document: EncryptedDocument) -> list[Word]:
+        """Recover the plaintext words of a document."""
+        return [
+            Word(self._decrypt_word(ciphertext, document.document_id, index))
+            for index, ciphertext in enumerate(document.encrypted_words)
+        ]
+
+    def trapdoor(self, word: Word) -> SwpToken:
+        """Produce the search token ``(X, k)`` for ``word``."""
+        data = bytes(word)
+        if len(data) != self._word_length:
+            raise ParameterError(
+                f"word must be exactly {self._word_length} bytes, got {len(data)}"
+            )
+        pre_encrypted = self._pre_prp.permute(data)
+        check_key = self._derive_check_key(pre_encrypted[: self._left_length])
+        return SwpToken(pre_encrypted_word=pre_encrypted, check_key=check_key)
+
+    def search(self, document: EncryptedDocument, token: SwpToken) -> SearchMatch:
+        """Linear scan of the document's word ciphertexts (server-side, keyless)."""
+        return swp_search(document, token, self._word_length, self._check_length)
+
+    def false_positive_rate(self) -> float:
+        """Per-word false positive probability, ``2^{-8m}``."""
+        return 2.0 ** (-8 * self._check_length)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _derive_check_key(self, left_part: bytes) -> bytes:
+        return self._check_prf.evaluate(left_part, 32)
+
+    def _stream_block(self, document_id: bytes, index: int) -> bytes:
+        return self._stream_prf.evaluate(
+            document_id + index.to_bytes(4, "big"), self._left_length
+        )
+
+    def _encrypt_word(self, word: bytes, document_id: bytes, index: int) -> bytes:
+        if len(word) != self._word_length:
+            raise ParameterError(
+                f"word must be exactly {self._word_length} bytes, got {len(word)}"
+            )
+        pre_encrypted = self._pre_prp.permute(word)
+        left = pre_encrypted[: self._left_length]
+        stream = self._stream_block(document_id, index)
+        check_key = self._derive_check_key(left)
+        check_value = Prf(check_key).evaluate(stream, self._check_length)
+        return xor_bytes(pre_encrypted, stream + check_value)
+
+    def _decrypt_word(self, ciphertext: bytes, document_id: bytes, index: int) -> bytes:
+        if len(ciphertext) != self._word_length:
+            raise DecryptionError(
+                f"word ciphertext must be {self._word_length} bytes, got {len(ciphertext)}"
+            )
+        stream = self._stream_block(document_id, index)
+        left = xor_bytes(ciphertext[: self._left_length], stream)
+        check_key = self._derive_check_key(left)
+        check_value = Prf(check_key).evaluate(stream, self._check_length)
+        right = xor_bytes(ciphertext[self._left_length:], check_value)
+        return self._pre_prp.invert(left + right)

@@ -1,0 +1,65 @@
+"""Search token (trapdoor) types.
+
+A trapdoor is what the client hands to the server in order to search for one
+specific word without revealing the word itself.  In the database-PH
+construction of the paper, the *encrypted query* ``Eq_k(sigma_attr=v)`` is
+exactly such a trapdoor for the word ``pad(v) | attr-id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SwpToken:
+    """Trapdoor of the Song--Wagner--Perrig scheme.
+
+    Attributes
+    ----------
+    pre_encrypted_word:
+        ``X = E_{k_word}(W)``, the deterministic pre-encryption of the word.
+    check_key:
+        ``k_i = f_{k_check}(L)``, the key the server uses to verify the
+        embedded check value, where ``L`` is the left part of ``X``.
+    """
+
+    pre_encrypted_word: bytes
+    check_key: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize for transport: ``len(X) || X || k``."""
+        return (
+            len(self.pre_encrypted_word).to_bytes(2, "big")
+            + self.pre_encrypted_word
+            + self.check_key
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "SwpToken":
+        """Parse the serialization produced by :meth:`to_bytes`."""
+        if len(raw) < 2:
+            raise ValueError("token too short")
+        word_len = int.from_bytes(raw[:2], "big")
+        if len(raw) < 2 + word_len:
+            raise ValueError("token truncated")
+        return cls(
+            pre_encrypted_word=raw[2: 2 + word_len],
+            check_key=raw[2 + word_len:],
+        )
+
+
+@dataclass(frozen=True)
+class IndexToken:
+    """Trapdoor of the index-based scheme: the per-word PRF label."""
+
+    label: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize for transport."""
+        return self.label
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IndexToken":
+        """Parse the serialization produced by :meth:`to_bytes`."""
+        return cls(label=raw)

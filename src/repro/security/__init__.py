@@ -1,0 +1,56 @@
+"""Security framework: games, adversaries, attacks and advantage estimation.
+
+This package turns the paper's definitional apparatus into executable
+experiments:
+
+* :mod:`repro.security.games` -- the indistinguishability game of
+  Definition 1.2 and the database-PH game of Definition 2.1 (passive and
+  active, parameterized by the query budget ``q``);
+* :mod:`repro.security.adversaries` -- the adversary interface, Eve's view of
+  a challenge and the query-encryption oracle;
+* :mod:`repro.security.theorem21` -- generic adversaries realizing
+  Theorem 2.1 (every database PH loses the game once ``q > 0``);
+* :mod:`repro.security.attacks` -- the paper's concrete attacks (salary-table
+  distinguisher, hospital inference, the active "John" attack) plus
+  calibration adversaries.
+"""
+
+from repro.security.adversaries import (
+    ActiveAdversary,
+    Adversary,
+    ChallengeView,
+    ObservedQuery,
+    OracleBudgetExceeded,
+    PassiveAdversary,
+    QueryEncryptionOracle,
+    SecurityError,
+)
+from repro.security.games import (
+    AdversaryModel,
+    DphIndistinguishabilityGame,
+    GameResult,
+    IndistinguishabilityGame,
+)
+from repro.security.theorem21 import (
+    GenericActiveAdversary,
+    ResultSizeAdversary,
+    theorem_schema,
+)
+
+__all__ = [
+    "ActiveAdversary",
+    "Adversary",
+    "ChallengeView",
+    "ObservedQuery",
+    "OracleBudgetExceeded",
+    "PassiveAdversary",
+    "QueryEncryptionOracle",
+    "SecurityError",
+    "AdversaryModel",
+    "DphIndistinguishabilityGame",
+    "GameResult",
+    "IndistinguishabilityGame",
+    "GenericActiveAdversary",
+    "ResultSizeAdversary",
+    "theorem_schema",
+]

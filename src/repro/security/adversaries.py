@@ -1,0 +1,145 @@
+"""Adversary interfaces and the adversary's view of a challenge.
+
+The security games of Definitions 1.2 and 2.1 are interactions between a
+*challenger* (playing Alex) and an *adversary* (Eve).  This module defines
+
+* :class:`ChallengeView` -- everything Eve gets to see: the encrypted table,
+  the keyless server evaluator (she controls the server, so she can run
+  ``psi`` as often as she wants), and any encrypted queries she passively
+  observed together with their encrypted results;
+* :class:`QueryEncryptionOracle` -- the query-encryption oracle of the active
+  variant of Definition 2.1, with a budget of ``q`` uses;
+* :class:`Adversary` -- the two-phase interface (choose tables, guess) every
+  concrete attack implements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.dph import (
+    DatabasePrivacyHomomorphism,
+    EncryptedQuery,
+    EncryptedRelation,
+    ServerEvaluator,
+)
+from repro.relational.query import Query
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+class SecurityError(Exception):
+    """Base error of the security framework."""
+
+
+class OracleBudgetExceeded(SecurityError):
+    """The adversary asked the query-encryption oracle for more than ``q`` queries."""
+
+
+@dataclass(frozen=True)
+class ObservedQuery:
+    """One encrypted query Eve observed, with the result the server computed.
+
+    In the passive game these are queries Alex issued; Eve sees the ciphertext
+    query ``psi_i`` and -- because she runs the server -- the set of matching
+    tuple ciphertexts.
+    """
+
+    encrypted_query: EncryptedQuery
+    result: EncryptedRelation
+
+    @property
+    def result_size(self) -> int:
+        """Number of tuple ciphertexts the query returned."""
+        return len(self.result)
+
+    def result_tuple_ids(self) -> frozenset[bytes]:
+        """The public identifiers of the matching tuple ciphertexts."""
+        return frozenset(t.tuple_id for t in self.result.encrypted_tuples)
+
+
+@dataclass
+class ChallengeView:
+    """Eve's complete view of one run of the game."""
+
+    schema: RelationSchema
+    encrypted_relation: EncryptedRelation
+    evaluator: ServerEvaluator
+    observed_queries: tuple[ObservedQuery, ...] = field(default_factory=tuple)
+
+    def evaluate(self, encrypted_query: EncryptedQuery) -> ObservedQuery:
+        """Run the keyless server evaluation herself (Eve controls the server)."""
+        result = self.evaluator.evaluate(encrypted_query, self.encrypted_relation)
+        return ObservedQuery(encrypted_query=encrypted_query, result=result.matching)
+
+
+class QueryEncryptionOracle:
+    """The ``Eq_k`` oracle of the active game, restricted to ``budget`` uses."""
+
+    def __init__(self, dph: DatabasePrivacyHomomorphism, budget: int) -> None:
+        if budget < 0:
+            raise SecurityError("oracle budget must be non-negative")
+        self._dph = dph
+        self._budget = budget
+        self._used = 0
+
+    @property
+    def budget(self) -> int:
+        """Maximum number of queries the adversary may have encrypted."""
+        return self._budget
+
+    @property
+    def used(self) -> int:
+        """Number of oracle calls made so far."""
+        return self._used
+
+    @property
+    def remaining(self) -> int:
+        """Remaining oracle budget."""
+        return self._budget - self._used
+
+    def encrypt_query(self, query: Query) -> EncryptedQuery:
+        """Encrypt a plaintext query of the adversary's choice."""
+        if self._used >= self._budget:
+            raise OracleBudgetExceeded(
+                f"query encryption oracle budget of {self._budget} exhausted"
+            )
+        self._used += 1
+        return self._dph.encrypt_query(query)
+
+
+class Adversary(ABC):
+    """A (passive or active) adversary for the indistinguishability games.
+
+    The game proceeds in two phases:
+
+    1. :meth:`choose_tables` -- Eve outputs two tables of the same size;
+    2. :meth:`guess` -- Eve receives her view of the challenge (and, in the
+       active game, a query-encryption oracle) and outputs 1 or 2.
+
+    Implementations must be stateless across trials or reset themselves in
+    :meth:`choose_tables`, because the game runner reuses one adversary object
+    for many independent trials.
+    """
+
+    #: Human-readable attack name used in reports.
+    name: str = "adversary"
+
+    @abstractmethod
+    def choose_tables(self, schema: RelationSchema) -> tuple[Relation, Relation]:
+        """Output the two challenge tables ``(T1, T2)`` (equal tuple counts)."""
+
+    @abstractmethod
+    def guess(
+        self, view: ChallengeView, oracle: QueryEncryptionOracle | None = None
+    ) -> int:
+        """Output 1 or 2: which table the challenge encrypts."""
+
+
+class PassiveAdversary(Adversary):
+    """Marker base class: never uses the oracle (ignores it if given one)."""
+
+
+class ActiveAdversary(Adversary):
+    """Marker base class: expects a :class:`QueryEncryptionOracle` in :meth:`guess`."""

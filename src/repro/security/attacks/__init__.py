@@ -1,0 +1,58 @@
+"""Concrete attacks from the paper.
+
+* :mod:`repro.security.attacks.equality_pattern` -- the Section-1
+  distinguishing attack on deterministic weak encryptions (the two-salary-table
+  example), effective against bucketization, hashed indexes and deterministic
+  encryption.
+* :mod:`repro.security.attacks.statistical` -- calibration adversaries
+  (random guess, known-plaintext value, ciphertext size) used to validate the
+  game machinery and to probe the Section-3 construction at ``q = 0``.
+* :mod:`repro.security.attacks.hospital_inference` -- the Section-2 passive
+  inference attack recovering per-hospital fatality ratios from result sizes
+  and intersections.
+* :mod:`repro.security.attacks.active_query` -- the Section-2 active attack
+  locating the record of a known patient ("John") with a handful of oracle
+  queries.
+"""
+
+from repro.security.attacks.active_query import (
+    ActiveQueryAttackResult,
+    run_active_query_attack,
+)
+from repro.security.attacks.frequency import (
+    FrequencyAttackResult,
+    run_frequency_attack,
+)
+from repro.security.attacks.equality_pattern import (
+    EqualityPatternAdversary,
+    SalaryPairAdversary,
+    employee_salary_schema,
+    paper_salary_tables,
+)
+from repro.security.attacks.hospital_inference import (
+    HospitalInferenceResult,
+    observe_alex_queries,
+    run_hospital_inference,
+)
+from repro.security.attacks.statistical import (
+    CiphertextSizeAdversary,
+    KnownValueAdversary,
+    RandomGuessAdversary,
+)
+
+__all__ = [
+    "FrequencyAttackResult",
+    "run_frequency_attack",
+    "ActiveQueryAttackResult",
+    "run_active_query_attack",
+    "EqualityPatternAdversary",
+    "SalaryPairAdversary",
+    "employee_salary_schema",
+    "paper_salary_tables",
+    "HospitalInferenceResult",
+    "observe_alex_queries",
+    "run_hospital_inference",
+    "CiphertextSizeAdversary",
+    "KnownValueAdversary",
+    "RandomGuessAdversary",
+]

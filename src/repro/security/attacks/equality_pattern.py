@@ -1,0 +1,135 @@
+"""The paper's distinguishing attack on deterministic weak encryptions.
+
+Section 1 of the paper breaks the Hacigumus bucketization scheme with two
+two-tuple tables::
+
+    table 1:  (ID 171, salary 4900)     table 2:  (ID 171, salary 4900)
+              (ID 481, salary 1200)               (ID 481, salary 4900)
+
+"The salaries in the first table will be mapped to different intervals with
+high probability.  The salaries in the second table will be mapped to the same
+interval.  Since the intervals are encrypted deterministically, [...] Eve can
+determine with high probability to which table corresponds the received
+ciphertext."  The same idea applies to the Damiani hashed-index scheme and to
+plain deterministic encryption; it fails against the randomized construction
+of Section 3, whose searchable fields carry no equality pattern.
+
+:class:`EqualityPatternAdversary` implements the attack generically (guess
+"table 2" iff two tuples share a searchable field in the same position);
+:class:`SalaryPairAdversary` pins it to the paper's exact example.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.security.adversaries import (
+    ChallengeView,
+    PassiveAdversary,
+    QueryEncryptionOracle,
+)
+
+
+def employee_salary_schema() -> RelationSchema:
+    """The two-column schema of the paper's example tables."""
+    return RelationSchema(
+        "salaries",
+        [Attribute.integer("id", 6), Attribute.integer("salary", 6)],
+    )
+
+
+def paper_salary_tables() -> tuple[Relation, Relation]:
+    """The exact tables of the paper's Section 1 attack."""
+    schema = employee_salary_schema()
+    table_1 = Relation.from_rows(schema, [(171, 4900), (481, 1200)])
+    table_2 = Relation.from_rows(schema, [(171, 4900), (481, 4900)])
+    return table_1, table_2
+
+
+class EqualityPatternAdversary(PassiveAdversary):
+    """Guess "table 2" iff any searchable field value repeats across tuples.
+
+    Parameters
+    ----------
+    table_unique:
+        The challenge table whose attribute values are pairwise distinct
+        (presented as table 1).
+    table_repeated:
+        The challenge table containing a repeated value (presented as table 2).
+    """
+
+    name = "equality-pattern"
+
+    def __init__(self, table_unique: Relation, table_repeated: Relation) -> None:
+        self._table_unique = table_unique
+        self._table_repeated = table_repeated
+        self._target_positions = self._distinguishing_positions(table_unique, table_repeated)
+
+    @property
+    def schema(self) -> RelationSchema:
+        """Schema of the challenge tables."""
+        return self._table_unique.schema
+
+    def choose_tables(self, schema: RelationSchema | None = None) -> tuple[Relation, Relation]:
+        """Present ``(unique, repeated)`` as the challenge pair."""
+        return self._table_unique, self._table_repeated
+
+    def guess(
+        self, view: ChallengeView, oracle: QueryEncryptionOracle | None = None
+    ) -> int:
+        """Look for a repeated searchable field at a distinguishing attribute position.
+
+        Eve constructed both tables herself, so she knows exactly which
+        attribute columns repeat a value in table 2 but not in table 1 (the
+        "salary" column of the paper's example); she only inspects those.
+        """
+        if self._has_repeated_field(view, self._target_positions):
+            return 2
+        return 1
+
+    @staticmethod
+    def _distinguishing_positions(
+        table_unique: Relation, table_repeated: Relation
+    ) -> tuple[int, ...]:
+        """Attribute positions whose values repeat in table 2 but not in table 1."""
+        positions = []
+        names = table_unique.schema.attribute_names
+        for position, name in enumerate(names):
+            unique_has_repeat = _has_value_repeat(table_unique, name)
+            repeated_has_repeat = _has_value_repeat(table_repeated, name)
+            if repeated_has_repeat and not unique_has_repeat:
+                positions.append(position)
+        return tuple(positions) if positions else tuple(range(len(names)))
+
+    @staticmethod
+    def _has_repeated_field(view: ChallengeView, positions: tuple[int, ...]) -> bool:
+        tuples = view.encrypted_relation.encrypted_tuples
+        if not tuples:
+            return False
+        for position in positions:
+            counts = Counter(
+                t.search_fields[position]
+                for t in tuples
+                if position < len(t.search_fields)
+            )
+            if counts and counts.most_common(1)[0][1] > 1:
+                return True
+        return False
+
+
+def _has_value_repeat(relation: Relation, attribute_name: str) -> bool:
+    """Whether any value of ``attribute_name`` occurs more than once."""
+    values = [t.value(attribute_name) for t in relation]
+    return len(set(values)) < len(values)
+
+
+class SalaryPairAdversary(EqualityPatternAdversary):
+    """The literal adversary of the paper's Section 1 example."""
+
+    name = "salary-pair (paper, Sec. 1)"
+
+    def __init__(self) -> None:
+        table_1, table_2 = paper_salary_tables()
+        super().__init__(table_1, table_2)

@@ -1,0 +1,172 @@
+"""The passive hospital inference attack (paper, Section 2).
+
+Alex outsources the hospital statistics database and issues the four queries::
+
+    SELECT * FROM table WHERE hospital = 1;
+    SELECT * FROM table WHERE hospital = 2;
+    SELECT * FROM table WHERE hospital = 3;
+    SELECT * FROM table WHERE outcome = 'fatal';
+
+Eve observes only ciphertext -- the encrypted queries and, because she runs
+the server, the sets of matching tuple ciphertexts.  Knowing the schema, the
+number of hospitals and good estimates of the patient-flow distribution
+(0.2 / 0.3 / 0.5) and the fatal/healthy ratio (0.08 / 0.92), she
+
+1. identifies which encrypted query is which, by matching observed result
+   sizes against the expected sizes ("From the size of the results and the
+   fact that we only have exact selects, Eve can guess the exact queries with
+   high confidence"), and
+2. intersects the answer sets: ``|hospital_i ∩ fatal| / |hospital_i|`` is the
+   fatality ratio of hospital ``i`` -- sensitive information recovered without
+   breaking any cryptography.
+
+The attack works against *any* database PH, including the paper's own
+construction, because it uses nothing but result sizes and overlaps: this is
+exactly why Theorem 2.1 rules out security once queries flow (q > 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dph import DatabasePrivacyHomomorphism
+from repro.security.adversaries import ChallengeView, ObservedQuery
+from repro.workloads.hospital import FATAL, HospitalWorkload
+
+
+@dataclass(frozen=True)
+class HospitalQueryIdentification:
+    """Eve's guess of which observed query plays which role."""
+
+    #: Index (into the observed query list) Eve assigns to each hospital number.
+    hospital_queries: dict[int, int]
+    #: Index Eve assigns to the ``outcome = 'fatal'`` query.
+    fatal_query: int
+    #: Whether every assignment matches the ground truth.
+    correct: bool
+
+
+@dataclass(frozen=True)
+class HospitalInferenceResult:
+    """Outcome of the inference attack."""
+
+    identification: HospitalQueryIdentification
+    #: Eve's estimate of the fatality ratio per hospital number.
+    estimated_fatality: dict[int, float]
+    #: Ground-truth fatality ratio per hospital number.
+    true_fatality: dict[int, float]
+
+    @property
+    def identification_correct(self) -> bool:
+        """Whether Eve matched every encrypted query to its plaintext role."""
+        return self.identification.correct
+
+    def absolute_error(self, hospital: int) -> float:
+        """Absolute error of Eve's fatality estimate for one hospital."""
+        return abs(self.estimated_fatality[hospital] - self.true_fatality[hospital])
+
+    @property
+    def max_absolute_error(self) -> float:
+        """Worst-case absolute error across hospitals."""
+        return max(self.absolute_error(h) for h in self.true_fatality)
+
+
+def observe_alex_queries(
+    dph: DatabasePrivacyHomomorphism,
+    workload: HospitalWorkload,
+) -> tuple[ChallengeView, list[int]]:
+    """Simulate Alex's behaviour and return Eve's view.
+
+    Alex encrypts the database and issues the four queries of the paper's
+    example; the returned permutation records, for testing, which observed
+    position corresponds to which plaintext query (Eve does not get it).
+    """
+    encrypted = dph.encrypt_relation(workload.relation)
+    evaluator = dph.server_evaluator()
+    observed = []
+    roles = []
+    for role_index, query in enumerate(workload.alex_queries()):
+        encrypted_query = dph.encrypt_query(query)
+        result = evaluator.evaluate(encrypted_query, encrypted)
+        observed.append(ObservedQuery(encrypted_query=encrypted_query, result=result.matching))
+        roles.append(role_index)
+    view = ChallengeView(
+        schema=workload.schema,
+        encrypted_relation=encrypted,
+        evaluator=evaluator,
+        observed_queries=tuple(observed),
+    )
+    return view, roles
+
+
+def run_hospital_inference(
+    dph: DatabasePrivacyHomomorphism,
+    workload: HospitalWorkload,
+    view: ChallengeView | None = None,
+    true_roles: list[int] | None = None,
+) -> HospitalInferenceResult:
+    """Run Eve's inference given her view of Alex's session.
+
+    ``view`` may be supplied directly (e.g. with the observed queries shuffled);
+    otherwise Alex's session is simulated with :func:`observe_alex_queries`.
+    """
+    if view is None:
+        view, true_roles = observe_alex_queries(dph, workload)
+    if true_roles is None:
+        true_roles = list(range(len(view.observed_queries)))
+
+    total = len(view.encrypted_relation)
+    observed = list(view.observed_queries)
+    identification = _identify_queries(observed, workload, total, true_roles)
+
+    fatal_ids = observed[identification.fatal_query].result_tuple_ids()
+    estimated = {}
+    for hospital, query_index in identification.hospital_queries.items():
+        hospital_ids = observed[query_index].result_tuple_ids()
+        if not hospital_ids:
+            estimated[hospital] = 0.0
+        else:
+            estimated[hospital] = len(hospital_ids & fatal_ids) / len(hospital_ids)
+
+    true_fatality = {
+        hospital: workload.true_fatality_ratio(hospital) for hospital in workload.hospitals
+    }
+    return HospitalInferenceResult(
+        identification=identification,
+        estimated_fatality=estimated,
+        true_fatality=true_fatality,
+    )
+
+
+def _identify_queries(
+    observed: list[ObservedQuery],
+    workload: HospitalWorkload,
+    total: int,
+    true_roles: list[int],
+) -> HospitalQueryIdentification:
+    """Match observed result sizes against the expected sizes of Eve's priors."""
+    expected = [flow * total for flow in workload.flows]
+    expected.append(workload.outcome_rates[0] * total)
+
+    # Greedy assignment: each expected role picks the closest unassigned
+    # observation.  With the paper's well-separated priors this is optimal.
+    remaining = set(range(len(observed)))
+    assignment: dict[int, int] = {}
+    for role in sorted(range(len(expected)), key=lambda r: expected[r]):
+        best = min(remaining, key=lambda i: abs(observed[i].result_size - expected[role]))
+        assignment[role] = best
+        remaining.discard(best)
+
+    hospital_queries = {
+        hospital: assignment[index] for index, hospital in enumerate(workload.hospitals)
+    }
+    fatal_query = assignment[len(expected) - 1]
+
+    correct = all(
+        true_roles[assignment[role]] == role for role in range(len(expected))
+    )
+    return HospitalQueryIdentification(
+        hospital_queries=hospital_queries,
+        fatal_query=fatal_query,
+        correct=correct,
+    )

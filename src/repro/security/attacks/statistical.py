@@ -1,0 +1,135 @@
+"""Calibration adversaries for the indistinguishability games.
+
+These adversaries bracket the attack spectrum so the game machinery itself can
+be validated:
+
+* :class:`RandomGuessAdversary` -- ignores the challenge entirely; its
+  advantage must be statistically indistinguishable from 0 against *every*
+  scheme (otherwise the game runner is biased).
+* :class:`KnownValueAdversary` -- reads the searchable fields as if they were
+  plaintext; its advantage must be ~1 against the :class:`PlaintextDph`
+  passthrough and ~0 against every encrypting scheme.
+* :class:`CiphertextSizeAdversary` -- decides from the total ciphertext size;
+  because the games require equal-size challenge tables and the schemes pad
+  attribute values to fixed widths, its advantage must stay ~0, confirming
+  that no size side-channel was introduced by accident.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.relational.encoding import ValueCodec
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.security.adversaries import (
+    ChallengeView,
+    PassiveAdversary,
+    QueryEncryptionOracle,
+    SecurityError,
+)
+
+
+class RandomGuessAdversary(PassiveAdversary):
+    """Guesses pseudo-randomly from a hash of the ciphertext (advantage ~0)."""
+
+    name = "random-guess"
+
+    def __init__(self, table_1: Relation, table_2: Relation) -> None:
+        self._table_1 = table_1
+        self._table_2 = table_2
+
+    def choose_tables(self, schema: RelationSchema | None = None) -> tuple[Relation, Relation]:
+        """Present the configured pair."""
+        return self._table_1, self._table_2
+
+    def guess(
+        self, view: ChallengeView, oracle: QueryEncryptionOracle | None = None
+    ) -> int:
+        """Hash everything Eve sees and use one bit of it."""
+        digest = hashlib.sha256()
+        for encrypted_tuple in view.encrypted_relation.encrypted_tuples:
+            digest.update(encrypted_tuple.tuple_id)
+            digest.update(encrypted_tuple.payload)
+            for field in encrypted_tuple.search_fields:
+                digest.update(field)
+        return 1 + (digest.digest()[0] & 1)
+
+
+class KnownValueAdversary(PassiveAdversary):
+    """Looks for the plaintext encoding of a value unique to table 1.
+
+    ``distinguishing_attribute`` must have a value that occurs in table 1 but
+    not in table 2; if its *plaintext encoding* shows up verbatim among the
+    searchable fields, the scheme stored the value in the clear.
+    """
+
+    name = "known-value"
+
+    def __init__(
+        self,
+        table_1: Relation,
+        table_2: Relation,
+        distinguishing_attribute: str,
+    ) -> None:
+        schema = table_1.schema
+        attribute = schema.attribute(distinguishing_attribute)
+        only_in_1 = table_1.distinct_values(distinguishing_attribute) - table_2.distinct_values(
+            distinguishing_attribute
+        )
+        if not only_in_1:
+            raise SecurityError(
+                f"attribute {distinguishing_attribute!r} has no value unique to table 1"
+            )
+        self._table_1 = table_1
+        self._table_2 = table_2
+        self._needles = {ValueCodec.encode(attribute, v) for v in only_in_1}
+
+    def choose_tables(self, schema: RelationSchema | None = None) -> tuple[Relation, Relation]:
+        """Present the configured pair."""
+        return self._table_1, self._table_2
+
+    def guess(
+        self, view: ChallengeView, oracle: QueryEncryptionOracle | None = None
+    ) -> int:
+        """Guess 1 iff a plaintext-encoded needle value appears in any field."""
+        for encrypted_tuple in view.encrypted_relation.encrypted_tuples:
+            for field in encrypted_tuple.search_fields:
+                if field in self._needles:
+                    return 1
+        return 2
+
+
+class CiphertextSizeAdversary(PassiveAdversary):
+    """Guesses from the total size of the encrypted relation."""
+
+    name = "ciphertext-size"
+
+    def __init__(self, table_1: Relation, table_2: Relation) -> None:
+        self._table_1 = table_1
+        self._table_2 = table_2
+        self._reference_size: int | None = None
+
+    def choose_tables(self, schema: RelationSchema | None = None) -> tuple[Relation, Relation]:
+        """Present the configured pair."""
+        return self._table_1, self._table_2
+
+    def guess(
+        self, view: ChallengeView, oracle: QueryEncryptionOracle | None = None
+    ) -> int:
+        """Compare the challenge size against the first size ever observed.
+
+        Equal-size challenge tables produce equal ciphertext sizes under every
+        scheme in the library, so this adversary degenerates to a constant
+        guess -- which is the point: it certifies that no size side-channel
+        distinguishes the tables.
+        """
+        size = view.encrypted_relation.size_in_bytes()
+        if self._reference_size is None:
+            self._reference_size = size
+            return 1
+        if size < self._reference_size:
+            return 1
+        if size > self._reference_size:
+            return 2
+        return 1

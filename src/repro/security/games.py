@@ -1,0 +1,216 @@
+"""The indistinguishability games of Definitions 1.2 and 2.1.
+
+* :class:`IndistinguishabilityGame` -- Definition 1.2 specialized to relations:
+  Eve outputs two equal-size tables, Alex encrypts one chosen uniformly at
+  random, Eve guesses which.  (``q = 0``: no queries are ever issued.)
+* :class:`DphIndistinguishabilityGame` -- Definition 2.1: as above, but Eve
+  additionally observes ``q`` encrypted queries issued against the challenge
+  table (passive variant), or may obtain ``q`` encryptions of queries of her
+  own choice through a query-encryption oracle (active variant).
+
+Both games are run many times with fresh keys and the empirical winning
+probability is reported as a :class:`~repro.analysis.stats.BinomialEstimate`,
+so "Eve cannot win with probability 1/2 + non-negligible" becomes the testable
+statement "the estimated advantage interval contains 0".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Sequence
+
+from repro.analysis.stats import BinomialEstimate
+from repro.core.dph import DatabasePrivacyHomomorphism
+from repro.crypto.rng import DeterministicRng, RandomSource
+from repro.relational.query import Query
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.security.adversaries import (
+    Adversary,
+    ChallengeView,
+    ObservedQuery,
+    QueryEncryptionOracle,
+    SecurityError,
+)
+
+#: A factory producing a freshly keyed scheme for each game trial.
+SchemeFactory = Callable[[RelationSchema, RandomSource], DatabasePrivacyHomomorphism]
+
+#: A workload factory producing the plaintext queries Alex issues in the
+#: passive game, given the table that was encrypted (Alex queries his own
+#: data) and a randomness source.
+QueryWorkload = Callable[[Relation, RandomSource], Sequence[Query]]
+
+
+class AdversaryModel(Enum):
+    """Which flavour of Definition 2.1 the game runs."""
+
+    PASSIVE = "passive"
+    ACTIVE = "active"
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Outcome of running a game for many independent trials."""
+
+    game_name: str
+    adversary_name: str
+    scheme_name: str
+    estimate: BinomialEstimate
+
+    @property
+    def trials(self) -> int:
+        """Number of independent trials."""
+        return self.estimate.trials
+
+    @property
+    def wins(self) -> int:
+        """Number of trials the adversary guessed correctly."""
+        return self.estimate.successes
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical winning probability."""
+        return self.estimate.proportion
+
+    @property
+    def advantage(self) -> float:
+        """Empirical advantage ``2 * success_rate - 1``."""
+        return self.estimate.advantage
+
+    def secure_against(self, threshold: float = 0.1) -> bool:
+        """Whether the scheme empirically resists this adversary."""
+        return self.estimate.is_negligible(threshold)
+
+    def broken_by(self, threshold: float = 0.5) -> bool:
+        """Whether the adversary wins with clearly non-negligible advantage."""
+        low, _ = self.estimate.advantage_interval
+        return low > threshold
+
+
+class IndistinguishabilityGame:
+    """Definition 1.2 for tuple-by-tuple table encryption (``q = 0``)."""
+
+    name = "IND (Def. 1.2, q=0)"
+
+    def __init__(self, scheme_factory: SchemeFactory, scheme_name: str = "") -> None:
+        self._scheme_factory = scheme_factory
+        self._scheme_name = scheme_name
+
+    def play_once(self, adversary: Adversary, rng: RandomSource) -> bool:
+        """One trial: returns whether the adversary guessed correctly."""
+        table_1, table_2 = adversary.choose_tables(self._probe_schema(adversary))
+        _validate_tables(table_1, table_2)
+        scheme = self._scheme_factory(table_1.schema, rng)
+        secret_bit = rng.bit()  # 0 -> table 1, 1 -> table 2
+        chosen = table_1 if secret_bit == 0 else table_2
+        encrypted = scheme.encrypt_relation(chosen)
+        view = ChallengeView(
+            schema=chosen.schema,
+            encrypted_relation=encrypted,
+            evaluator=scheme.server_evaluator(),
+        )
+        guess = adversary.guess(view, oracle=None)
+        if guess not in (1, 2):
+            raise SecurityError(f"adversary guess must be 1 or 2, got {guess!r}")
+        return (guess - 1) == secret_bit
+
+    def run(
+        self, adversary: Adversary, trials: int, seed: int = 0
+    ) -> GameResult:
+        """Run ``trials`` independent trials with a seeded randomness source."""
+        wins = 0
+        for trial in range(trials):
+            rng = DeterministicRng(seed).fork(
+                f"{self.name}/{self._scheme_name}/{adversary.name}/{trial}"
+            )
+            if self.play_once(adversary, rng):
+                wins += 1
+        return GameResult(
+            game_name=self.name,
+            adversary_name=adversary.name,
+            scheme_name=self._scheme_name,
+            estimate=BinomialEstimate(successes=wins, trials=trials),
+        )
+
+    @staticmethod
+    def _probe_schema(adversary: Adversary) -> RelationSchema | None:
+        # The adversary brings its own tables (and thus schema); the game only
+        # forwards a schema if the adversary exposes one for convenience.
+        return getattr(adversary, "schema", None)
+
+
+class DphIndistinguishabilityGame(IndistinguishabilityGame):
+    """Definition 2.1: the adversary additionally sees ``q`` encrypted queries."""
+
+    def __init__(
+        self,
+        scheme_factory: SchemeFactory,
+        query_budget: int,
+        adversary_model: AdversaryModel = AdversaryModel.PASSIVE,
+        query_workload: QueryWorkload | None = None,
+        scheme_name: str = "",
+    ) -> None:
+        super().__init__(scheme_factory, scheme_name)
+        if query_budget < 0:
+            raise SecurityError("query budget q must be non-negative")
+        if adversary_model is AdversaryModel.PASSIVE and query_budget > 0 and query_workload is None:
+            raise SecurityError("the passive game with q > 0 needs a query workload")
+        self._query_budget = query_budget
+        self._model = adversary_model
+        self._workload = query_workload
+        self.name = (
+            f"DPH-IND (Def. 2.1, q={query_budget}, {adversary_model.value})"
+        )
+
+    @property
+    def query_budget(self) -> int:
+        """The ``q`` of Definition 2.1."""
+        return self._query_budget
+
+    def play_once(self, adversary: Adversary, rng: RandomSource) -> bool:
+        """One trial of the Definition 2.1 game."""
+        table_1, table_2 = adversary.choose_tables(self._probe_schema(adversary))
+        _validate_tables(table_1, table_2)
+        scheme = self._scheme_factory(table_1.schema, rng)
+        secret_bit = rng.bit()
+        chosen = table_1 if secret_bit == 0 else table_2
+        encrypted = scheme.encrypt_relation(chosen)
+        evaluator = scheme.server_evaluator()
+
+        observed: list[ObservedQuery] = []
+        oracle: QueryEncryptionOracle | None = None
+        if self._model is AdversaryModel.PASSIVE:
+            if self._query_budget > 0:
+                queries = list(self._workload(chosen, rng))[: self._query_budget]
+                for query in queries:
+                    encrypted_query = scheme.encrypt_query(query)
+                    result = evaluator.evaluate(encrypted_query, encrypted)
+                    observed.append(
+                        ObservedQuery(encrypted_query=encrypted_query, result=result.matching)
+                    )
+        else:
+            oracle = QueryEncryptionOracle(scheme, self._query_budget)
+
+        view = ChallengeView(
+            schema=chosen.schema,
+            encrypted_relation=encrypted,
+            evaluator=evaluator,
+            observed_queries=tuple(observed),
+        )
+        guess = adversary.guess(view, oracle=oracle)
+        if guess not in (1, 2):
+            raise SecurityError(f"adversary guess must be 1 or 2, got {guess!r}")
+        return (guess - 1) == secret_bit
+
+
+def _validate_tables(table_1: Relation, table_2: Relation) -> None:
+    """Enforce the admissibility condition of the games: same schema and size."""
+    if table_1.schema != table_2.schema:
+        raise SecurityError("challenge tables must share a schema")
+    if len(table_1) != len(table_2):
+        raise SecurityError(
+            "challenge tables must contain the same number of tuples "
+            f"({len(table_1)} != {len(table_2)})"
+        )

@@ -1,0 +1,156 @@
+"""Theorem 2.1, constructively: any database PH is insecure once queries flow.
+
+    "Theorem 2.1.  Any database PH (K, E, Eq, D) is insecure in the sense of
+     Definition 2.1 if q > 0."
+
+The proof idea is that the homomorphic property itself betrays the data: an
+encrypted query evaluated on the encrypted table produces an encrypted result
+whose *size* equals the size of the plaintext result (up to the scheme's false
+positives), and result sizes differ between adversarially chosen tables.  This
+module turns that argument into executable adversaries that win the
+Definition 2.1 game against **every** scheme in the library -- including the
+paper's own construction -- whenever ``q > 0``:
+
+* :class:`GenericActiveAdversary` -- uses one call to the query-encryption
+  oracle: table 1 consists of tuples matching a known predicate, table 2 of
+  tuples that do not; the oracle's trapdoor evaluated on the challenge reveals
+  which.
+* :class:`ResultSizeAdversary` -- the passive variant: Alex issues an ordinary
+  exact select from his workload; the tables are crafted so that any such
+  query returns half the table on table 1 and the whole table on table 2.
+
+Together with the game runner these reproduce the paper's negative result,
+and -- run with ``q = 0`` -- they degrade to advantage ~0, which is exactly
+the relaxation under which the Section-3 construction is proved secure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.rng import RandomSource
+from repro.relational.query import Query, Selection
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.security.adversaries import (
+    ActiveAdversary,
+    ChallengeView,
+    PassiveAdversary,
+    QueryEncryptionOracle,
+)
+
+#: Attribute values used by the generic adversaries.
+MATCHING_VALUE = "present"
+OTHER_VALUE = "absent"
+
+
+def theorem_schema() -> RelationSchema:
+    """A minimal two-column schema for the generic Theorem 2.1 adversaries."""
+    return RelationSchema(
+        "thm21",
+        [Attribute.string("marker", 8), Attribute.integer("row", 8)],
+    )
+
+
+def _marker_table(schema: RelationSchema, size: int, values: Sequence[str]) -> Relation:
+    """A table whose ``marker`` column cycles through ``values``."""
+    rows = [(values[i % len(values)], i) for i in range(size)]
+    return Relation.from_rows(schema, rows)
+
+
+class GenericActiveAdversary(ActiveAdversary):
+    """Wins the active Definition 2.1 game against any correct database PH.
+
+    Table 1 has every ``marker`` equal to :data:`MATCHING_VALUE`; table 2 has
+    every ``marker`` equal to :data:`OTHER_VALUE`.  One oracle query for
+    ``sigma_{marker=MATCHING_VALUE}``, evaluated by Eve on the challenge (she
+    runs the server), returns ~all tuples on table 1 and ~none on table 2.
+    The majority threshold absorbs the scheme's false positives.
+    """
+
+    name = "theorem-2.1 active"
+
+    def __init__(self, table_size: int = 16) -> None:
+        if table_size < 1:
+            raise ValueError("table size must be at least 1")
+        self._table_size = table_size
+        self._schema = theorem_schema()
+
+    @property
+    def schema(self) -> RelationSchema:
+        """Schema of the challenge tables."""
+        return self._schema
+
+    def choose_tables(self, schema: RelationSchema | None = None) -> tuple[Relation, Relation]:
+        """All-matching versus none-matching tables of equal size."""
+        table_1 = _marker_table(self._schema, self._table_size, [MATCHING_VALUE])
+        table_2 = _marker_table(self._schema, self._table_size, [OTHER_VALUE])
+        return table_1, table_2
+
+    def guess(
+        self, view: ChallengeView, oracle: QueryEncryptionOracle | None = None
+    ) -> int:
+        """One oracle call, one server evaluation, a majority decision."""
+        if oracle is None or oracle.remaining < 1:
+            # Without the oracle (q = 0) the attack has nothing to work with.
+            return 1
+        encrypted_query = oracle.encrypt_query(
+            Selection.equals("marker", MATCHING_VALUE)
+        )
+        observed = view.evaluate(encrypted_query)
+        if observed.result_size * 2 >= self._table_size:
+            return 1
+        return 2
+
+
+class ResultSizeAdversary(PassiveAdversary):
+    """Wins the passive Definition 2.1 game from result sizes alone.
+
+    Table 1 splits its ``marker`` column evenly between two values; table 2
+    uses a single value.  Whatever exact select Alex issues on the ``marker``
+    column of his table, the result contains half the tuples on table 1 and
+    all of them on table 2 -- so the observed result size decides the game.
+    """
+
+    name = "theorem-2.1 passive (result size)"
+
+    def __init__(self, table_size: int = 16) -> None:
+        if table_size < 2 or table_size % 2 != 0:
+            raise ValueError("table size must be an even number >= 2")
+        self._table_size = table_size
+        self._schema = theorem_schema()
+
+    @property
+    def schema(self) -> RelationSchema:
+        """Schema of the challenge tables."""
+        return self._schema
+
+    def choose_tables(self, schema: RelationSchema | None = None) -> tuple[Relation, Relation]:
+        """Half/half versus single-value tables of equal size."""
+        table_1 = _marker_table(
+            self._schema, self._table_size, [MATCHING_VALUE, OTHER_VALUE]
+        )
+        table_2 = _marker_table(self._schema, self._table_size, [MATCHING_VALUE])
+        return table_1, table_2
+
+    def guess(
+        self, view: ChallengeView, oracle: QueryEncryptionOracle | None = None
+    ) -> int:
+        """Decide from the largest observed result size."""
+        if not view.observed_queries:
+            return 1
+        largest = max(q.result_size for q in view.observed_queries)
+        if largest * 4 >= 3 * self._table_size:
+            return 2
+        return 1
+
+    @staticmethod
+    def workload(chosen_table: Relation, rng: RandomSource) -> list[Query]:
+        """The query workload Alex runs: one exact select on a value he stores.
+
+        Alex picks a value uniformly from the ``marker`` values actually
+        present in his table -- this is ordinary, non-adversarial behaviour,
+        which is the point of the passive variant.
+        """
+        values = sorted(chosen_table.distinct_values("marker"))
+        return [Selection.equals("marker", rng.choice(values))]

@@ -1,0 +1,150 @@
+"""The paper's hospital statistics database (Section 2).
+
+"Consider an example where Alex owns a database with statistics for three
+competing hospitals, keeping track of the state in which patients are leaving
+each hospital.  Each patient is described by the attributes id, name,
+hospital, and outcome (outcome is a binary attribute either set to 'fatal' or
+'healthy').  Now suppose that Eve knows the database schema, the number of
+hospitals, and has good estimates of the distribution of patient flows
+(0.2, 0.3, 0.5 resp.) and the ratio of fatal vs. successful outcomes
+(0.08, 0.92)."
+
+:class:`HospitalWorkload` generates such a database (optionally planting a
+named target patient such as "John" for the active attack of experiment E6)
+and exposes the ground truth the attacks are evaluated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rng import DeterministicRng, RandomSource
+from repro.relational.query import Query, Selection
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.workloads.distributions import CategoricalDistribution
+
+#: Patient flow distribution over the three hospitals, as stated in the paper.
+DEFAULT_FLOWS = (0.2, 0.3, 0.5)
+
+#: (fatal, healthy) outcome distribution, as stated in the paper.
+DEFAULT_OUTCOME_RATES = (0.08, 0.92)
+
+FATAL = "fatal"
+HEALTHY = "healthy"
+
+
+def hospital_schema() -> RelationSchema:
+    """``patients(id:int, name:string[16], hospital:int, outcome:string[7])``."""
+    return RelationSchema(
+        "patients",
+        [
+            Attribute.integer("id", 8),
+            Attribute.string("name", 16),
+            Attribute.integer("hospital", 1, identifier="H"),
+            Attribute.string("outcome", 7),
+        ],
+    )
+
+
+@dataclass
+class HospitalWorkload:
+    """A generated hospital database plus the ground truth behind it."""
+
+    relation: Relation
+    flows: tuple[float, ...] = DEFAULT_FLOWS
+    outcome_rates: tuple[float, float] = DEFAULT_OUTCOME_RATES
+    target_name: str | None = None
+    target_hospital: int | None = None
+    target_outcome: str | None = None
+    hospitals: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def schema(self) -> RelationSchema:
+        """The patients schema."""
+        return self.relation.schema
+
+    @property
+    def size(self) -> int:
+        """Number of patients."""
+        return len(self.relation)
+
+    def true_fatality_ratio(self, hospital: int) -> float:
+        """Ground-truth fraction of fatal outcomes among the hospital's patients."""
+        patients = self.relation.select_equal("hospital", hospital)
+        if len(patients) == 0:
+            return 0.0
+        fatal = patients.select_equal("outcome", FATAL)
+        return len(fatal) / len(patients)
+
+    def alex_queries(self) -> list[Query]:
+        """The exact query sequence of the paper's Section 2 example.
+
+        ``SELECT * WHERE hospital = 1 / 2 / 3`` followed by
+        ``SELECT * WHERE outcome = 'fatal'``.
+        """
+        queries: list[Query] = [
+            Selection.equals("hospital", h) for h in self.hospitals
+        ]
+        queries.append(Selection.equals("outcome", FATAL))
+        return queries
+
+    @classmethod
+    def generate(
+        cls,
+        size: int,
+        rng: RandomSource | None = None,
+        flows: tuple[float, ...] = DEFAULT_FLOWS,
+        outcome_rates: tuple[float, float] = DEFAULT_OUTCOME_RATES,
+        target_name: str | None = None,
+        seed: int = 0,
+    ) -> "HospitalWorkload":
+        """Generate ``size`` patients with the configured marginals.
+
+        If ``target_name`` is given, one extra patient with that name is
+        planted at a random hospital with a random outcome (the "John" of the
+        active attack); all other patient names are synthetic and unique.
+        """
+        if size < 1:
+            raise ValueError("size must be at least 1")
+        if len(outcome_rates) != 2:
+            raise ValueError("outcome_rates must be (fatal, healthy)")
+        rng = rng if rng is not None else DeterministicRng(seed)
+        hospitals = tuple(range(1, len(flows) + 1))
+        flow_dist = CategoricalDistribution(list(hospitals), list(flows))
+        outcome_dist = CategoricalDistribution([FATAL, HEALTHY], list(outcome_rates))
+
+        relation = Relation(hospital_schema())
+        for patient_id in range(1, size + 1):
+            relation.add(
+                {
+                    "id": patient_id,
+                    "name": f"patient{patient_id}",
+                    "hospital": flow_dist.sample(rng),
+                    "outcome": outcome_dist.sample(rng),
+                }
+            )
+
+        target_hospital = None
+        target_outcome = None
+        if target_name is not None:
+            target_hospital = flow_dist.sample(rng)
+            target_outcome = outcome_dist.sample(rng)
+            relation.add(
+                {
+                    "id": size + 1,
+                    "name": target_name,
+                    "hospital": target_hospital,
+                    "outcome": target_outcome,
+                }
+            )
+
+        return cls(
+            relation=relation,
+            flows=tuple(flows),
+            outcome_rates=tuple(outcome_rates),
+            target_name=target_name,
+            target_hospital=target_hospital,
+            target_outcome=target_outcome,
+            hospitals=hospitals,
+        )

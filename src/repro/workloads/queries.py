@@ -1,0 +1,64 @@
+"""Exact-select query workloads.
+
+The construction supports exact selects; these helpers produce batches of them
+for the homomorphism checks, the passive Definition 2.1 game and the
+throughput experiments.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rng import DeterministicRng, RandomSource
+from repro.relational.query import Query, Selection
+from repro.relational.relation import Relation
+
+
+def queries_over_values(attribute: str, values) -> list[Query]:
+    """One exact select per value."""
+    return [Selection.equals(attribute, value) for value in values]
+
+
+def random_equality_queries(
+    relation: Relation,
+    attribute: str,
+    count: int,
+    rng: RandomSource | None = None,
+    seed: int = 0,
+    hit_probability: float = 1.0,
+) -> list[Query]:
+    """``count`` exact selects on ``attribute``.
+
+    With probability ``hit_probability`` the searched value is drawn from the
+    values actually present in the relation; otherwise a value that does not
+    occur is synthesized (integer one past the maximum, or a fresh string), so
+    workloads can mix hits and guaranteed misses.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0.0 <= hit_probability <= 1.0:
+        raise ValueError("hit_probability must be in [0, 1]")
+    rng = rng if rng is not None else DeterministicRng(seed)
+    present = sorted(relation.distinct_values(attribute), key=repr)
+    queries: list[Query] = []
+    for index in range(count):
+        if present and rng.random() < hit_probability:
+            value = rng.choice(present)
+        else:
+            value = _missing_value(relation, attribute, index)
+        queries.append(Selection.equals(attribute, value))
+    return queries
+
+
+def _missing_value(relation: Relation, attribute: str, index: int):
+    """A value of the attribute's type guaranteed not to occur in the relation."""
+    present = relation.distinct_values(attribute)
+    attr = relation.schema.attribute(attribute)
+    if all(isinstance(v, int) for v in present) and present:
+        candidate = max(present) + 1 + index
+        return candidate
+    base = f"miss{index}"
+    candidate = base
+    suffix = 0
+    while candidate in present or len(candidate) > attr.max_length:
+        suffix += 1
+        candidate = f"m{suffix}"
+    return candidate

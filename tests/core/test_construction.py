@@ -1,0 +1,218 @@
+"""Tests for the paper's construction (SearchableSelectDph)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SearchableSelectDph, check_homomorphism
+from repro.core.dph import DphError
+from repro.crypto.errors import IntegrityError
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import DeterministicRng
+from repro.relational import (
+    ConjunctiveSelection,
+    Projection,
+    Relation,
+    RelationSchema,
+    Selection,
+)
+
+
+@pytest.fixture(params=["swp", "index"])
+def dph(request, employee_schema, secret_key, rng):
+    return SearchableSelectDph(employee_schema, secret_key, backend=request.param, rng=rng)
+
+
+class TestConstructionBasics:
+    def test_backend_names(self, employee_schema, secret_key):
+        assert SearchableSelectDph(employee_schema, secret_key, backend="swp").name == "dph-swp"
+        assert SearchableSelectDph(employee_schema, secret_key, backend="index").name == "dph-index"
+
+    def test_unknown_backend_rejected(self, employee_schema, secret_key):
+        with pytest.raises(DphError):
+            SearchableSelectDph(employee_schema, secret_key, backend="nope")
+
+    def test_word_length_is_longest_value_plus_id(self, employee_schema, secret_key):
+        dph = SearchableSelectDph(employee_schema, secret_key)
+        assert dph.word_length == employee_schema.max_value_length() + 1
+
+    def test_accepts_raw_key_bytes(self, employee_schema):
+        dph = SearchableSelectDph(employee_schema, b"k" * 32)
+        assert dph.schema == employee_schema
+
+    def test_wide_attribute_id_rejected(self, employee_schema, secret_key):
+        with pytest.raises(DphError):
+            SearchableSelectDph(employee_schema, secret_key, attribute_id_width=2)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, dph, employee_relation):
+        encrypted = dph.encrypt_relation(employee_relation)
+        assert dph.decrypt_relation(encrypted) == employee_relation
+
+    def test_roundtrip_via_words(self, dph, employee_relation):
+        encrypted = dph.encrypt_relation(employee_relation)
+        assert dph.decrypt_relation(encrypted, via_words=True) == employee_relation
+
+    def test_tuple_count_preserved(self, dph, employee_relation):
+        assert len(dph.encrypt_relation(employee_relation)) == len(employee_relation)
+
+    def test_encryption_is_randomized(self, dph, employee_relation):
+        first = dph.encrypt_relation(employee_relation)
+        second = dph.encrypt_relation(employee_relation)
+        assert first.encrypted_tuples[0].payload != second.encrypted_tuples[0].payload
+        assert first.encrypted_tuples[0].tuple_id != second.encrypted_tuples[0].tuple_id
+
+    def test_equal_values_produce_distinct_search_fields(self, employee_schema, secret_key, rng):
+        """The property the bucketization baselines lack: no equality pattern leaks."""
+        dph = SearchableSelectDph(employee_schema, secret_key, backend="swp", rng=rng)
+        relation = Relation.from_rows(
+            employee_schema, [("A", "HR", 100), ("B", "HR", 100)]
+        )
+        encrypted = dph.encrypt_relation(relation)
+        first, second = encrypted.encrypted_tuples
+        assert first.search_fields[1] != second.search_fields[1]
+        assert first.search_fields[2] != second.search_fields[2]
+
+    def test_schema_mismatch_rejected(self, dph):
+        other_schema = RelationSchema.parse("Other(x:string[3])")
+        with pytest.raises(DphError):
+            dph.encrypt_relation(Relation(other_schema))
+
+    def test_tampered_payload_detected(self, dph, employee_relation):
+        encrypted = dph.encrypt_relation(employee_relation)
+        victim = encrypted.encrypted_tuples[0]
+        tampered = type(victim)(
+            tuple_id=victim.tuple_id,
+            payload=victim.payload[:-1] + bytes([victim.payload[-1] ^ 1]),
+            search_fields=victim.search_fields,
+            metadata=victim.metadata,
+        )
+        with pytest.raises(IntegrityError):
+            dph.decrypt_tuple(tampered)
+
+    def test_empty_relation(self, dph, employee_schema):
+        encrypted = dph.encrypt_relation(Relation(employee_schema))
+        assert len(encrypted) == 0
+        assert dph.decrypt_relation(encrypted) == Relation(employee_schema)
+
+
+class TestEncryptedQueries:
+    def test_single_predicate_single_token(self, dph):
+        query = dph.encrypt_query(Selection.equals("dept", "HR"))
+        assert len(query.tokens) == 1
+        assert query.scheme_name == dph.name
+
+    def test_conjunction_one_token_per_predicate(self, dph):
+        query = dph.encrypt_query(ConjunctiveSelection.of(("dept", "HR"), ("salary", 7500)))
+        assert len(query.tokens) == 2
+
+    def test_projection_queries_supported(self, dph):
+        query = dph.encrypt_query(Projection(Selection.equals("dept", "HR"), ("name",)))
+        assert len(query.tokens) == 1
+
+    def test_query_on_unknown_attribute_rejected(self, dph):
+        with pytest.raises(Exception):
+            dph.encrypt_query(Selection.equals("nope", "HR"))
+
+    def test_query_value_type_validated(self, dph):
+        with pytest.raises(Exception):
+            dph.encrypt_query(Selection.equals("salary", "not-an-int"))
+
+    def test_query_encryption_reveals_no_plaintext_bytes(self, dph):
+        query = dph.encrypt_query(Selection.equals("name", "Montgomery"))
+        assert b"Montgomery" not in b"".join(query.tokens)
+
+
+class TestServerEvaluation:
+    def test_exact_select_returns_matching_tuples(self, dph, employee_relation):
+        encrypted = dph.encrypt_relation(employee_relation)
+        evaluator = dph.server_evaluator()
+        query = Selection.equals("dept", "HR")
+        result = evaluator.evaluate(dph.encrypt_query(query), encrypted)
+        report = dph.decrypt_result(result, query)
+        assert report.kept == 2
+        assert all(t.value("dept") == "HR" for t in report.relation)
+
+    def test_miss_returns_empty(self, dph, employee_relation):
+        encrypted = dph.encrypt_relation(employee_relation)
+        evaluator = dph.server_evaluator()
+        query = Selection.equals("name", "Nobody")
+        result = evaluator.evaluate(dph.encrypt_query(query), encrypted)
+        assert dph.decrypt_result(result, query).kept == 0
+
+    def test_conjunctive_select(self, dph, employee_relation):
+        encrypted = dph.encrypt_relation(employee_relation)
+        evaluator = dph.server_evaluator()
+        query = ConjunctiveSelection.of(("dept", "HR"), ("salary", 7500))
+        result = evaluator.evaluate(dph.encrypt_query(query), encrypted)
+        report = dph.decrypt_result(result, query)
+        assert report.kept == 2
+
+    def test_evaluator_rejects_foreign_queries(self, dph, employee_relation):
+        encrypted = dph.encrypt_relation(employee_relation)
+        evaluator = dph.server_evaluator()
+        foreign = dph.encrypt_query(Selection.equals("dept", "HR"))
+        foreign = type(foreign)(scheme_name="other-scheme", tokens=foreign.tokens)
+        with pytest.raises(DphError):
+            evaluator.evaluate(foreign, encrypted)
+
+    def test_evaluation_counters(self, dph, employee_relation):
+        encrypted = dph.encrypt_relation(employee_relation)
+        evaluator = dph.server_evaluator()
+        result = evaluator.evaluate(
+            dph.encrypt_query(Selection.equals("dept", "HR")), encrypted
+        )
+        assert result.examined == len(employee_relation)
+        assert result.token_evaluations == len(employee_relation)
+
+    def test_homomorphism_property(self, dph, employee_relation):
+        queries = [
+            Selection.equals("dept", "HR"),
+            Selection.equals("dept", "IT"),
+            Selection.equals("salary", 7500),
+            Selection.equals("name", "Smith"),
+            Selection.equals("name", "Nobody"),
+        ]
+        report = check_homomorphism(dph, employee_relation, queries)
+        assert report.holds
+        assert report.total_false_positives == 0
+
+
+class TestDifferentKeysAreIncompatible:
+    def test_queries_under_wrong_key_find_nothing(self, employee_schema, employee_relation):
+        alice = SearchableSelectDph(employee_schema, SecretKey.generate(rng=DeterministicRng(1)),
+                                    rng=DeterministicRng(2))
+        mallory = SearchableSelectDph(employee_schema, SecretKey.generate(rng=DeterministicRng(3)),
+                                      rng=DeterministicRng(4))
+        encrypted = alice.encrypt_relation(employee_relation)
+        foreign_query = mallory.encrypt_query(Selection.equals("dept", "HR"))
+        result = alice.server_evaluator().evaluate(foreign_query, encrypted)
+        assert len(result.matching) == 0
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=10),
+            st.sampled_from(["HR", "IT", "OPS"]),
+            st.integers(min_value=0, max_value=9999),
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    backend=st.sampled_from(["swp", "index"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_construction_equals_plaintext_semantics(rows, backend):
+    """E(sigma(R)) = psi(E(R)) for arbitrary small relations and all dept queries."""
+    schema = RelationSchema.parse("Emp(name:string[14], dept:string[5], salary:int[6])")
+    relation = Relation.from_rows(schema, rows)
+    dph = SearchableSelectDph(
+        schema, SecretKey.generate(rng=DeterministicRng(42)), backend=backend,
+        rng=DeterministicRng(43),
+    )
+    queries = [Selection.equals("dept", d) for d in ("HR", "IT", "OPS")]
+    assert check_homomorphism(dph, relation, queries).holds

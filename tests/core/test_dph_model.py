@@ -1,0 +1,63 @@
+"""Tests for the shared database-PH data model (EncryptedTuple/Relation/Query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dph import (
+    DphError,
+    EncryptedQuery,
+    EncryptedRelation,
+    EncryptedTuple,
+)
+from repro.relational.schema import Attribute, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema("T", [Attribute.string("a", 4), Attribute.integer("b", 4)])
+
+
+def make_tuple(index: int) -> EncryptedTuple:
+    return EncryptedTuple(
+        tuple_id=bytes([index]) * 4,
+        payload=b"p" * 10,
+        search_fields=(b"f1", b"f2"),
+        metadata=b"m",
+    )
+
+
+class TestEncryptedTuple:
+    def test_size_in_bytes(self):
+        t = make_tuple(1)
+        assert t.size_in_bytes() == 4 + 10 + 4 + 1
+
+    def test_defaults(self):
+        t = EncryptedTuple(tuple_id=b"id", payload=b"p")
+        assert t.search_fields == ()
+        assert t.metadata == b""
+
+
+class TestEncryptedRelation:
+    def test_len_iter_size(self, schema):
+        relation = EncryptedRelation(schema, (make_tuple(1), make_tuple(2)))
+        assert len(relation) == 2
+        assert list(relation) == list(relation.encrypted_tuples)
+        assert relation.size_in_bytes() == 2 * make_tuple(1).size_in_bytes()
+
+    def test_restrict_to(self, schema):
+        tuples = (make_tuple(1), make_tuple(2), make_tuple(3))
+        relation = EncryptedRelation(schema, tuples)
+        restricted = relation.restrict_to([tuples[0].tuple_id, tuples[2].tuple_id])
+        assert len(restricted) == 2
+        assert tuples[1] not in restricted.encrypted_tuples
+
+
+class TestEncryptedQuery:
+    def test_requires_at_least_one_token(self):
+        with pytest.raises(DphError):
+            EncryptedQuery(scheme_name="x", tokens=())
+
+    def test_size_in_bytes(self):
+        query = EncryptedQuery(scheme_name="x", tokens=(b"abc", b"de"), metadata=b"z")
+        assert query.size_in_bytes() == 6

@@ -1,0 +1,129 @@
+"""Tests for the variable-length attribute optimization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    SearchableSelectDph,
+    VariableWidthSelectDph,
+    check_homomorphism,
+)
+from repro.core.dph import DphError, EncryptedQuery
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import DeterministicRng
+from repro.relational import ConjunctiveSelection, Relation, RelationSchema, Selection
+
+
+@pytest.fixture
+def wide_schema():
+    """A schema with very unequal attribute widths (where the optimization pays)."""
+    return RelationSchema.parse(
+        "Doc(title:string[40], category:string[6], year:int[4])"
+    )
+
+
+@pytest.fixture
+def wide_relation(wide_schema):
+    return Relation.from_rows(
+        wide_schema,
+        [
+            ("A Theory of Outsourced Databases", "CRYPTO", 2006),
+            ("Searchable Encryption in Practice", "DB", 2000),
+            ("Bucketization Considered Harmful", "DB", 2002),
+            ("Provable Security Notes", "CRYPTO", 2006),
+        ],
+    )
+
+
+@pytest.fixture
+def variable_dph(wide_schema, rng):
+    return VariableWidthSelectDph(wide_schema, SecretKey.generate(rng=rng), rng=rng)
+
+
+class TestVariableWidthBasics:
+    def test_name(self, variable_dph):
+        assert variable_dph.name == "dph-swp-variable"
+
+    def test_per_attribute_word_lengths(self, variable_dph):
+        assert variable_dph.word_length_of("title") == 41
+        assert variable_dph.word_length_of("category") == 7
+        assert variable_dph.word_length_of("year") == 5
+
+    def test_rejects_wide_attribute_ids(self, wide_schema, secret_key):
+        with pytest.raises(DphError):
+            VariableWidthSelectDph(wide_schema, secret_key, attribute_id_width=2)
+
+    def test_accepts_raw_key_bytes(self, wide_schema):
+        dph = VariableWidthSelectDph(wide_schema, b"k" * 32)
+        assert dph.schema == wide_schema
+
+
+class TestVariableWidthRoundtrip:
+    def test_encrypt_decrypt(self, variable_dph, wide_relation):
+        encrypted = variable_dph.encrypt_relation(wide_relation)
+        assert variable_dph.decrypt_relation(encrypted) == wide_relation
+
+    def test_schema_mismatch_rejected(self, variable_dph):
+        other = Relation(RelationSchema.parse("Other(x:string[3])"))
+        with pytest.raises(DphError):
+            variable_dph.encrypt_relation(other)
+
+    def test_fields_use_per_attribute_widths(self, variable_dph, wide_relation):
+        encrypted = variable_dph.encrypt_relation(wide_relation)
+        first = encrypted.encrypted_tuples[0]
+        assert len(first.search_fields[0]) == 41
+        assert len(first.search_fields[1]) == 7
+        assert len(first.search_fields[2]) == 5
+
+    def test_storage_is_smaller_than_fixed_width(self, wide_schema, wide_relation, rng):
+        key = SecretKey.generate(rng=DeterministicRng(77))
+        variable = VariableWidthSelectDph(wide_schema, key, rng=DeterministicRng(1))
+        fixed = SearchableSelectDph(wide_schema, key, backend="swp", rng=DeterministicRng(2))
+        variable_bytes = variable.encrypt_relation(wide_relation).size_in_bytes()
+        fixed_bytes = fixed.encrypt_relation(wide_relation).size_in_bytes()
+        assert variable_bytes < fixed_bytes
+
+
+class TestVariableWidthQueries:
+    def test_homomorphism(self, variable_dph, wide_relation):
+        queries = [
+            Selection.equals("category", "DB"),
+            Selection.equals("year", 2006),
+            Selection.equals("title", "Provable Security Notes"),
+            Selection.equals("category", "NONE"),
+        ]
+        report = check_homomorphism(variable_dph, wide_relation, queries)
+        assert report.holds
+        assert report.total_false_positives == 0
+
+    def test_conjunctive_query(self, variable_dph, wide_relation):
+        query = ConjunctiveSelection.of(("category", "CRYPTO"), ("year", 2006))
+        encrypted = variable_dph.encrypt_relation(wide_relation)
+        result = variable_dph.server_evaluator().evaluate(
+            variable_dph.encrypt_query(query), encrypted
+        )
+        report = variable_dph.decrypt_result(result, query)
+        assert report.kept == 2
+
+    def test_evaluator_rejects_foreign_queries(self, variable_dph, wide_relation):
+        encrypted = variable_dph.encrypt_relation(wide_relation)
+        evaluator = variable_dph.server_evaluator()
+        foreign = EncryptedQuery(scheme_name="dph-swp", tokens=(b"\x00\x00" + b"x" * 40,))
+        with pytest.raises(DphError):
+            evaluator.evaluate(foreign, encrypted)
+
+    def test_evaluator_rejects_unknown_positions(self, variable_dph, wide_relation):
+        encrypted = variable_dph.encrypt_relation(wide_relation)
+        evaluator = variable_dph.server_evaluator()
+        bogus = EncryptedQuery(scheme_name=variable_dph.name, tokens=(b"\x00\x63" + b"x" * 10,))
+        with pytest.raises(DphError):
+            evaluator.evaluate(bogus, encrypted)
+
+    def test_equal_values_still_hide_equality(self, variable_dph, wide_relation):
+        """The optimization must not reintroduce the deterministic-field leak."""
+        encrypted = variable_dph.encrypt_relation(wide_relation)
+        category_fields = [t.search_fields[1] for t in encrypted.encrypted_tuples]
+        # Two documents share category 'DB' and two share 'CRYPTO', yet all
+        # four ciphertext fields are distinct.
+        assert len(set(category_fields)) == len(category_fields)

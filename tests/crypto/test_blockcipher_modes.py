@@ -1,0 +1,128 @@
+"""Tests for the block cipher and its modes of operation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.blockcipher import BLOCK_LEN, BlockCipher
+from repro.crypto.errors import DecryptionError, KeyError_, ParameterError
+from repro.crypto.modes import CbcMode, CtrMode, EcbMode
+from repro.crypto.rng import DeterministicRng
+
+KEY = b"k" * 32
+
+
+class TestBlockCipher:
+    def test_roundtrip(self):
+        cipher = BlockCipher(KEY)
+        block = bytes(range(BLOCK_LEN))
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_block_length_is_16(self):
+        assert BlockCipher(KEY).block_len == 16
+
+    def test_key_too_short(self):
+        with pytest.raises(KeyError_):
+            BlockCipher(b"short")
+
+    def test_wrong_block_length(self):
+        cipher = BlockCipher(KEY)
+        with pytest.raises(ParameterError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ParameterError):
+            cipher.decrypt_block(b"x" * 17)
+
+    def test_different_keys_give_different_ciphertexts(self):
+        block = b"\x01" * BLOCK_LEN
+        assert BlockCipher(KEY).encrypt_block(block) != BlockCipher(b"q" * 32).encrypt_block(block)
+
+
+class TestEcbMode:
+    def test_roundtrip(self):
+        ecb = EcbMode(BlockCipher(KEY))
+        message = b"the quick brown fox jumps over the lazy dog"
+        assert ecb.decrypt(ecb.encrypt(message)) == message
+
+    def test_is_deterministic_and_leaks_block_equality(self):
+        ecb = EcbMode(BlockCipher(KEY))
+        message = b"A" * 32  # two identical blocks
+        ciphertext = ecb.encrypt(message)
+        assert ciphertext[:16] == ciphertext[16:32]
+        assert ecb.encrypt(message) == ciphertext
+
+    def test_malformed_ciphertext(self):
+        ecb = EcbMode(BlockCipher(KEY))
+        with pytest.raises(DecryptionError):
+            ecb.decrypt(b"not-a-block-multiple")
+
+
+class TestCbcMode:
+    def test_roundtrip(self):
+        cbc = CbcMode(BlockCipher(KEY), rng=DeterministicRng(1))
+        message = b"confidential tuple payload"
+        assert cbc.decrypt(cbc.encrypt(message)) == message
+
+    def test_randomized(self):
+        cbc = CbcMode(BlockCipher(KEY), rng=DeterministicRng(2))
+        message = b"same message"
+        assert cbc.encrypt(message) != cbc.encrypt(message)
+
+    def test_identical_blocks_do_not_leak(self):
+        cbc = CbcMode(BlockCipher(KEY), rng=DeterministicRng(3))
+        ciphertext = cbc.encrypt(b"A" * 32)
+        body = ciphertext[16:]
+        assert body[:16] != body[16:32]
+
+    def test_explicit_iv_must_have_block_length(self):
+        cbc = CbcMode(BlockCipher(KEY))
+        with pytest.raises(ParameterError):
+            cbc.encrypt(b"m", iv=b"short")
+
+    def test_truncated_ciphertext_rejected(self):
+        cbc = CbcMode(BlockCipher(KEY))
+        with pytest.raises(DecryptionError):
+            cbc.decrypt(b"\x00" * 16)  # IV only, no body
+
+
+class TestCtrMode:
+    def test_roundtrip(self):
+        ctr = CtrMode(BlockCipher(KEY), rng=DeterministicRng(4))
+        message = b"arbitrary length payload without padding"
+        assert ctr.decrypt(ctr.encrypt(message)) == message
+
+    def test_preserves_length_plus_nonce(self):
+        ctr = CtrMode(BlockCipher(KEY), rng=DeterministicRng(5))
+        message = b"12345"
+        assert len(ctr.encrypt(message)) == len(message) + CtrMode.NONCE_LEN
+
+    def test_randomized(self):
+        ctr = CtrMode(BlockCipher(KEY), rng=DeterministicRng(6))
+        assert ctr.encrypt(b"msg") != ctr.encrypt(b"msg")
+
+    def test_empty_message(self):
+        ctr = CtrMode(BlockCipher(KEY), rng=DeterministicRng(7))
+        assert ctr.decrypt(ctr.encrypt(b"")) == b""
+
+    def test_bad_nonce_length(self):
+        ctr = CtrMode(BlockCipher(KEY))
+        with pytest.raises(ParameterError):
+            ctr.encrypt(b"m", nonce=b"short")
+
+    def test_ciphertext_shorter_than_nonce_rejected(self):
+        ctr = CtrMode(BlockCipher(KEY))
+        with pytest.raises(DecryptionError):
+            ctr.decrypt(b"abc")
+
+
+@given(message=st.binary(min_size=0, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_all_modes_roundtrip(message):
+    cipher = BlockCipher(KEY)
+    rng = DeterministicRng(99)
+    assert EcbMode(cipher).decrypt(EcbMode(cipher).encrypt(message)) == message
+    cbc = CbcMode(cipher, rng=rng)
+    assert cbc.decrypt(cbc.encrypt(message)) == message
+    ctr = CtrMode(cipher, rng=rng)
+    assert ctr.decrypt(ctr.encrypt(message)) == message

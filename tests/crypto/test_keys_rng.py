@@ -1,0 +1,158 @@
+"""Tests for key management and the randomness sources."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.errors import KeyError_
+from repro.crypto.keys import DEFAULT_SECURITY_PARAMETER, KeyHierarchy, SecretKey, generate_key
+from repro.crypto.rng import DeterministicRng, SystemRng, default_rng
+
+
+class TestGenerateKey:
+    def test_default_length(self):
+        assert len(generate_key()) == DEFAULT_SECURITY_PARAMETER // 8
+
+    def test_custom_security_parameter(self):
+        assert len(generate_key(128)) == 16
+
+    def test_rejects_non_multiple_of_eight(self):
+        with pytest.raises(KeyError_):
+            generate_key(129)
+
+    def test_rejects_weak_parameters(self):
+        with pytest.raises(KeyError_):
+            generate_key(64)
+
+    def test_deterministic_with_seeded_rng(self):
+        assert generate_key(rng=DeterministicRng(1)) == generate_key(rng=DeterministicRng(1))
+        assert generate_key(rng=DeterministicRng(1)) != generate_key(rng=DeterministicRng(2))
+
+
+class TestSecretKey:
+    def test_security_parameter(self):
+        assert SecretKey(b"x" * 32).security_parameter == 256
+
+    def test_rejects_short_material(self):
+        with pytest.raises(KeyError_):
+            SecretKey(b"short")
+
+    def test_repr_hides_material(self):
+        key = SecretKey(b"supersecretsupersecret!!")
+        assert "supersecret" not in repr(key)
+
+    def test_subkeys_differ_by_label(self):
+        key = SecretKey.generate(rng=DeterministicRng(3))
+        assert key.subkey("a") != key.subkey("b")
+
+    def test_generate_uses_rng(self):
+        assert (
+            SecretKey.generate(rng=DeterministicRng(4)).material
+            == SecretKey.generate(rng=DeterministicRng(4)).material
+        )
+
+
+class TestKeyHierarchy:
+    def test_caches_derivations(self):
+        hierarchy = KeyHierarchy(SecretKey(b"x" * 32))
+        assert hierarchy.get("label") is hierarchy.get("label")
+
+    def test_labels_are_independent(self):
+        hierarchy = KeyHierarchy(SecretKey(b"x" * 32))
+        assert hierarchy.get("a") != hierarchy.get("b")
+
+    def test_lengths_are_honoured(self):
+        hierarchy = KeyHierarchy(SecretKey(b"x" * 32))
+        assert len(hierarchy.get("a", 48)) == 48
+
+    def test_master_accessor(self):
+        master = SecretKey(b"x" * 32)
+        assert KeyHierarchy(master).master is master
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        assert DeterministicRng(7).bytes(100) == DeterministicRng(7).bytes(100)
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRng(7).bytes(32) != DeterministicRng(8).bytes(32)
+
+    def test_string_and_bytes_seeds(self):
+        assert DeterministicRng("seed").bytes(16) == DeterministicRng("seed").bytes(16)
+        assert DeterministicRng(b"seed").bytes(16) == DeterministicRng(b"seed").bytes(16)
+
+    def test_fork_is_independent_but_deterministic(self):
+        base = DeterministicRng(7)
+        assert base.fork("a").bytes(16) == DeterministicRng(7).fork("a").bytes(16)
+        assert DeterministicRng(7).fork("a").bytes(16) != DeterministicRng(7).fork("b").bytes(16)
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(1)
+        values = [rng.randint(3, 9) for _ in range(200)]
+        assert min(values) >= 3 and max(values) <= 9
+        assert set(values) == set(range(3, 10))
+
+    def test_randint_single_value(self):
+        assert DeterministicRng(1).randint(5, 5) == 5
+
+    def test_randint_invalid_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).randint(5, 4)
+
+    def test_bit_is_binary_and_balanced(self):
+        rng = DeterministicRng(2)
+        bits = [rng.bit() for _ in range(400)]
+        assert set(bits) <= {0, 1}
+        assert 120 < sum(bits) < 280
+
+    def test_choice_and_shuffle(self):
+        rng = DeterministicRng(3)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        shuffled = rng.shuffle(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(10))  # input untouched
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(4)
+        values = [rng.random() for _ in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_sample_distribution_respects_support(self):
+        rng = DeterministicRng(5)
+        draws = [rng.sample_distribution([0.0, 1.0, 0.0]) for _ in range(50)]
+        assert set(draws) == {1}
+
+    def test_sample_distribution_rejects_bad_weights(self):
+        rng = DeterministicRng(6)
+        with pytest.raises(ValueError):
+            rng.sample_distribution([0.0, 0.0])
+        with pytest.raises(ValueError):
+            rng.sample_distribution([0.5, -0.5, 1.0])
+
+    def test_negative_byte_count_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(1).bytes(-1)
+
+
+class TestSystemRng:
+    def test_produces_requested_length(self):
+        assert len(SystemRng().bytes(33)) == 33
+
+    def test_default_rng_dispatch(self):
+        assert isinstance(default_rng(), SystemRng)
+        assert isinstance(default_rng(5), DeterministicRng)
+
+
+@given(seed=st.integers(min_value=0, max_value=10**9),
+       low=st.integers(min_value=-1000, max_value=1000),
+       span=st.integers(min_value=0, max_value=500))
+@settings(max_examples=60, deadline=None)
+def test_property_randint_within_bounds(seed, low, span):
+    rng = DeterministicRng(seed)
+    value = rng.randint(low, low + span)
+    assert low <= value <= low + span

@@ -1,0 +1,118 @@
+"""Tests for the pseudorandom function."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.errors import KeyError_, ParameterError
+from repro.crypto.prf import MIN_KEY_LEN, Prf, prf_once
+
+KEY = b"k" * 32
+OTHER_KEY = b"q" * 32
+
+
+class TestPrfConstruction:
+    def test_rejects_short_keys(self):
+        with pytest.raises(KeyError_):
+            Prf(b"short")
+
+    def test_rejects_non_bytes_keys(self):
+        with pytest.raises(KeyError_):
+            Prf("not-bytes" * 10)  # type: ignore[arg-type]
+
+    def test_accepts_minimum_length_key(self):
+        Prf(b"x" * MIN_KEY_LEN)
+
+
+class TestPrfEvaluation:
+    def test_deterministic(self):
+        prf = Prf(KEY)
+        assert prf.evaluate(b"message") == prf.evaluate(b"message")
+
+    def test_different_inputs_differ(self):
+        prf = Prf(KEY)
+        assert prf.evaluate(b"a") != prf.evaluate(b"b")
+
+    def test_different_keys_differ(self):
+        assert Prf(KEY).evaluate(b"a") != Prf(OTHER_KEY).evaluate(b"a")
+
+    def test_different_labels_differ(self):
+        assert Prf(KEY, label=b"x").evaluate(b"a") != Prf(KEY, label=b"y").evaluate(b"a")
+
+    def test_requested_length_is_honoured(self):
+        prf = Prf(KEY)
+        for length in (1, 16, 32, 33, 64, 100, 1000):
+            assert len(prf.evaluate(b"m", length)) == length
+
+    def test_outputs_of_different_lengths_are_independent(self):
+        prf = Prf(KEY)
+        assert prf.evaluate(b"m", 16) != prf.evaluate(b"m", 32)[:16]
+
+    def test_zero_or_negative_length_rejected(self):
+        prf = Prf(KEY)
+        with pytest.raises(ParameterError):
+            prf.evaluate(b"m", 0)
+        with pytest.raises(ParameterError):
+            prf.evaluate(b"m", -1)
+
+    def test_non_bytes_input_rejected(self):
+        with pytest.raises(ParameterError):
+            Prf(KEY).evaluate("text")  # type: ignore[arg-type]
+
+    def test_callable_shorthand(self):
+        prf = Prf(KEY)
+        assert prf(b"m") == prf.evaluate(b"m")
+
+    def test_prf_once_matches_instance(self):
+        assert prf_once(KEY, b"m", 48) == Prf(KEY).evaluate(b"m", 48)
+
+
+class TestPrfIntegers:
+    def test_within_modulus(self):
+        prf = Prf(KEY)
+        for modulus in (1, 2, 7, 100, 2**32):
+            value = prf.evaluate_int(b"m", modulus)
+            assert 0 <= value < modulus
+
+    def test_deterministic(self):
+        prf = Prf(KEY)
+        assert prf.evaluate_int(b"m", 1000) == prf.evaluate_int(b"m", 1000)
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ParameterError):
+            Prf(KEY).evaluate_int(b"m", 0)
+
+    def test_reasonably_uniform(self):
+        prf = Prf(KEY)
+        samples = [prf.evaluate_int(i.to_bytes(4, "big"), 2) for i in range(400)]
+        ones = sum(samples)
+        assert 130 < ones < 270  # extremely loose two-sided bound
+
+
+class TestPrfDerivation:
+    def test_derived_prfs_are_independent(self):
+        prf = Prf(KEY)
+        assert prf.derive("a").evaluate(b"m") != prf.derive("b").evaluate(b"m")
+
+    def test_derivation_is_deterministic(self):
+        assert Prf(KEY).derive("a").evaluate(b"m") == Prf(KEY).derive("a").evaluate(b"m")
+
+
+@given(message=st.binary(min_size=0, max_size=200), out_len=st.integers(min_value=1, max_value=200))
+@settings(max_examples=60, deadline=None)
+def test_property_output_length_and_determinism(message, out_len):
+    prf = Prf(KEY)
+    first = prf.evaluate(message, out_len)
+    second = prf.evaluate(message, out_len)
+    assert len(first) == out_len
+    assert first == second
+
+
+@given(a=st.binary(min_size=0, max_size=64), b=st.binary(min_size=0, max_size=64))
+@settings(max_examples=60, deadline=None)
+def test_property_distinct_inputs_rarely_collide(a, b):
+    prf = Prf(KEY)
+    if a != b:
+        assert prf.evaluate(a, 32) != prf.evaluate(b, 32)

@@ -1,0 +1,132 @@
+"""Tests for the pseudorandom permutations (Feistel, unbalanced Feistel, integer)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.errors import ParameterError
+from repro.crypto.prp import FeistelPrp, IntegerPrp, UnbalancedFeistelPrp
+
+KEY = b"k" * 32
+
+
+class TestFeistelPrp:
+    def test_roundtrip(self):
+        prp = FeistelPrp(KEY, 16)
+        block = bytes(range(16))
+        assert prp.invert(prp.permute(block)) == block
+
+    def test_permutation_changes_input(self):
+        prp = FeistelPrp(KEY, 16)
+        assert prp.permute(b"\x00" * 16) != b"\x00" * 16
+
+    def test_is_injective_on_sample(self):
+        prp = FeistelPrp(KEY, 2)
+        images = {prp.permute(bytes([a, b])) for a in range(32) for b in range(32)}
+        assert len(images) == 32 * 32
+
+    def test_tweak_separates_domains(self):
+        prp = FeistelPrp(KEY, 16)
+        block = bytes(16)
+        assert prp.permute(block, tweak=b"a") != prp.permute(block, tweak=b"b")
+
+    def test_tweak_roundtrip(self):
+        prp = FeistelPrp(KEY, 16)
+        block = bytes(range(16))
+        assert prp.invert(prp.permute(block, tweak=b"t"), tweak=b"t") == block
+
+    def test_rejects_odd_or_tiny_blocks(self):
+        with pytest.raises(ParameterError):
+            FeistelPrp(KEY, 15)
+        with pytest.raises(ParameterError):
+            FeistelPrp(KEY, 0)
+
+    def test_rejects_too_few_rounds(self):
+        with pytest.raises(ParameterError):
+            FeistelPrp(KEY, 16, rounds=2)
+
+    def test_rejects_wrong_block_length(self):
+        prp = FeistelPrp(KEY, 16)
+        with pytest.raises(ParameterError):
+            prp.permute(b"short")
+        with pytest.raises(ParameterError):
+            prp.invert(b"short")
+
+
+class TestUnbalancedFeistelPrp:
+    @pytest.mark.parametrize("length", [2, 3, 5, 7, 10, 11, 17, 33])
+    def test_roundtrip_any_length(self, length):
+        prp = UnbalancedFeistelPrp(KEY, length)
+        block = bytes(i % 256 for i in range(length))
+        assert prp.invert(prp.permute(block)) == block
+
+    def test_injective_on_small_domain(self):
+        prp = UnbalancedFeistelPrp(KEY, 3)
+        inputs = [bytes([a, b, 7]) for a in range(64) for b in range(64)]
+        images = {prp.permute(i) for i in inputs}
+        assert len(images) == len(inputs)
+
+    def test_different_keys_differ(self):
+        block = b"wordword"
+        assert (
+            UnbalancedFeistelPrp(KEY, 8).permute(block)
+            != UnbalancedFeistelPrp(b"q" * 32, 8).permute(block)
+        )
+
+    def test_rejects_length_one(self):
+        with pytest.raises(ParameterError):
+            UnbalancedFeistelPrp(KEY, 1)
+
+    def test_rejects_wrong_length_input(self):
+        prp = UnbalancedFeistelPrp(KEY, 11)
+        with pytest.raises(ParameterError):
+            prp.permute(b"x" * 10)
+
+
+class TestIntegerPrp:
+    @pytest.mark.parametrize("domain", [1, 2, 3, 10, 16, 100, 1000])
+    def test_is_a_bijection(self, domain):
+        prp = IntegerPrp(KEY, domain)
+        images = [prp.permute(i) for i in range(domain)]
+        assert sorted(images) == list(range(domain))
+
+    @pytest.mark.parametrize("domain", [1, 2, 17, 64, 257])
+    def test_invert_recovers_input(self, domain):
+        prp = IntegerPrp(KEY, domain)
+        for value in range(domain):
+            assert prp.invert(prp.permute(value)) == value
+
+    def test_out_of_domain_rejected(self):
+        prp = IntegerPrp(KEY, 10)
+        with pytest.raises(ParameterError):
+            prp.permute(10)
+        with pytest.raises(ParameterError):
+            prp.invert(-1)
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ParameterError):
+            IntegerPrp(KEY, 0)
+
+    def test_different_keys_give_different_permutations(self):
+        domain = 64
+        first = [IntegerPrp(KEY, domain).permute(i) for i in range(domain)]
+        second = [IntegerPrp(b"q" * 32, domain).permute(i) for i in range(domain)]
+        assert first != second
+
+
+@given(length=st.integers(min_value=2, max_value=24), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_unbalanced_feistel_roundtrip(length, data):
+    block = data.draw(st.binary(min_size=length, max_size=length))
+    prp = UnbalancedFeistelPrp(KEY, length)
+    assert prp.invert(prp.permute(block)) == block
+
+
+@given(domain=st.integers(min_value=1, max_value=300), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_property_integer_prp_roundtrip(domain, data):
+    value = data.draw(st.integers(min_value=0, max_value=domain - 1))
+    prp = IntegerPrp(KEY, domain)
+    assert prp.invert(prp.permute(value)) == value

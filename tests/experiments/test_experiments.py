@@ -1,0 +1,114 @@
+"""Tests for the experiment harness (reduced parameters).
+
+These tests run every experiment with tiny parameters and assert both the
+mechanical contract (rows, table rendering) and the qualitative shape each
+benchmark later verifies at full size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_e1_bucketization_attack,
+    run_e2_damiani_attack,
+    run_e3_dph_indistinguishability,
+    run_e4_theorem21,
+    run_e5_hospital_inference,
+    run_e6_active_adversary,
+    run_e7_false_positives,
+    run_e8_throughput,
+    run_e9_storage_overhead,
+    run_e10_index_vs_scan,
+)
+
+
+class TestAttackExperiments:
+    def test_e1_shape(self):
+        result = run_e1_bucketization_attack(trials=30, bucket_counts=(16,))
+        assert len(result.rows) == 2  # one bucketization row + the SWP reference
+        bucket_row = result.rows[0]
+        assert bucket_row.scheme == "bucketization"
+        assert bucket_row.success_rate >= 0.9
+        assert "E1" in result.to_table().render()
+
+    def test_e2_shape(self):
+        result = run_e2_damiani_attack(trials=30, hash_value_counts=(256,))
+        damiani_row = result.rows[0]
+        assert damiani_row.success_rate >= 0.9
+        assert result.rows[-1].scheme == "deterministic"
+
+    def test_e3_shape(self):
+        result = run_e3_dph_indistinguishability(trials=40)
+        assert {row.scheme for row in result.rows} == {"dph-swp", "dph-index"}
+        assert all(abs(row.advantage) <= 0.4 for row in result.rows)
+
+    def test_e4_shape(self):
+        result = run_e4_theorem21(trials=15, table_size=6)
+        broken = [r for r in result.rows if r.parameter in ("q=1 active", "q=1 passive")]
+        immune = [r for r in result.rows if r.parameter == "q=0 active"]
+        assert all(r.success_rate >= 0.9 for r in broken)
+        assert all(abs(r.advantage) <= 0.6 for r in immune)
+
+
+class TestInferenceExperiments:
+    def test_e5_shape(self):
+        result = run_e5_hospital_inference(sizes=(400,), trials=2)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.identification_rate >= 0.5
+        assert row.max_absolute_error <= 0.1
+        assert "E5" in result.to_table().render()
+
+    def test_e6_shape(self):
+        result = run_e6_active_adversary(sizes=(400,), trials=2)
+        row = result.rows[0]
+        assert row.full_success_rate == 1.0
+        assert row.mean_oracle_queries <= 6
+
+
+class TestPerformanceExperiments:
+    def test_e7_shape(self):
+        result = run_e7_false_positives(check_lengths=(1,), words_per_setting=3000)
+        row = result.rows[0]
+        assert row.predicted_rate == pytest.approx(1 / 256)
+        assert 0 <= row.observed_rate < 0.05
+
+    def test_e8_shape(self):
+        result = run_e8_throughput(sizes=(50,))
+        schemes = {row.scheme for row in result.rows}
+        assert "dph-swp" in schemes and "plaintext" in schemes
+        assert all(row.encrypt_ms >= 0 for row in result.rows)
+        assert all(row.result_size > 0 for row in result.rows)
+
+    def test_e9_shape(self):
+        result = run_e9_storage_overhead(sizes=(100,))
+        by_scheme = {row.scheme: row for row in result.rows}
+        assert by_scheme["dph-swp"].expansion > by_scheme["plaintext"].expansion
+        assert all(row.expansion >= 1.0 for row in result.rows)
+
+    def test_e10_shape(self):
+        result = run_e10_index_vs_scan(sizes=(300,))
+        backends = {row.backend for row in result.rows}
+        assert backends == {"dph-swp", "dph-index"}
+        assert all(row.token_evaluations == 300 for row in result.rows)
+
+
+class TestRegistry:
+    def test_every_experiment_is_registered(self):
+        identifiers = [spec.identifier for spec in EXPERIMENTS]
+        assert identifiers == [f"E{i}" for i in range(1, 11)]
+
+    def test_registry_entries_point_to_existing_benchmarks(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        for spec in EXPERIMENTS:
+            assert (root / spec.benchmark).exists(), spec.benchmark
+
+    def test_quick_parameters_are_usable(self):
+        # Run the cheapest registry entry end to end through run_quick().
+        spec = next(s for s in EXPERIMENTS if s.identifier == "E9")
+        result = spec.run_quick()
+        assert result.rows

@@ -1,0 +1,131 @@
+"""Tests for the query AST and the plaintext engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.engine import PlaintextEngine, evaluate
+from repro.relational.errors import QueryError
+from repro.relational.query import (
+    ConjunctiveSelection,
+    EqualityPredicate,
+    Projection,
+    Selection,
+    full_relation_scan,
+    selection_predicates,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "Emp",
+        [Attribute.string("name", 10), Attribute.string("dept", 5), Attribute.integer("salary", 6)],
+    )
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation.from_rows(
+        schema,
+        [
+            ("Ada", "IT", 900),
+            ("Bob", "HR", 800),
+            ("Cid", "IT", 700),
+            ("Dee", "IT", 900),
+        ],
+    )
+
+
+class TestQueryAst:
+    def test_selection_shorthand(self):
+        query = Selection.equals("dept", "IT")
+        assert query.attribute == "dept"
+        assert query.value == "IT"
+        assert query.predicates() == (EqualityPredicate("dept", "IT"),)
+
+    def test_selection_validation(self, schema):
+        Selection.equals("dept", "IT").validate(schema)
+        with pytest.raises(QueryError):
+            Selection.equals("nope", "IT").validate(schema)
+        with pytest.raises(QueryError):
+            Selection.equals("salary", "not-an-int").validate(schema)
+
+    def test_conjunction_construction(self):
+        query = ConjunctiveSelection.of(("dept", "IT"), ("salary", 900))
+        assert len(query.predicates()) == 2
+
+    def test_conjunction_rejects_empty_or_repeated_attributes(self):
+        with pytest.raises(QueryError):
+            ConjunctiveSelection(())
+        with pytest.raises(QueryError):
+            ConjunctiveSelection.of(("dept", "IT"), ("dept", "HR"))
+
+    def test_projection_validation(self, schema):
+        query = Projection(Selection.equals("dept", "IT"), ("name",))
+        query.validate(schema)
+        with pytest.raises(QueryError):
+            Projection(Selection.equals("dept", "IT"), ("nope",)).validate(schema)
+
+    def test_selection_predicates_helper(self):
+        selection = Selection.equals("dept", "IT")
+        conjunction = ConjunctiveSelection.of(("dept", "IT"), ("salary", 1))
+        projection = Projection(conjunction, ("name",))
+        assert selection_predicates(selection) == selection.predicates()
+        assert selection_predicates(projection) == conjunction.predicates()
+        with pytest.raises(QueryError):
+            selection_predicates("not a query")  # type: ignore[arg-type]
+
+    def test_predicate_matches(self, schema, relation):
+        predicate = EqualityPredicate("dept", "IT")
+        assert predicate.matches(relation.tuples[0])
+        assert not predicate.matches(relation.tuples[1])
+
+    def test_reprs(self):
+        assert "dept" in repr(Selection.equals("dept", "IT"))
+        assert "AND" in repr(ConjunctiveSelection.of(("a", 1), ("b", 2)))
+        assert "π" in repr(Projection(Selection.equals("a", 1), ("x",)))
+
+
+class TestPlaintextEngine:
+    def test_selection(self, relation):
+        result = evaluate(Selection.equals("dept", "IT"), relation)
+        assert isinstance(result, Relation)
+        assert len(result) == 3
+
+    def test_empty_selection(self, relation):
+        assert len(evaluate(Selection.equals("dept", "LEGAL"), relation)) == 0
+
+    def test_conjunction(self, relation):
+        result = evaluate(ConjunctiveSelection.of(("dept", "IT"), ("salary", 900)), relation)
+        assert len(result) == 2
+        assert all(t.value("salary") == 900 for t in result)
+
+    def test_projection_of_selection(self, relation):
+        rows = evaluate(Projection(Selection.equals("dept", "IT"), ("name",)), relation)
+        assert sorted(rows) == [("Ada",), ("Cid",), ("Dee",)]
+
+    def test_projection_star(self, relation):
+        rows = evaluate(Projection(Selection.equals("dept", "HR"), ()), relation)
+        assert rows == [("Bob", "HR", 800)]
+
+    def test_unknown_attribute_rejected(self, relation):
+        with pytest.raises(QueryError):
+            evaluate(Selection.equals("nope", 1), relation)
+
+    def test_unsupported_node_rejected(self, relation):
+        engine = PlaintextEngine()
+        with pytest.raises(QueryError):
+            engine.execute("garbage", relation)  # type: ignore[arg-type]
+
+    def test_nested_projection_rejected(self, relation):
+        nested = Projection(Projection(Selection.equals("dept", "IT"), ("name",)), ("name",))
+        with pytest.raises(QueryError):
+            evaluate(nested, relation)
+
+    def test_full_relation_scan_helper(self, relation):
+        copy = full_relation_scan(relation)
+        assert copy == relation
+        assert copy is not relation

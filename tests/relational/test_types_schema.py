@@ -1,0 +1,164 @@
+"""Tests for attribute types and relation schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.errors import SchemaError
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.types import AttributeType
+
+
+class TestAttributeType:
+    def test_string_validation(self):
+        AttributeType.STRING.validate("hello", 10)
+        with pytest.raises(SchemaError):
+            AttributeType.STRING.validate("too long value", 5)
+        with pytest.raises(SchemaError):
+            AttributeType.STRING.validate(123, 5)
+        with pytest.raises(SchemaError):
+            AttributeType.STRING.validate("pad#ding", 10)
+        with pytest.raises(SchemaError):
+            AttributeType.STRING.validate("münchen", 10)
+
+    def test_integer_validation(self):
+        AttributeType.INTEGER.validate(7500, 6)
+        AttributeType.INTEGER.validate(-42, 6)
+        with pytest.raises(SchemaError):
+            AttributeType.INTEGER.validate(10**7, 6)
+        with pytest.raises(SchemaError):
+            AttributeType.INTEGER.validate("7500", 6)
+        with pytest.raises(SchemaError):
+            AttributeType.INTEGER.validate(True, 6)
+
+    def test_parse_literal(self):
+        assert AttributeType.INTEGER.parse_literal("42") == 42
+        assert AttributeType.STRING.parse_literal("abc") == "abc"
+        with pytest.raises(SchemaError):
+            AttributeType.INTEGER.parse_literal("not-an-int")
+
+    def test_from_declaration(self):
+        assert AttributeType.from_declaration("string[9]") == (AttributeType.STRING, 9)
+        assert AttributeType.from_declaration("int") == (AttributeType.INTEGER, 12)
+        assert AttributeType.from_declaration("int[4]") == (AttributeType.INTEGER, 4)
+        with pytest.raises(SchemaError):
+            AttributeType.from_declaration("string")  # width required
+        with pytest.raises(SchemaError):
+            AttributeType.from_declaration("blob[4]")
+        with pytest.raises(SchemaError):
+            AttributeType.from_declaration("string[abc]")
+        with pytest.raises(SchemaError):
+            AttributeType.from_declaration("string[0]")
+
+
+class TestAttribute:
+    def test_shorthands(self):
+        name = Attribute.string("name", 9)
+        salary = Attribute.integer("salary")
+        assert name.attribute_type is AttributeType.STRING
+        assert salary.attribute_type is AttributeType.INTEGER
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            Attribute.string("", 5)
+        with pytest.raises(SchemaError):
+            Attribute.string("bad name!", 5)
+        with pytest.raises(SchemaError):
+            Attribute("a", AttributeType.STRING, 0)
+        with pytest.raises(SchemaError):
+            Attribute("a", AttributeType.STRING, 5, identifier="AB")
+
+    def test_validate_value_delegates_to_type(self):
+        attribute = Attribute.string("name", 4)
+        attribute.validate_value("abcd")
+        with pytest.raises(SchemaError):
+            attribute.validate_value("abcde")
+
+
+class TestRelationSchema:
+    def test_paper_example_schema(self):
+        schema = RelationSchema(
+            "Emp",
+            [Attribute.string("name", 9), Attribute.string("dept", 5), Attribute.integer("salary", 6)],
+        )
+        assert schema.attribute_names == ("name", "dept", "salary")
+        assert schema.max_value_length() == 9
+        assert len(schema) == 3
+
+    def test_identifiers_default_to_first_letters(self):
+        """The paper's example uses the identifiers N, D, S."""
+        schema = RelationSchema(
+            "Emp",
+            [Attribute.string("name", 9), Attribute.string("dept", 5), Attribute.integer("salary", 6)],
+        )
+        assert [a.identifier for a in schema.attributes] == ["N", "D", "S"]
+
+    def test_identifier_collision_falls_back_to_pool(self):
+        schema = RelationSchema(
+            "T", [Attribute.string("alpha", 3), Attribute.string("aleph", 3)]
+        )
+        identifiers = [a.identifier for a in schema.attributes]
+        assert len(set(identifiers)) == 2
+
+    def test_explicit_identifiers_respected(self):
+        schema = RelationSchema("T", [Attribute.string("x", 3, identifier="Z")])
+        assert schema.attribute("x").identifier == "Z"
+
+    def test_duplicate_explicit_identifiers_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "T",
+                [
+                    Attribute.string("a", 3, identifier="X"),
+                    Attribute.string("b", 3, identifier="X"),
+                ],
+            )
+
+    def test_identifier_reverse_lookup(self):
+        schema = RelationSchema("T", [Attribute.string("name", 5), Attribute.integer("count", 3)])
+        assert schema.identifier_to_attribute("N").name == "name"
+        assert schema.identifier_to_attribute(b"C").name == "count"
+        with pytest.raises(SchemaError):
+            schema.identifier_to_attribute("Z")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("T", [Attribute.string("a", 3), Attribute.integer("a", 3)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("T", [])
+        with pytest.raises(SchemaError):
+            RelationSchema("", [Attribute.string("a", 3)])
+
+    def test_attribute_lookup(self):
+        schema = RelationSchema("T", [Attribute.string("a", 3)])
+        assert schema.attribute("a").name == "a"
+        assert schema.has_attribute("a")
+        assert not schema.has_attribute("b")
+        with pytest.raises(SchemaError):
+            schema.attribute("b")
+
+    def test_parse_declaration(self):
+        schema = RelationSchema.parse("Emp(name:string[9], dept:string[5], salary:int)")
+        assert schema.name == "Emp"
+        assert schema.attribute("salary").attribute_type is AttributeType.INTEGER
+        assert schema.attribute("name").max_length == 9
+
+    def test_parse_rejects_malformed_declarations(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.parse("Emp name:string[9]")
+        with pytest.raises(SchemaError):
+            RelationSchema.parse("Emp(name string[9])")
+
+    def test_equality_and_hash(self):
+        first = RelationSchema.parse("T(a:string[3], b:int[4])")
+        second = RelationSchema.parse("T(a:string[3], b:int[4])")
+        third = RelationSchema.parse("T(a:string[4], b:int[4])")
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+
+    def test_repr_is_informative(self):
+        schema = RelationSchema.parse("T(a:string[3])")
+        assert "T" in repr(schema) and "string" in repr(schema)

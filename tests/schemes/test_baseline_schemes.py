@@ -1,0 +1,180 @@
+"""Tests for the baseline schemes (bucketization, hashed index, deterministic, plaintext)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_homomorphism
+from repro.core.dph import DphError
+from repro.relational import Relation, RelationSchema, Selection
+from repro.schemes import (
+    AttributeBucketing,
+    BucketizationConfig,
+    DamianiDph,
+    DeterministicDph,
+    HacigumusDph,
+    PlaintextDph,
+)
+from repro.schemes.base import decode_field_token, encode_field_token
+
+
+class TestFieldTokens:
+    def test_roundtrip(self):
+        index, field = decode_field_token(encode_field_token(3, b"payload"))
+        assert index == 3
+        assert field == b"payload"
+
+    def test_malformed_token_rejected(self):
+        with pytest.raises(DphError):
+            decode_field_token(b"\x01")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(DphError):
+            encode_field_token(0xFFFF, b"x")
+
+
+class TestAllBaselinesShareTheInterface:
+    def test_roundtrip_and_homomorphism(self, all_schemes, employee_relation):
+        queries = [
+            Selection.equals("dept", "HR"),
+            Selection.equals("salary", 7500),
+            Selection.equals("name", "Smith"),
+        ]
+        for scheme in all_schemes:
+            encrypted = scheme.encrypt_relation(employee_relation)
+            assert scheme.decrypt_relation(encrypted) == employee_relation
+            assert check_homomorphism(scheme, employee_relation, queries).holds
+
+    def test_schema_mismatch_rejected(self, all_schemes):
+        other = Relation(RelationSchema.parse("Other(x:string[3])"))
+        for scheme in all_schemes:
+            with pytest.raises(DphError):
+                scheme.encrypt_relation(other)
+
+    def test_scheme_names_are_distinct(self, all_schemes):
+        names = [scheme.name for scheme in all_schemes]
+        assert len(set(names)) == len(names)
+
+
+class TestBucketization:
+    def test_equal_values_share_bucket_labels(self, employee_schema, secret_key, rng, employee_relation):
+        dph = HacigumusDph(employee_schema, secret_key, rng=rng)
+        encrypted = dph.encrypt_relation(employee_relation)
+        montgomery, _, jones, *_ = encrypted.encrypted_tuples
+        # Montgomery and Jones share dept=HR and salary=7500 -> identical labels.
+        assert montgomery.search_fields[1] == jones.search_fields[1]
+        assert montgomery.search_fields[2] == jones.search_fields[2]
+
+    def test_bucket_of_integer_intervals(self, employee_schema, secret_key):
+        config = BucketizationConfig.uniform(employee_schema, num_buckets=10, minimum=0, maximum=9999)
+        dph = HacigumusDph(employee_schema, secret_key, config=config)
+        salary = employee_schema.attribute("salary")
+        assert dph.bucket_of(salary, 0) == 0
+        assert dph.bucket_of(salary, 9999) == 9
+        assert dph.bucket_of(salary, 4999) == 4
+        # Out-of-domain values are clipped, not rejected.
+        assert dph.bucket_of(salary, 10**6) == 9
+
+    def test_bucket_of_strings_is_stable_and_in_range(self, employee_schema, secret_key):
+        dph = HacigumusDph(employee_schema, secret_key)
+        dept = employee_schema.attribute("dept")
+        bucket = dph.bucket_of(dept, "HR")
+        assert bucket == dph.bucket_of(dept, "HR")
+        assert 0 <= bucket < dph.config.for_attribute("dept").num_buckets
+
+    def test_labels_are_permuted_not_identity(self, employee_schema, secret_key):
+        """The secret permutation must actually hide the bucket order for some bucket."""
+        config = BucketizationConfig.uniform(employee_schema, num_buckets=64, minimum=0, maximum=6400)
+        dph = HacigumusDph(employee_schema, secret_key, config=config)
+        salary = employee_schema.attribute("salary")
+        labels = [
+            int.from_bytes(dph._search_field(salary, v), "big")
+            for v in range(0, 6400, 100)
+        ]
+        assert labels != sorted(labels)
+
+    def test_per_attribute_overrides(self, employee_schema, secret_key):
+        config = BucketizationConfig(
+            employee_schema,
+            default=AttributeBucketing(num_buckets=4),
+            overrides={"salary": AttributeBucketing(num_buckets=32, minimum=0, maximum=9999)},
+        )
+        assert config.for_attribute("salary").num_buckets == 32
+        assert config.for_attribute("dept").num_buckets == 4
+
+    def test_invalid_bucketing_rejected(self):
+        with pytest.raises(DphError):
+            AttributeBucketing(num_buckets=0)
+        with pytest.raises(DphError):
+            AttributeBucketing(minimum=10, maximum=5)
+
+    def test_config_rejects_unknown_attribute(self, employee_schema):
+        with pytest.raises(Exception):
+            BucketizationConfig(employee_schema, overrides={"nope": AttributeBucketing()})
+
+    def test_false_positives_from_coarse_buckets(self, employee_schema, secret_key, rng):
+        relation = Relation.from_rows(
+            employee_schema, [("A", "HR", 100), ("B", "HR", 200), ("C", "HR", 300)]
+        )
+        config = BucketizationConfig.uniform(employee_schema, num_buckets=1, minimum=0, maximum=999)
+        dph = HacigumusDph(employee_schema, secret_key, config=config, rng=rng)
+        report = check_homomorphism(dph, relation, [Selection.equals("salary", 100)])
+        assert report.holds
+        assert report.total_false_positives == 2
+
+
+class TestDamiani:
+    def test_index_values_bounded(self, employee_schema, secret_key):
+        dph = DamianiDph(employee_schema, secret_key, num_hash_values=16)
+        salary = employee_schema.attribute("salary")
+        values = {dph.index_value_of(salary, v) for v in range(0, 1000, 7)}
+        assert all(0 <= v < 16 for v in values)
+        assert len(values) > 1
+
+    def test_equal_values_share_index(self, employee_schema, secret_key):
+        dph = DamianiDph(employee_schema, secret_key)
+        dept = employee_schema.attribute("dept")
+        assert dph.index_value_of(dept, "HR") == dph.index_value_of(dept, "HR")
+
+    def test_collisions_cause_false_positives_that_filtering_repairs(
+        self, employee_schema, secret_key, rng
+    ):
+        relation = Relation.from_rows(
+            employee_schema, [(f"e{i}", "HR", 1000 + i) for i in range(40)]
+        )
+        dph = DamianiDph(employee_schema, secret_key, num_hash_values=2, rng=rng)
+        report = check_homomorphism(dph, relation, [Selection.equals("salary", 1000)])
+        assert report.holds
+        assert report.total_false_positives > 0
+
+    def test_invalid_parameters(self, employee_schema, secret_key):
+        with pytest.raises(DphError):
+            DamianiDph(employee_schema, secret_key, num_hash_values=0)
+
+
+class TestDeterministic:
+    def test_no_false_positives(self, employee_schema, secret_key, rng, employee_relation):
+        dph = DeterministicDph(employee_schema, secret_key, rng=rng)
+        report = check_homomorphism(
+            dph, employee_relation, [Selection.equals("salary", 7500), Selection.equals("dept", "IT")]
+        )
+        assert report.holds
+        assert report.total_false_positives == 0
+
+    def test_fields_are_not_plaintext(self, employee_schema, secret_key, rng, employee_relation):
+        dph = DeterministicDph(employee_schema, secret_key, rng=rng)
+        encrypted = dph.encrypt_relation(employee_relation)
+        assert b"Montgomery" not in b"".join(encrypted.encrypted_tuples[0].search_fields)
+
+
+class TestPlaintext:
+    def test_payload_and_fields_are_cleartext(self, employee_schema, employee_relation, rng):
+        dph = PlaintextDph(employee_schema, rng=rng)
+        encrypted = dph.encrypt_relation(employee_relation)
+        first = encrypted.encrypted_tuples[0]
+        assert b"Montgomery" in first.payload
+        assert first.search_fields[0] == b"Montgomery"
+
+    def test_roundtrip_without_key(self, employee_schema, employee_relation, rng):
+        dph = PlaintextDph(employee_schema, rng=rng)
+        assert dph.decrypt_relation(dph.encrypt_relation(employee_relation)) == employee_relation

@@ -1,0 +1,161 @@
+"""Tests for the Song--Wagner--Perrig searchable encryption scheme."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.errors import ParameterError
+from repro.crypto.rng import DeterministicRng
+from repro.searchable.swp import SwpScheme, swp_search
+from repro.searchable.tokens import SwpToken
+from repro.searchable.words import Word
+
+KEY = b"k" * 32
+WORD_LENGTH = 12
+
+
+def make_scheme(check_length: int = 4, seed: int = 1) -> SwpScheme:
+    return SwpScheme(KEY, WORD_LENGTH, check_length=check_length, rng=DeterministicRng(seed))
+
+
+def words(*texts: str) -> list[Word]:
+    return [Word(t.encode().ljust(WORD_LENGTH, b"_")) for t in texts]
+
+
+class TestSwpParameters:
+    def test_word_length_exposed(self):
+        assert make_scheme().word_length == WORD_LENGTH
+
+    def test_check_length_bounds(self):
+        with pytest.raises(ParameterError):
+            SwpScheme(KEY, WORD_LENGTH, check_length=0)
+        with pytest.raises(ParameterError):
+            SwpScheme(KEY, WORD_LENGTH, check_length=WORD_LENGTH)
+        with pytest.raises(ParameterError):
+            SwpScheme(KEY, 1)
+
+    def test_false_positive_rate(self):
+        assert make_scheme(check_length=2).false_positive_rate() == pytest.approx(2.0 ** -16)
+        assert make_scheme(check_length=4).false_positive_rate() == pytest.approx(2.0 ** -32)
+
+
+class TestSwpEncryptionDecryption:
+    def test_roundtrip(self):
+        scheme = make_scheme()
+        document_words = words("alpha", "beta", "gamma")
+        document = scheme.encrypt_document(document_words)
+        assert scheme.decrypt_document(document) == document_words
+
+    def test_ciphertext_word_length_preserved(self):
+        scheme = make_scheme()
+        document = scheme.encrypt_document(words("alpha", "beta"))
+        assert all(len(c) == WORD_LENGTH for c in document.encrypted_words)
+
+    def test_randomized_across_documents(self):
+        scheme = make_scheme()
+        first = scheme.encrypt_document(words("alpha"))
+        second = scheme.encrypt_document(words("alpha"))
+        assert first.encrypted_words[0] != second.encrypted_words[0]
+        assert first.document_id != second.document_id
+
+    def test_repeated_word_within_document_encrypts_differently(self):
+        scheme = make_scheme()
+        document = scheme.encrypt_document(words("alpha", "alpha"))
+        assert document.encrypted_words[0] != document.encrypted_words[1]
+
+    def test_wrong_word_length_rejected(self):
+        scheme = make_scheme()
+        with pytest.raises(ParameterError):
+            scheme.encrypt_document([Word(b"short")])
+        with pytest.raises(ParameterError):
+            scheme.trapdoor(Word(b"short"))
+
+    def test_empty_document(self):
+        scheme = make_scheme()
+        document = scheme.encrypt_document([])
+        assert document.encrypted_words == ()
+        assert scheme.decrypt_document(document) == []
+
+
+class TestSwpSearch:
+    def test_finds_present_word(self):
+        scheme = make_scheme()
+        document = scheme.encrypt_document(words("alpha", "beta", "gamma"))
+        match = scheme.search(document, scheme.trapdoor(words("beta")[0]))
+        assert match.matched
+        assert match.positions == (1,)
+
+    def test_does_not_find_absent_word(self):
+        scheme = make_scheme()
+        document = scheme.encrypt_document(words("alpha", "beta"))
+        match = scheme.search(document, scheme.trapdoor(words("delta")[0]))
+        assert not match.matched
+        assert match.positions == ()
+
+    def test_finds_all_occurrences(self):
+        scheme = make_scheme()
+        document = scheme.encrypt_document(words("alpha", "beta", "alpha"))
+        match = scheme.search(document, scheme.trapdoor(words("alpha")[0]))
+        assert match.positions == (0, 2)
+
+    def test_no_false_negatives_over_many_documents(self):
+        scheme = make_scheme()
+        token = scheme.trapdoor(words("needle")[0])
+        for index in range(50):
+            document = scheme.encrypt_document(words("needle", f"filler{index}"))
+            assert scheme.search(document, token).matched
+
+    def test_keyless_search_function_matches_method(self):
+        scheme = make_scheme()
+        document = scheme.encrypt_document(words("alpha", "beta"))
+        token = scheme.trapdoor(words("alpha")[0])
+        assert swp_search(document, token, WORD_LENGTH, 4).positions == (0,)
+
+    def test_search_with_wrong_key_token_finds_nothing(self):
+        scheme = make_scheme()
+        other = SwpScheme(b"q" * 32, WORD_LENGTH, check_length=4, rng=DeterministicRng(2))
+        document = scheme.encrypt_document(words("alpha"))
+        assert not scheme.search(document, other.trapdoor(words("alpha")[0])).matched
+
+    def test_token_serialization_roundtrip(self):
+        scheme = make_scheme()
+        token = scheme.trapdoor(words("alpha")[0])
+        parsed = SwpToken.from_bytes(token.to_bytes())
+        assert parsed == token
+
+    def test_token_parse_errors(self):
+        with pytest.raises(ValueError):
+            SwpToken.from_bytes(b"")
+        with pytest.raises(ValueError):
+            SwpToken.from_bytes(b"\x00\xff")  # announces 255 bytes, has none
+
+    def test_false_positive_rate_with_tiny_check(self):
+        """With a 1-byte check value, false positives occur at rate ~2^-8."""
+        scheme = make_scheme(check_length=1, seed=3)
+        token = scheme.trapdoor(words("needle")[0])
+        trials = 3000
+        false_positives = 0
+        for index in range(trials):
+            document = scheme.encrypt_document(words(f"w{index}"))
+            if scheme.search(document, token).matched:
+                false_positives += 1
+        rate = false_positives / trials
+        assert rate < 0.03  # expected ~1/256 ~= 0.004; generous upper bound
+        # and the false positives really are possible in principle: rate is an
+        # upper bound check, absence in a finite sample is acceptable.
+
+
+@given(texts=st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=8), min_size=0, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_property_roundtrip_and_search_consistency(texts):
+    scheme = make_scheme(seed=11)
+    document_words = words(*texts)
+    document = scheme.encrypt_document(document_words)
+    assert scheme.decrypt_document(document) == document_words
+    for text in set(texts):
+        word = words(text)[0]
+        match = scheme.search(document, scheme.trapdoor(word))
+        expected_positions = tuple(i for i, w in enumerate(document_words) if w == word)
+        assert match.positions == expected_positions

@@ -1,0 +1,70 @@
+"""Tests for caller-supplied document nonces and cross-scheme nonce sharing.
+
+The variable-width construction reuses one tuple nonce across independently
+keyed per-attribute SWP instances; these tests pin down the properties that
+make this safe and useful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.errors import ParameterError
+from repro.crypto.kdf import derive_key
+from repro.crypto.rng import DeterministicRng
+from repro.searchable.swp import DOCUMENT_ID_LEN, SwpScheme
+from repro.searchable.words import Word
+
+KEY = b"k" * 32
+
+
+def word(text: str, length: int = 10) -> Word:
+    return Word(text.encode().ljust(length, b"_"))
+
+
+class TestExplicitDocumentIds:
+    def test_explicit_nonce_is_used(self):
+        scheme = SwpScheme(KEY, 10, check_length=3, rng=DeterministicRng(1))
+        nonce = b"n" * DOCUMENT_ID_LEN
+        document = scheme.encrypt_document([word("alpha")], document_id=nonce)
+        assert document.document_id == nonce
+
+    def test_wrong_nonce_length_rejected(self):
+        scheme = SwpScheme(KEY, 10, check_length=3)
+        with pytest.raises(ParameterError):
+            scheme.encrypt_document([word("alpha")], document_id=b"short")
+
+    def test_same_nonce_same_key_is_deterministic(self):
+        """Reusing a nonce under one key repeats ciphertexts -- the caller's burden."""
+        scheme = SwpScheme(KEY, 10, check_length=3, rng=DeterministicRng(2))
+        nonce = b"n" * DOCUMENT_ID_LEN
+        first = scheme.encrypt_document([word("alpha")], document_id=nonce)
+        second = scheme.encrypt_document([word("alpha")], document_id=nonce)
+        assert first.encrypted_words == second.encrypted_words
+
+    def test_same_nonce_under_independent_keys_is_unrelated(self):
+        """The property the variable-width construction relies on."""
+        nonce = b"n" * DOCUMENT_ID_LEN
+        first = SwpScheme(derive_key(KEY, "attr/name"), 10, check_length=3)
+        second = SwpScheme(derive_key(KEY, "attr/dept"), 10, check_length=3)
+        doc_1 = first.encrypt_document([word("alpha")], document_id=nonce)
+        doc_2 = second.encrypt_document([word("alpha")], document_id=nonce)
+        assert doc_1.encrypted_words[0] != doc_2.encrypted_words[0]
+        # Each scheme still decrypts and searches its own document correctly.
+        assert first.decrypt_document(doc_1) == [word("alpha")]
+        assert second.decrypt_document(doc_2) == [word("alpha")]
+        assert first.search(doc_1, first.trapdoor(word("alpha"))).matched
+        assert not first.search(doc_2, first.trapdoor(word("alpha"))).matched
+
+    def test_decryption_uses_stored_nonce(self):
+        scheme = SwpScheme(KEY, 10, check_length=3, rng=DeterministicRng(3))
+        nonce = bytes(range(DOCUMENT_ID_LEN))
+        document = scheme.encrypt_document([word("alpha"), word("beta")], document_id=nonce)
+        assert scheme.decrypt_document(document) == [word("alpha"), word("beta")]
+
+    def test_search_still_works_with_explicit_nonce(self):
+        scheme = SwpScheme(KEY, 10, check_length=3, rng=DeterministicRng(4))
+        nonce = b"z" * DOCUMENT_ID_LEN
+        document = scheme.encrypt_document([word("alpha"), word("beta")], document_id=nonce)
+        assert scheme.search(document, scheme.trapdoor(word("beta"))).positions == (1,)
+        assert not scheme.search(document, scheme.trapdoor(word("gamma"))).matched

@@ -1,0 +1,97 @@
+"""Tests for the word/document model (the paper's word layout)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.searchable.words import Word, WordCodec, WordError, max_value_width
+
+
+class TestWord:
+    def test_wraps_bytes(self):
+        assert bytes(Word(b"abc")) == b"abc"
+        assert len(Word(b"abc")) == 3
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(WordError):
+            Word("text")  # type: ignore[arg-type]
+
+    def test_value_semantics(self):
+        assert Word(b"abc") == Word(b"abc")
+        assert Word(b"abc") != Word(b"abd")
+        assert hash(Word(b"abc")) == hash(Word(b"abc"))
+
+
+class TestWordCodec:
+    def test_paper_example_layout(self):
+        """<name:"Montgomery", dept:"HR", sal:7500> from Section 3."""
+        codec = WordCodec(value_width=10, id_width=1)
+        assert bytes(codec.encode(b"N", b"Montgomery")) == b"MontgomeryN"
+        assert bytes(codec.encode(b"D", b"HR")) == b"HR########D"
+        assert bytes(codec.encode(b"S", b"7500")) == b"7500######S"
+
+    def test_word_length(self):
+        codec = WordCodec(value_width=10, id_width=1)
+        assert codec.word_length == 11
+        assert codec.value_width == 10
+        assert codec.id_width == 1
+
+    def test_decode_roundtrip(self):
+        codec = WordCodec(value_width=10)
+        attr_id, value = codec.decode(codec.encode(b"S", b"7500"))
+        assert attr_id == b"S"
+        assert value == b"7500"
+
+    def test_decode_accessors(self):
+        codec = WordCodec(value_width=8)
+        word = codec.encode(b"D", b"HR")
+        assert codec.attribute_id_of(word) == b"D"
+        assert codec.value_of(word) == b"HR"
+
+    def test_value_too_long_rejected(self):
+        codec = WordCodec(value_width=4)
+        with pytest.raises(WordError):
+            codec.encode(b"N", b"Montgomery")
+
+    def test_wrong_id_width_rejected(self):
+        codec = WordCodec(value_width=4, id_width=1)
+        with pytest.raises(WordError):
+            codec.encode(b"NM", b"ab")
+
+    def test_value_containing_pad_symbol_rejected(self):
+        codec = WordCodec(value_width=8)
+        with pytest.raises(WordError):
+            codec.encode(b"N", b"a#b")
+
+    def test_decode_wrong_length_rejected(self):
+        codec = WordCodec(value_width=8, id_width=1)
+        with pytest.raises(WordError):
+            codec.decode(b"short")
+        with pytest.raises(WordError):
+            codec.decode(b"much-too-long-for-the-codec")
+
+    def test_invalid_construction(self):
+        with pytest.raises(WordError):
+            WordCodec(value_width=0)
+        with pytest.raises(WordError):
+            WordCodec(value_width=4, id_width=0)
+
+    def test_max_value_width(self):
+        assert max_value_width([b"a", b"abcd", b"ab"]) == 4
+        assert max_value_width([]) == 1
+
+
+@given(
+    value=st.binary(min_size=0, max_size=20).filter(lambda v: b"#" not in v),
+    attr_id=st.binary(min_size=1, max_size=1),
+    extra=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_codec_roundtrip(value, attr_id, extra):
+    width = max(1, len(value) + extra)
+    codec = WordCodec(value_width=width, id_width=1)
+    decoded_id, decoded_value = codec.decode(codec.encode(attr_id, value))
+    assert decoded_id == attr_id
+    assert decoded_value == value

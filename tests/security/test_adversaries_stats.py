@@ -1,0 +1,150 @@
+"""Tests for adversary plumbing, advantage statistics and calibration attacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import BinomialEstimate, hoeffding_bound, mean_and_std, wilson_interval
+from repro.analysis.reporting import ExperimentTable, format_value
+from repro.analysis.stats import trials_for_advantage
+from repro.core import SearchableSelectDph
+from repro.security.adversaries import ChallengeView, ObservedQuery, SecurityError
+from repro.security.attacks import CiphertextSizeAdversary, paper_salary_tables
+from repro.security.attacks.equality_pattern import EqualityPatternAdversary
+from repro.security.attacks.statistical import KnownValueAdversary
+from repro.relational import Relation, Selection
+
+
+class TestObservedQuery:
+    def test_result_size_and_ids(self, swp_dph, employee_relation):
+        encrypted = swp_dph.encrypt_relation(employee_relation)
+        evaluator = swp_dph.server_evaluator()
+        encrypted_query = swp_dph.encrypt_query(Selection.equals("dept", "HR"))
+        result = evaluator.evaluate(encrypted_query, encrypted)
+        observed = ObservedQuery(encrypted_query=encrypted_query, result=result.matching)
+        assert observed.result_size == 2
+        assert len(observed.result_tuple_ids()) == 2
+
+    def test_challenge_view_evaluate(self, swp_dph, employee_relation):
+        encrypted = swp_dph.encrypt_relation(employee_relation)
+        view = ChallengeView(
+            schema=employee_relation.schema,
+            encrypted_relation=encrypted,
+            evaluator=swp_dph.server_evaluator(),
+        )
+        observed = view.evaluate(swp_dph.encrypt_query(Selection.equals("dept", "IT")))
+        assert observed.result_size == 2
+
+
+class TestEqualityPatternAdversaryInternals:
+    def test_target_positions_are_the_repeating_columns(self):
+        adversary = EqualityPatternAdversary(*paper_salary_tables())
+        # position 1 is the salary column in the paper's schema (id, salary).
+        assert adversary._target_positions == (1,)
+
+    def test_falls_back_to_all_positions_when_tables_do_not_differ(self):
+        table_1, _ = paper_salary_tables()
+        adversary = EqualityPatternAdversary(table_1, table_1)
+        assert adversary._target_positions == (0, 1)
+
+    def test_schema_property(self):
+        adversary = EqualityPatternAdversary(*paper_salary_tables())
+        assert adversary.schema.name == "salaries"
+
+
+class TestCalibrationAdversaries:
+    def test_known_value_requires_a_distinguishing_value(self):
+        table_1, _ = paper_salary_tables()
+        with pytest.raises(SecurityError):
+            KnownValueAdversary(table_1, table_1, "salary")
+
+    def test_ciphertext_size_adversary_returns_valid_guesses(self, swp_dph):
+        table_1, table_2 = paper_salary_tables()
+        adversary = CiphertextSizeAdversary(table_1, table_2)
+        # Build views for both tables and check guesses stay in {1, 2}.
+        for table in (table_1, table_2):
+            dph = SearchableSelectDph(table.schema, b"k" * 32)
+            view = ChallengeView(
+                schema=table.schema,
+                encrypted_relation=dph.encrypt_relation(table),
+                evaluator=dph.server_evaluator(),
+            )
+            assert adversary.guess(view) in (1, 2)
+
+
+class TestAdvantageStatistics:
+    def test_wilson_interval_basic_properties(self):
+        low, high = wilson_interval(50, 100)
+        assert 0.4 < low < 0.5 < high < 0.6
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        assert wilson_interval(0, 100)[0] == 0.0
+        assert wilson_interval(100, 100)[1] == 1.0
+
+    def test_wilson_interval_input_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.5)
+
+    def test_wider_confidence_gives_wider_interval(self):
+        narrow = wilson_interval(60, 100, confidence=0.9)
+        wide = wilson_interval(60, 100, confidence=0.99)
+        assert wide[0] < narrow[0] and wide[1] > narrow[1]
+
+    def test_hoeffding_bound(self):
+        assert hoeffding_bound(0, 0.1) == 1.0
+        assert hoeffding_bound(1000, 0.1) < 0.01
+        with pytest.raises(ValueError):
+            hoeffding_bound(-1, 0.1)
+
+    def test_trials_for_advantage(self):
+        assert trials_for_advantage(0.1) >= 150
+        with pytest.raises(ValueError):
+            trials_for_advantage(0.0)
+
+    def test_mean_and_std(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(0.8164965, rel=1e-4)
+        with pytest.raises(ValueError):
+            mean_and_std([])
+
+    def test_binomial_estimate_advantage(self):
+        estimate = BinomialEstimate(successes=95, trials=100)
+        assert estimate.proportion == pytest.approx(0.95)
+        assert estimate.advantage == pytest.approx(0.9)
+        assert estimate.is_overwhelming(threshold=0.7)
+        assert not estimate.is_negligible()
+
+    def test_binomial_estimate_negligible(self):
+        estimate = BinomialEstimate(successes=51, trials=100)
+        assert estimate.is_negligible()
+        assert not estimate.is_overwhelming()
+
+    def test_zero_trials(self):
+        estimate = BinomialEstimate(successes=0, trials=0)
+        assert estimate.proportion == 0.0
+        assert estimate.is_negligible()
+
+
+class TestReporting:
+    def test_table_rendering(self):
+        table = ExperimentTable("demo", ["scheme", "advantage", "broken"])
+        table.add_row("swp", 0.01234, False)
+        table.add_row("bucketization", 1.0, True)
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "bucketization" in rendered
+        assert "yes" in rendered and "no" in rendered
+        assert str(table) == rendered
+
+    def test_row_width_validation(self):
+        table = ExperimentTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.00001) == "1.00e-05"
+        assert format_value(0.5) == "0.500"
+        assert format_value(7) == "7"

@@ -1,0 +1,165 @@
+"""Tests for the indistinguishability games (Definitions 1.2 and 2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchableSelectDph
+from repro.crypto.keys import SecretKey
+from repro.relational import Relation, Selection
+from repro.schemes import PlaintextDph
+from repro.security import (
+    AdversaryModel,
+    DphIndistinguishabilityGame,
+    IndistinguishabilityGame,
+    PassiveAdversary,
+    QueryEncryptionOracle,
+    SecurityError,
+)
+from repro.security.adversaries import OracleBudgetExceeded
+from repro.security.attacks import RandomGuessAdversary, paper_salary_tables
+
+
+def swp_factory(schema, rng):
+    return SearchableSelectDph(schema, SecretKey.generate(rng=rng), backend="swp", rng=rng)
+
+
+def plaintext_factory(schema, rng):
+    return PlaintextDph(schema, rng=rng)
+
+
+class _ConstantGuessAdversary(PassiveAdversary):
+    """Always answers the same; success probability must be exactly 1/2 on average."""
+
+    name = "constant"
+
+    def __init__(self, guess: int = 1):
+        self._tables = paper_salary_tables()
+        self._guess = guess
+
+    def choose_tables(self, schema=None):
+        return self._tables
+
+    def guess(self, view, oracle=None):
+        return self._guess
+
+
+class _BadGuessAdversary(_ConstantGuessAdversary):
+    def guess(self, view, oracle=None):
+        return 7  # invalid
+
+
+class _MismatchedTablesAdversary(_ConstantGuessAdversary):
+    def choose_tables(self, schema=None):
+        table_1, table_2 = paper_salary_tables()
+        smaller = Relation(table_2.schema, table_2.tuples[:1])
+        return table_1, smaller
+
+
+class TestIndGame:
+    def test_result_bookkeeping(self):
+        game = IndistinguishabilityGame(swp_factory, "swp")
+        result = game.run(_ConstantGuessAdversary(), trials=20, seed=1)
+        assert result.trials == 20
+        assert 0 <= result.wins <= 20
+        assert result.scheme_name == "swp"
+        assert result.game_name.startswith("IND")
+
+    def test_constant_adversary_has_no_advantage(self):
+        game = IndistinguishabilityGame(swp_factory, "swp")
+        result = game.run(_ConstantGuessAdversary(), trials=120, seed=2)
+        assert result.secure_against(threshold=0.35)
+
+    def test_random_adversary_has_no_advantage(self):
+        table_1, table_2 = paper_salary_tables()
+        game = IndistinguishabilityGame(swp_factory, "swp")
+        result = game.run(RandomGuessAdversary(table_1, table_2), trials=120, seed=3)
+        assert result.secure_against(threshold=0.35)
+
+    def test_invalid_guess_rejected(self):
+        game = IndistinguishabilityGame(swp_factory, "swp")
+        with pytest.raises(SecurityError):
+            game.run(_BadGuessAdversary(), trials=1, seed=4)
+
+    def test_unequal_table_sizes_rejected(self):
+        game = IndistinguishabilityGame(swp_factory, "swp")
+        with pytest.raises(SecurityError):
+            game.run(_MismatchedTablesAdversary(), trials=1, seed=5)
+
+    def test_runs_are_reproducible(self):
+        game = IndistinguishabilityGame(swp_factory, "swp")
+        adversary = _ConstantGuessAdversary()
+        first = game.run(adversary, trials=30, seed=6)
+        second = game.run(adversary, trials=30, seed=6)
+        assert first.wins == second.wins
+
+
+class TestDphGame:
+    def test_passive_game_requires_workload_when_q_positive(self):
+        with pytest.raises(SecurityError):
+            DphIndistinguishabilityGame(swp_factory, query_budget=1)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(SecurityError):
+            DphIndistinguishabilityGame(swp_factory, query_budget=-1,
+                                        adversary_model=AdversaryModel.ACTIVE)
+
+    def test_game_name_mentions_budget_and_model(self):
+        game = DphIndistinguishabilityGame(
+            swp_factory, query_budget=3, adversary_model=AdversaryModel.ACTIVE
+        )
+        assert "q=3" in game.name and "active" in game.name
+        assert game.query_budget == 3
+
+    def test_passive_game_with_zero_budget_reduces_to_ind(self):
+        game = DphIndistinguishabilityGame(swp_factory, query_budget=0)
+        result = game.run(_ConstantGuessAdversary(), trials=40, seed=7)
+        assert result.secure_against(threshold=0.45)
+
+    def test_passive_workload_queries_are_observed(self):
+        observed_counts = []
+
+        class _CountingAdversary(_ConstantGuessAdversary):
+            def guess(self, view, oracle=None):
+                observed_counts.append(len(view.observed_queries))
+                return 1
+
+        def workload(chosen, rng):
+            return [Selection.equals("salary", 4900), Selection.equals("salary", 1200)]
+
+        game = DphIndistinguishabilityGame(
+            swp_factory, query_budget=2, query_workload=workload
+        )
+        game.run(_CountingAdversary(), trials=3, seed=8)
+        assert observed_counts == [2, 2, 2]
+
+    def test_active_game_provides_oracle_with_budget(self):
+        budgets = []
+
+        class _OracleInspectingAdversary(_ConstantGuessAdversary):
+            def guess(self, view, oracle=None):
+                budgets.append(oracle.budget)
+                oracle.encrypt_query(Selection.equals("salary", 4900))
+                return 1
+
+        game = DphIndistinguishabilityGame(
+            swp_factory, query_budget=1, adversary_model=AdversaryModel.ACTIVE
+        )
+        game.run(_OracleInspectingAdversary(), trials=2, seed=9)
+        assert budgets == [1, 1]
+
+
+class TestQueryEncryptionOracle:
+    def test_budget_enforced(self, employee_schema, secret_key, rng):
+        dph = SearchableSelectDph(employee_schema, secret_key, rng=rng)
+        oracle = QueryEncryptionOracle(dph, budget=2)
+        oracle.encrypt_query(Selection.equals("dept", "HR"))
+        oracle.encrypt_query(Selection.equals("dept", "IT"))
+        assert oracle.used == 2
+        assert oracle.remaining == 0
+        with pytest.raises(OracleBudgetExceeded):
+            oracle.encrypt_query(Selection.equals("dept", "OPS"))
+
+    def test_negative_budget_rejected(self, swp_dph):
+        with pytest.raises(SecurityError):
+            QueryEncryptionOracle(swp_dph, budget=-1)

@@ -1,0 +1,181 @@
+"""Tests reproducing the paper's attacks (Sections 1 and 2).
+
+These are the library's headline results:
+
+* the Section-1 salary-pair attack breaks the deterministic baselines but not
+  the Section-3 construction;
+* Theorem 2.1 adversaries break *every* scheme as soon as q > 0;
+* the Section-2 hospital inference and "John" attacks succeed against the
+  construction despite its q = 0 security.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchableSelectDph
+from repro.crypto.keys import SecretKey
+from repro.schemes import (
+    BucketizationConfig,
+    DamianiDph,
+    DeterministicDph,
+    HacigumusDph,
+    PlaintextDph,
+)
+from repro.security import (
+    AdversaryModel,
+    DphIndistinguishabilityGame,
+    GenericActiveAdversary,
+    IndistinguishabilityGame,
+    ResultSizeAdversary,
+)
+from repro.security.attacks import (
+    KnownValueAdversary,
+    SalaryPairAdversary,
+    paper_salary_tables,
+    run_active_query_attack,
+    run_hospital_inference,
+)
+from repro.workloads import HospitalWorkload
+
+TRIALS = 60
+
+
+def swp_factory(schema, rng):
+    return SearchableSelectDph(schema, SecretKey.generate(rng=rng), backend="swp", rng=rng)
+
+
+def index_factory(schema, rng):
+    return SearchableSelectDph(schema, SecretKey.generate(rng=rng), backend="index", rng=rng)
+
+
+def bucket_factory(schema, rng):
+    config = BucketizationConfig.uniform(schema, num_buckets=16, minimum=0, maximum=10000)
+    return HacigumusDph(schema, SecretKey.generate(rng=rng), config=config, rng=rng)
+
+
+def damiani_factory(schema, rng):
+    return DamianiDph(schema, SecretKey.generate(rng=rng), num_hash_values=256, rng=rng)
+
+
+def deterministic_factory(schema, rng):
+    return DeterministicDph(schema, SecretKey.generate(rng=rng), rng=rng)
+
+
+class TestSalaryPairAttack:
+    """Section 1: the two-salary-table distinguishing attack."""
+
+    @pytest.mark.parametrize(
+        "factory", [bucket_factory, damiani_factory, deterministic_factory],
+        ids=["bucketization", "damiani", "deterministic"],
+    )
+    def test_breaks_deterministic_baselines(self, factory):
+        game = IndistinguishabilityGame(factory)
+        result = game.run(SalaryPairAdversary(), trials=TRIALS, seed=10)
+        assert result.success_rate >= 0.95
+
+    @pytest.mark.parametrize("factory", [swp_factory, index_factory], ids=["swp", "index"])
+    def test_fails_against_the_construction(self, factory):
+        game = IndistinguishabilityGame(factory)
+        result = game.run(SalaryPairAdversary(), trials=TRIALS, seed=11)
+        assert result.secure_against(threshold=0.35)
+
+    def test_known_value_adversary_only_breaks_plaintext(self):
+        table_1, table_2 = paper_salary_tables()
+        adversary = KnownValueAdversary(table_1, table_2, "salary")
+        plain = IndistinguishabilityGame(lambda s, r: PlaintextDph(s, rng=r))
+        assert plain.run(adversary, trials=40, seed=12).success_rate == 1.0
+        swp = IndistinguishabilityGame(swp_factory)
+        assert swp.run(adversary, trials=60, seed=13).secure_against(threshold=0.35)
+
+
+class TestTheorem21:
+    """Any database PH loses the Definition 2.1 game once q > 0."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [swp_factory, index_factory, bucket_factory, deterministic_factory],
+        ids=["swp", "index", "bucketization", "deterministic"],
+    )
+    def test_active_adversary_wins_with_one_query(self, factory):
+        game = DphIndistinguishabilityGame(
+            factory, query_budget=1, adversary_model=AdversaryModel.ACTIVE
+        )
+        result = game.run(GenericActiveAdversary(table_size=8), trials=40, seed=14)
+        assert result.success_rate >= 0.95
+
+    @pytest.mark.parametrize("factory", [swp_factory, bucket_factory], ids=["swp", "bucketization"])
+    def test_passive_adversary_wins_from_result_sizes(self, factory):
+        game = DphIndistinguishabilityGame(
+            factory,
+            query_budget=1,
+            adversary_model=AdversaryModel.PASSIVE,
+            query_workload=ResultSizeAdversary.workload,
+        )
+        result = game.run(ResultSizeAdversary(table_size=8), trials=40, seed=15)
+        assert result.success_rate >= 0.95
+
+    def test_active_adversary_powerless_at_q_zero(self):
+        """The relaxation the paper's construction targets: q = 0."""
+        game = DphIndistinguishabilityGame(
+            swp_factory, query_budget=0, adversary_model=AdversaryModel.ACTIVE
+        )
+        result = game.run(GenericActiveAdversary(table_size=8), trials=80, seed=16)
+        assert result.secure_against(threshold=0.3)
+
+
+class TestHospitalInference:
+    """Section 2: passive inference of per-hospital fatality ratios."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return HospitalWorkload.generate(600, target_name="John", seed=21)
+
+    @pytest.mark.parametrize("backend", ["swp", "index"])
+    def test_eve_recovers_fatality_ratios(self, workload, backend):
+        dph = SearchableSelectDph(
+            workload.schema, SecretKey.generate(), backend=backend
+        )
+        result = run_hospital_inference(dph, workload)
+        assert result.identification_correct
+        assert result.max_absolute_error < 0.02
+
+    def test_estimates_match_ground_truth_exactly_without_false_positives(self, workload):
+        dph = SearchableSelectDph(workload.schema, SecretKey.generate(), backend="index")
+        result = run_hospital_inference(dph, workload)
+        for hospital in (1, 2, 3):
+            assert result.estimated_fatality[hospital] == pytest.approx(
+                result.true_fatality[hospital]
+            )
+
+    def test_ground_truth_marginals_are_plausible(self, workload):
+        sizes = [len(workload.relation.select_equal("hospital", h)) for h in (1, 2, 3)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestActiveJohnAttack:
+    """Section 2: locating a known patient with a handful of oracle queries."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return HospitalWorkload.generate(400, target_name="John", seed=22)
+
+    @pytest.mark.parametrize("backend", ["swp", "index"])
+    def test_attack_succeeds_against_the_construction(self, workload, backend):
+        dph = SearchableSelectDph(workload.schema, SecretKey.generate(), backend=backend)
+        result = run_active_query_attack(dph, workload)
+        assert result.hospital_correct
+        assert result.outcome_correct
+        assert result.oracle_queries_used <= 6
+
+    def test_attack_requires_a_planted_target(self):
+        workload = HospitalWorkload.generate(50, seed=23)  # no John
+        dph = SearchableSelectDph(workload.schema, SecretKey.generate())
+        with pytest.raises(ValueError):
+            run_active_query_attack(dph, workload)
+
+    def test_small_budget_still_finds_hospital(self, workload):
+        dph = SearchableSelectDph(workload.schema, SecretKey.generate(), backend="index")
+        result = run_active_query_attack(dph, workload, oracle_budget=4)
+        assert result.hospital_correct
+        assert result.oracle_queries_used <= 4

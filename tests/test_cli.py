@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import SCHEME_CHOICES, build_parser, build_scheme, main
+from repro.workloads import employee_schema
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.scheme == "swp"
+        assert args.size == 500
+
+    def test_attack_choices(self):
+        args = build_parser().parse_args(["attack", "john", "--size", "300"])
+        assert args.attack == "john"
+        assert args.size == 300
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "unknown-attack"])
+
+
+class TestBuildScheme:
+    def test_every_choice_is_constructible(self):
+        schema = employee_schema()
+        names = {build_scheme(name, schema).name for name in SCHEME_CHOICES}
+        assert len(names) == len(SCHEME_CHOICES)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            build_scheme("nope", employee_schema())
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        exit_code = main(["demo", "--scheme", "index", "--size", "60", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Outsourced 60 tuples" in captured.out
+        assert "false positive" in captured.out
+
+    def test_attack_salary_pair(self, capsys):
+        exit_code = main(["attack", "salary-pair", "--trials", "20", "--scheme", "deterministic"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "salary-pair attack vs deterministic" in captured.out
+        assert "success 1.00" in captured.out
+
+    def test_attack_john(self, capsys):
+        exit_code = main(["attack", "john", "--size", "200", "--seed", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "target 'John'" in captured.out
+
+    def test_attack_hospital(self, capsys):
+        exit_code = main(["attack", "hospital", "--size", "300", "--seed", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "query identification correct: True" in captured.out
+
+    def test_experiments_unknown_id(self, capsys):
+        exit_code = main(["experiments", "--only", "E99"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unknown experiment" in captured.err
+
+    def test_experiments_single_quick_run(self, capsys):
+        exit_code = main(["experiments", "--only", "E9"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "E9" in captured.out
+        assert "expansion" in captured.out

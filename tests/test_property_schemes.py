@@ -1,0 +1,129 @@
+"""Cross-scheme property-based tests.
+
+Hypothesis drives every implemented database PH through randomly generated
+relations and exact-select workloads and asserts the invariants the rest of
+the system depends on:
+
+* decryption inverts encryption (Definition 1.1's ``D(E(x)) = x``);
+* the homomorphism property holds after client-side filtering;
+* the server never returns fewer tuples than the plaintext answer (no false
+  negatives) and never more than the whole table;
+* ciphertext sizes depend only on the shape of the data, not on its values
+  (the property the equal-size admissibility condition of the games needs).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SearchableSelectDph, VariableWidthSelectDph, check_homomorphism
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import DeterministicRng
+from repro.relational import Relation, RelationSchema, Selection
+from repro.relational.engine import evaluate
+from repro.schemes import (
+    BucketizationConfig,
+    DamianiDph,
+    DeterministicDph,
+    HacigumusDph,
+    PlaintextDph,
+)
+
+SCHEMA = RelationSchema.parse("Emp(name:string[12], dept:string[5], salary:int[5])")
+
+DEPARTMENTS = ("HR", "IT", "OPS", "FIN")
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.text(alphabet="abcdefghij", min_size=1, max_size=10),
+        st.sampled_from(DEPARTMENTS),
+        st.integers(min_value=0, max_value=9999),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+scheme_names = st.sampled_from(
+    ["swp", "index", "variable", "bucketization", "damiani", "deterministic", "plaintext"]
+)
+
+
+def build_scheme(name: str, seed: int = 99):
+    key = SecretKey.generate(rng=DeterministicRng(seed))
+    rng = DeterministicRng(seed + 1)
+    if name == "swp":
+        return SearchableSelectDph(SCHEMA, key, backend="swp", rng=rng)
+    if name == "index":
+        return SearchableSelectDph(SCHEMA, key, backend="index", rng=rng)
+    if name == "variable":
+        return VariableWidthSelectDph(SCHEMA, key, rng=rng)
+    if name == "bucketization":
+        config = BucketizationConfig.uniform(SCHEMA, num_buckets=8, minimum=0, maximum=9999)
+        return HacigumusDph(SCHEMA, key, config=config, rng=rng)
+    if name == "damiani":
+        return DamianiDph(SCHEMA, key, num_hash_values=16, rng=rng)
+    if name == "deterministic":
+        return DeterministicDph(SCHEMA, key, rng=rng)
+    return PlaintextDph(SCHEMA, key, rng=rng)
+
+
+@given(rows=rows_strategy, scheme_name=scheme_names)
+@settings(max_examples=40, deadline=None)
+def test_property_decryption_inverts_encryption(rows, scheme_name):
+    relation = Relation.from_rows(SCHEMA, rows)
+    scheme = build_scheme(scheme_name)
+    assert scheme.decrypt_relation(scheme.encrypt_relation(relation)) == relation
+
+
+@given(rows=rows_strategy, scheme_name=scheme_names, department=st.sampled_from(DEPARTMENTS))
+@settings(max_examples=40, deadline=None)
+def test_property_homomorphism_after_filtering(rows, scheme_name, department):
+    relation = Relation.from_rows(SCHEMA, rows)
+    scheme = build_scheme(scheme_name)
+    report = check_homomorphism(scheme, relation, [Selection.equals("dept", department)])
+    assert report.holds
+
+
+@given(rows=rows_strategy, scheme_name=scheme_names, department=st.sampled_from(DEPARTMENTS))
+@settings(max_examples=40, deadline=None)
+def test_property_no_false_negatives_and_bounded_results(rows, scheme_name, department):
+    relation = Relation.from_rows(SCHEMA, rows)
+    scheme = build_scheme(scheme_name)
+    query = Selection.equals("dept", department)
+    encrypted = scheme.encrypt_relation(relation)
+    result = scheme.server_evaluator().evaluate(scheme.encrypt_query(query), encrypted)
+    expected = evaluate(query, relation)
+    assert len(expected) <= len(result.matching) <= len(relation)
+
+
+# Fixed-shape rows: every name has 8 characters, every department 3 and every
+# salary 4 digits, so two relations of equal cardinality have byte-identical
+# *shape* even though their values differ -- the admissibility condition of
+# the games (Definition 1.2 only compares equal-length plaintexts).
+fixed_shape_rows = st.lists(
+    st.tuples(
+        st.text(alphabet="abcdefghij", min_size=8, max_size=8),
+        st.sampled_from(["OPS", "FIN", "LAW", "ITS"]),
+        st.integers(min_value=1000, max_value=9999),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(
+    rows_a=fixed_shape_rows,
+    rows_b=fixed_shape_rows,
+    scheme_name=st.sampled_from(["swp", "index", "variable"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_ciphertext_size_depends_only_on_shape(rows_a, rows_b, scheme_name):
+    """Equal-shape tables of equal size produce equal-size ciphertexts."""
+    size = min(len(rows_a), len(rows_b))
+    relation_a = Relation.from_rows(SCHEMA, rows_a[:size])
+    relation_b = Relation.from_rows(SCHEMA, rows_b[:size])
+    scheme = build_scheme(scheme_name)
+    size_a = scheme.encrypt_relation(relation_a).size_in_bytes()
+    size_b = scheme.encrypt_relation(relation_b).size_in_bytes()
+    assert size_a == size_b
