@@ -22,31 +22,16 @@ from __future__ import annotations
 import time
 from collections import Counter
 
-from repro.core import SearchableSelectDph
 from repro.crypto.keys import SecretKey
 from repro.outsourcing import OutsourcedDatabaseServer, OutsourcingClient
-from repro.schemes import (
-    BucketizationConfig,
-    DamianiDph,
-    DeterministicDph,
-    HacigumusDph,
-    PlaintextDph,
-)
+from repro.schemes.registry import available_schemes, create as create_scheme
 from repro.workloads import EmployeeWorkload
 
 
 def build_schemes(schema):
-    """One instance of every scheme over the employee schema."""
+    """One instance of every registered scheme over the employee schema."""
     key = SecretKey.generate()
-    config = BucketizationConfig.uniform(schema, num_buckets=16, minimum=0, maximum=10000)
-    return [
-        SearchableSelectDph(schema, key, backend="swp"),
-        SearchableSelectDph(schema, key, backend="index"),
-        HacigumusDph(schema, key, config=config),
-        DamianiDph(schema, key),
-        DeterministicDph(schema, key),
-        PlaintextDph(schema, key),
-    ]
+    return [create_scheme(name, schema, key) for name in available_schemes()]
 
 
 def equality_leak(encrypted_relation) -> int:

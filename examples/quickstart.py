@@ -1,14 +1,17 @@
-"""Quickstart: outsource the paper's employee relation and run exact selects.
+"""Quickstart: the :class:`EncryptedDatabase` session facade, end to end.
 
-This is the worked example of Section 3 of the paper, end to end:
+The worked example of Section 3 of the paper, driven through the public API:
 
-1. define the relation ``Emp(name:string[9], dept:string[5], salary:int)``;
-2. encrypt it with the database privacy homomorphism built on searchable
-   encryption (tuples become documents of words like ``"MontgomeryN"``);
-3. hand the ciphertext to the untrusted service provider;
-4. run ``SELECT * FROM Emp WHERE name = 'Montgomery'`` -- the query is
-   encrypted into a search trapdoor, evaluated by the provider over
-   ciphertext, and the result is decrypted and filtered by the client.
+1. open a keyed session against an (untrusted, in-process) provider with the
+   scheme built on searchable encryption;
+2. create the relation ``Emp(name, dept, salary)`` -- tuples become documents
+   of words like ``"MontgomeryN"``, encrypted and shipped over the versioned
+   wire protocol;
+3. run ``SELECT``s -- each query is encrypted into a search trapdoor,
+   evaluated by the provider over ciphertext, decrypted and filtered by the
+   client;
+4. ``UPDATE`` and ``DELETE`` -- true matches are resolved client-side, then
+   addressed at the provider by their public random tuple ids (protocol v2).
 
 Run with::
 
@@ -17,45 +20,37 @@ Run with::
 
 from __future__ import annotations
 
-from repro import SearchableSelectDph, SecretKey
-from repro.outsourcing import OutsourcedDatabaseServer, OutsourcingClient
-from repro.relational import Relation, RelationSchema
+from repro import EncryptedDatabase, SecretKey, available_schemes
 
 
 def main() -> None:
-    # 1. The plaintext relation (Alex's sensitive data).
-    schema = RelationSchema.parse("Emp(name:string[10], dept:string[5], salary:int[6])")
-    employees = Relation.from_rows(
-        schema,
-        [
+    # 1. A keyed session: one master secret, any registered scheme.
+    print(f"Registered schemes: {', '.join(available_schemes())}")
+    key = SecretKey.generate()
+    db = EncryptedDatabase.open(key, scheme="swp")
+    print(f"Session opened with scheme {db.scheme_name!r}, "
+          f"protocol v{db.protocol_version}")
+
+    # 2. Create and populate the outsourced relation.
+    db.create_table(
+        "Emp(name:string[10], dept:string[5], salary:int[6])",
+        rows=[
             ("Montgomery", "HR", 7500),
             ("Smith", "IT", 5200),
             ("Weaver", "HR", 6800),
             ("Jones", "SALES", 4100),
         ],
     )
-    print(f"Plaintext relation: {employees!r}")
+    print(f"Created table Emp with {db.count('Emp')} tuples "
+          f"({db.server.storage_in_bytes('Emp')} ciphertext bytes at the provider).")
 
-    # 2. The database privacy homomorphism (K, E, Eq, D) with a fresh key.
-    key = SecretKey.generate()
-    dph = SearchableSelectDph(schema, key, backend="swp")
-    print(f"Scheme: {dph.name}, word length {dph.word_length} bytes, "
-          f"false-positive rate {dph.false_positive_rate():.2e}")
-
-    # 3. Outsource to the untrusted provider (Eve).
-    server = OutsourcedDatabaseServer()
-    client = OutsourcingClient(dph, server)
-    shipped = client.outsource(employees)
-    print(f"Shipped {shipped} ciphertext bytes to the provider "
-          f"({len(employees)} tuples).")
-
-    # 4. Exact selects over ciphertext.
+    # 3. Exact selects over ciphertext (SQL is routed via the FROM clause).
     for statement in (
         "SELECT * FROM Emp WHERE name = 'Montgomery'",
         "SELECT name, salary FROM Emp WHERE dept = 'HR'",
         "SELECT * FROM Emp WHERE salary = 4100",
     ):
-        outcome = client.select(statement)
+        outcome = db.select(statement)
         rows = outcome.projected_rows or [t.as_dict() for t in outcome.relation]
         print(f"\n{statement}")
         print(f"  -> {len(outcome.relation)} tuple(s), "
@@ -63,9 +58,15 @@ def main() -> None:
         for row in rows:
             print(f"     {row}")
 
+    # 4. Full CRUD: update and delete travel as v2 protocol messages.
+    updated = db.update("SELECT * FROM Emp WHERE name = 'Smith'", {"salary": 5500})
+    deleted = db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
+    print(f"\nUpdated {updated} tuple(s), deleted {deleted} tuple(s); "
+          f"{db.count('Emp')} remain.")
+
     # 5. What the provider saw (and did not see).
-    print("\nProvider's audit log:", server.audit_log.summary())
-    stored = server.stored_relation("Emp")
+    print("\nProvider's audit log:", db.server.audit_log.summary())
+    stored = db.server.stored_relation("Emp")
     leaked = b"".join(t.payload for t in stored)
     print("Provider stores plaintext names?", b"Montgomery" in leaked)
 

@@ -17,26 +17,35 @@ The library implements, from scratch:
   games of Definitions 1.2 and 2.1, the concrete attacks of Sections 1 and 2,
   the generic Theorem-2.1 adversary and empirical advantage estimation;
 * the **outsourcing protocol** (:mod:`repro.outsourcing`): an untrusted server
-  (Eve), a client (Alex) and the messages they exchange;
+  (Eve) with pluggable ciphertext storage, a client (Alex) and the versioned
+  byte-level messages they exchange (v2 adds ``DELETE_TUPLES`` and
+  ``BATCH_QUERY`` for full CRUD);
+* the **public session API** (:mod:`repro.api`): the
+  :class:`~repro.api.EncryptedDatabase` facade driving any scheme registered
+  in :mod:`repro.schemes.registry` through the wire protocol;
 * **workload generators** and **analysis utilities** for the experiment suite
   (:mod:`repro.workloads`, :mod:`repro.analysis`).
 
 Quickstart::
 
-    from repro import SearchableSelectDph, SecretKey
-    from repro.relational import Relation, RelationSchema, Selection
+    from repro import EncryptedDatabase
 
-    schema = RelationSchema.parse("Emp(name:string[10], dept:string[5], salary:int[6])")
-    emp = Relation.from_rows(schema, [("Montgomery", "HR", 7500), ("Smith", "IT", 5200)])
+    db = EncryptedDatabase.open(scheme="swp")   # fresh key, in-memory provider
+    db.create_table(
+        "Emp(name:string[10], dept:string[5], salary:int[6])",
+        rows=[("Montgomery", "HR", 7500), ("Smith", "IT", 5200)],
+    )
+    outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+    print(outcome.relation.tuples)
+    db.update("SELECT * FROM Emp WHERE name = 'Smith'", {"salary": 5500})
+    db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
 
-    dph = SearchableSelectDph(schema, SecretKey.generate())
-    encrypted = dph.encrypt_relation(emp)              # E_k(R), stored at the provider
-    psi = dph.encrypt_query(Selection.equals("dept", "HR"))   # Eq_k(sigma)
-    result = dph.server_evaluator().evaluate(psi, encrypted)  # runs at the provider
-    report = dph.decrypt_result(result, Selection.equals("dept", "HR"))
-    print(report.relation.tuples)
+The lower-level objects (``SearchableSelectDph``, ``OutsourcingClient``, the
+security games) remain available for experiments that need to drive single
+pieces of the stack.
 """
 
+from repro.api import DatabaseError, EncryptedDatabase
 from repro.core.construction import SearchableSelectDph
 from repro.core.dph import (
     DatabasePrivacyHomomorphism,
@@ -45,15 +54,19 @@ from repro.core.dph import (
     EncryptedTuple,
 )
 from repro.crypto.keys import SecretKey
+from repro.schemes.registry import available_schemes
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DatabaseError",
+    "EncryptedDatabase",
     "SearchableSelectDph",
     "DatabasePrivacyHomomorphism",
     "EncryptedQuery",
     "EncryptedRelation",
     "EncryptedTuple",
     "SecretKey",
+    "available_schemes",
     "__version__",
 ]

@@ -1,0 +1,20 @@
+"""Stable public API of the reproduction.
+
+:class:`EncryptedDatabase` is the one object applications (and benchmarks)
+drive: it opens a keyed, multi-relation session against any registered
+scheme and exposes the full CRUD surface over the versioned outsourcing
+protocol::
+
+    from repro.api import EncryptedDatabase
+
+    db = EncryptedDatabase.open(scheme="swp")
+    db.create_table("Emp(name:string[10], dept:string[5], salary:int[6])")
+    db.insert("Emp", {"name": "Montgomery", "dept": "HR", "salary": 7500})
+    outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+    db.update("SELECT * FROM Emp WHERE name = 'Montgomery'", {"salary": 7600})
+    db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
+"""
+
+from repro.api.database import DatabaseError, EncryptedDatabase, TableHandle
+
+__all__ = ["DatabaseError", "EncryptedDatabase", "TableHandle"]

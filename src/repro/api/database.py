@@ -1,0 +1,512 @@
+"""The :class:`EncryptedDatabase` session facade.
+
+One object wraps the whole outsourcing stack of the paper: a master secret
+(``K``), a registered scheme (``E``, ``Eq``, ``D``), an untrusted provider
+and the versioned wire protocol between them.  Each table gets its own
+scheme instance keyed with a sub-key derived from the master secret, so one
+session can hold many relations while the user manages a single key.
+
+Every tuple-level operation travels as protocol frames through
+:meth:`~repro.outsourcing.server.OutsourcedDatabaseServer.handle_message`
+(the same bytes a remote transport would carry); session management --
+evaluator deployment, :meth:`EncryptedDatabase.attach_table` /
+:meth:`EncryptedDatabase.drop_table` and the debugging peeks
+(:meth:`EncryptedDatabase.retrieve_all`) -- touches the server object
+directly, pending a management surface in a later protocol version.
+
+Reads accept query AST nodes or SQL strings; SQL is routed to the right
+table via the relation name in its ``FROM`` clause.  Deletes and updates
+resolve the *true* matches client-side (decrypt, filter false positives)
+and then address tuples by their public random ids with the v2
+``DELETE_TUPLES`` message, so the provider never learns which plaintext
+predicate drove the mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dph import DatabasePrivacyHomomorphism, EvaluationResult
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import RandomSource
+from repro.outsourcing import protocol
+from repro.outsourcing.client import SelectOutcome
+from repro.outsourcing.protocol import (
+    Message,
+    MessageKind,
+    MessageV2,
+    PROTOCOL_V1,
+    SUPPORTED_VERSIONS,
+    negotiate_version,
+)
+from repro.outsourcing.server import OutsourcedDatabaseServer, ServerError
+from repro.outsourcing.storage import StorageBackend
+from repro.relational.query import Projection, Query, selection_predicates
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.sql import parse_sql
+from repro.relational.tuples import RelationTuple
+from repro.schemes import registry
+
+
+class DatabaseError(Exception):
+    """An :class:`EncryptedDatabase` operation failed."""
+
+
+@dataclass(frozen=True)
+class TableHandle:
+    """One outsourced relation inside a session: its schema and scheme instance."""
+
+    name: str
+    schema: RelationSchema
+    scheme: DatabasePrivacyHomomorphism
+
+
+class EncryptedDatabase:
+    """A keyed, multi-relation session against an untrusted provider."""
+
+    def __init__(
+        self,
+        key: SecretKey,
+        server: OutsourcedDatabaseServer,
+        scheme: str,
+        rng: RandomSource | None = None,
+        scheme_options: dict | None = None,
+    ) -> None:
+        self._key = key
+        self._server = server
+        self._scheme_name = registry.resolve_name(scheme)
+        self._rng = rng
+        self._scheme_options = dict(scheme_options or {})
+        self._tables: dict[str, TableHandle] = {}
+        self._version = negotiate_version(
+            SUPPORTED_VERSIONS, server.supported_protocol_versions
+        )
+
+    @classmethod
+    def open(
+        cls,
+        key: SecretKey | bytes | None = None,
+        server: OutsourcedDatabaseServer | None = None,
+        scheme: str = "swp",
+        *,
+        storage: StorageBackend | None = None,
+        rng: RandomSource | None = None,
+        scheme_options: dict | None = None,
+    ) -> "EncryptedDatabase":
+        """Open a session.
+
+        Parameters
+        ----------
+        key:
+            The master secret; generated freshly when omitted.
+        server:
+            The provider to talk to; an in-process one is created when
+            omitted (optionally over ``storage``).
+        scheme:
+            Name (or alias) of a registered scheme; see
+            :func:`repro.schemes.registry.available_schemes`.
+        storage:
+            Storage backend for an auto-created server.  Rejected when an
+            explicit ``server`` is passed (configure that server directly).
+        rng:
+            Randomness source handed to each table's scheme instance
+            (seedable for reproducible experiments).
+        scheme_options:
+            Extra keyword options forwarded to the scheme factory.
+        """
+        if key is None:
+            key = SecretKey.generate(rng=rng)
+        elif isinstance(key, (bytes, bytearray)):
+            key = SecretKey(bytes(key))
+        if server is None:
+            server = OutsourcedDatabaseServer(storage=storage)
+        elif storage is not None:
+            raise DatabaseError("pass either a server or a storage backend, not both")
+        return cls(key, server, scheme, rng=rng, scheme_options=scheme_options)
+
+    # ------------------------------------------------------------------ #
+    # Session properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def scheme_name(self) -> str:
+        """Canonical name of the scheme this session instantiates per table."""
+        return self._scheme_name
+
+    @property
+    def protocol_version(self) -> int:
+        """The negotiated envelope version."""
+        return self._version
+
+    @property
+    def server(self) -> OutsourcedDatabaseServer:
+        """The provider this session talks to."""
+        return self._server
+
+    @property
+    def tables(self) -> tuple[str, ...]:
+        """Names of the tables created in this session."""
+        return tuple(self._tables)
+
+    def table(self, name: str) -> TableHandle:
+        """The handle of one table."""
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise DatabaseError(f"no table named {name!r} in this session") from exc
+
+    def schema(self, name: str) -> RelationSchema:
+        """The schema of one table."""
+        return self.table(name).schema
+
+    # ------------------------------------------------------------------ #
+    # DDL
+    # ------------------------------------------------------------------ #
+
+    def create_table(
+        self, schema: RelationSchema | str, rows: list | None = None
+    ) -> TableHandle:
+        """Create an outsourced table from a schema (or declaration string).
+
+        The table is named after the schema; an optional initial ``rows``
+        list is encrypted and shipped with the creating ``STORE_RELATION``
+        message.
+        """
+        if isinstance(schema, str):
+            schema = RelationSchema.parse(schema)
+        name = schema.name
+        if name in self._tables:
+            raise DatabaseError(f"table {name!r} already exists in this session")
+        if name in self._server.relation_names:
+            raise DatabaseError(
+                f"the provider already stores a relation named {name!r}; "
+                "attach_table to reuse it or drop_table to replace it"
+            )
+        handle = self._bind_table(schema)
+        relation = Relation(schema, [])
+        if rows:
+            relation = Relation.from_rows(schema, rows)
+        encrypted = handle.scheme.encrypt_relation(relation)
+        try:
+            self._request(
+                MessageKind.STORE_RELATION,
+                name,
+                protocol.encode_encrypted_relation(encrypted),
+                expect=MessageKind.ACK,
+            )
+        except DatabaseError:
+            del self._tables[name]
+            raise
+        return handle
+
+    def attach_table(self, schema: RelationSchema | str) -> TableHandle:
+        """Re-attach a table the provider already stores (e.g. file-backed).
+
+        Rebuilds the table's scheme instance from this session's master key
+        and re-deploys the evaluator, without shipping a ``STORE_RELATION``
+        message -- the provider's copy is left untouched.  The session key
+        must be the one the table was created under, or decryption will fail.
+        """
+        if isinstance(schema, str):
+            schema = RelationSchema.parse(schema)
+        name = schema.name
+        if name in self._tables:
+            raise DatabaseError(f"table {name!r} already exists in this session")
+        if name not in self._server.relation_names:
+            raise DatabaseError(f"the provider stores no relation named {name!r}")
+        stored_schema = self._stored(name).schema
+        if stored_schema != schema:
+            raise DatabaseError(
+                f"schema mismatch for table {name!r}: the provider stores "
+                f"{stored_schema!r}"
+            )
+        return self._bind_table(schema)
+
+    def _bind_table(self, schema: RelationSchema) -> TableHandle:
+        """Derive the table key, build the scheme, deploy the evaluator."""
+        name = schema.name
+        table_key = SecretKey(self._key.subkey(f"table/{name}"))
+        scheme = registry.create(
+            self._scheme_name,
+            schema,
+            table_key,
+            rng=self._rng,
+            **self._scheme_options,
+        )
+        handle = TableHandle(name=name, schema=schema, scheme=scheme)
+        self._server.register_evaluator(name, scheme.server_evaluator())
+        self._tables[name] = handle
+        return handle
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table from the session and the provider.
+
+        The session entry is removed even when the provider no longer holds
+        the relation (e.g. another session dropped it first), so a drop
+        cannot wedge the table in this session.
+        """
+        self.table(name)
+        try:
+            self._server.drop_relation(name)
+        except ServerError as exc:
+            del self._tables[name]
+            raise DatabaseError(str(exc)) from exc
+        del self._tables[name]
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    def insert(self, table: str, row: RelationTuple | dict | tuple) -> None:
+        """Encrypt and append one row (a dict, tuple, or :class:`RelationTuple`)."""
+        handle = self.table(table)
+        relation_tuple = self._as_tuple(handle, row)
+        encrypted = handle.scheme.encrypt_tuple(relation_tuple)
+        self._request(
+            MessageKind.INSERT_TUPLE,
+            table,
+            protocol.encode_encrypted_tuple(encrypted),
+            expect=MessageKind.ACK,
+        )
+
+    def insert_many(self, table: str, rows) -> int:
+        """Insert several rows; returns how many were shipped."""
+        count = 0
+        for row in rows:
+            self.insert(table, row)
+            count += 1
+        return count
+
+    def delete(self, query: Query | str, table: str | None = None) -> int:
+        """Delete the tuples matching an exact-select query; returns the count.
+
+        Matching happens client-side on decrypted results (so the scheme's
+        false positives are never deleted); the provider only sees the
+        public tuple ids in the v2 ``DELETE_TUPLES`` message.
+        """
+        self._require_v2("delete")
+        name, parsed = self._resolve(query, table)
+        matches = self._true_matches(name, parsed)
+        if not matches:
+            return 0
+        body = protocol.encode_tuple_ids([t.tuple_id for t, _ in matches])
+        response = self._request(
+            MessageKind.DELETE_TUPLES, name, body, expect=MessageKind.ACK
+        )
+        return protocol.decode_count(response.body)
+
+    def update(self, query: Query | str, changes: dict, table: str | None = None) -> int:
+        """Re-encrypt the matching tuples with ``changes`` applied.
+
+        Implemented as insert-then-delete: fresh ciphertexts (new random
+        ids, new nonces) are appended first and only then are the old ids
+        removed, so the provider cannot link a tuple's pre- and post-update
+        versions and a mid-operation failure degrades to transient
+        duplicates rather than data loss.  Returns the number of
+        re-encrypted replacements shipped (which can exceed the provider's
+        acknowledged deletions if a concurrent session removed a matched
+        tuple first).
+        """
+        self._require_v2("update")
+        name, parsed = self._resolve(query, table)
+        handle = self.table(name)
+        unknown = set(changes) - set(handle.schema.attribute_names)
+        if unknown:
+            raise DatabaseError(f"unknown attribute(s) in update: {sorted(unknown)}")
+        matches = self._true_matches(name, parsed)
+        if not matches:
+            return 0
+        replacements = []
+        for _, plaintext in matches:
+            values = plaintext.as_dict()
+            values.update(changes)
+            replacements.append(self._make_tuple(handle.schema, values))
+        for replacement in replacements:
+            self.insert(name, replacement)
+        body = protocol.encode_tuple_ids([t.tuple_id for t, _ in matches])
+        self._request(MessageKind.DELETE_TUPLES, name, body, expect=MessageKind.ACK)
+        return len(replacements)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def select(self, query: Query | str, table: str | None = None) -> SelectOutcome:
+        """Run one exact select and return the decrypted, filtered result."""
+        name, parsed = self._resolve(query, table)
+        handle = self.table(name)
+        result = self._run_query(handle, parsed)
+        return self._outcome(handle, result, parsed)
+
+    def select_many(
+        self, queries, table: str | None = None
+    ) -> list[SelectOutcome]:
+        """Run several exact selects in one v2 ``BATCH_QUERY`` round trip.
+
+        All queries must address the same table (named explicitly or via the
+        SQL ``FROM`` clauses).
+        """
+        self._require_v2("select_many")
+        resolved = [self._resolve(query, table) for query in queries]
+        if not resolved:
+            return []
+        names = {name for name, _ in resolved}
+        if len(names) != 1:
+            raise DatabaseError(
+                f"a batch addresses exactly one table, got {sorted(names)}"
+            )
+        name = resolved[0][0]
+        handle = self.table(name)
+        encrypted = [handle.scheme.encrypt_query(parsed) for _, parsed in resolved]
+        response = self._request(
+            MessageKind.BATCH_QUERY,
+            name,
+            protocol.encode_query_batch(encrypted),
+            expect=MessageKind.BATCH_RESULT,
+        )
+        results = protocol.decode_result_batch(response.body)
+        if len(results) != len(resolved):
+            raise DatabaseError(
+                f"provider answered {len(results)} results for {len(resolved)} queries"
+            )
+        return [
+            self._outcome(handle, result, parsed)
+            for result, (_, parsed) in zip(results, resolved)
+        ]
+
+    def retrieve_all(self, table: str) -> Relation:
+        """Fetch the provider's full copy of a table and decrypt it."""
+        handle = self.table(table)
+        return handle.scheme.decrypt_relation(self._stored(table))
+
+    def count(self, table: str) -> int:
+        """Number of tuple ciphertexts the provider currently stores."""
+        self.table(table)
+        try:
+            return self._server.tuple_count(table)
+        except ServerError as exc:
+            raise DatabaseError(str(exc)) from exc
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _stored(self, table: str):
+        """The provider's ciphertext copy, with errors in the facade's type."""
+        try:
+            return self._server.stored_relation(table)
+        except ServerError as exc:
+            raise DatabaseError(str(exc)) from exc
+
+    def _request(
+        self, kind: MessageKind, relation_name: str, body: bytes, expect: MessageKind
+    ) -> Message | MessageV2:
+        envelope = Message if self._version == PROTOCOL_V1 else MessageV2
+        raw = self._server.handle_message(
+            envelope(kind=kind, relation_name=relation_name, body=body).to_bytes()
+        )
+        response = protocol.parse_message(raw)
+        if response.kind is MessageKind.ERROR:
+            raise DatabaseError(response.body.decode("utf-8", "replace"))
+        if response.kind is not expect:
+            raise DatabaseError(
+                f"expected {expect.value!r} response, got {response.kind.value!r}"
+            )
+        return response
+
+    def _decode_query_result(self, response: Message | MessageV2) -> EvaluationResult:
+        if self._version == PROTOCOL_V1:
+            return EvaluationResult(
+                matching=protocol.decode_encrypted_relation(response.body)
+            )
+        result, consumed = protocol.decode_evaluation_result(response.body)
+        if consumed != len(response.body):
+            raise DatabaseError("trailing bytes after evaluation result")
+        return result
+
+    def _resolve(self, query: Query | str, table: str | None) -> tuple[str, Query]:
+        """Route a query (AST node or SQL text) to a table of this session."""
+        if isinstance(query, str):
+            relation_name = parse_sql(query).relation_name
+            if table is not None and table != relation_name:
+                raise DatabaseError(
+                    f"SQL addresses table {relation_name!r}, caller said {table!r}"
+                )
+            handle = self.table(relation_name)
+            # Re-parse with the schema so bare literals get the right type.
+            return relation_name, parse_sql(query, handle.schema).query
+        if table is None:
+            if len(self._tables) != 1:
+                raise DatabaseError(
+                    "a table name is required when the session holds "
+                    f"{len(self._tables)} tables"
+                )
+            table = next(iter(self._tables))
+        parsed = query
+        validate = getattr(parsed, "validate", None)
+        if validate is not None:
+            validate(self.table(table).schema)
+        return table, parsed
+
+    def _run_query(self, handle: TableHandle, parsed: Query) -> EvaluationResult:
+        """One encrypted QUERY round trip for an already-resolved query."""
+        encrypted_query = handle.scheme.encrypt_query(parsed)
+        response = self._request(
+            MessageKind.QUERY,
+            handle.name,
+            protocol.encode_encrypted_query(encrypted_query),
+            expect=MessageKind.QUERY_RESULT,
+        )
+        return self._decode_query_result(response)
+
+    def _true_matches(
+        self, name: str, parsed: Query
+    ) -> list[tuple]:
+        """Decrypted true matches of a query: ``(encrypted_tuple, plaintext)`` pairs."""
+        handle = self.table(name)
+        result = self._run_query(handle, parsed)
+        predicates = selection_predicates(parsed)
+        matches = []
+        for encrypted_tuple in result.matching.encrypted_tuples:
+            plaintext = handle.scheme.decrypt_tuple(encrypted_tuple)
+            if all(p.matches(plaintext) for p in predicates):
+                matches.append((encrypted_tuple, plaintext))
+        return matches
+
+    def _outcome(
+        self, handle: TableHandle, result: EvaluationResult, parsed: Query
+    ) -> SelectOutcome:
+        report = handle.scheme.decrypt_result(result, parsed)
+        projected = None
+        if isinstance(parsed, Projection) and parsed.attributes:
+            projected = report.relation.project(list(parsed.attributes))
+        return SelectOutcome(report=report, projected_rows=projected)
+
+    def _as_tuple(self, handle: TableHandle, row) -> RelationTuple:
+        if isinstance(row, RelationTuple):
+            return row
+        if isinstance(row, dict):
+            return self._make_tuple(handle.schema, row)
+        values = dict(zip(handle.schema.attribute_names, row))
+        if len(values) != len(handle.schema.attribute_names) or len(row) != len(values):
+            raise DatabaseError(
+                f"row has {len(row)} values, schema {handle.schema.name!r} "
+                f"has {len(handle.schema.attribute_names)} attributes"
+            )
+        return self._make_tuple(handle.schema, values)
+
+    @staticmethod
+    def _make_tuple(schema: RelationSchema, values: dict) -> RelationTuple:
+        """Build a validated tuple, translating schema violations to the API error."""
+        try:
+            return RelationTuple(schema, values)
+        except Exception as exc:
+            raise DatabaseError(str(exc)) from exc
+
+    def _require_v2(self, operation: str) -> None:
+        if self._version < protocol.PROTOCOL_V2:
+            raise DatabaseError(
+                f"{operation} needs protocol version 2, "
+                f"negotiated version is {self._version}"
+            )

@@ -29,17 +29,10 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core import SearchableSelectDph
 from repro.crypto.keys import SecretKey
 from repro.experiments import EXPERIMENTS
 from repro.outsourcing import OutsourcedDatabaseServer, OutsourcingClient
-from repro.schemes import (
-    BucketizationConfig,
-    DamianiDph,
-    DeterministicDph,
-    HacigumusDph,
-    PlaintextDph,
-)
+from repro.schemes.registry import available_schemes, create as create_scheme
 from repro.security import IndistinguishabilityGame
 from repro.security.attacks import (
     SalaryPairAdversary,
@@ -48,27 +41,9 @@ from repro.security.attacks import (
 )
 from repro.workloads import EmployeeWorkload, HospitalWorkload
 
-#: Scheme names accepted by ``--scheme``.
-SCHEME_CHOICES = ("swp", "index", "bucketization", "damiani", "deterministic", "plaintext")
-
-
 def build_scheme(name: str, schema):
-    """Instantiate a freshly keyed scheme by CLI name."""
-    key = SecretKey.generate()
-    if name == "swp":
-        return SearchableSelectDph(schema, key, backend="swp")
-    if name == "index":
-        return SearchableSelectDph(schema, key, backend="index")
-    if name == "bucketization":
-        config = BucketizationConfig.uniform(schema, num_buckets=16, minimum=0, maximum=10000)
-        return HacigumusDph(schema, key, config=config)
-    if name == "damiani":
-        return DamianiDph(schema, key)
-    if name == "deterministic":
-        return DeterministicDph(schema, key)
-    if name == "plaintext":
-        return PlaintextDph(schema, key)
-    raise ValueError(f"unknown scheme {name!r}")
+    """Instantiate a freshly keyed scheme by registry name."""
+    return create_scheme(name, schema, SecretKey.generate())
 
 
 def command_experiments(args: argparse.Namespace) -> int:
@@ -132,7 +107,7 @@ def command_attack(args: argparse.Namespace) -> int:
         return 0
 
     workload = HospitalWorkload.generate(args.size, target_name="John", seed=args.seed)
-    dph = SearchableSelectDph(workload.schema, SecretKey.generate(), backend="index")
+    dph = build_scheme("index", workload.schema)
     if args.attack == "hospital":
         result = run_hospital_inference(dph, workload)
         print(f"query identification correct: {result.identification_correct}")
@@ -168,14 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.set_defaults(handler=command_experiments)
 
     demo = subparsers.add_parser("demo", help="outsource a synthetic employee database")
-    demo.add_argument("--scheme", choices=SCHEME_CHOICES, default="swp")
+    demo.add_argument("--scheme", choices=available_schemes(), default="swp")
     demo.add_argument("--size", type=int, default=500)
     demo.add_argument("--seed", type=int, default=0)
     demo.set_defaults(handler=command_demo)
 
     attack = subparsers.add_parser("attack", help="run one of the paper's attacks")
     attack.add_argument("attack", choices=("salary-pair", "hospital", "john"))
-    attack.add_argument("--scheme", choices=SCHEME_CHOICES, default=None,
+    attack.add_argument("--scheme", choices=available_schemes(), default=None,
                         help="target scheme for salary-pair (default bucketization)")
     attack.add_argument("--size", type=int, default=1000, help="hospital database size")
     attack.add_argument("--trials", type=int, default=100, help="game trials for salary-pair")

@@ -18,35 +18,22 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.reporting import ExperimentTable
-from repro.core import SearchableSelectDph
 from repro.crypto.keys import SecretKey
 from repro.crypto.rng import DeterministicRng
 from repro.relational.encoding import TupleCodec
 from repro.relational.query import Selection
-from repro.schemes import (
-    BucketizationConfig,
-    DamianiDph,
-    DeterministicDph,
-    HacigumusDph,
-    PlaintextDph,
-)
+from repro.schemes.registry import available_schemes, create as create_scheme
 from repro.searchable.swp import SwpScheme
 from repro.searchable.words import Word
 from repro.workloads import EmployeeWorkload
 
 
 def _scheme_instances(schema, seed: int = 0):
-    """One instance of every scheme over ``schema`` (fresh deterministic keys)."""
+    """One instance of every registered scheme over ``schema`` (deterministic keys)."""
     rng = DeterministicRng(seed)
     key = SecretKey.generate(rng=rng)
-    config = BucketizationConfig.uniform(schema, num_buckets=16, minimum=0, maximum=10000)
     return [
-        SearchableSelectDph(schema, key, backend="swp", rng=rng),
-        SearchableSelectDph(schema, key, backend="index", rng=rng),
-        HacigumusDph(schema, key, config=config, rng=rng),
-        DamianiDph(schema, key, rng=rng),
-        DeterministicDph(schema, key, rng=rng),
-        PlaintextDph(schema, key, rng=rng),
+        create_scheme(name, schema, key, rng=rng) for name in available_schemes()
     ]
 
 
@@ -332,8 +319,8 @@ def run_e10_index_vs_scan(
         ]
         for backend in ("swp", "index"):
             rng = DeterministicRng(seed + size)
-            dph = SearchableSelectDph(
-                workload.schema, SecretKey.generate(rng=rng), backend=backend, rng=rng
+            dph = create_scheme(
+                backend, workload.schema, SecretKey.generate(rng=rng), rng=rng
             )
             encrypted = dph.encrypt_relation(workload.relation)
             evaluator = dph.server_evaluator()

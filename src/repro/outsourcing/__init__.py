@@ -13,18 +13,41 @@ from repro.outsourcing.client import ClientError, OutsourcingClient, SelectOutco
 from repro.outsourcing.protocol import (
     Message,
     MessageKind,
+    MessageV2,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
     ProtocolError,
+    SUPPORTED_VERSIONS,
+    decode_count,
     decode_encrypted_query,
     decode_encrypted_relation,
     decode_encrypted_tuple,
+    decode_evaluation_result,
+    decode_query_batch,
+    decode_result_batch,
+    decode_tuple_ids,
+    encode_count,
     encode_encrypted_query,
     encode_encrypted_relation,
     encode_encrypted_tuple,
+    encode_evaluation_result,
+    encode_query_batch,
+    encode_result_batch,
+    encode_tuple_ids,
+    negotiate_version,
+    parse_message,
+    peek_version,
 )
 from repro.outsourcing.server import (
     OutsourcedDatabaseServer,
     ServerError,
     StoredRelation,
+)
+from repro.outsourcing.storage import (
+    FileStorageBackend,
+    InMemoryStorageBackend,
+    StorageBackend,
+    StorageError,
 )
 
 __all__ = [
@@ -36,14 +59,35 @@ __all__ = [
     "SelectOutcome",
     "Message",
     "MessageKind",
+    "MessageV2",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
     "ProtocolError",
+    "SUPPORTED_VERSIONS",
+    "decode_count",
     "decode_encrypted_query",
     "decode_encrypted_relation",
     "decode_encrypted_tuple",
+    "decode_evaluation_result",
+    "decode_query_batch",
+    "decode_result_batch",
+    "decode_tuple_ids",
+    "encode_count",
     "encode_encrypted_query",
     "encode_encrypted_relation",
     "encode_encrypted_tuple",
+    "encode_evaluation_result",
+    "encode_query_batch",
+    "encode_result_batch",
+    "encode_tuple_ids",
+    "negotiate_version",
+    "parse_message",
+    "peek_version",
     "OutsourcedDatabaseServer",
     "ServerError",
     "StoredRelation",
+    "FileStorageBackend",
+    "InMemoryStorageBackend",
+    "StorageBackend",
+    "StorageError",
 ]

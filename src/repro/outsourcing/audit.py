@@ -21,6 +21,9 @@ class AuditEventKind(Enum):
     RELATION_STORED = "relation-stored"
     TUPLE_INSERTED = "tuple-inserted"
     QUERY_EXECUTED = "query-executed"
+    TUPLES_DELETED = "tuples-deleted"
+    BATCH_EXECUTED = "batch-executed"
+    RELATION_DROPPED = "relation-dropped"
 
 
 @dataclass(frozen=True)

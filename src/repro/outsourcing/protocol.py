@@ -6,6 +6,21 @@ so the protocol layer is genuinely message-based (and so the storage /
 bandwidth overhead experiments E8-E9 measure realistic serialized sizes, not
 Python object graphs).
 
+Two envelope versions coexist:
+
+* **v1** (:class:`Message`) -- the original three-operation protocol
+  (``STORE_RELATION`` / ``INSERT_TUPLE`` / ``QUERY``), kept byte-compatible
+  for existing deployments.
+* **v2** (:class:`MessageV2`) -- a magic-prefixed, versioned envelope adding
+  the full-CRUD operations: tuple-id-addressed ``DELETE_TUPLES`` and
+  multi-query ``BATCH_QUERY``, plus ``ACK`` responses carrying counts and
+  query results that include the server's evaluation statistics.
+
+:func:`peek_version` distinguishes the two on the wire (v1 envelopes start
+with a 4-byte length prefix whose leading bytes are zero; v2 envelopes start
+with :data:`V2_MAGIC`), and :func:`negotiate_version` picks the highest
+version both endpoints support.
+
 Encoding conventions: all integers are big-endian; variable-length byte
 strings are length-prefixed with 4 bytes; sequences are prefixed with a
 4-byte element count.
@@ -15,9 +30,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Iterable, Sequence
 
-from repro.core.dph import EncryptedQuery, EncryptedRelation, EncryptedTuple
+from repro.core.dph import (
+    EncryptedQuery,
+    EncryptedRelation,
+    EncryptedTuple,
+    EvaluationResult,
+)
 from repro.relational.schema import RelationSchema
+
+#: Protocol versions this module can speak.
+PROTOCOL_V1 = 1
+PROTOCOL_V2 = 2
+SUPPORTED_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2)
+
+#: Leading magic of versioned (v2+) envelopes.  A v1 envelope starts with the
+#: 4-byte big-endian length of its kind string (< 2**16), so its first byte is
+#: always ``0x00`` and the two framings cannot collide.
+V2_MAGIC = b"DPH"
 
 
 class ProtocolError(Exception):
@@ -141,6 +172,95 @@ def _schema_declaration(schema: RelationSchema) -> str:
 
 
 # --------------------------------------------------------------------------- #
+# Protocol-v2 body codecs
+# --------------------------------------------------------------------------- #
+
+def encode_tuple_ids(tuple_ids: Sequence[bytes]) -> bytes:
+    """Serialize the id list of a ``DELETE_TUPLES`` request."""
+    return _encode_sequence(list(tuple_ids))
+
+
+def decode_tuple_ids(raw: bytes) -> tuple[bytes, ...]:
+    """Parse a ``DELETE_TUPLES`` body."""
+    ids, offset = _decode_sequence(raw, 0)
+    if offset != len(raw):
+        raise ProtocolError("trailing bytes after tuple id list")
+    return tuple(ids)
+
+
+def encode_query_batch(queries: Iterable[EncryptedQuery]) -> bytes:
+    """Serialize the query list of a ``BATCH_QUERY`` request."""
+    return _encode_sequence([encode_encrypted_query(q) for q in queries])
+
+
+def decode_query_batch(raw: bytes) -> tuple[EncryptedQuery, ...]:
+    """Parse a ``BATCH_QUERY`` body."""
+    bodies, offset = _decode_sequence(raw, 0)
+    if offset != len(raw):
+        raise ProtocolError("trailing bytes after query batch")
+    return tuple(decode_encrypted_query(body) for body in bodies)
+
+
+def encode_evaluation_result(result: EvaluationResult) -> bytes:
+    """Serialize a server evaluation result (matches plus work statistics)."""
+    return (
+        _encode_bytes(encode_encrypted_relation(result.matching))
+        + result.examined.to_bytes(8, "big")
+        + result.token_evaluations.to_bytes(8, "big")
+    )
+
+
+def decode_evaluation_result(raw: bytes, offset: int = 0) -> tuple[EvaluationResult, int]:
+    """Parse an evaluation result, returning it and the next offset."""
+    relation_bytes, offset = _decode_bytes(raw, offset)
+    if offset + 16 > len(raw):
+        raise ProtocolError("truncated evaluation statistics")
+    examined = int.from_bytes(raw[offset: offset + 8], "big")
+    token_evaluations = int.from_bytes(raw[offset + 8: offset + 16], "big")
+    return (
+        EvaluationResult(
+            matching=decode_encrypted_relation(relation_bytes),
+            examined=examined,
+            token_evaluations=token_evaluations,
+        ),
+        offset + 16,
+    )
+
+
+def encode_result_batch(results: Iterable[EvaluationResult]) -> bytes:
+    """Serialize the result list of a ``BATCH_RESULT`` response."""
+    return _encode_sequence([encode_evaluation_result(r) for r in results])
+
+
+def decode_result_batch(raw: bytes) -> tuple[EvaluationResult, ...]:
+    """Parse a ``BATCH_RESULT`` body."""
+    bodies, offset = _decode_sequence(raw, 0)
+    if offset != len(raw):
+        raise ProtocolError("trailing bytes after result batch")
+    results = []
+    for body in bodies:
+        result, consumed = decode_evaluation_result(body, 0)
+        if consumed != len(body):
+            raise ProtocolError("trailing bytes after evaluation result")
+        results.append(result)
+    return tuple(results)
+
+
+def encode_count(count: int) -> bytes:
+    """Serialize the non-negative count carried by an ``ACK`` body."""
+    if count < 0:
+        raise ProtocolError("counts are non-negative")
+    return count.to_bytes(8, "big")
+
+
+def decode_count(raw: bytes) -> int:
+    """Parse an ``ACK`` count body."""
+    if len(raw) != 8:
+        raise ProtocolError("malformed count body")
+    return int.from_bytes(raw, "big")
+
+
+# --------------------------------------------------------------------------- #
 # Message envelope
 # --------------------------------------------------------------------------- #
 
@@ -152,15 +272,53 @@ class MessageKind(Enum):
     QUERY = "query"
     QUERY_RESULT = "query-result"
     ERROR = "error"
+    ACK = "ack"
+    # v2-only kinds:
+    DELETE_TUPLES = "delete-tuples"
+    BATCH_QUERY = "batch-query"
+    BATCH_RESULT = "batch-result"
+
+
+#: Kinds that may only travel inside a version >= 2 envelope.
+V2_ONLY_KINDS = frozenset(
+    {
+        MessageKind.DELETE_TUPLES,
+        MessageKind.BATCH_QUERY,
+        MessageKind.BATCH_RESULT,
+    }
+)
+
+
+def _decode_envelope_fields(raw: bytes, offset: int) -> tuple[MessageKind, str, bytes]:
+    """Parse the ``kind | relation_name | body`` triple shared by both envelopes."""
+    kind_bytes, offset = _decode_bytes(raw, offset)
+    name_bytes, offset = _decode_bytes(raw, offset)
+    body, offset = _decode_bytes(raw, offset)
+    if offset != len(raw):
+        raise ProtocolError("trailing bytes after message")
+    try:
+        kind = MessageKind(kind_bytes.decode("utf-8"))
+    except ValueError as exc:  # covers UnicodeDecodeError too
+        raise ProtocolError(f"unknown message kind {kind_bytes!r}") from exc
+    try:
+        relation_name = name_bytes.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"relation name {name_bytes!r} is not valid UTF-8") from exc
+    return kind, relation_name, body
 
 
 @dataclass(frozen=True)
 class Message:
-    """A protocol message: a kind, a target relation name, and a ciphertext body."""
+    """A v1 protocol message: a kind, a target relation name, and a ciphertext body."""
 
     kind: MessageKind
     relation_name: str
     body: bytes = b""
+
+    @property
+    def version(self) -> int:
+        """The envelope version (uniform access shared with :class:`MessageV2`)."""
+        return PROTOCOL_V1
 
     def to_bytes(self) -> bytes:
         """Serialize the envelope."""
@@ -173,13 +331,85 @@ class Message:
     @classmethod
     def from_bytes(cls, raw: bytes) -> "Message":
         """Parse an envelope."""
-        kind_bytes, offset = _decode_bytes(raw, 0)
-        name_bytes, offset = _decode_bytes(raw, offset)
-        body, offset = _decode_bytes(raw, offset)
-        if offset != len(raw):
-            raise ProtocolError("trailing bytes after message")
-        try:
-            kind = MessageKind(kind_bytes.decode("utf-8"))
-        except ValueError as exc:
-            raise ProtocolError(f"unknown message kind {kind_bytes!r}") from exc
-        return cls(kind=kind, relation_name=name_bytes.decode("utf-8"), body=body)
+        kind, relation_name, body = _decode_envelope_fields(raw, 0)
+        if kind in V2_ONLY_KINDS:
+            raise ProtocolError(
+                f"message kind {kind.value!r} requires protocol version >= 2"
+            )
+        return cls(kind=kind, relation_name=relation_name, body=body)
+
+
+@dataclass(frozen=True)
+class MessageV2:
+    """A versioned (v2) protocol message.
+
+    The frame is ``V2_MAGIC | version (1 byte) | kind | relation_name | body``
+    with the usual length prefixes on the three variable parts.
+    """
+
+    kind: MessageKind
+    relation_name: str
+    body: bytes = b""
+
+    @property
+    def version(self) -> int:
+        """The envelope version."""
+        return PROTOCOL_V2
+
+    def to_bytes(self) -> bytes:
+        """Serialize the envelope."""
+        return (
+            V2_MAGIC
+            + bytes([PROTOCOL_V2])
+            + _encode_bytes(self.kind.value.encode("utf-8"))
+            + _encode_bytes(self.relation_name.encode("utf-8"))
+            + _encode_bytes(self.body)
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MessageV2":
+        """Parse an envelope, rejecting foreign magic and unknown versions."""
+        header = len(V2_MAGIC) + 1
+        if len(raw) < header or raw[: len(V2_MAGIC)] != V2_MAGIC:
+            raise ProtocolError("not a versioned protocol envelope")
+        version = raw[len(V2_MAGIC)]
+        if version != PROTOCOL_V2:
+            raise ProtocolError(f"unsupported protocol version {version}")
+        kind, relation_name, body = _decode_envelope_fields(raw, header)
+        return cls(kind=kind, relation_name=relation_name, body=body)
+
+
+def peek_version(raw: bytes) -> int:
+    """The envelope version of a raw frame, without parsing the payload.
+
+    Versioned envelopes announce themselves with :data:`V2_MAGIC`; anything
+    else is treated as a legacy v1 frame (whose own parser still validates it).
+    """
+    if raw[: len(V2_MAGIC)] == V2_MAGIC:
+        if len(raw) < len(V2_MAGIC) + 1:
+            raise ProtocolError("truncated versioned envelope")
+        return raw[len(V2_MAGIC)]
+    return PROTOCOL_V1
+
+
+def parse_message(raw: bytes) -> "Message | MessageV2":
+    """Parse a frame of either envelope version."""
+    version = peek_version(raw)
+    if version == PROTOCOL_V1:
+        return Message.from_bytes(raw)
+    return MessageV2.from_bytes(raw)
+
+
+def negotiate_version(
+    client_versions: Iterable[int], server_versions: Iterable[int]
+) -> int:
+    """The highest protocol version both endpoints support."""
+    client = set(client_versions)
+    server = set(server_versions)
+    common = client & server
+    if not common:
+        raise ProtocolError(
+            f"no common protocol version (client {sorted(client)}, "
+            f"server {sorted(server)})"
+        )
+    return max(common)

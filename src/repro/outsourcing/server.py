@@ -1,26 +1,50 @@
 """The untrusted database service provider (Eve).
 
-The server stores encrypted relations, answers encrypted queries by running
-the keyless :class:`~repro.core.dph.ServerEvaluator` the client registered for
-the scheme, and records everything it sees in a
+The server stores encrypted relations behind a pluggable
+:class:`~repro.outsourcing.storage.StorageBackend`, answers encrypted queries
+by running the keyless :class:`~repro.core.dph.ServerEvaluator` the client
+registered for each relation, and records everything it sees in a
 :class:`~repro.outsourcing.audit.ServerAuditLog`.  It never holds key
 material; the only plaintext it learns is what the ciphertexts and the query
 results structurally reveal -- which is precisely what the paper's security
 analysis is about.
+
+Besides the object-level API, :meth:`OutsourcedDatabaseServer.handle_message`
+speaks the byte-level protocol of :mod:`repro.outsourcing.protocol` in both
+envelope versions, so a transport can shuttle opaque frames between client
+and provider.  Evaluators are registered out-of-band
+(:meth:`OutsourcedDatabaseServer.register_evaluator`): they are the keyless
+*code* the client deploys at the provider, not data the protocol carries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.dph import (
+    DphError,
     EncryptedQuery,
     EncryptedRelation,
     EncryptedTuple,
     EvaluationResult,
     ServerEvaluator,
 )
+from repro.outsourcing import protocol
 from repro.outsourcing.audit import AuditEventKind, ServerAuditLog
+from repro.outsourcing.protocol import (
+    Message,
+    MessageKind,
+    MessageV2,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    ProtocolError,
+)
+from repro.outsourcing.storage import (
+    InMemoryStorageBackend,
+    StorageBackend,
+    StorageError,
+)
 
 
 class ServerError(Exception):
@@ -29,7 +53,12 @@ class ServerError(Exception):
 
 @dataclass
 class StoredRelation:
-    """A named encrypted relation together with its registered evaluator."""
+    """A named encrypted relation together with its registered evaluator.
+
+    Retained as the snapshot type returned by
+    :meth:`OutsourcedDatabaseServer.stored`; the server's own state now lives
+    in its storage backend.
+    """
 
     name: str
     encrypted_relation: EncryptedRelation
@@ -37,10 +66,18 @@ class StoredRelation:
 
 
 class OutsourcedDatabaseServer:
-    """In-memory implementation of the untrusted service provider."""
+    """The untrusted service provider, generic over its storage backend."""
 
-    def __init__(self, audit_log: ServerAuditLog | None = None) -> None:
-        self._relations: dict[str, StoredRelation] = {}
+    #: Protocol versions this server implementation can speak.
+    SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2)
+
+    def __init__(
+        self,
+        audit_log: ServerAuditLog | None = None,
+        storage: StorageBackend | None = None,
+    ) -> None:
+        self._storage = storage if storage is not None else InMemoryStorageBackend()
+        self._evaluators: dict[str, ServerEvaluator] = {}
         self._audit = audit_log if audit_log is not None else ServerAuditLog()
 
     @property
@@ -49,9 +86,29 @@ class OutsourcedDatabaseServer:
         return self._audit
 
     @property
+    def storage(self) -> StorageBackend:
+        """The backend holding the ciphertext relations."""
+        return self._storage
+
+    @property
+    def supported_protocol_versions(self) -> tuple[int, ...]:
+        """What :func:`repro.outsourcing.protocol.negotiate_version` consumes."""
+        return self.SUPPORTED_PROTOCOL_VERSIONS
+
+    @property
     def relation_names(self) -> tuple[str, ...]:
         """Names of the stored relations."""
-        return tuple(self._relations)
+        return self._storage.names()
+
+    # ------------------------------------------------------------------ #
+    # Object-level API
+    # ------------------------------------------------------------------ #
+
+    def register_evaluator(self, name: str, evaluator: ServerEvaluator) -> None:
+        """Deploy the keyless evaluation procedure for a relation."""
+        if not name:
+            raise ServerError("relation name must be non-empty")
+        self._evaluators[name] = evaluator
 
     def store_relation(
         self,
@@ -60,11 +117,8 @@ class OutsourcedDatabaseServer:
         evaluator: ServerEvaluator,
     ) -> None:
         """Store (or replace) an encrypted relation and its query evaluator."""
-        if not name:
-            raise ServerError("relation name must be non-empty")
-        self._relations[name] = StoredRelation(
-            name=name, encrypted_relation=encrypted_relation, evaluator=evaluator
-        )
+        self.register_evaluator(name, evaluator)
+        self._storage.save(name, encrypted_relation)
         self._audit.record(
             AuditEventKind.RELATION_STORED,
             name,
@@ -75,26 +129,51 @@ class OutsourcedDatabaseServer:
 
     def insert_tuple(self, name: str, encrypted_tuple: EncryptedTuple) -> None:
         """Append one tuple ciphertext to a stored relation."""
-        stored = self._stored(name)
-        stored.encrypted_relation = EncryptedRelation(
-            schema=stored.encrypted_relation.schema,
-            encrypted_tuples=stored.encrypted_relation.encrypted_tuples + (encrypted_tuple,),
-        )
+        try:
+            self._storage.append(name, encrypted_tuple)
+        except StorageError as exc:
+            raise ServerError(str(exc)) from exc
         self._audit.record(
             AuditEventKind.TUPLE_INSERTED,
             name,
             size_in_bytes=encrypted_tuple.size_in_bytes(),
         )
 
+    def delete_tuples(self, name: str, tuple_ids: Sequence[bytes]) -> int:
+        """Remove the named tuple ciphertexts; returns how many were dropped.
+
+        Unknown ids are ignored (the client addresses tuples by the public
+        random ids, which may already have been deleted by a racing request).
+        """
+        stored = self._load(name)
+        wanted = set(tuple_ids)
+        remaining = tuple(
+            t for t in stored.encrypted_tuples if t.tuple_id not in wanted
+        )
+        deleted = len(stored.encrypted_tuples) - len(remaining)
+        if deleted:
+            self._storage.save(
+                name,
+                EncryptedRelation(schema=stored.schema, encrypted_tuples=remaining),
+            )
+        self._audit.record(
+            AuditEventKind.TUPLES_DELETED,
+            name,
+            requested=len(tuple_ids),  # what Eve saw on the wire, duplicates included
+            deleted=deleted,
+        )
+        return deleted
+
     def execute_query(self, name: str, encrypted_query: EncryptedQuery) -> EvaluationResult:
         """Run the encrypted query against a stored relation."""
-        stored = self._stored(name)
-        if encrypted_query.scheme_name != stored.evaluator.scheme_name:
+        stored = self._load(name)
+        evaluator = self._evaluator(name)
+        if encrypted_query.scheme_name != evaluator.scheme_name:
             raise ServerError(
                 f"query scheme {encrypted_query.scheme_name!r} does not match the "
-                f"relation's scheme {stored.evaluator.scheme_name!r}"
+                f"relation's scheme {evaluator.scheme_name!r}"
             )
-        result = stored.evaluator.evaluate(encrypted_query, stored.encrypted_relation)
+        result = evaluator.evaluate(encrypted_query, stored)
         self._audit.record(
             AuditEventKind.QUERY_EXECUTED,
             name,
@@ -105,20 +184,156 @@ class OutsourcedDatabaseServer:
         )
         return result
 
+    def execute_batch(
+        self, name: str, encrypted_queries: Sequence[EncryptedQuery]
+    ) -> list[EvaluationResult]:
+        """Run several encrypted queries against one relation in one request.
+
+        Eve observes each query exactly as in the sequential case (one
+        ``QUERY_EXECUTED`` audit event per query); the batch saves only the
+        per-message envelope and relation lookups.
+        """
+        stored = self._load(name)
+        evaluator = self._evaluator(name)
+        # Validate the whole batch up front so a bad query rejects it atomically
+        # instead of aborting after earlier queries already ran (and were logged).
+        for encrypted_query in encrypted_queries:
+            if encrypted_query.scheme_name != evaluator.scheme_name:
+                raise ServerError(
+                    f"query scheme {encrypted_query.scheme_name!r} does not match "
+                    f"the relation's scheme {evaluator.scheme_name!r}"
+                )
+        results = []
+        for encrypted_query in encrypted_queries:
+            result = evaluator.evaluate(encrypted_query, stored)
+            self._audit.record(
+                AuditEventKind.QUERY_EXECUTED,
+                name,
+                result_size=len(result.matching),
+                examined=result.examined,
+                token_evaluations=result.token_evaluations,
+                token_count=len(encrypted_query.tokens),
+            )
+            results.append(result)
+        self._audit.record(
+            AuditEventKind.BATCH_EXECUTED, name, query_count=len(results)
+        )
+        return results
+
+    def drop_relation(self, name: str) -> None:
+        """Forget a relation and its evaluator."""
+        stored = self._load(name)  # raise ServerError when absent
+        self._storage.delete(name)
+        self._evaluators.pop(name, None)
+        self._audit.record(
+            AuditEventKind.RELATION_DROPPED, name, tuple_count=len(stored)
+        )
+
     def stored_relation(self, name: str) -> EncryptedRelation:
         """The provider's copy of a relation (what a leak would expose)."""
-        return self._stored(name).encrypted_relation
+        return self._load(name)
+
+    def stored(self, name: str) -> StoredRelation:
+        """Snapshot of a relation together with its evaluator."""
+        return StoredRelation(
+            name=name,
+            encrypted_relation=self._load(name),
+            evaluator=self._evaluator(name),
+        )
+
+    def tuple_count(self, name: str) -> int:
+        """Number of stored tuple ciphertexts (cheap metadata read)."""
+        try:
+            return self._storage.tuple_count(name)
+        except StorageError as exc:
+            raise ServerError(str(exc)) from exc
 
     def storage_in_bytes(self, name: str | None = None) -> int:
         """Total ciphertext bytes stored (for one relation or overall)."""
         if name is not None:
-            return self._stored(name).encrypted_relation.size_in_bytes()
+            return self._load(name).size_in_bytes()
         return sum(
-            s.encrypted_relation.size_in_bytes() for s in self._relations.values()
+            self._storage.size_in_bytes(stored) for stored in self._storage.names()
         )
 
-    def _stored(self, name: str) -> StoredRelation:
+    # ------------------------------------------------------------------ #
+    # Wire-level API
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, raw: bytes) -> bytes:
+        """Process one protocol frame and return the serialized response.
+
+        Both envelope versions are accepted; the response travels in the same
+        version as the request.  Failures inside a well-framed request come
+        back as ``ERROR`` messages rather than exceptions, mirroring what a
+        remote provider would do.
+        """
+        request = protocol.parse_message(raw)
         try:
-            return self._relations[name]
+            return self._dispatch(request).to_bytes()
+        # ValueError covers malformed scheme tokens rejected deep inside an
+        # evaluator (e.g. SwpToken.from_bytes on truncated bytes).
+        except (ServerError, StorageError, ProtocolError, DphError, ValueError) as exc:
+            return self._respond(
+                request, MessageKind.ERROR, str(exc).encode("utf-8")
+            ).to_bytes()
+
+    def _dispatch(self, request: Message | MessageV2) -> Message | MessageV2:
+        name = request.relation_name
+        if request.kind is MessageKind.STORE_RELATION:
+            encrypted_relation = protocol.decode_encrypted_relation(request.body)
+            evaluator = self._evaluator(name)
+            self.store_relation(name, encrypted_relation, evaluator)
+            return self._respond(
+                request, MessageKind.ACK, protocol.encode_count(len(encrypted_relation))
+            )
+        if request.kind is MessageKind.INSERT_TUPLE:
+            encrypted_tuple, consumed = protocol.decode_encrypted_tuple(request.body)
+            if consumed != len(request.body):
+                raise ProtocolError("trailing bytes after encrypted tuple")
+            self.insert_tuple(name, encrypted_tuple)
+            return self._respond(request, MessageKind.ACK, protocol.encode_count(1))
+        if request.kind is MessageKind.QUERY:
+            encrypted_query = protocol.decode_encrypted_query(request.body)
+            result = self.execute_query(name, encrypted_query)
+            if request.version == PROTOCOL_V1:
+                body = protocol.encode_encrypted_relation(result.matching)
+            else:
+                body = protocol.encode_evaluation_result(result)
+            return self._respond(request, MessageKind.QUERY_RESULT, body)
+        if request.kind is MessageKind.DELETE_TUPLES:
+            tuple_ids = protocol.decode_tuple_ids(request.body)
+            deleted = self.delete_tuples(name, tuple_ids)
+            return self._respond(request, MessageKind.ACK, protocol.encode_count(deleted))
+        if request.kind is MessageKind.BATCH_QUERY:
+            queries = protocol.decode_query_batch(request.body)
+            results = self.execute_batch(name, queries)
+            return self._respond(
+                request, MessageKind.BATCH_RESULT, protocol.encode_result_batch(results)
+            )
+        raise ServerError(f"cannot serve message kind {request.kind.value!r}")
+
+    @staticmethod
+    def _respond(
+        request: Message | MessageV2, kind: MessageKind, body: bytes
+    ) -> Message | MessageV2:
+        envelope = Message if request.version == PROTOCOL_V1 else MessageV2
+        return envelope(kind=kind, relation_name=request.relation_name, body=body)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _load(self, name: str) -> EncryptedRelation:
+        try:
+            return self._storage.load(name)
+        except StorageError as exc:
+            raise ServerError(str(exc)) from exc
+
+    def _evaluator(self, name: str) -> ServerEvaluator:
+        try:
+            return self._evaluators[name]
         except KeyError as exc:
-            raise ServerError(f"no relation named {name!r} is stored") from exc
+            raise ServerError(
+                f"no evaluator is registered for relation {name!r}"
+            ) from exc

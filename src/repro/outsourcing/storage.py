@@ -1,0 +1,199 @@
+"""Pluggable ciphertext storage for the untrusted server.
+
+The server's state is a map from relation name to encrypted relation; how
+that map is persisted is an operational concern independent of the security
+model (the provider stores only ciphertext either way).  The
+:class:`StorageBackend` interface isolates it so deployments can swap the
+default in-memory dict for the file-backed store (or, in later work, a
+sharded / remote one) without touching the protocol layer.
+
+The file backend reuses the wire codecs of
+:mod:`repro.outsourcing.protocol`, so bytes at rest are exactly the bytes in
+flight -- what a provider-side disk leak would expose is precisely what the
+storage-overhead experiment E9 measures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from abc import ABC, abstractmethod
+
+from repro.core.dph import EncryptedRelation, EncryptedTuple
+from repro.outsourcing.protocol import (
+    decode_encrypted_relation,
+    encode_encrypted_relation,
+    encode_encrypted_tuple,
+)
+
+
+class StorageError(Exception):
+    """A relation could not be loaded or saved."""
+
+
+class StorageBackend(ABC):
+    """Where the provider keeps its (ciphertext-only) relations."""
+
+    @abstractmethod
+    def save(self, name: str, encrypted_relation: EncryptedRelation) -> None:
+        """Store (or replace) a relation under ``name``."""
+
+    @abstractmethod
+    def load(self, name: str) -> EncryptedRelation:
+        """Return the stored relation, raising :class:`StorageError` if absent."""
+
+    @abstractmethod
+    def delete(self, name: str) -> None:
+        """Drop a stored relation (no-op when absent)."""
+
+    @abstractmethod
+    def names(self) -> tuple[str, ...]:
+        """Names of all stored relations."""
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.names()
+
+    def size_in_bytes(self, name: str) -> int:
+        """Ciphertext footprint of one relation."""
+        return self.load(name).size_in_bytes()
+
+    def tuple_count(self, name: str) -> int:
+        """Number of stored tuple ciphertexts.
+
+        The default decodes the relation; backends with cheaper metadata
+        access override this.
+        """
+        return len(self.load(name))
+
+    def append(self, name: str, encrypted_tuple: EncryptedTuple) -> None:
+        """Append one tuple ciphertext to a stored relation.
+
+        The default rewrites the whole relation; backends with cheaper
+        append paths override this.
+        """
+        stored = self.load(name)
+        self.save(
+            name,
+            EncryptedRelation(
+                schema=stored.schema,
+                encrypted_tuples=stored.encrypted_tuples + (encrypted_tuple,),
+            ),
+        )
+
+
+class InMemoryStorageBackend(StorageBackend):
+    """The default backend: a process-local dict."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, EncryptedRelation] = {}
+
+    def save(self, name: str, encrypted_relation: EncryptedRelation) -> None:
+        self._relations[name] = encrypted_relation
+
+    def load(self, name: str) -> EncryptedRelation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise StorageError(f"no relation named {name!r} is stored") from exc
+
+    def delete(self, name: str) -> None:
+        self._relations.pop(name, None)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+
+class FileStorageBackend(StorageBackend):
+    """One file per relation, serialized with the protocol's wire codec.
+
+    Relation names are hex-encoded in the filename so arbitrary names are
+    safe on any filesystem.
+    """
+
+    SUFFIX = ".rel"
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self._directory = pathlib.Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> pathlib.Path:
+        """Where the relation files live."""
+        return self._directory
+
+    def _path(self, name: str) -> pathlib.Path:
+        return self._directory / f"{name.encode('utf-8').hex()}{self.SUFFIX}"
+
+    def save(self, name: str, encrypted_relation: EncryptedRelation) -> None:
+        try:
+            self._path(name).write_bytes(encode_encrypted_relation(encrypted_relation))
+        except OSError as exc:
+            raise StorageError(f"cannot save relation {name!r}: {exc}") from exc
+
+    def load(self, name: str) -> EncryptedRelation:
+        path = self._path(name)
+        if not path.exists():
+            raise StorageError(f"no relation named {name!r} is stored")
+        try:
+            return decode_encrypted_relation(path.read_bytes())
+        except Exception as exc:
+            raise StorageError(f"stored relation {name!r} is corrupt: {exc}") from exc
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        if path.exists():
+            path.unlink()
+
+    def names(self) -> tuple[str, ...]:
+        names = []
+        for path in sorted(self._directory.glob(f"*{self.SUFFIX}")):
+            try:
+                names.append(bytes.fromhex(path.stem).decode("utf-8"))
+            except ValueError:
+                continue  # foreign file in the storage directory
+        return tuple(names)
+
+    def tuple_count(self, name: str) -> int:
+        """Read the 4-byte count field instead of decoding the whole file."""
+        path = self._path(name)
+        if not path.exists():
+            raise StorageError(f"no relation named {name!r} is stored")
+        try:
+            with path.open("rb") as handle:
+                header = handle.read(4)
+                if len(header) != 4:
+                    raise StorageError(f"stored relation {name!r} is corrupt")
+                handle.seek(4 + int.from_bytes(header, "big"))
+                count_raw = handle.read(4)
+        except OSError as exc:
+            raise StorageError(f"cannot read relation {name!r}: {exc}") from exc
+        if len(count_raw) != 4:
+            raise StorageError(f"stored relation {name!r} is corrupt")
+        return int.from_bytes(count_raw, "big")
+
+    def append(self, name: str, encrypted_tuple: EncryptedTuple) -> None:
+        """Append in place: bump the tuple count and extend the file.
+
+        The wire layout is ``len(schema) || schema || count || items...``
+        with 4-byte big-endian prefixes, so an append only rewrites the
+        4-byte count instead of the whole relation.
+        """
+        path = self._path(name)
+        if not path.exists():
+            raise StorageError(f"no relation named {name!r} is stored")
+        item = encode_encrypted_tuple(encrypted_tuple)
+        try:
+            with path.open("r+b") as handle:
+                header = handle.read(4)
+                if len(header) != 4:
+                    raise StorageError(f"stored relation {name!r} is corrupt")
+                count_offset = 4 + int.from_bytes(header, "big")
+                handle.seek(count_offset)
+                count_raw = handle.read(4)
+                if len(count_raw) != 4:
+                    raise StorageError(f"stored relation {name!r} is corrupt")
+                handle.seek(count_offset)
+                handle.write((int.from_bytes(count_raw, "big") + 1).to_bytes(4, "big"))
+                handle.seek(0, 2)
+                handle.write(len(item).to_bytes(4, "big") + item)
+        except OSError as exc:
+            raise StorageError(f"cannot append to relation {name!r}: {exc}") from exc

@@ -24,6 +24,15 @@ from repro.schemes.hacigumus import (
     HacigumusDph,
 )
 from repro.schemes.plaintext import PlaintextDph
+from repro.schemes.registry import (
+    SchemeAlreadyRegisteredError,
+    SchemeEntry,
+    SchemeNotRegisteredError,
+    available_schemes,
+    create,
+    get_entry,
+    register_scheme,
+)
 
 __all__ = [
     "FieldMatchDph",
@@ -34,4 +43,11 @@ __all__ = [
     "BucketizationConfig",
     "HacigumusDph",
     "PlaintextDph",
+    "SchemeAlreadyRegisteredError",
+    "SchemeEntry",
+    "SchemeNotRegisteredError",
+    "available_schemes",
+    "create",
+    "get_entry",
+    "register_scheme",
 ]

@@ -45,7 +45,7 @@ TUPLE_ID_LEN = 16
 
 def encode_field_token(attribute_index: int, field: bytes) -> bytes:
     """Serialize a query token as ``attribute_index (2 bytes) || field``."""
-    if not 0 <= attribute_index < 0xFFFF:
+    if not 0 <= attribute_index <= 0xFFFF:
         raise DphError("attribute index out of range")
     return attribute_index.to_bytes(2, "big") + field
 

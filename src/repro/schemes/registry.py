@@ -1,0 +1,197 @@
+"""Scheme registry: one named factory per database privacy homomorphism.
+
+The paper treats a database PH as a pluggable service ``(K, E, Eq, D)``; the
+registry makes that literal.  Every scheme in the reproduction registers a
+factory under a stable name (plus optional aliases), and every consumer --
+the CLI, the :class:`~repro.api.EncryptedDatabase` facade, experiments and
+benchmarks -- instantiates schemes through :func:`create` instead of
+hard-coding imports.  Adding a scheme is then a single decorated function::
+
+    @register_scheme("my-scheme", description="...")
+    def _build_my_scheme(schema, secret_key, rng=None, **options):
+        return MySchemeDph(schema, secret_key, rng=rng, **options)
+
+Factories receive ``(schema, secret_key, rng=None, **options)`` and return a
+freshly keyed :class:`~repro.core.dph.DatabasePrivacyHomomorphism`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.construction import SearchableSelectDph
+from repro.core.dph import DatabasePrivacyHomomorphism
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import RandomSource
+from repro.relational.schema import RelationSchema
+from repro.schemes.damiani import DamianiDph
+from repro.schemes.deterministic import DeterministicDph
+from repro.schemes.hacigumus import BucketizationConfig, HacigumusDph
+from repro.schemes.plaintext import PlaintextDph
+
+
+class SchemeNotRegisteredError(ValueError):
+    """No scheme is registered under the requested name."""
+
+
+class SchemeAlreadyRegisteredError(ValueError):
+    """A scheme (or alias) name is already taken."""
+
+
+class SchemeFactory(Protocol):
+    """Signature every registered factory satisfies."""
+
+    def __call__(
+        self,
+        schema: RelationSchema,
+        secret_key: SecretKey,
+        rng: RandomSource | None = None,
+        **options,
+    ) -> DatabasePrivacyHomomorphism: ...
+
+
+@dataclass(frozen=True)
+class SchemeEntry:
+    """One registered scheme: canonical name, factory and documentation."""
+
+    name: str
+    factory: Callable
+    description: str = ""
+    aliases: tuple[str, ...] = field(default_factory=tuple)
+
+
+#: Canonical name -> entry, in registration order (drives ``--scheme`` choices).
+_REGISTRY: dict[str, SchemeEntry] = {}
+#: Alias -> canonical name.
+_ALIASES: dict[str, str] = {}
+
+
+def register_scheme(
+    name: str, *, description: str = "", aliases: tuple[str, ...] = ()
+) -> Callable[[Callable], Callable]:
+    """Class/function decorator registering a scheme factory under ``name``."""
+
+    def decorator(factory: Callable) -> Callable:
+        for taken in (name, *aliases):
+            if taken in _REGISTRY or taken in _ALIASES:
+                raise SchemeAlreadyRegisteredError(
+                    f"scheme name {taken!r} is already registered"
+                )
+        entry = SchemeEntry(
+            name=name, factory=factory, description=description, aliases=tuple(aliases)
+        )
+        _REGISTRY[name] = entry
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return factory
+
+    return decorator
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a registered scheme (used by tests; built-ins stay put)."""
+    entry = _REGISTRY.pop(resolve_name(name))
+    for alias in entry.aliases:
+        _ALIASES.pop(alias, None)
+
+
+def resolve_name(name: str) -> str:
+    """Map a name or alias to the canonical scheme name."""
+    if name in _REGISTRY:
+        return name
+    if name in _ALIASES:
+        return _ALIASES[name]
+    raise SchemeNotRegisteredError(
+        f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
+    )
+
+
+def get_entry(name: str) -> SchemeEntry:
+    """The registry entry for a name or alias."""
+    return _REGISTRY[resolve_name(name)]
+
+
+def available_schemes() -> tuple[str, ...]:
+    """Canonical names of every registered scheme, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def create(
+    name: str,
+    schema: RelationSchema,
+    secret_key: SecretKey | bytes | None = None,
+    rng: RandomSource | None = None,
+    **options,
+) -> DatabasePrivacyHomomorphism:
+    """Instantiate the scheme registered under ``name`` (or an alias).
+
+    A fresh random key is generated when ``secret_key`` is omitted; scheme
+    specific keyword ``options`` are passed through to the factory.
+    """
+    entry = get_entry(name)
+    if secret_key is None:
+        secret_key = SecretKey.generate(rng=rng)
+    elif isinstance(secret_key, (bytes, bytearray)):
+        secret_key = SecretKey(bytes(secret_key))
+    return entry.factory(schema, secret_key, rng=rng, **options)
+
+
+# --------------------------------------------------------------------------- #
+# Built-in schemes
+# --------------------------------------------------------------------------- #
+
+@register_scheme(
+    "swp",
+    description="paper's construction over Song-Wagner-Perrig searchable encryption",
+    aliases=("dph-swp",),
+)
+def _build_swp(schema, secret_key, rng=None, **options):
+    return SearchableSelectDph(schema, secret_key, backend="swp", rng=rng, **options)
+
+
+@register_scheme(
+    "index",
+    description="paper's construction with the secure-index optimization",
+    aliases=("index-sse", "dph-index"),
+)
+def _build_index(schema, secret_key, rng=None, **options):
+    return SearchableSelectDph(schema, secret_key, backend="index", rng=rng, **options)
+
+
+@register_scheme(
+    "bucketization",
+    description="Hacigumus et al. interval bucketization baseline",
+    aliases=("hacigumus",),
+)
+def _build_bucketization(schema, secret_key, rng=None, config=None, **options):
+    if config is None:
+        config = BucketizationConfig.uniform(
+            schema, num_buckets=16, minimum=0, maximum=10000
+        )
+    return HacigumusDph(schema, secret_key, config=config, rng=rng, **options)
+
+
+@register_scheme(
+    "damiani",
+    description="Damiani et al. truncated keyed-hash baseline",
+    aliases=("damiani-hash",),
+)
+def _build_damiani(schema, secret_key, rng=None, **options):
+    return DamianiDph(schema, secret_key, rng=rng, **options)
+
+
+@register_scheme(
+    "deterministic",
+    description="per-value deterministic encryption baseline",
+)
+def _build_deterministic(schema, secret_key, rng=None, **options):
+    return DeterministicDph(schema, secret_key, rng=rng, **options)
+
+
+@register_scheme(
+    "plaintext",
+    description="no encryption; performance floor",
+)
+def _build_plaintext(schema, secret_key, rng=None, **options):
+    return PlaintextDph(schema, secret_key, rng=rng, **options)

@@ -1,0 +1,260 @@
+"""End-to-end tests of the :class:`EncryptedDatabase` session facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import DatabaseError, EncryptedDatabase
+from repro.outsourcing import (
+    FileStorageBackend,
+    InMemoryStorageBackend,
+    OutsourcedDatabaseServer,
+    OutsourcingClient,
+    StorageError,
+)
+from repro.outsourcing.protocol import PROTOCOL_V1
+from repro.relational import ConjunctiveSelection, Selection
+from repro.schemes.registry import available_schemes
+
+EMP_DECL = "Emp(name:string[14], dept:string[5], salary:int[6])"
+
+ROWS = [
+    ("Montgomery", "HR", 7500),
+    ("Smith", "IT", 5200),
+    ("Jones", "HR", 7500),
+    ("Brown", "SALES", 4100),
+    ("Adams", "IT", 6100),
+]
+
+
+@pytest.fixture(params=available_schemes())
+def db(request, secret_key, rng):
+    session = EncryptedDatabase.open(secret_key, scheme=request.param, rng=rng)
+    session.create_table(EMP_DECL, rows=ROWS)
+    return session
+
+
+class TestCrudAcrossAllSchemes:
+    def test_select_sql_and_ast(self, db):
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 2
+        outcome = db.select(Selection.equals("dept", "IT"), table="Emp")
+        assert len(outcome.relation) == 2
+        assert sorted(t["name"] for t in outcome.relation) == ["Adams", "Smith"]
+
+    def test_projection_rows(self, db):
+        outcome = db.select("SELECT name, salary FROM Emp WHERE dept = 'IT'")
+        assert sorted(outcome.projected_rows) == [("Adams", 6100), ("Smith", 5200)]
+
+    def test_insert_then_select(self, db):
+        db.insert("Emp", {"name": "Zoe", "dept": "HR", "salary": 3000})
+        outcome = db.select(Selection.equals("name", "Zoe"), table="Emp")
+        assert len(outcome.relation) == 1
+        assert db.count("Emp") == len(ROWS) + 1
+
+    def test_insert_many(self, db):
+        shipped = db.insert_many(
+            "Emp", [("A", "OPS", 1), {"name": "B", "dept": "OPS", "salary": 2}]
+        )
+        assert shipped == 2
+        assert len(db.select(Selection.equals("dept", "OPS"), table="Emp").relation) == 2
+
+    def test_delete_by_predicate(self, db):
+        deleted = db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert deleted == 2
+        assert db.count("Emp") == len(ROWS) - 2
+        assert len(db.select(Selection.equals("dept", "HR"), table="Emp").relation) == 0
+        # the other departments survived
+        assert len(db.select(Selection.equals("dept", "IT"), table="Emp").relation) == 2
+
+    def test_delete_without_matches(self, db):
+        assert db.delete(Selection.equals("dept", "LEGAL"), table="Emp") == 0
+        assert db.count("Emp") == len(ROWS)
+
+    def test_update_reencrypts_matching_tuples(self, db):
+        updated = db.update("SELECT * FROM Emp WHERE name = 'Smith'", {"salary": 9999})
+        assert updated == 1
+        outcome = db.select(Selection.equals("salary", 9999), table="Emp")
+        assert [t["name"] for t in outcome.relation] == ["Smith"]
+        assert db.count("Emp") == len(ROWS)
+
+    def test_update_gets_fresh_tuple_ids(self, db):
+        before = {t.tuple_id for t in db.server.stored_relation("Emp")}
+        db.update(Selection.equals("name", "Brown"), {"salary": 4200}, table="Emp")
+        after = {t.tuple_id for t in db.server.stored_relation("Emp")}
+        # delete-then-insert: the provider cannot link old and new versions
+        assert len(after - before) == 1
+
+    def test_conjunctive_selection(self, db):
+        outcome = db.select(
+            ConjunctiveSelection.of(("dept", "HR"), ("salary", 7500)), table="Emp"
+        )
+        assert len(outcome.relation) == 2
+
+    def test_select_many_batches_one_round_trip(self, db):
+        outcomes = db.select_many(
+            [
+                Selection.equals("dept", "HR"),
+                Selection.equals("dept", "IT"),
+                "SELECT * FROM Emp WHERE dept = 'SALES'",
+            ],
+            table="Emp",
+        )
+        assert [len(o.relation) for o in outcomes] == [2, 2, 1]
+
+    def test_retrieve_all_roundtrip(self, db, employee_schema):
+        relation = db.retrieve_all("Emp")
+        assert len(relation) == len(ROWS)
+        assert sorted(t["name"] for t in relation) == sorted(r[0] for r in ROWS)
+
+
+class TestSessionManagement:
+    def test_multi_table_routing(self, secret_key):
+        db = EncryptedDatabase.open(secret_key)
+        db.create_table(EMP_DECL, rows=ROWS)
+        db.create_table("Dept(dept:string[5], city:string[8])",
+                        rows=[("HR", "Berlin"), ("IT", "Potsdam")])
+        assert set(db.tables) == {"Emp", "Dept"}
+        assert len(db.select("SELECT * FROM Dept WHERE city = 'Berlin'").relation) == 1
+        assert len(db.select("SELECT * FROM Emp WHERE dept = 'HR'").relation) == 2
+        with pytest.raises(DatabaseError):
+            db.select("SELECT * FROM Nowhere WHERE x = 1")
+        with pytest.raises(DatabaseError):
+            # AST queries need a table name once several tables exist
+            db.select(Selection.equals("dept", "HR"))
+
+    def test_sql_table_mismatch_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.select("SELECT * FROM Emp WHERE dept = 'HR'", table="Other")
+
+    def test_duplicate_create_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.create_table(EMP_DECL)
+
+    def test_drop_table(self, db):
+        db.drop_table("Emp")
+        assert db.tables == ()
+        assert "Emp" not in db.server.relation_names
+        with pytest.raises(DatabaseError):
+            db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+
+    def test_unknown_update_attribute_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.update(Selection.equals("dept", "HR"), {"bonus": 1}, table="Emp")
+
+    def test_row_arity_mismatch_rejected(self, db):
+        with pytest.raises(DatabaseError):
+            db.insert("Emp", ("only-one",))
+
+    def test_schema_violations_surface_as_database_errors(self, db):
+        with pytest.raises(DatabaseError):
+            db.insert("Emp", {"name": "X" * 99, "dept": "HR", "salary": 1})
+        with pytest.raises(DatabaseError):
+            db.update(Selection.equals("dept", "HR"), {"name": "X" * 99}, table="Emp")
+
+    def test_server_and_storage_are_mutually_exclusive(self, secret_key):
+        with pytest.raises(DatabaseError):
+            EncryptedDatabase.open(
+                secret_key,
+                server=OutsourcedDatabaseServer(),
+                storage=InMemoryStorageBackend(),
+            )
+
+    def test_scheme_aliases_accepted(self, secret_key):
+        db = EncryptedDatabase.open(secret_key, scheme="index-sse")
+        assert db.scheme_name == "index"
+
+
+class TestFileBackedSessions:
+    def test_tables_survive_a_session_restart(self, tmp_path, secret_key):
+        storage = FileStorageBackend(tmp_path / "relations")
+        first = EncryptedDatabase.open(secret_key, storage=storage)
+        first.create_table(EMP_DECL, rows=ROWS)
+        first.delete(Selection.equals("dept", "SALES"), table="Emp")
+
+        # a brand-new server process over the same files, same master key
+        reopened = EncryptedDatabase.open(
+            secret_key, server=OutsourcedDatabaseServer(storage=FileStorageBackend(tmp_path / "relations"))
+        )
+        handle = reopened.attach_table(EMP_DECL)
+        assert handle.name == "Emp"
+        assert reopened.count("Emp") == len(ROWS) - 1
+        outcome = reopened.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 2
+        reopened.insert("Emp", {"name": "New", "dept": "HR", "salary": 1})
+        assert len(reopened.select(Selection.equals("dept", "HR"), table="Emp").relation) == 3
+
+    def test_file_append_keeps_the_count_prefix_consistent(self, tmp_path, secret_key):
+        storage = FileStorageBackend(tmp_path)
+        db = EncryptedDatabase.open(secret_key, storage=storage)
+        db.create_table(EMP_DECL, rows=ROWS[:1])
+        # in-place appends (count bump + extend) must stay decodable
+        db.insert_many("Emp", [(f"n{i}", "IT", i) for i in range(10)])
+        assert len(storage.load("Emp")) == 11
+        assert len(db.select(Selection.equals("dept", "IT"), table="Emp").relation) == 10
+
+    def test_create_over_stored_relation_rejected(self, tmp_path, secret_key):
+        directory = tmp_path / "relations"
+        first = EncryptedDatabase.open(secret_key, storage=FileStorageBackend(directory))
+        first.create_table(EMP_DECL, rows=ROWS)
+        # a later session must not clobber the persisted ciphertext
+        reopened = EncryptedDatabase.open(secret_key, storage=FileStorageBackend(directory))
+        with pytest.raises(DatabaseError, match="already stores"):
+            reopened.create_table(EMP_DECL)
+        assert reopened.attach_table(EMP_DECL).name == "Emp"
+        assert reopened.count("Emp") == len(ROWS)
+
+    def test_attach_with_mismatched_schema_rejected(self, tmp_path, secret_key):
+        storage = FileStorageBackend(tmp_path)
+        db = EncryptedDatabase.open(secret_key, storage=storage)
+        db.create_table(EMP_DECL, rows=ROWS)
+        other = EncryptedDatabase.open(secret_key, server=db.server)
+        with pytest.raises(DatabaseError, match="schema mismatch"):
+            other.attach_table("Emp(dept:string[5], name:string[14], salary:int[6])")
+
+    def test_attach_requires_stored_relation(self, tmp_path, secret_key):
+        db = EncryptedDatabase.open(secret_key, storage=FileStorageBackend(tmp_path))
+        with pytest.raises(DatabaseError):
+            db.attach_table(EMP_DECL)
+
+    def test_corrupt_file_rejected(self, tmp_path, secret_key):
+        storage = FileStorageBackend(tmp_path)
+        db = EncryptedDatabase.open(secret_key, storage=storage)
+        db.create_table(EMP_DECL, rows=ROWS)
+        path = storage._path("Emp")
+        path.write_bytes(path.read_bytes()[:-3])
+        with pytest.raises(StorageError):
+            storage.load("Emp")
+
+
+class TestLegacyInterop:
+    def test_legacy_client_and_facade_share_a_server(self, secret_key, rng,
+                                                     employee_schema, employee_relation,
+                                                     swp_dph):
+        server = OutsourcedDatabaseServer()
+        legacy = OutsourcingClient(swp_dph, server, relation_name="Legacy")
+        legacy.outsource(employee_relation)
+
+        db = EncryptedDatabase.open(secret_key, server=server, rng=rng)
+        db.create_table(EMP_DECL, rows=ROWS)
+
+        # both paths keep working side by side
+        assert len(legacy.select(Selection.equals("dept", "HR")).relation) == 2
+        assert len(db.select("SELECT * FROM Emp WHERE dept = 'HR'").relation) == 2
+        assert set(server.relation_names) == {"Legacy", "Emp"}
+
+    def test_v1_only_server_still_selects(self, secret_key):
+        class V1OnlyServer(OutsourcedDatabaseServer):
+            SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_V1,)
+
+        db = EncryptedDatabase.open(secret_key, server=V1OnlyServer())
+        assert db.protocol_version == PROTOCOL_V1
+        db.create_table(EMP_DECL, rows=ROWS)
+        db.insert("Emp", {"name": "Zoe", "dept": "HR", "salary": 1})
+        assert len(db.select("SELECT * FROM Emp WHERE dept = 'HR'").relation) == 3
+        with pytest.raises(DatabaseError, match="protocol version 2"):
+            db.delete(Selection.equals("dept", "HR"), table="Emp")
+        with pytest.raises(DatabaseError, match="protocol version 2"):
+            db.update(Selection.equals("dept", "HR"), {"salary": 2}, table="Emp")
+        with pytest.raises(DatabaseError, match="protocol version 2"):
+            db.select_many([Selection.equals("dept", "HR")], table="Emp")

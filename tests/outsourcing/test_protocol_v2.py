@@ -1,0 +1,267 @@
+"""Tests for protocol v2: new message kinds, versioning, wire dispatch."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dph import EncryptedQuery, EncryptedRelation, EncryptedTuple, EvaluationResult
+from repro.outsourcing.protocol import (
+    Message,
+    MessageKind,
+    MessageV2,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    ProtocolError,
+    SUPPORTED_VERSIONS,
+    V2_MAGIC,
+    decode_count,
+    decode_evaluation_result,
+    decode_query_batch,
+    decode_result_batch,
+    decode_tuple_ids,
+    encode_count,
+    encode_evaluation_result,
+    encode_query_batch,
+    encode_result_batch,
+    encode_tuple_ids,
+    negotiate_version,
+    parse_message,
+    peek_version,
+)
+from repro.relational import RelationSchema, Selection
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis strategies for the new body types
+# --------------------------------------------------------------------------- #
+
+tuple_ids_strategy = st.lists(st.binary(min_size=1, max_size=24), max_size=8)
+
+queries_strategy = st.lists(
+    st.builds(
+        EncryptedQuery,
+        scheme_name=st.text(min_size=1, max_size=12),
+        tokens=st.lists(st.binary(min_size=1, max_size=24), min_size=1, max_size=4).map(tuple),
+        metadata=st.binary(max_size=12),
+    ),
+    max_size=5,
+)
+
+kinds_strategy = st.sampled_from(list(MessageKind))
+names_strategy = st.text(max_size=20)
+bodies_strategy = st.binary(max_size=64)
+
+
+@given(tuple_ids=tuple_ids_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_tuple_ids_roundtrip(tuple_ids):
+    assert decode_tuple_ids(encode_tuple_ids(tuple_ids)) == tuple(tuple_ids)
+
+
+@given(queries=queries_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_query_batch_roundtrip(queries):
+    assert decode_query_batch(encode_query_batch(queries)) == tuple(queries)
+
+
+@given(kind=kinds_strategy, name=names_strategy, body=bodies_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_v2_envelope_roundtrip(kind, name, body):
+    message = MessageV2(kind=kind, relation_name=name, body=body)
+    assert MessageV2.from_bytes(message.to_bytes()) == message
+    assert parse_message(message.to_bytes()) == message
+
+
+@given(kind=kinds_strategy, name=names_strategy, body=bodies_strategy)
+@settings(max_examples=60, deadline=None)
+def test_property_v2_envelope_truncation_rejected(kind, name, body):
+    raw = MessageV2(kind=kind, relation_name=name, body=body).to_bytes()
+    with pytest.raises(ProtocolError):
+        MessageV2.from_bytes(raw[:-1])
+    with pytest.raises(ProtocolError):
+        MessageV2.from_bytes(raw + b"x")
+
+
+@given(tuple_ids=tuple_ids_strategy)
+@settings(max_examples=30, deadline=None)
+def test_property_tuple_ids_trailing_bytes_rejected(tuple_ids):
+    with pytest.raises(ProtocolError):
+        decode_tuple_ids(encode_tuple_ids(tuple_ids) + b"!")
+
+
+class TestEvaluationResultEncoding:
+    def _result(self, swp_dph, employee_relation) -> EvaluationResult:
+        encrypted = swp_dph.encrypt_relation(employee_relation)
+        query = swp_dph.encrypt_query(Selection.equals("dept", "HR"))
+        return swp_dph.server_evaluator().evaluate(query, encrypted)
+
+    def test_roundtrip_preserves_statistics(self, swp_dph, employee_relation):
+        result = self._result(swp_dph, employee_relation)
+        decoded, consumed = decode_evaluation_result(encode_evaluation_result(result))
+        assert consumed == len(encode_evaluation_result(result))
+        assert decoded.matching.encrypted_tuples == result.matching.encrypted_tuples
+        assert decoded.examined == result.examined
+        assert decoded.token_evaluations == result.token_evaluations
+
+    def test_result_batch_roundtrip(self, swp_dph, employee_relation):
+        result = self._result(swp_dph, employee_relation)
+        decoded = decode_result_batch(encode_result_batch([result, result]))
+        assert len(decoded) == 2
+        assert decoded[0].examined == result.examined
+
+    def test_truncated_statistics_rejected(self, swp_dph, employee_relation):
+        raw = encode_evaluation_result(self._result(swp_dph, employee_relation))
+        with pytest.raises(ProtocolError):
+            decode_evaluation_result(raw[:-1])
+
+    def test_result_batch_trailing_bytes_rejected(self, swp_dph, employee_relation):
+        raw = encode_result_batch([self._result(swp_dph, employee_relation)])
+        with pytest.raises(ProtocolError):
+            decode_result_batch(raw + b"z")
+
+
+class TestCounts:
+    def test_roundtrip(self):
+        assert decode_count(encode_count(0)) == 0
+        assert decode_count(encode_count(12345)) == 12345
+
+    def test_negative_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_count(-1)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_count(b"\x00" * 7)
+
+
+class TestVersioning:
+    def test_peek_distinguishes_versions(self):
+        v1 = Message(kind=MessageKind.QUERY, relation_name="emp", body=b"b")
+        v2 = MessageV2(kind=MessageKind.QUERY, relation_name="emp", body=b"b")
+        assert peek_version(v1.to_bytes()) == PROTOCOL_V1
+        assert peek_version(v2.to_bytes()) == PROTOCOL_V2
+        assert v1.version == PROTOCOL_V1
+        assert v2.version == PROTOCOL_V2
+
+    def test_unknown_future_version_rejected(self):
+        raw = V2_MAGIC + bytes([7]) + b"\x00" * 12
+        assert peek_version(raw) == 7
+        with pytest.raises(ProtocolError):
+            MessageV2.from_bytes(raw)
+        with pytest.raises(ProtocolError):
+            parse_message(raw)
+
+    def test_v2_only_kind_rejected_in_v1_envelope(self):
+        for kind in (MessageKind.DELETE_TUPLES, MessageKind.BATCH_QUERY,
+                     MessageKind.BATCH_RESULT):
+            raw = Message(kind=kind, relation_name="emp").to_bytes()
+            with pytest.raises(ProtocolError, match="requires protocol version"):
+                Message.from_bytes(raw)
+
+    def test_negotiation_picks_highest_common(self):
+        assert negotiate_version((1, 2), (1, 2)) == 2
+        assert negotiate_version((1,), (1, 2)) == 1
+        assert negotiate_version(SUPPORTED_VERSIONS, (2,)) == 2
+
+    def test_negotiation_fails_without_common_version(self):
+        with pytest.raises(ProtocolError):
+            negotiate_version((1,), (2,))
+
+
+class TestWireDispatch:
+    """The server's handle_message speaks both envelope versions."""
+
+    @pytest.fixture
+    def loaded_server(self, swp_dph, employee_relation):
+        from repro.outsourcing import OutsourcedDatabaseServer
+        from repro.outsourcing.protocol import encode_encrypted_relation
+
+        server = OutsourcedDatabaseServer()
+        server.register_evaluator("Emp", swp_dph.server_evaluator())
+        store = MessageV2(
+            kind=MessageKind.STORE_RELATION,
+            relation_name="Emp",
+            body=encode_encrypted_relation(swp_dph.encrypt_relation(employee_relation)),
+        )
+        response = parse_message(server.handle_message(store.to_bytes()))
+        assert response.kind is MessageKind.ACK
+        assert decode_count(response.body) == len(employee_relation)
+        return server
+
+    def test_query_v2_carries_statistics(self, loaded_server, swp_dph):
+        from repro.outsourcing.protocol import encode_encrypted_query
+
+        query = MessageV2(
+            kind=MessageKind.QUERY,
+            relation_name="Emp",
+            body=encode_encrypted_query(swp_dph.encrypt_query(Selection.equals("dept", "HR"))),
+        )
+        response = parse_message(loaded_server.handle_message(query.to_bytes()))
+        assert response.kind is MessageKind.QUERY_RESULT
+        assert response.version == PROTOCOL_V2
+        result, _ = decode_evaluation_result(response.body)
+        assert len(result.matching) == 2
+        assert result.examined == 5
+
+    def test_query_v1_is_still_served(self, loaded_server, swp_dph):
+        from repro.outsourcing.protocol import (
+            decode_encrypted_relation,
+            encode_encrypted_query,
+        )
+
+        query = Message(
+            kind=MessageKind.QUERY,
+            relation_name="Emp",
+            body=encode_encrypted_query(swp_dph.encrypt_query(Selection.equals("dept", "IT"))),
+        )
+        response = parse_message(loaded_server.handle_message(query.to_bytes()))
+        assert response.version == PROTOCOL_V1
+        assert response.kind is MessageKind.QUERY_RESULT
+        assert len(decode_encrypted_relation(response.body)) == 2
+
+    def test_delete_tuples_by_id(self, loaded_server):
+        stored = loaded_server.stored_relation("Emp")
+        victims = [t.tuple_id for t in stored.encrypted_tuples[:2]]
+        delete = MessageV2(
+            kind=MessageKind.DELETE_TUPLES,
+            relation_name="Emp",
+            body=encode_tuple_ids(victims + [b"no-such-id"]),
+        )
+        response = parse_message(loaded_server.handle_message(delete.to_bytes()))
+        assert response.kind is MessageKind.ACK
+        assert decode_count(response.body) == 2
+        assert len(loaded_server.stored_relation("Emp")) == 3
+
+    def test_batch_query(self, loaded_server, swp_dph):
+        queries = [
+            swp_dph.encrypt_query(Selection.equals("dept", "HR")),
+            swp_dph.encrypt_query(Selection.equals("dept", "SALES")),
+        ]
+        batch = MessageV2(
+            kind=MessageKind.BATCH_QUERY,
+            relation_name="Emp",
+            body=encode_query_batch(queries),
+        )
+        response = parse_message(loaded_server.handle_message(batch.to_bytes()))
+        assert response.kind is MessageKind.BATCH_RESULT
+        results = decode_result_batch(response.body)
+        assert [len(r.matching) for r in results] == [2, 1]
+
+    def test_errors_come_back_as_error_messages(self, loaded_server, swp_dph):
+        from repro.outsourcing.protocol import encode_encrypted_query
+
+        query = MessageV2(
+            kind=MessageKind.QUERY,
+            relation_name="missing",
+            body=encode_encrypted_query(swp_dph.encrypt_query(Selection.equals("dept", "HR"))),
+        )
+        response = parse_message(loaded_server.handle_message(query.to_bytes()))
+        assert response.kind is MessageKind.ERROR
+        assert b"missing" in response.body
+
+    def test_malformed_body_comes_back_as_error(self, loaded_server):
+        bad = MessageV2(kind=MessageKind.DELETE_TUPLES, relation_name="Emp", body=b"\x01")
+        response = parse_message(loaded_server.handle_message(bad.to_bytes()))
+        assert response.kind is MessageKind.ERROR

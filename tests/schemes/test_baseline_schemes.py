@@ -28,9 +28,16 @@ class TestFieldTokens:
         with pytest.raises(DphError):
             decode_field_token(b"\x01")
 
+    def test_two_byte_maximum_accepted(self):
+        index, field = decode_field_token(encode_field_token(0xFFFF, b"x"))
+        assert index == 0xFFFF
+        assert field == b"x"
+
     def test_out_of_range_index_rejected(self):
         with pytest.raises(DphError):
-            encode_field_token(0xFFFF, b"x")
+            encode_field_token(0x10000, b"x")
+        with pytest.raises(DphError):
+            encode_field_token(-1, b"x")
 
 
 class TestAllBaselinesShareTheInterface:

@@ -1,0 +1,89 @@
+"""Tests for the scheme registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dph import DatabasePrivacyHomomorphism
+from repro.relational import Selection
+from repro.schemes import registry
+from repro.schemes.registry import (
+    SchemeAlreadyRegisteredError,
+    SchemeNotRegisteredError,
+    available_schemes,
+    create,
+    get_entry,
+    register_scheme,
+    unregister_scheme,
+)
+
+
+class TestBuiltins:
+    def test_all_builtins_registered(self):
+        assert available_schemes() == (
+            "swp", "index", "bucketization", "damiani", "deterministic", "plaintext",
+        )
+
+    def test_aliases_resolve_to_canonical_names(self):
+        assert registry.resolve_name("dph-swp") == "swp"
+        assert registry.resolve_name("index-sse") == "index"
+        assert registry.resolve_name("hacigumus") == "bucketization"
+        assert registry.resolve_name("damiani-hash") == "damiani"
+
+    def test_unknown_name_raises_value_error(self, employee_schema):
+        with pytest.raises(SchemeNotRegisteredError):
+            create("no-such-scheme", employee_schema)
+        assert issubclass(SchemeNotRegisteredError, ValueError)
+
+    def test_entries_carry_descriptions(self):
+        for name in available_schemes():
+            assert get_entry(name).description
+
+    def test_create_yields_working_schemes(self, employee_schema, employee_relation,
+                                           secret_key, rng):
+        for name in available_schemes():
+            scheme = create(name, employee_schema, secret_key, rng=rng)
+            assert isinstance(scheme, DatabasePrivacyHomomorphism)
+            encrypted = scheme.encrypt_relation(employee_relation)
+            result = scheme.server_evaluator().evaluate(
+                scheme.encrypt_query(Selection.equals("dept", "HR")), encrypted
+            )
+            report = scheme.decrypt_result(result, Selection.equals("dept", "HR"))
+            assert len(report.relation) == 2
+
+    def test_create_generates_a_key_when_omitted(self, employee_schema):
+        scheme = create("deterministic", employee_schema)
+        assert isinstance(scheme, DatabasePrivacyHomomorphism)
+
+    def test_create_accepts_raw_key_bytes(self, employee_schema):
+        scheme = create("deterministic", employee_schema, b"k" * 32)
+        assert isinstance(scheme, DatabasePrivacyHomomorphism)
+
+
+class TestRegistration:
+    def test_register_and_unregister_custom_scheme(self, employee_schema, secret_key):
+        @register_scheme("test-custom", description="test-only", aliases=("tc",))
+        def _build(schema, key, rng=None, **options):
+            return create("plaintext", schema, key, rng=rng)
+
+        try:
+            assert "test-custom" in available_schemes()
+            assert registry.resolve_name("tc") == "test-custom"
+            scheme = create("tc", employee_schema, secret_key)
+            assert scheme.name == "plaintext"
+        finally:
+            unregister_scheme("test-custom")
+        assert "test-custom" not in available_schemes()
+        with pytest.raises(SchemeNotRegisteredError):
+            registry.resolve_name("tc")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SchemeAlreadyRegisteredError):
+            register_scheme("swp")(lambda schema, key, rng=None: None)
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(SchemeAlreadyRegisteredError):
+            register_scheme("fresh-name", aliases=("dph-swp",))(
+                lambda schema, key, rng=None: None
+            )
+        assert "fresh-name" not in available_schemes()

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import SCHEME_CHOICES, build_parser, build_scheme, main
+from repro.cli import build_parser, build_scheme, main
+from repro.schemes.registry import available_schemes
 from repro.workloads import employee_schema
 
 
@@ -29,8 +30,8 @@ class TestParser:
 class TestBuildScheme:
     def test_every_choice_is_constructible(self):
         schema = employee_schema()
-        names = {build_scheme(name, schema).name for name in SCHEME_CHOICES}
-        assert len(names) == len(SCHEME_CHOICES)
+        names = {build_scheme(name, schema).name for name in available_schemes()}
+        assert len(names) == len(available_schemes())
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError):
