@@ -1,0 +1,169 @@
+"""E12: end-to-end serving throughput of the TCP provider.
+
+New-workload claim (no paper counterpart): with :mod:`repro.net` the
+provider is a real server process, so we can measure what the wire costs
+and what concurrency buys:
+
+* **in-process vs socket** -- the same sequential exact selects through
+  ``handle_message`` directly and through a loopback TCP connection; the
+  difference is pure transport overhead (framing, syscalls, scheduling).
+* **sequential vs batched** -- N ``QUERY`` round trips vs one
+  ``BATCH_QUERY`` frame over the same socket; batching amortizes the
+  per-round-trip latency that only exists now that there *is* a network.
+* **concurrent clients** -- the same total query load issued by 4 client
+  threads, each with its own connection, against one provider process.
+
+The correctness bar: every path answers every query with exactly the same
+result sizes, and the provider must actually have served >= 4 concurrent
+client connections.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from conftest import run_once
+
+from repro.analysis.reporting import ExperimentTable
+from repro.api import EncryptedDatabase
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import DeterministicRng
+from repro.net import ThreadedTcpServer
+from repro.workloads import EmployeeWorkload
+
+TABLE_SIZE = 200
+NUM_QUERIES = 24
+NUM_CLIENTS = 4
+SCHEME = "swp"
+SEED = 12
+
+EXPECTED_HITS = [1] * NUM_QUERIES  # every query targets exactly one employee
+
+
+def _statements(workload) -> list[str]:
+    step = TABLE_SIZE // NUM_QUERIES
+    return [
+        f"SELECT * FROM Emp WHERE name = 'emp{i * step}'" for i in range(NUM_QUERIES)
+    ]
+
+
+def _new_session(url_or_none, secret_key, rng):
+    if url_or_none is None:
+        return EncryptedDatabase.open(secret_key, scheme=SCHEME, rng=rng)
+    return EncryptedDatabase.connect(url_or_none, secret_key, scheme=SCHEME, rng=rng)
+
+
+def _sequential(db, statements) -> tuple[float, list[int]]:
+    start = time.perf_counter()
+    sizes = [len(db.select(s).relation) for s in statements]
+    return time.perf_counter() - start, sizes
+
+
+def _batched(db, statements) -> tuple[float, list[int]]:
+    start = time.perf_counter()
+    outcomes = db.select_many(statements, table="Emp")
+    return time.perf_counter() - start, [len(o.relation) for o in outcomes]
+
+
+def _concurrent(url, secret_key, schema, statements) -> tuple[float, list[int]]:
+    """NUM_CLIENTS sessions, each issuing its slice of the statements."""
+    slices = [statements[i::NUM_CLIENTS] for i in range(NUM_CLIENTS)]
+    results: list[list[int] | None] = [None] * NUM_CLIENTS
+    errors: list[Exception] = []
+
+    def worker(index: int) -> None:
+        try:
+            session = EncryptedDatabase.connect(url, secret_key, scheme=SCHEME)
+            session.attach_table(schema)
+            results[index] = [len(session.select(s).relation) for s in slices[index]]
+            session.close()
+        except Exception as exc:  # noqa: BLE001 - surfaced via the errors list
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(NUM_CLIENTS)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.perf_counter() - start
+    assert not errors, errors
+    # re-interleave the per-client slices back into statement order
+    sizes = [0] * NUM_QUERIES
+    for client, slice_sizes in enumerate(results):
+        assert slice_sizes is not None
+        for offset, size in enumerate(slice_sizes):
+            sizes[client + offset * NUM_CLIENTS] = size
+    return elapsed, sizes
+
+
+def run_e12_network_throughput():
+    """Time all four serving paths over one provider."""
+    workload = EmployeeWorkload.generate(TABLE_SIZE, seed=SEED)
+    secret_key = SecretKey.generate(rng=DeterministicRng(SEED))
+    statements = _statements(workload)
+    rows = []
+
+    # Path 1: the in-process baseline (frames, but no socket).
+    db = _new_session(None, secret_key, DeterministicRng(SEED))
+    db.create_table(workload.schema, rows=[tuple(t.as_dict().values()) for t in workload.relation])
+    in_process_s, sizes = _sequential(db, statements)
+    rows.append(("in-process sequential", NUM_QUERIES, in_process_s, sizes))
+
+    with ThreadedTcpServer() as server:
+        url = f"tcp://127.0.0.1:{server.port}"
+        remote = _new_session(url, secret_key, DeterministicRng(SEED))
+        remote.create_table(
+            workload.schema, rows=[tuple(t.as_dict().values()) for t in workload.relation]
+        )
+
+        # Path 2: the same sequential selects, now over loopback TCP.
+        tcp_sequential_s, sizes = _sequential(remote, statements)
+        rows.append(("tcp sequential", NUM_QUERIES, tcp_sequential_s, sizes))
+
+        # Path 3: one BATCH_QUERY frame instead of N round trips.
+        tcp_batched_s, sizes = _batched(remote, statements)
+        rows.append(("tcp batched", 1, tcp_batched_s, sizes))
+
+        # Path 4: the load split across concurrent client connections.
+        tcp_concurrent_s, sizes = _concurrent(url, secret_key, workload.schema, statements)
+        rows.append(
+            (f"tcp {NUM_CLIENTS} concurrent clients", NUM_QUERIES, tcp_concurrent_s, sizes)
+        )
+        remote.close()
+        connections_served = server.server.stats.connections_total
+
+    table = ExperimentTable(
+        title=f"E12: {NUM_QUERIES} exact selects over {TABLE_SIZE} tuples ({SCHEME}), "
+              "one provider, four serving paths",
+        columns=["path", "round trips", "elapsed ms", "queries/s", "hits"],
+    )
+    for path, round_trips, elapsed_s, sizes in rows:
+        table.add_row(
+            path,
+            round_trips,
+            elapsed_s * 1000.0,
+            NUM_QUERIES / elapsed_s if elapsed_s else float("inf"),
+            sum(sizes),
+        )
+    return table, rows, connections_served
+
+
+def test_e12_network_throughput(benchmark, record_table):
+    table, rows, connections_served = run_once(benchmark, run_e12_network_throughput)
+    record_table("e12_network_throughput", table)
+
+    # Every path answered every query identically.
+    for path, _, _, sizes in rows:
+        assert sizes == EXPECTED_HITS, path
+
+    timings = {path: elapsed for path, _, elapsed, _ in rows}
+    # Batching must beat (or at least never materially lose to) sequential
+    # round trips over the same socket -- that is its entire purpose.
+    assert timings["tcp batched"] <= timings["tcp sequential"] * 1.5 + 0.005
+
+    # One provider process genuinely served >= NUM_CLIENTS concurrent clients
+    # (the acceptance bar for the serving layer): the proxy session plus one
+    # connection per worker thread.
+    assert connections_served >= NUM_CLIENTS + 1

@@ -20,6 +20,10 @@ The library implements, from scratch:
   (Eve) with pluggable ciphertext storage, a client (Alex) and the versioned
   byte-level messages they exchange (v2 adds ``DELETE_TUPLES`` and
   ``BATCH_QUERY`` for full CRUD);
+* the **network serving layer** (:mod:`repro.net`): length-prefixed framing,
+  an asyncio TCP provider (``repro serve``) for many concurrent clients, and
+  a pooled client proxy so ``EncryptedDatabase.connect("tcp://host:port")``
+  targets a remote provider transparently;
 * the **public session API** (:mod:`repro.api`): the
   :class:`~repro.api.EncryptedDatabase` facade driving any scheme registered
   in :mod:`repro.schemes.registry` through the wire protocol;
@@ -56,7 +60,7 @@ from repro.core.dph import (
 from repro.crypto.keys import SecretKey
 from repro.schemes.registry import available_schemes
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DatabaseError",

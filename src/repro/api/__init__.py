@@ -13,6 +13,10 @@ protocol::
     outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
     db.update("SELECT * FROM Emp WHERE name = 'Montgomery'", {"salary": 7600})
     db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
+
+The provider can just as well live in another process:
+``EncryptedDatabase.connect("tcp://host:port")`` opens the same session
+against a standalone ``repro serve`` provider (see :mod:`repro.net`).
 """
 
 from repro.api.database import DatabaseError, EncryptedDatabase, TableHandle

@@ -8,11 +8,14 @@ session can hold many relations while the user manages a single key.
 
 Every tuple-level operation travels as protocol frames through
 :meth:`~repro.outsourcing.server.OutsourcedDatabaseServer.handle_message`
-(the same bytes a remote transport would carry); session management --
+(the same bytes a remote transport carries); session management --
 evaluator deployment, :meth:`EncryptedDatabase.attach_table` /
 :meth:`EncryptedDatabase.drop_table` and the debugging peeks
-(:meth:`EncryptedDatabase.retrieve_all`) -- touches the server object
-directly, pending a management surface in a later protocol version.
+(:meth:`EncryptedDatabase.retrieve_all`) -- goes through the server
+duck-type, which is either the in-process
+:class:`~repro.outsourcing.server.OutsourcedDatabaseServer` or a
+:class:`~repro.net.client.RemoteServerProxy` speaking the control channel
+of :mod:`repro.net` (see :meth:`EncryptedDatabase.connect`).
 
 Reads accept query AST nodes or SQL strings; SQL is routed to the right
 table via the relation name in its ``FROM`` clause.  Deletes and updates
@@ -125,6 +128,55 @@ class EncryptedDatabase:
             raise DatabaseError("pass either a server or a storage backend, not both")
         return cls(key, server, scheme, rng=rng, scheme_options=scheme_options)
 
+    @classmethod
+    def connect(
+        cls,
+        provider,
+        key: SecretKey | bytes | None = None,
+        scheme: str = "swp",
+        *,
+        rng: RandomSource | None = None,
+        scheme_options: dict | None = None,
+        pool_size: int = 4,
+        timeout: float | None = 30.0,
+    ) -> "EncryptedDatabase":
+        """Open a session against a provider given by URL (or server object).
+
+        A ``"tcp://host:port"`` URL transparently targets a remote provider
+        (one started with ``repro serve``, see :mod:`repro.net`): the session
+        speaks the same protocol frames as an in-process one, only carried
+        over a socket by a pooled :class:`~repro.net.client.RemoteServerProxy`.
+        ``pool_size`` and ``timeout`` configure that pool and are rejected
+        for non-URL providers (configure the server object directly).
+
+        Anything that is not a URL string is treated as a server object and
+        handed to :meth:`open` unchanged, so call sites can take "where is
+        the provider" as a single configuration value.
+        """
+        owns_proxy = isinstance(provider, str)
+        if owns_proxy:
+            from repro.net.client import RemoteError, RemoteServerProxy
+
+            try:
+                provider = RemoteServerProxy.connect(
+                    provider, pool_size=pool_size, timeout=timeout
+                )
+            except RemoteError as exc:
+                raise DatabaseError(str(exc)) from exc
+        elif (pool_size, timeout) != (4, 30.0):
+            raise DatabaseError(
+                "pool_size/timeout apply to tcp:// URLs only; "
+                "configure the server object directly"
+            )
+        try:
+            return cls.open(
+                key, server=provider, scheme=scheme, rng=rng, scheme_options=scheme_options
+            )
+        except BaseException:
+            if owns_proxy:
+                provider.close()  # don't leak the handshaken connection pool
+            raise
+
     # ------------------------------------------------------------------ #
     # Session properties
     # ------------------------------------------------------------------ #
@@ -148,6 +200,22 @@ class EncryptedDatabase:
     def tables(self) -> tuple[str, ...]:
         """Names of the tables created in this session."""
         return tuple(self._tables)
+
+    def close(self) -> None:
+        """Release the session's transport resources (a no-op in-process).
+
+        Remote sessions close their connection pool; the provider keeps the
+        stored relations, so a later session can :meth:`attach_table` them.
+        """
+        closer = getattr(self._server, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "EncryptedDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def table(self, name: str) -> TableHandle:
         """The handle of one table."""

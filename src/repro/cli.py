@@ -16,16 +16,25 @@ the CLI exposes the reproduction's main entry points without writing any code:
     Run one of the paper's attacks (``salary-pair``, ``hospital``, ``john``)
     and report the outcome.
 
+``serve``
+    Run a standalone untrusted provider over TCP (see :mod:`repro.net`),
+    optionally file-backed, until interrupted.  Sessions connect with
+    ``EncryptedDatabase.connect("tcp://host:port")``.
+
 Examples::
 
     python -m repro.cli experiments --only E1 E4
     python -m repro.cli demo --scheme swp --size 500
     python -m repro.cli attack hospital --size 2000
+    python -m repro.cli serve --port 7707 --data-dir /var/lib/repro
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import contextlib
+import signal
 import sys
 from typing import Sequence
 
@@ -130,6 +139,51 @@ def command_attack(args: argparse.Namespace) -> int:
     return 2
 
 
+def command_serve(args: argparse.Namespace) -> int:
+    """Run a standalone TCP provider until interrupted."""
+    from repro.net.server import DatabaseTcpServer
+    from repro.outsourcing import (
+        FileStorageBackend,
+        OutsourcedDatabaseServer,
+        ServerAuditLog,
+    )
+
+    storage = FileStorageBackend(args.data_dir) if args.data_dir else None
+    database = OutsourcedDatabaseServer(
+        # A long-running provider caps its observation log; the full view
+        # only matters to the in-process security experiments.
+        audit_log=ServerAuditLog(max_events=args.max_audit_events),
+        storage=storage,
+    )
+    tcp = DatabaseTcpServer(
+        database,
+        host=args.host,
+        port=args.port,
+        max_frame_size=args.max_frame_size,
+    )
+
+    async def _serve() -> None:
+        await tcp.start()
+        host, port = tcp.address
+        where = f"{len(database.relation_names)} relation(s) on disk" if storage else "in-memory"
+        print(f"repro provider listening on tcp://{host}:{port} ({where})", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("repro provider shutting down...", flush=True)
+        await tcp.stop()
+        print(f"repro provider stopped: {tcp.stats.throughput_summary()}", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # platforms without signal-handler support land here
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -156,6 +210,18 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--trials", type=int, default=100, help="game trials for salary-pair")
     attack.add_argument("--seed", type=int, default=0)
     attack.set_defaults(handler=command_attack)
+
+    serve = subparsers.add_parser("serve", help="run a standalone TCP provider")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7707,
+                       help="bind port (0 picks an ephemeral one)")
+    serve.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="persist relations as files under DIR (default in-memory)")
+    serve.add_argument("--max-audit-events", type=int, default=10_000,
+                       help="ring-buffer cap on the provider's audit log")
+    serve.add_argument("--max-frame-size", type=int, default=64 * 1024 * 1024,
+                       help="reject frames larger than this many bytes")
+    serve.set_defaults(handler=command_serve)
 
     return parser
 

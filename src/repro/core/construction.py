@@ -289,6 +289,16 @@ class SearchableServerEvaluator(ServerEvaluator):
         """Identifier matched against :attr:`EncryptedQuery.scheme_name`."""
         return self._backend
 
+    def describe(self) -> dict:
+        """Public parameters for remote deployment (no key material)."""
+        return {
+            "type": "searchable",
+            "backend": self._backend,
+            "word_length": self._word_length,
+            "check_length": self._check_length,
+            "entry_length": self._entry_length,
+        }
+
     def evaluate(
         self, encrypted_query: EncryptedQuery, encrypted_relation: EncryptedRelation
     ) -> EvaluationResult:

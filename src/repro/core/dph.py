@@ -164,6 +164,19 @@ class ServerEvaluator(ABC):
     ) -> EvaluationResult:
         """Apply the encrypted query to the encrypted relation."""
 
+    def describe(self) -> dict:
+        """JSON-able public parameters from which the evaluator can be rebuilt.
+
+        A remote provider cannot receive evaluator *objects*; it receives
+        this description and reconstructs the evaluator locally
+        (:mod:`repro.net.evaluators`).  The description must therefore
+        contain public parameters only -- never key material.
+        """
+        raise DphError(
+            f"evaluator {type(self).__name__} does not describe itself for "
+            "remote deployment"
+        )
+
 
 @dataclass(frozen=True)
 class DecryptionReport:

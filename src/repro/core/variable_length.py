@@ -189,6 +189,13 @@ class VariableWidthServerEvaluator(ServerEvaluator):
         """Identifier matched against :attr:`EncryptedQuery.scheme_name`."""
         return VARIABLE_BACKEND
 
+    def describe(self) -> dict:
+        """Public parameters for remote deployment (no key material)."""
+        return {
+            "type": "variable-width",
+            "attribute_parameters": [list(pair) for pair in self._parameters],
+        }
+
     def evaluate(
         self, encrypted_query: EncryptedQuery, encrypted_relation: EncryptedRelation
     ) -> EvaluationResult:

@@ -1,0 +1,107 @@
+"""``repro.net`` -- the TCP serving layer of the outsourced database.
+
+Until this subsystem existed, client (Alex) and provider (Eve) lived in one
+process: :meth:`~repro.outsourcing.server.OutsourcedDatabaseServer.handle_message`
+already spoke byte-level protocol frames, but nothing carried them across a
+machine boundary.  ``repro.net`` is that missing transport, in three layers:
+
+**Framing** (:mod:`repro.net.framing`)
+    Length-prefixed frames over a byte stream, with a strict size ceiling
+    and eager rejection of truncated, oversized or garbage input.  A
+    one-byte channel tag multiplexes *envelope* frames (opaque protocol
+    v1/v2 messages, exactly the bytes ``handle_message`` consumes) and
+    *control* frames (JSON session management) on one connection.  The
+    decoder is sans-IO, shared by both endpoints.
+
+**Provider side** (:mod:`repro.net.server`)
+    :class:`~repro.net.server.DatabaseTcpServer`: an asyncio server hosting
+    one :class:`~repro.outsourcing.server.OutsourcedDatabaseServer` for many
+    concurrent connections.  Each connection starts with a hello exchange
+    that negotiates the protocol version; envelope dispatch runs on a
+    dedicated worker thread so a heavy query never blocks other
+    connections' I/O; shutdown drains in-flight requests.  Per-connection and aggregate stats are kept,
+    and ``repro serve`` (see :mod:`repro.cli`) runs the whole thing as a
+    standalone process over any registered storage backend.
+
+**Client side** (:mod:`repro.net.client`)
+    :class:`~repro.net.client.RemoteServerProxy`: a blocking proxy with a
+    bounded connection pool that satisfies the same duck-type
+    :class:`~repro.api.EncryptedDatabase` and
+    :class:`~repro.outsourcing.client.OutsourcingClient` already use, so
+    ``EncryptedDatabase.connect("tcp://host:port")`` transparently targets
+    a remote provider.  Dead connections (provider restarts) are retried
+    once on a fresh socket.
+
+Evaluator deployment is the one operation that cannot ship objects across
+the wire; :mod:`repro.net.evaluators` serializes evaluators as allowlisted
+public-parameter descriptions instead -- the provider reconstructs the
+keyless code locally, and key material never has a representation on the
+wire.
+
+Trust boundary: the transport moves exactly the bytes the in-process path
+already produced.  Eve's view over TCP is Eve's view in-process plus
+traffic metadata (frame sizes and timing), which the paper's model already
+concedes to her.
+"""
+
+from repro.net.client import (
+    ConnectionLostError,
+    ConnectionPool,
+    RemoteConnection,
+    RemoteError,
+    RemoteServerProxy,
+    parse_tcp_url,
+)
+from repro.net.evaluators import (
+    EvaluatorDescriptionError,
+    build_evaluator,
+    describe_evaluator,
+    register_evaluator_type,
+)
+from repro.net.framing import (
+    CHANNEL_CONTROL,
+    CHANNEL_ENVELOPE,
+    DEFAULT_MAX_FRAME_SIZE,
+    Frame,
+    FrameDecoder,
+    FramingError,
+    OversizedFrameError,
+    TruncatedFrameError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.net.server import (
+    ConnectionStats,
+    DatabaseTcpServer,
+    TcpServerStats,
+    ThreadedTcpServer,
+)
+
+__all__ = [
+    "ConnectionLostError",
+    "ConnectionPool",
+    "RemoteConnection",
+    "RemoteError",
+    "RemoteServerProxy",
+    "parse_tcp_url",
+    "EvaluatorDescriptionError",
+    "build_evaluator",
+    "describe_evaluator",
+    "register_evaluator_type",
+    "CHANNEL_CONTROL",
+    "CHANNEL_ENVELOPE",
+    "DEFAULT_MAX_FRAME_SIZE",
+    "Frame",
+    "FrameDecoder",
+    "FramingError",
+    "OversizedFrameError",
+    "TruncatedFrameError",
+    "encode_frame",
+    "recv_frame",
+    "send_frame",
+    "ConnectionStats",
+    "DatabaseTcpServer",
+    "TcpServerStats",
+    "ThreadedTcpServer",
+]

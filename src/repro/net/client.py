@@ -1,0 +1,512 @@
+"""Client side of the TCP transport: connections, pool, and the proxy.
+
+:class:`RemoteServerProxy` is the piece that makes the network transparent:
+it exposes the same duck-type as
+:class:`~repro.outsourcing.server.OutsourcedDatabaseServer` -- the
+byte-level :meth:`~RemoteServerProxy.handle_message` plus the management
+calls (:meth:`~RemoteServerProxy.register_evaluator`,
+:attr:`~RemoteServerProxy.relation_names`,
+:meth:`~RemoteServerProxy.stored_relation`, ...) -- so
+:class:`~repro.api.EncryptedDatabase` and
+:class:`~repro.outsourcing.client.OutsourcingClient` drive a remote
+provider with the code paths they already use in-process.
+
+Connections are blocking sockets behind a bounded :class:`ConnectionPool`,
+so several threads can issue queries concurrently, each on its own
+connection.  Every new connection performs the hello handshake (the server's
+advertised protocol versions feed the session's
+:func:`~repro.outsourcing.protocol.negotiate_version`).  A call that hits a
+dead connection -- the provider restarted, an idle socket timed out -- is
+retried once on a fresh connection before the error surfaces.
+
+Errors raised here subclass
+:class:`~repro.outsourcing.server.ServerError`, so the facade's existing
+error translation applies unchanged to remote sessions.
+"""
+
+from __future__ import annotations
+
+import base64
+import contextlib
+import json
+import socket
+import threading
+from typing import Sequence
+from urllib.parse import urlsplit
+
+from repro.core.dph import (
+    EncryptedQuery,
+    EncryptedRelation,
+    EncryptedTuple,
+    EvaluationResult,
+    ServerEvaluator,
+)
+from repro.net.evaluators import describe_evaluator
+from repro.net.framing import (
+    CHANNEL_CONTROL,
+    CHANNEL_ENVELOPE,
+    DEFAULT_MAX_FRAME_SIZE,
+    Frame,
+    FramingError,
+    recv_frame,
+    send_frame,
+)
+from repro.outsourcing import protocol
+from repro.outsourcing.protocol import (
+    Message,
+    MessageKind,
+    MessageV2,
+    PROTOCOL_V1,
+    SUPPORTED_VERSIONS,
+)
+from repro.outsourcing.server import ServerError
+
+
+class RemoteError(ServerError):
+    """A remote provider operation failed (subclasses the in-process error)."""
+
+
+class ConnectionLostError(RemoteError):
+    """The transport died mid-call; callers may retry on a fresh socket.
+
+    ``request_delivered`` distinguishes failures where the request frame had
+    already been handed to the kernel (the provider *may* have processed it)
+    from failures before any byte left -- the proxy only auto-retries
+    non-idempotent operations in the latter case.
+    """
+
+    def __init__(self, message: str, request_delivered: bool = False) -> None:
+        super().__init__(message)
+        self.request_delivered = request_delivered
+
+
+def parse_tcp_url(url: str) -> tuple[str, int]:
+    """Split ``tcp://host:port`` into its parts, strictly."""
+    parts = urlsplit(url)
+    if parts.scheme != "tcp":
+        raise RemoteError(f"unsupported provider URL scheme {parts.scheme!r} (want tcp://)")
+    try:
+        hostname, port = parts.hostname, parts.port
+    except ValueError as exc:  # non-numeric or out-of-range port
+        raise RemoteError(f"provider URL {url!r}: {exc}") from exc
+    if not hostname or port is None:
+        raise RemoteError(f"provider URL {url!r} needs both a host and a port")
+    if parts.path or parts.query or parts.fragment:
+        raise RemoteError(f"provider URL {url!r} carries an unexpected path")
+    return hostname, port
+
+
+class RemoteConnection:
+    """One blocking framed connection, hello-negotiated at construction."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 30.0,
+        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+        client_versions: Sequence[int] = SUPPORTED_VERSIONS,
+    ) -> None:
+        self._max_frame_size = max_frame_size
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"cannot connect to provider at {host}:{port}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            hello = self.call_control("hello", versions=list(client_versions))
+        except RemoteError:
+            self.close()
+            raise
+        self.server_versions: tuple[int, ...] = tuple(hello.get("versions", ()))
+        self.negotiated_version: int = int(hello["version"])
+        self.server_software: str = str(hello.get("server", "unknown"))
+        self.server_max_frame_size: int = int(hello.get("max_frame_size", max_frame_size))
+
+    def call_envelope(self, raw: bytes) -> bytes:
+        """One protocol round trip: envelope bytes out, envelope bytes back."""
+        frame = self._round_trip(raw, CHANNEL_ENVELOPE)
+        if frame.channel == CHANNEL_CONTROL:
+            # The server only answers an envelope with a control frame to
+            # report a fatal transport-level failure before closing.
+            raise RemoteError(self._control_error(frame.payload))
+        return frame.payload
+
+    def call_control(self, op: str, **fields) -> dict:
+        """One control round trip; returns the response object on ``ok``."""
+        request = {"op": op, **fields}
+        frame = self._round_trip(
+            json.dumps(request).encode("utf-8"), CHANNEL_CONTROL
+        )
+        if frame.channel != CHANNEL_CONTROL:
+            raise RemoteError(f"provider answered control op {op!r} on the wrong channel")
+        try:
+            response = json.loads(frame.payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise RemoteError(f"malformed control response: {exc}") from exc
+        if not isinstance(response, dict):
+            raise RemoteError("malformed control response: not an object")
+        if not response.get("ok"):
+            raise RemoteError(str(response.get("error", "unspecified provider error")))
+        return response
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+    def _round_trip(self, payload: bytes, channel: int) -> Frame:
+        delivered = False
+        try:
+            send_frame(
+                self._sock, payload, channel=channel, max_frame_size=self._max_frame_size
+            )
+            delivered = True
+            frame = recv_frame(self._sock, max_frame_size=self._max_frame_size)
+        except (OSError, FramingError) as exc:
+            raise ConnectionLostError(
+                f"provider connection failed: {exc}", request_delivered=delivered
+            ) from exc
+        if frame is None:
+            raise ConnectionLostError(
+                "provider closed the connection", request_delivered=True
+            )
+        return frame
+
+    @staticmethod
+    def _control_error(payload: bytes) -> str:
+        try:
+            response = json.loads(payload.decode("utf-8"))
+            return str(response.get("error", "unspecified provider error"))
+        except (ValueError, UnicodeDecodeError):
+            return "unreadable provider error"
+
+
+class ConnectionPool:
+    """A bounded pool of :class:`RemoteConnection` for concurrent callers.
+
+    ``max_size`` caps *concurrent* checkouts (a semaphore); idle connections
+    are reused most-recently-returned first.  A connection that fails inside
+    :meth:`checkout` is discarded, never returned to the pool.
+    """
+
+    def __init__(self, factory, max_size: int = 4) -> None:
+        if max_size < 1:
+            raise ValueError("a connection pool needs max_size >= 1")
+        self._factory = factory
+        self._slots = threading.Semaphore(max_size)
+        self._lock = threading.Lock()
+        self._idle: list[RemoteConnection] = []
+        self._closed = False
+
+    @contextlib.contextmanager
+    def checkout(self):
+        """Borrow a connection; broken ones are dropped on the way out.
+
+        A :class:`RemoteError` that is not a :class:`ConnectionLostError`
+        means a round trip *completed* and the provider answered ``ok:
+        false`` -- the connection is healthy and goes back to the pool.
+        Anything else (transport failure, unexpected caller error) leaves
+        the connection in an unknown state, so it is closed instead.
+        """
+        self._slots.acquire()
+        connection = None
+        reusable = False
+        try:
+            with self._lock:
+                if self._closed:
+                    raise RemoteError("the connection pool is closed")
+                if self._idle:
+                    connection = self._idle.pop()
+            if connection is None:
+                connection = self._factory()
+            yield connection
+            reusable = True
+        except ConnectionLostError:
+            raise
+        except RemoteError:
+            reusable = connection is not None
+            raise
+        finally:
+            if connection is not None:
+                if reusable:
+                    with self._lock:
+                        if self._closed:
+                            connection.close()
+                        else:
+                            self._idle.append(connection)
+                else:
+                    connection.close()
+            self._slots.release()
+
+    def discard_idle(self) -> None:
+        """Drop every idle connection (e.g. after a provider restart)."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+    def close(self) -> None:
+        """Close the pool and every idle connection."""
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for connection in idle:
+            connection.close()
+
+
+class RemoteServerProxy:
+    """A remote provider behind the :class:`OutsourcedDatabaseServer` duck-type."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 4,
+        timeout: float | None = 30.0,
+        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+        client_versions: Sequence[int] = SUPPORTED_VERSIONS,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._max_frame_size = max_frame_size
+        self._client_versions = tuple(client_versions)
+        self._pool = ConnectionPool(self._new_connection, max_size=pool_size)
+        # Handshake eagerly: fail fast on a bad address, and learn the
+        # server's protocol versions for the session's negotiation.
+        with self._pool.checkout() as connection:
+            self._server_versions = connection.server_versions
+            self._negotiated_version = connection.negotiated_version
+            self._server_software = connection.server_software
+
+    @classmethod
+    def connect(cls, url: str, **kwargs) -> "RemoteServerProxy":
+        """Open a proxy from a ``tcp://host:port`` URL."""
+        host, port = parse_tcp_url(url)
+        return cls(host, port, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The provider's ``(host, port)``."""
+        return self._host, self._port
+
+    @property
+    def server_software(self) -> str:
+        """What the provider announced in its hello response."""
+        return self._server_software
+
+    def close(self) -> None:
+        """Close the proxy's connection pool."""
+        self._pool.close()
+
+    def __enter__(self) -> "RemoteServerProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _new_connection(self) -> RemoteConnection:
+        return RemoteConnection(
+            self._host,
+            self._port,
+            timeout=self._timeout,
+            max_frame_size=self._max_frame_size,
+            client_versions=self._client_versions,
+        )
+
+    def _call(self, operation, idempotent: bool = True):
+        """Run ``operation(connection)``, retrying once on a dead connection.
+
+        Only transport-level failures (:class:`ConnectionLostError`) are
+        retried, and a non-idempotent operation is only retried when the
+        request never left this machine (``request_delivered`` is False) --
+        otherwise a provider that processed the request before dying would
+        see it applied twice.  Protocol-level errors are never retried.
+        """
+        try:
+            with self._pool.checkout() as connection:
+                return operation(connection)
+        except ConnectionLostError as exc:
+            if exc.request_delivered and not idempotent:
+                raise
+            self._pool.discard_idle()
+            with self._pool.checkout() as connection:
+                return operation(connection)
+
+    # ------------------------------------------------------------------ #
+    # The OutsourcedDatabaseServer duck-type
+    # ------------------------------------------------------------------ #
+
+    @property
+    def supported_protocol_versions(self) -> tuple[int, ...]:
+        """The versions the remote provider advertised at hello time."""
+        return self._server_versions
+
+    #: Envelope kinds whose replay would change provider state a second time.
+    #: (STORE_RELATION replaces, DELETE_TUPLES ignores unknown ids, queries
+    #: are read-only -- only INSERT_TUPLE appends blindly.)
+    NON_IDEMPOTENT_KINDS = frozenset({MessageKind.INSERT_TUPLE})
+
+    def handle_message(self, raw: bytes) -> bytes:
+        """Ship one protocol envelope and return the provider's response."""
+        kind = protocol.parse_message(raw).kind
+        return self._call(
+            lambda connection: connection.call_envelope(raw),
+            idempotent=kind not in self.NON_IDEMPOTENT_KINDS,
+        )
+
+    def register_evaluator(self, name: str, evaluator: ServerEvaluator) -> None:
+        """Deploy an evaluator remotely, by public-parameter description."""
+        description = describe_evaluator(evaluator)
+        self._call(
+            lambda connection: connection.call_control(
+                "register-evaluator", relation=name, evaluator=description
+            )
+        )
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of the relations the provider stores."""
+        response = self._call(
+            lambda connection: connection.call_control("relation-names")
+        )
+        return tuple(response.get("names", ()))
+
+    def stored_relation(self, name: str) -> EncryptedRelation:
+        """Fetch the provider's ciphertext copy of a relation."""
+        response = self._call(
+            lambda connection: connection.call_control("stored-relation", relation=name)
+        )
+        try:
+            raw = base64.b64decode(response["relation_b64"])
+        except (KeyError, ValueError) as exc:
+            raise RemoteError(f"malformed stored-relation response: {exc}") from exc
+        return protocol.decode_encrypted_relation(raw)
+
+    def tuple_count(self, name: str) -> int:
+        """Number of tuple ciphertexts the provider stores for a relation."""
+        response = self._call(
+            lambda connection: connection.call_control("tuple-count", relation=name)
+        )
+        return int(response.get("count", 0))
+
+    def drop_relation(self, name: str) -> None:
+        """Drop a relation (and its evaluator) at the provider.
+
+        Not auto-retried once delivered: replaying a drop that was applied
+        would surface a spurious "no such relation" error.
+        """
+        self._call(
+            lambda connection: connection.call_control("drop-relation", relation=name),
+            idempotent=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Object-level convenience API (what OutsourcingClient uses)
+    # ------------------------------------------------------------------ #
+
+    def store_relation(
+        self,
+        name: str,
+        encrypted_relation: EncryptedRelation,
+        evaluator: ServerEvaluator,
+    ) -> None:
+        """Deploy the evaluator, then ship the relation in one envelope."""
+        self.register_evaluator(name, evaluator)
+        self._request(
+            MessageKind.STORE_RELATION,
+            name,
+            protocol.encode_encrypted_relation(encrypted_relation),
+            expect=MessageKind.ACK,
+        )
+
+    def insert_tuple(self, name: str, encrypted_tuple: EncryptedTuple) -> None:
+        """Append one tuple ciphertext."""
+        self._request(
+            MessageKind.INSERT_TUPLE,
+            name,
+            protocol.encode_encrypted_tuple(encrypted_tuple),
+            expect=MessageKind.ACK,
+        )
+
+    def execute_query(self, name: str, encrypted_query: EncryptedQuery) -> EvaluationResult:
+        """Run one encrypted query remotely."""
+        response = self._request(
+            MessageKind.QUERY,
+            name,
+            protocol.encode_encrypted_query(encrypted_query),
+            expect=MessageKind.QUERY_RESULT,
+        )
+        if response.version == PROTOCOL_V1:
+            return EvaluationResult(
+                matching=protocol.decode_encrypted_relation(response.body)
+            )
+        result, consumed = protocol.decode_evaluation_result(response.body)
+        if consumed != len(response.body):
+            raise RemoteError("trailing bytes after evaluation result")
+        return result
+
+    def delete_tuples(self, name: str, tuple_ids: Sequence[bytes]) -> int:
+        """Delete tuple ciphertexts by public id; returns the provider's count."""
+        response = self._request(
+            MessageKind.DELETE_TUPLES,
+            name,
+            protocol.encode_tuple_ids(list(tuple_ids)),
+            expect=MessageKind.ACK,
+        )
+        return protocol.decode_count(response.body)
+
+    def execute_batch(
+        self, name: str, encrypted_queries: Sequence[EncryptedQuery]
+    ) -> list[EvaluationResult]:
+        """Run several encrypted queries in one round trip."""
+        response = self._request(
+            MessageKind.BATCH_QUERY,
+            name,
+            protocol.encode_query_batch(encrypted_queries),
+            expect=MessageKind.BATCH_RESULT,
+        )
+        return list(protocol.decode_result_batch(response.body))
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> bool:
+        """One control round trip; True when the provider answers."""
+        self._call(lambda connection: connection.call_control("ping"))
+        return True
+
+    def server_stats(self) -> dict:
+        """The provider's aggregate transport stats and audit summary."""
+        response = self._call(lambda connection: connection.call_control("stats"))
+        return {key: value for key, value in response.items() if key != "ok"}
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self, kind: MessageKind, relation_name: str, body: bytes, expect: MessageKind
+    ) -> Message | MessageV2:
+        envelope = Message if self._negotiated_version == PROTOCOL_V1 else MessageV2
+        raw = self.handle_message(
+            envelope(kind=kind, relation_name=relation_name, body=body).to_bytes()
+        )
+        response = protocol.parse_message(raw)
+        if response.kind is MessageKind.ERROR:
+            raise RemoteError(response.body.decode("utf-8", "replace"))
+        if response.kind is not expect:
+            raise RemoteError(
+                f"expected {expect.value!r} response, got {response.kind.value!r}"
+            )
+        return response

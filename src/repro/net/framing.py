@@ -1,0 +1,192 @@
+"""Length-prefixed framing of protocol envelopes on a byte stream.
+
+TCP delivers a byte stream, the outsourcing protocol exchanges discrete
+envelopes; this module is the (deliberately tiny) layer in between.  Each
+frame is::
+
+    +----------------+---------------+----------------------+
+    | length (4, BE) | channel (1 B) | payload (length-1 B) |
+    +----------------+---------------+----------------------+
+
+where ``length`` counts the channel byte plus the payload.  The channel byte
+multiplexes two kinds of traffic over one connection:
+
+* :data:`CHANNEL_ENVELOPE` -- the payload is a protocol envelope exactly as
+  :func:`repro.outsourcing.protocol.parse_message` consumes it (v1 or v2);
+  the transport never inspects it.
+* :data:`CHANNEL_CONTROL` -- the payload is a JSON control message of the
+  session layer: the hello/version handshake and the management operations
+  (evaluator deployment, relation listing, drops) that the in-process API
+  performs as direct method calls.
+
+Framing is strict by design: a frame announcing more than
+``max_frame_size`` bytes kills the connection before any allocation happens
+(a four-byte header must never make the provider reserve gigabytes), a
+zero-length frame is malformed (it cannot even carry a channel byte), and a
+stream that ends mid-frame raises :class:`TruncatedFrameError` so callers
+can distinguish a clean EOF between frames from a peer dying mid-send.
+
+:class:`FrameDecoder` is sans-IO (fed bytes, yields frames) so the asyncio
+server and the blocking client share one tested implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes of the big-endian length prefix.
+LENGTH_PREFIX_SIZE = 4
+
+#: Default ceiling on ``channel byte + payload``.  Generous enough for a
+#: whole encrypted relation in one STORE_RELATION frame, small enough that a
+#: hostile length prefix cannot make the peer allocate without bound.
+DEFAULT_MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+#: Channel tags (the byte after the length prefix).
+CHANNEL_ENVELOPE = 0x00
+CHANNEL_CONTROL = 0x01
+KNOWN_CHANNELS = (CHANNEL_ENVELOPE, CHANNEL_CONTROL)
+
+
+class FramingError(Exception):
+    """A frame violated the transport's byte-level rules."""
+
+
+class OversizedFrameError(FramingError):
+    """A length prefix announced more than the configured maximum."""
+
+
+class TruncatedFrameError(FramingError):
+    """The stream ended in the middle of a frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its channel tag and opaque payload."""
+
+    channel: int
+    payload: bytes
+
+
+def encode_frame(
+    payload: bytes,
+    channel: int = CHANNEL_ENVELOPE,
+    max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+) -> bytes:
+    """Wrap a payload into one wire frame."""
+    if channel not in KNOWN_CHANNELS:
+        raise FramingError(f"unknown frame channel {channel:#x}")
+    body_size = 1 + len(payload)
+    if body_size > max_frame_size:
+        raise OversizedFrameError(
+            f"frame of {body_size} bytes exceeds the {max_frame_size}-byte limit"
+        )
+    return body_size.to_bytes(LENGTH_PREFIX_SIZE, "big") + bytes([channel]) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser over an unbounded byte stream (sans-IO).
+
+    Feed it whatever chunks the socket produces; it yields complete frames
+    and buffers partial ones.  Errors are raised eagerly: an oversized or
+    malformed length prefix fails at header time, before the body arrives.
+    """
+
+    def __init__(self, max_frame_size: int = DEFAULT_MAX_FRAME_SIZE) -> None:
+        self._max_frame_size = max_frame_size
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb a chunk and return every frame it completes."""
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def finish(self) -> None:
+        """Signal EOF; raises if the stream died inside a frame."""
+        if self._buffer:
+            raise TruncatedFrameError(
+                f"stream ended with {len(self._buffer)} bytes of an unfinished frame"
+            )
+
+    def _next_frame(self) -> Frame | None:
+        if len(self._buffer) < LENGTH_PREFIX_SIZE:
+            return None
+        body_size = int.from_bytes(self._buffer[:LENGTH_PREFIX_SIZE], "big")
+        if body_size > self._max_frame_size:
+            raise OversizedFrameError(
+                f"frame of {body_size} bytes exceeds the "
+                f"{self._max_frame_size}-byte limit"
+            )
+        if body_size == 0:
+            raise FramingError("zero-length frame (no channel byte)")
+        if len(self._buffer) < LENGTH_PREFIX_SIZE + body_size:
+            return None
+        channel = self._buffer[LENGTH_PREFIX_SIZE]
+        if channel not in KNOWN_CHANNELS:
+            raise FramingError(f"unknown frame channel {channel:#x}")
+        payload = bytes(
+            self._buffer[LENGTH_PREFIX_SIZE + 1: LENGTH_PREFIX_SIZE + body_size]
+        )
+        del self._buffer[: LENGTH_PREFIX_SIZE + body_size]
+        return Frame(channel=channel, payload=payload)
+
+
+# --------------------------------------------------------------------------- #
+# Blocking-socket helpers (the client side)
+# --------------------------------------------------------------------------- #
+
+def send_frame(
+    sock,
+    payload: bytes,
+    channel: int = CHANNEL_ENVELOPE,
+    max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+) -> None:
+    """Send one frame over a connected blocking socket."""
+    sock.sendall(encode_frame(payload, channel=channel, max_frame_size=max_frame_size))
+
+
+def recv_frame(sock, max_frame_size: int = DEFAULT_MAX_FRAME_SIZE) -> Frame | None:
+    """Read exactly one frame from a blocking socket.
+
+    Returns ``None`` on a clean EOF *between* frames; raises
+    :class:`TruncatedFrameError` when the peer disappears mid-frame.
+    """
+    header = _recv_exactly(sock, LENGTH_PREFIX_SIZE, eof_ok=True)
+    if header is None:
+        return None
+    body_size = int.from_bytes(header, "big")
+    if body_size > max_frame_size:
+        raise OversizedFrameError(
+            f"frame of {body_size} bytes exceeds the {max_frame_size}-byte limit"
+        )
+    if body_size == 0:
+        raise FramingError("zero-length frame (no channel byte)")
+    body = _recv_exactly(sock, body_size, eof_ok=False)
+    channel = body[0]
+    if channel not in KNOWN_CHANNELS:
+        raise FramingError(f"unknown frame channel {channel:#x}")
+    return Frame(channel=channel, payload=bytes(body[1:]))
+
+
+def _recv_exactly(sock, size: int, eof_ok: bool) -> bytes | None:
+    chunks = bytearray()
+    while len(chunks) < size:
+        chunk = sock.recv(size - len(chunks))
+        if not chunk:
+            if eof_ok and not chunks:
+                return None
+            raise TruncatedFrameError(
+                f"peer closed the connection {len(chunks)}/{size} bytes into a frame"
+            )
+        chunks.extend(chunk)
+    return bytes(chunks)

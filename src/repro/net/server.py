@@ -1,0 +1,501 @@
+"""Asyncio TCP front-end of the untrusted service provider.
+
+:class:`DatabaseTcpServer` puts an
+:class:`~repro.outsourcing.server.OutsourcedDatabaseServer` behind a
+listening socket.  Each accepted connection is an independent asyncio task
+that speaks the framing of :mod:`repro.net.framing`:
+
+* the connection opens with a mandatory **hello** control exchange that
+  negotiates the protocol version
+  (:func:`repro.outsourcing.protocol.negotiate_version`) and advertises the
+  server's frame-size limit;
+* **envelope** frames are forwarded verbatim to
+  :meth:`~repro.outsourcing.server.OutsourcedDatabaseServer.handle_message`
+  on a dedicated dispatch thread (one request at a time, FIFO -- the
+  storage backends are not thread-safe -- but the event loop keeps every
+  other connection responsive while a query runs);
+* **control** frames carry the management operations the in-process API
+  performs as direct method calls: evaluator deployment (by public-parameter
+  description, see :mod:`repro.net.evaluators`), relation listing, drops,
+  counts and stats.
+
+Byte-level violations -- garbage that does not frame, oversized length
+prefixes, envelope bytes that do not parse -- are answered with one control
+error frame and a closed connection: a peer that cannot frame correctly
+cannot be trusted with further state.  Failures *inside* a well-framed
+request stay inside the protocol (``ERROR`` envelopes / ``ok: false``
+control responses) and the connection lives on.
+
+The server counts per-connection and aggregate traffic
+(:class:`ConnectionStats` / :class:`TcpServerStats`); ``repro serve`` prints
+the aggregate on shutdown and the ``stats`` control operation exposes it to
+remote clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.net import framing
+from repro.net.evaluators import EvaluatorDescriptionError, build_evaluator
+from repro.net.framing import (
+    CHANNEL_CONTROL,
+    CHANNEL_ENVELOPE,
+    DEFAULT_MAX_FRAME_SIZE,
+    FrameDecoder,
+    FramingError,
+)
+from repro.outsourcing.protocol import ProtocolError, negotiate_version
+from repro.outsourcing.server import OutsourcedDatabaseServer, ServerError
+from repro.outsourcing.storage import StorageError
+
+#: Identifier the server announces in its hello response.
+SERVER_SOFTWARE = "repro-provider"
+
+
+@dataclass
+class ConnectionStats:
+    """Traffic counters of one client connection."""
+
+    peer: str = ""
+    frames_received: int = 0
+    frames_sent: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    envelope_frames: int = 0
+    control_frames: int = 0
+    negotiated_version: int | None = None
+    #: True while a frame is being served (shutdown only waits for these).
+    busy: bool = False
+
+
+@dataclass
+class TcpServerStats:
+    """Aggregate counters across the server's lifetime."""
+
+    connections_total: int = 0
+    connections_active: int = 0
+    frames_received: int = 0
+    frames_sent: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    envelope_frames: int = 0
+    control_frames: int = 0
+    framing_errors: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot (what the ``stats`` control operation returns)."""
+        return dict(self.__dict__)
+
+    def throughput_summary(self) -> str:
+        """One-line human summary (printed by ``repro serve`` on shutdown)."""
+        return (
+            f"{self.connections_total} connection(s), "
+            f"{self.frames_received} frame(s) in / {self.frames_sent} out, "
+            f"{self.bytes_received} B in / {self.bytes_sent} B out, "
+            f"{self.framing_errors} framing error(s)"
+        )
+
+
+class DatabaseTcpServer:
+    """One provider process serving many concurrent TCP clients."""
+
+    def __init__(
+        self,
+        database_server: OutsourcedDatabaseServer | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+    ) -> None:
+        self._database = (
+            database_server if database_server is not None else OutsourcedDatabaseServer()
+        )
+        self._requested_host = host
+        self._requested_port = port
+        self._max_frame_size = max_frame_size
+        # handle_message and the storage backends are synchronous and not
+        # thread-safe, so dispatch is a single worker thread: the event loop
+        # (and with it every other connection's I/O) stays responsive while
+        # a query runs, and requests execute one at a time in FIFO order.
+        # True dispatch parallelism needs per-relation locking first -- the
+        # natural follow-up once relations shard across backends.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-net-dispatch"
+        )
+        self._asyncio_server: asyncio.AbstractServer | None = None
+        self._connections: dict[asyncio.Task, ConnectionStats] = {}
+        self._stats = TcpServerStats()
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def database_server(self) -> OutsourcedDatabaseServer:
+        """The wrapped provider (storage, evaluators, audit log)."""
+        return self._database
+
+    @property
+    def stats(self) -> TcpServerStats:
+        """Aggregate traffic counters."""
+        return self._stats
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``; available once started."""
+        if self._asyncio_server is None:
+            raise RuntimeError("server is not started")
+        sockname = self._asyncio_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` for an ephemeral one)."""
+        return self.address[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._asyncio_server is not None:
+            raise RuntimeError("server is already started")
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, self._requested_host, self._requested_port
+        )
+
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop accepting, drain in-flight requests, then cut stragglers.
+
+        Idle connections (blocked waiting for the peer's next frame) are
+        closed immediately; only connections mid-request get the grace
+        period.
+        """
+        self._stopping = True
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        for task, connection in tuple(self._connections.items()):
+            if not connection.busy:
+                task.cancel()
+        tasks = tuple(self._connections)
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=drain_timeout)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        """Start (when needed) and serve until cancelled."""
+        if self._asyncio_server is None:
+            await self.start()
+        try:
+            await self._asyncio_server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        peername = writer.get_extra_info("peername")
+        connection = ConnectionStats(peer=str(peername))
+        if task is not None:
+            self._connections[task] = connection
+        self._stats.connections_total += 1
+        self._stats.connections_active += 1
+        decoder = FrameDecoder(self._max_frame_size)
+        try:
+            while not self._stopping:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                try:
+                    frames = decoder.feed(chunk)
+                except FramingError as exc:
+                    self._stats.framing_errors += 1
+                    await self._send_control(
+                        writer, connection, {"ok": False, "error": str(exc)}
+                    )
+                    break
+                fatal = False
+                connection.busy = True
+                try:
+                    for frame in frames:
+                        connection.frames_received += 1
+                        self._stats.frames_received += 1
+                        if not await self._serve_frame(writer, connection, frame):
+                            fatal = True
+                            break
+                finally:
+                    connection.busy = False
+                if fatal:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutdown cut this connection deliberately
+        finally:
+            self._stats.connections_active -= 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            if task is not None:
+                self._connections.pop(task, None)
+
+    async def _serve_frame(
+        self,
+        writer: asyncio.StreamWriter,
+        connection: ConnectionStats,
+        frame: framing.Frame,
+    ) -> bool:
+        """Answer one frame; returns False when the connection must close."""
+        frame_size = len(frame.payload) + framing.LENGTH_PREFIX_SIZE + 1
+        connection.bytes_received += frame_size
+        self._stats.bytes_received += frame_size
+        if frame.channel == CHANNEL_CONTROL:
+            connection.control_frames += 1
+            self._stats.control_frames += 1
+            return await self._serve_control(writer, connection, frame.payload)
+        connection.envelope_frames += 1
+        self._stats.envelope_frames += 1
+        if connection.negotiated_version is None:
+            await self._send_control(
+                writer,
+                connection,
+                {"ok": False, "error": "the first frame must be a hello"},
+            )
+            return False
+        try:
+            response = await self._dispatch(
+                self._database.handle_message, frame.payload
+            )
+        except ProtocolError as exc:
+            # handle_message could not even frame the request (garbage
+            # envelope): protocol violation, not a servable error.
+            await self._send_control(writer, connection, {"ok": False, "error": str(exc)})
+            return False
+        await self._send(writer, connection, response, CHANNEL_ENVELOPE)
+        return True
+
+    async def _serve_control(
+        self, writer: asyncio.StreamWriter, connection: ConnectionStats, payload: bytes
+    ) -> bool:
+        try:
+            request = json.loads(payload.decode("utf-8"))
+            if not isinstance(request, dict) or "op" not in request:
+                raise ValueError("control messages are objects with an 'op' field")
+        except (ValueError, UnicodeDecodeError) as exc:
+            await self._send_control(
+                writer, connection, {"ok": False, "error": f"malformed control frame: {exc}"}
+            )
+            return False
+        op = request["op"]
+        if op == "hello":
+            return await self._serve_hello(writer, connection, request)
+        if connection.negotiated_version is None:
+            await self._send_control(
+                writer,
+                connection,
+                {"ok": False, "error": "the first frame must be a hello"},
+            )
+            return False
+        try:
+            response = await self._dispatch(self._control_operation, request)
+        except (ServerError, StorageError, EvaluatorDescriptionError, ProtocolError) as exc:
+            response = {"ok": False, "error": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            response = {"ok": False, "error": f"malformed {op!r} request: {exc}"}
+        await self._send_control(writer, connection, response)
+        return True
+
+    async def _serve_hello(
+        self, writer: asyncio.StreamWriter, connection: ConnectionStats, request: dict
+    ) -> bool:
+        try:
+            client_versions = [int(v) for v in request["versions"]]
+            version = negotiate_version(
+                client_versions, self._database.supported_protocol_versions
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            await self._send_control(
+                writer, connection, {"ok": False, "error": f"malformed hello: {exc}"}
+            )
+            return False
+        except ProtocolError as exc:
+            await self._send_control(writer, connection, {"ok": False, "error": str(exc)})
+            return False
+        connection.negotiated_version = version
+        await self._send_control(
+            writer,
+            connection,
+            {
+                "ok": True,
+                "version": version,
+                "versions": list(self._database.supported_protocol_versions),
+                "server": SERVER_SOFTWARE,
+                "max_frame_size": self._max_frame_size,
+            },
+        )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Control operations (executed on the dispatch pool, under the lock)
+    # ------------------------------------------------------------------ #
+
+    def _control_operation(self, request: dict) -> dict:
+        op = request["op"]
+        if op == "ping":
+            return {"ok": True}
+        if op == "relation-names":
+            return {"ok": True, "names": list(self._database.relation_names)}
+        if op == "register-evaluator":
+            evaluator = build_evaluator(request["evaluator"])
+            self._database.register_evaluator(str(request["relation"]), evaluator)
+            return {"ok": True}
+        if op == "stored-relation":
+            from repro.outsourcing.protocol import encode_encrypted_relation
+
+            encoded = encode_encrypted_relation(
+                self._database.stored_relation(str(request["relation"]))
+            )
+            return {"ok": True, "relation_b64": base64.b64encode(encoded).decode("ascii")}
+        if op == "tuple-count":
+            return {
+                "ok": True,
+                "count": self._database.tuple_count(str(request["relation"])),
+            }
+        if op == "drop-relation":
+            self._database.drop_relation(str(request["relation"]))
+            return {"ok": True}
+        if op == "stats":
+            return {
+                "ok": True,
+                "stats": self._stats.as_dict(),
+                "audit": self._database.audit_log.summary(),
+                "relations": list(self._database.relation_names),
+            }
+        raise ServerError(f"unknown control operation {op!r}")
+
+    async def _dispatch(self, func, argument):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, func, argument)
+
+    # ------------------------------------------------------------------ #
+    # Frame output
+    # ------------------------------------------------------------------ #
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        connection: ConnectionStats,
+        payload: bytes,
+        channel: int,
+    ) -> None:
+        frame = framing.encode_frame(
+            payload, channel=channel, max_frame_size=self._max_frame_size
+        )
+        connection.frames_sent += 1
+        connection.bytes_sent += len(frame)
+        self._stats.frames_sent += 1
+        self._stats.bytes_sent += len(frame)
+        writer.write(frame)
+        await writer.drain()
+
+    async def _send_control(
+        self, writer: asyncio.StreamWriter, connection: ConnectionStats, message: dict
+    ) -> None:
+        with contextlib.suppress(ConnectionError):
+            await self._send(
+                writer,
+                connection,
+                json.dumps(message).encode("utf-8"),
+                CHANNEL_CONTROL,
+            )
+
+
+class ThreadedTcpServer:
+    """A :class:`DatabaseTcpServer` on a background thread's event loop.
+
+    The blocking-world harness for tests, benchmarks and embedding: enter the
+    context manager, connect to :attr:`port`, leave and the server shuts
+    down gracefully.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        self.server = DatabaseTcpServer(*args, **kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port."""
+        return self.server.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self.server.address
+
+    def start(self) -> "ThreadedTcpServer":
+        """Start the loop thread and wait until the socket is bound."""
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise RuntimeError("TCP server failed to start") from self._startup_error
+        return self
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Stop the server and join the loop thread."""
+        if self._loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(drain_timeout), self._loop
+        )
+        try:
+            future.result(timeout=drain_timeout + 5.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)
+            self._loop = None
+            self._thread = None
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to the caller
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def __enter__(self) -> "ThreadedTcpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

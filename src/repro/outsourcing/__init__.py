@@ -6,6 +6,10 @@
   ciphertext objects the two exchange;
 * :mod:`repro.outsourcing.audit` -- the provider's observation log (the raw
   material of every attack in :mod:`repro.security`).
+
+The layer is transport-agnostic: :mod:`repro.net` carries the same protocol
+frames over TCP, putting :class:`OutsourcedDatabaseServer` behind a real
+socket (``repro serve``) without this package knowing about it.
 """
 
 from repro.outsourcing.audit import AuditEvent, AuditEventKind, ServerAuditLog

@@ -11,6 +11,7 @@ how little (or how much) an outsourced deployment reveals.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -37,19 +38,42 @@ class AuditEvent:
 
 
 class ServerAuditLog:
-    """Append-only log of everything the untrusted server observes."""
+    """Append-only log of everything the untrusted server observes.
 
-    def __init__(self) -> None:
-        self._events: list[AuditEvent] = []
+    By default the log grows without bound (the security experiments want
+    the complete adversarial view).  Long-running providers -- ``repro
+    serve`` in particular -- pass ``max_events`` to cap it as a ring buffer:
+    the newest ``max_events`` observations are retained, older ones are
+    discarded, and :attr:`dropped_events` counts what fell off.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be a positive integer (or None)")
+        self._max_events = max_events
+        self._events: deque[AuditEvent] = deque(maxlen=max_events)
+        self._dropped = 0
+
+    @property
+    def max_events(self) -> int | None:
+        """The ring-buffer capacity, or ``None`` for an unbounded log."""
+        return self._max_events
+
+    @property
+    def dropped_events(self) -> int:
+        """Events discarded because the ring buffer was full."""
+        return self._dropped
 
     @property
     def events(self) -> tuple[AuditEvent, ...]:
-        """All recorded events, oldest first."""
+        """All retained events, oldest first."""
         return tuple(self._events)
 
     def record(self, kind: AuditEventKind, relation_name: str, **detail) -> AuditEvent:
-        """Append an event."""
+        """Append an event (evicting the oldest when the buffer is capped)."""
         event = AuditEvent(kind=kind, relation_name=relation_name, detail=dict(detail))
+        if self._max_events is not None and len(self._events) == self._max_events:
+            self._dropped += 1
         self._events.append(event)
         return event
 

@@ -15,7 +15,10 @@ storage-overhead experiment E9 measures.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pathlib
+import tempfile
 from abc import ABC, abstractmethod
 
 from repro.core.dph import EncryptedRelation, EncryptedTuple
@@ -124,10 +127,36 @@ class FileStorageBackend(StorageBackend):
         return self._directory / f"{name.encode('utf-8').hex()}{self.SUFFIX}"
 
     def save(self, name: str, encrypted_relation: EncryptedRelation) -> None:
+        """Write to a temporary file, then rename into place.
+
+        ``os.replace`` is atomic on POSIX and Windows, so a crash mid-save
+        leaves either the previous relation file or the new one -- never a
+        half-written ciphertext.  The temporary file carries a ``.tmp``
+        suffix so it can never be mistaken for a relation by :meth:`names`.
+        """
+        payload = encode_encrypted_relation(encrypted_relation)
+        path = self._path(name)
+        tmp_fd = tmp_path = None
         try:
-            self._path(name).write_bytes(encode_encrypted_relation(encrypted_relation))
+            tmp_fd, tmp_path = tempfile.mkstemp(
+                dir=self._directory, prefix=f".{path.name}.", suffix=".tmp"
+            )
+            with os.fdopen(tmp_fd, "wb") as handle:
+                tmp_fd = None  # fdopen owns the descriptor now
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+            tmp_path = None
         except OSError as exc:
             raise StorageError(f"cannot save relation {name!r}: {exc}") from exc
+        finally:
+            if tmp_fd is not None:
+                with contextlib.suppress(OSError):
+                    os.close(tmp_fd)
+            if tmp_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_path)
 
     def load(self, name: str) -> EncryptedRelation:
         path = self._path(name)

@@ -167,6 +167,10 @@ class FieldMatchEvaluator(ServerEvaluator):
         """Identifier matched against :attr:`EncryptedQuery.scheme_name`."""
         return self._scheme_name
 
+    def describe(self) -> dict:
+        """Public parameters for remote deployment (no key material)."""
+        return {"type": "field-match", "scheme_name": self._scheme_name}
+
     def evaluate(
         self, encrypted_query: EncryptedQuery, encrypted_relation: EncryptedRelation
     ) -> EvaluationResult:

@@ -27,11 +27,41 @@ ROWS = [
 ]
 
 
+@pytest.fixture(scope="module")
+def tcp_provider():
+    """One TCP provider shared by every remote-transport test in this module."""
+    from repro.net import ThreadedTcpServer
+
+    with ThreadedTcpServer() as server:
+        yield server
+
+
+@pytest.fixture(params=["in-process", "tcp"])
+def transport(request):
+    """Whether the session talks to the provider directly or over a socket."""
+    return request.param
+
+
 @pytest.fixture(params=available_schemes())
-def db(request, secret_key, rng):
-    session = EncryptedDatabase.open(secret_key, scheme=request.param, rng=rng)
-    session.create_table(EMP_DECL, rows=ROWS)
-    return session
+def db(request, transport, secret_key, rng):
+    if transport == "in-process":
+        session = EncryptedDatabase.open(secret_key, scheme=request.param, rng=rng)
+        session.create_table(EMP_DECL, rows=ROWS)
+        yield session
+        return
+    # The same suite over tcp:// -- the transport must be transparent.
+    provider = request.getfixturevalue("tcp_provider")
+    session = EncryptedDatabase.connect(
+        f"tcp://127.0.0.1:{provider.port}", secret_key, scheme=request.param, rng=rng
+    )
+    try:
+        session.create_table(EMP_DECL, rows=ROWS)
+        yield session
+    finally:
+        # The module-scoped provider outlives the test: clear its state.
+        for name in session.server.relation_names:
+            session.server.drop_relation(name)
+        session.close()
 
 
 class TestCrudAcrossAllSchemes:

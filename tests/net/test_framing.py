@@ -1,0 +1,125 @@
+"""Unit tests of the length-prefixed framing codec."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.net.framing import (
+    CHANNEL_CONTROL,
+    CHANNEL_ENVELOPE,
+    Frame,
+    FrameDecoder,
+    FramingError,
+    LENGTH_PREFIX_SIZE,
+    OversizedFrameError,
+    TruncatedFrameError,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+class TestEncode:
+    def test_layout(self):
+        raw = encode_frame(b"abc", channel=CHANNEL_ENVELOPE)
+        assert raw == (4).to_bytes(LENGTH_PREFIX_SIZE, "big") + b"\x00abc"
+
+    def test_empty_payload_is_legal(self):
+        raw = encode_frame(b"", channel=CHANNEL_CONTROL)
+        assert FrameDecoder().feed(raw) == [Frame(CHANNEL_CONTROL, b"")]
+
+    def test_oversized_rejected_at_encode_time(self):
+        with pytest.raises(OversizedFrameError):
+            encode_frame(b"x" * 32, max_frame_size=16)
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(FramingError):
+            encode_frame(b"x", channel=0x7F)
+
+
+class TestDecoder:
+    def test_round_trip(self):
+        decoder = FrameDecoder()
+        frames = decoder.feed(encode_frame(b"hello", channel=CHANNEL_CONTROL))
+        assert frames == [Frame(CHANNEL_CONTROL, b"hello")]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte_feeding(self):
+        raw = encode_frame(b"payload")
+        decoder = FrameDecoder()
+        collected = []
+        for index in range(len(raw)):
+            collected += decoder.feed(raw[index: index + 1])
+        assert collected == [Frame(CHANNEL_ENVELOPE, b"payload")]
+
+    def test_many_frames_in_one_chunk(self):
+        raw = b"".join(encode_frame(bytes([i])) for i in range(10))
+        frames = FrameDecoder().feed(raw)
+        assert [f.payload for f in frames] == [bytes([i]) for i in range(10)]
+
+    def test_frames_split_across_chunks(self):
+        raw = encode_frame(b"a" * 100) + encode_frame(b"b" * 100)
+        decoder = FrameDecoder()
+        frames = decoder.feed(raw[:150])
+        frames += decoder.feed(raw[150:])
+        assert [f.payload for f in frames] == [b"a" * 100, b"b" * 100]
+
+    def test_oversized_header_rejected_before_body_arrives(self):
+        huge = (2**31).to_bytes(LENGTH_PREFIX_SIZE, "big")
+        with pytest.raises(OversizedFrameError):
+            FrameDecoder(max_frame_size=1024).feed(huge)
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(FramingError, match="zero-length"):
+            FrameDecoder().feed((0).to_bytes(LENGTH_PREFIX_SIZE, "big"))
+
+    def test_unknown_channel_rejected(self):
+        raw = (2).to_bytes(LENGTH_PREFIX_SIZE, "big") + b"\x7fx"
+        with pytest.raises(FramingError, match="channel"):
+            FrameDecoder().feed(raw)
+
+    def test_finish_mid_frame_raises(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"abcdef")[:-2])
+        with pytest.raises(TruncatedFrameError):
+            decoder.finish()
+
+    def test_finish_between_frames_is_clean(self):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(b"abc"))
+        decoder.finish()
+
+
+class TestBlockingHelpers:
+    @pytest.fixture
+    def pair(self):
+        left, right = socket.socketpair()
+        yield left, right
+        left.close()
+        right.close()
+
+    def test_send_then_recv(self, pair):
+        left, right = pair
+        send_frame(left, b"ping", channel=CHANNEL_CONTROL)
+        frame = recv_frame(right)
+        assert frame == Frame(CHANNEL_CONTROL, b"ping")
+
+    def test_clean_eof_between_frames_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        left, right = pair
+        left.sendall(encode_frame(b"abcdef")[:-3])
+        left.close()
+        with pytest.raises(TruncatedFrameError):
+            recv_frame(right)
+
+    def test_oversized_rejected(self, pair):
+        left, right = pair
+        left.sendall((2**24).to_bytes(LENGTH_PREFIX_SIZE, "big"))
+        with pytest.raises(OversizedFrameError):
+            recv_frame(right, max_frame_size=1024)

@@ -1,0 +1,47 @@
+"""The audit log's optional ring-buffer cap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.outsourcing.audit import AuditEventKind, ServerAuditLog
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        log = ServerAuditLog()
+        assert log.max_events is None
+        for i in range(1000):
+            log.record(AuditEventKind.QUERY_EXECUTED, "Emp", result_size=i)
+        assert len(log) == 1000
+        assert log.dropped_events == 0
+
+    def test_cap_keeps_the_newest_events(self):
+        log = ServerAuditLog(max_events=10)
+        for i in range(25):
+            log.record(AuditEventKind.QUERY_EXECUTED, "Emp", result_size=i)
+        assert len(log) == 10
+        assert log.dropped_events == 15
+        assert [e.detail["result_size"] for e in log.events] == list(range(15, 25))
+
+    def test_cap_not_reached_drops_nothing(self):
+        log = ServerAuditLog(max_events=10)
+        for i in range(7):
+            log.record(AuditEventKind.TUPLE_INSERTED, "Emp")
+        assert len(log) == 7
+        assert log.dropped_events == 0
+
+    def test_summary_and_result_sizes_read_the_retained_window(self):
+        log = ServerAuditLog(max_events=3)
+        log.record(AuditEventKind.RELATION_STORED, "Emp", tuple_count=5)
+        for size in (1, 2, 3):
+            log.record(AuditEventKind.QUERY_EXECUTED, "Emp", result_size=size)
+        assert log.summary()["query-executed"] == 3
+        assert log.summary()["relation-stored"] == 0  # evicted
+        assert log.query_result_sizes("Emp") == [1, 2, 3]
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            ServerAuditLog(max_events=0)
+        with pytest.raises(ValueError):
+            ServerAuditLog(max_events=-5)

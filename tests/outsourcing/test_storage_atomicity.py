@@ -1,0 +1,83 @@
+"""Crash-safety of the file storage backend's save path."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.outsourcing.storage import FileStorageBackend, StorageError
+
+
+@pytest.fixture
+def backend(tmp_path, swp_dph, employee_relation):
+    storage = FileStorageBackend(tmp_path)
+    storage.save("Emp", swp_dph.encrypt_relation(employee_relation))
+    return storage
+
+
+class TestAtomicSave:
+    def test_save_replaces_atomically(self, backend, swp_dph, employee_relation):
+        before = len(backend.load("Emp"))
+        backend.save("Emp", swp_dph.encrypt_relation(employee_relation))
+        assert len(backend.load("Emp")) == before
+
+    def test_no_temp_files_survive_a_save(self, backend, tmp_path):
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".rel"]
+        assert leftovers == []
+
+    def test_crash_during_write_preserves_the_old_relation(
+        self, backend, tmp_path, swp_dph, employee_relation, monkeypatch
+    ):
+        """A failure after the bytes are partially written must not corrupt."""
+        original = backend.load("Emp")
+
+        def exploding_fsync(fd):
+            raise OSError("disk pulled mid-write")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(StorageError, match="cannot save"):
+            backend.save("Emp", swp_dph.encrypt_relation(employee_relation))
+        monkeypatch.undo()
+
+        # the stored relation is byte-identical to the pre-crash state...
+        survived = backend.load("Emp")
+        assert [t.tuple_id for t in survived] == [t.tuple_id for t in original]
+        # ...and the aborted temp file was cleaned up
+        assert [p for p in tmp_path.iterdir() if p.suffix == ".tmp"] == []
+
+    def test_crash_during_rename_preserves_the_old_relation(
+        self, backend, swp_dph, employee_relation, monkeypatch
+    ):
+        original = backend.load("Emp")
+
+        def exploding_replace(src, dst):
+            raise OSError("crashed before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(StorageError, match="cannot save"):
+            backend.save("Emp", swp_dph.encrypt_relation(employee_relation))
+        monkeypatch.undo()
+        assert [t.tuple_id for t in backend.load("Emp")] == [
+            t.tuple_id for t in original
+        ]
+
+    def test_temp_files_are_invisible_to_names(self, backend, tmp_path):
+        (tmp_path / ".deadbeef.rel.12345.tmp").write_bytes(b"partial garbage")
+        assert backend.names() == ("Emp",)
+
+    def test_fresh_save_failure_leaves_no_relation_behind(
+        self, tmp_path, swp_dph, employee_relation, monkeypatch
+    ):
+        storage = FileStorageBackend(tmp_path / "fresh")
+
+        def exploding_replace(src, dst):
+            raise OSError("crashed")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(StorageError):
+            storage.save("Emp", swp_dph.encrypt_relation(employee_relation))
+        monkeypatch.undo()
+        assert storage.names() == ()
+        with pytest.raises(StorageError):
+            storage.load("Emp")

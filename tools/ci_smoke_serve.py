@@ -1,0 +1,76 @@
+"""CI smoke test of the standalone provider.
+
+Starts ``repro serve`` as a real subprocess, runs one remote query through
+``EncryptedDatabase.connect("tcp://...")``, then shuts the provider down
+with SIGTERM and checks it exits cleanly.  Every wait is bounded so a hung
+provider fails the CI step instead of wedging it (the workflow additionally
+wraps the whole script in ``timeout``).
+
+Usage::
+
+    PYTHONPATH=src python tools/ci_smoke_serve.py
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+STARTUP_TIMEOUT_S = 30
+SHUTDOWN_TIMEOUT_S = 15
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as data_dir:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--data-dir", data_dir, "--max-audit-events", "100",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"tcp://([\d.]+):(\d+)", banner)
+            if not match:
+                print(f"FAIL: no listening banner, got {banner!r}")
+                return 1
+            url = f"tcp://{match.group(1)}:{match.group(2)}"
+            print(f"provider up at {url}")
+
+            from repro.api import EncryptedDatabase
+
+            with EncryptedDatabase.connect(url, timeout=STARTUP_TIMEOUT_S) as db:
+                db.create_table(
+                    "Smoke(name:string[10], value:int[4])",
+                    rows=[("a", 1), ("b", 2), ("c", 1)],
+                )
+                outcome = db.select("SELECT * FROM Smoke WHERE value = 1")
+                if len(outcome.relation) != 2:
+                    print(f"FAIL: expected 2 rows, got {len(outcome.relation)}")
+                    return 1
+                print("remote query answered correctly")
+
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=SHUTDOWN_TIMEOUT_S)
+            if proc.returncode != 0:
+                print(f"FAIL: provider exited {proc.returncode}\n{output}")
+                return 1
+            if "stopped" not in output:
+                print(f"FAIL: no graceful-shutdown banner\n{output}")
+                return 1
+            print(f"provider shut down cleanly: {output.strip().splitlines()[-1]}")
+            return 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
