@@ -1,0 +1,66 @@
+"""Machine-readable benchmark results.
+
+Every benchmark's human-readable table already lands in
+``benchmarks/results/<name>.txt``; this module adds a structured twin,
+``benchmarks/results/<name>.json``, so the performance trajectory of the
+repository can be tracked across commits by tooling instead of eyeballs.
+
+The JSON payload carries the rendered table (columns + rows), an optional
+``metrics`` object of headline numbers (scaling factors, throughputs), the
+benchmark's ``params`` (sizes, seeds, shard counts), and the git revision
+the numbers were produced at.  The shared :func:`write_result_json` is
+called by the ``record_table`` fixture (see ``conftest.py``), so every
+``bench_e*`` gets its JSON file without writing any plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def git_revision() -> str | None:
+    """The current commit hash, or None outside a usable git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    revision = completed.stdout.strip()
+    return revision if completed.returncode == 0 and revision else None
+
+
+def write_result_json(
+    name: str,
+    *,
+    title: str | None = None,
+    columns: list[str] | None = None,
+    rows: list[list[str]] | None = None,
+    metrics: dict | None = None,
+    params: dict | None = None,
+) -> pathlib.Path:
+    """Persist one benchmark's structured result; returns the written path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "git_rev": git_revision(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "title": title,
+        "table": {"columns": columns or [], "rows": rows or []},
+        "metrics": metrics or {},
+        "params": params or {},
+    }
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path

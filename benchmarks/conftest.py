@@ -7,7 +7,10 @@ Every benchmark regenerates one experiment table (E1-E10, see DESIGN.md) and
   factor) so a regression in the library shows up as a benchmark failure;
 * writes the rendered table to ``benchmarks/results/<experiment>.txt`` so the
   rows can be compared against ``EXPERIMENTS.md`` even when pytest captures
-  stdout.
+  stdout;
+* writes a machine-readable twin to ``benchmarks/results/<experiment>.json``
+  (table + optional headline metrics/params + git revision, see
+  ``_results.py``) so the performance trajectory is trackable by tooling.
 """
 
 from __future__ import annotations
@@ -16,17 +19,32 @@ import pathlib
 
 import pytest
 
+from _results import write_result_json
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture
 def record_table():
-    """Return a callable that persists a rendered experiment table."""
+    """Return a callable that persists a rendered experiment table.
 
-    def _record(name: str, table) -> str:
+    ``metrics`` and ``params`` are optional headline numbers and experiment
+    parameters folded into the JSON twin of the table.
+    """
+
+    def _record(name: str, table, metrics: dict | None = None,
+                params: dict | None = None) -> str:
         RESULTS_DIR.mkdir(exist_ok=True)
         rendered = table.render()
         (RESULTS_DIR / f"{name}.txt").write_text(rendered + "\n", encoding="utf-8")
+        write_result_json(
+            name,
+            title=table.title,
+            columns=list(table.columns),
+            rows=[list(row) for row in table.rows],
+            metrics=metrics,
+            params=params,
+        )
         print()
         print(rendered)
         return rendered

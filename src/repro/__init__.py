@@ -24,6 +24,11 @@ The library implements, from scratch:
   an asyncio TCP provider (``repro serve``) for many concurrent clients, and
   a pooled client proxy so ``EncryptedDatabase.connect("tcp://host:port")``
   targets a remote provider transparently;
+* the **cluster layer** (:mod:`repro.cluster`): consistent-hash sharding of
+  one logical database across many providers with scatter-gather query
+  execution and rebalancing, so
+  ``EncryptedDatabase.connect("cluster://h1:p1,h2:p2")`` targets a whole
+  fleet transparently (``repro cluster`` spawns/inspects one);
 * the **public session API** (:mod:`repro.api`): the
   :class:`~repro.api.EncryptedDatabase` facade driving any scheme registered
   in :mod:`repro.schemes.registry` through the wire protocol;
@@ -60,7 +65,7 @@ from repro.core.dph import (
 from repro.crypto.keys import SecretKey
 from repro.schemes.registry import available_schemes
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DatabaseError",

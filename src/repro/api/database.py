@@ -13,9 +13,12 @@ evaluator deployment, :meth:`EncryptedDatabase.attach_table` /
 :meth:`EncryptedDatabase.drop_table` and the debugging peeks
 (:meth:`EncryptedDatabase.retrieve_all`) -- goes through the server
 duck-type, which is either the in-process
-:class:`~repro.outsourcing.server.OutsourcedDatabaseServer` or a
+:class:`~repro.outsourcing.server.OutsourcedDatabaseServer`, a
 :class:`~repro.net.client.RemoteServerProxy` speaking the control channel
-of :mod:`repro.net` (see :meth:`EncryptedDatabase.connect`).
+of :mod:`repro.net`, or a sharded fleet behind a
+:class:`~repro.cluster.router.ShardRouter` (see
+:meth:`EncryptedDatabase.connect` and the ``shards=`` form of
+:meth:`EncryptedDatabase.open`).
 
 Reads accept query AST nodes or SQL strings; SQL is routed to the right
 table via the relation name in its ``FROM`` clause.  Deletes and updates
@@ -94,6 +97,7 @@ class EncryptedDatabase:
         scheme: str = "swp",
         *,
         storage: StorageBackend | None = None,
+        shards: list | None = None,
         rng: RandomSource | None = None,
         scheme_options: dict | None = None,
     ) -> "EncryptedDatabase":
@@ -112,6 +116,12 @@ class EncryptedDatabase:
         storage:
             Storage backend for an auto-created server.  Rejected when an
             explicit ``server`` is passed (configure that server directly).
+        shards:
+            Shard a logical database across several backends: a list of
+            server objects and/or ``tcp://`` URLs wrapped in a
+            :class:`~repro.cluster.router.ShardRouter`.  Mutually exclusive
+            with ``server`` and ``storage``; build the router yourself for
+            non-default cluster options (policy, timeouts, shard ids).
         rng:
             Randomness source handed to each table's scheme instance
             (seedable for reproducible experiments).
@@ -122,7 +132,20 @@ class EncryptedDatabase:
             key = SecretKey.generate(rng=rng)
         elif isinstance(key, (bytes, bytearray)):
             key = SecretKey(bytes(key))
-        if server is None:
+        if shards is not None:
+            if server is not None or storage is not None:
+                raise DatabaseError(
+                    "pass shards on their own, not together with a server "
+                    "or storage backend"
+                )
+            from repro.cluster.router import ShardRouter
+            from repro.outsourcing.server import ServerError as _ServerError
+
+            try:
+                server = ShardRouter(shards)
+            except _ServerError as exc:
+                raise DatabaseError(str(exc)) from exc
+        elif server is None:
             server = OutsourcedDatabaseServer(storage=storage)
         elif storage is not None:
             raise DatabaseError("pass either a server or a storage backend, not both")
@@ -139,6 +162,8 @@ class EncryptedDatabase:
         scheme_options: dict | None = None,
         pool_size: int = 4,
         timeout: float | None = 30.0,
+        policy: str = "fail_fast",
+        shard_timeout: float | None = None,
     ) -> "EncryptedDatabase":
         """Open a session against a provider given by URL (or server object).
 
@@ -149,23 +174,48 @@ class EncryptedDatabase:
         ``pool_size`` and ``timeout`` configure that pool and are rejected
         for non-URL providers (configure the server object directly).
 
+        A ``"cluster://host:port,host:port,..."`` URL targets a *sharded*
+        deployment (see :mod:`repro.cluster`): one
+        :class:`~repro.cluster.router.ShardRouter` spreads the session's
+        tuples across every listed provider and scatter-gathers its queries.
+        ``policy`` (``"fail_fast"`` or ``"degraded"``) and ``shard_timeout``
+        configure the router's partial-failure handling for reads and apply
+        to cluster URLs only.
+
         Anything that is not a URL string is treated as a server object and
         handed to :meth:`open` unchanged, so call sites can take "where is
         the provider" as a single configuration value.
         """
         owns_proxy = isinstance(provider, str)
+        is_cluster = owns_proxy and provider.startswith("cluster://")
+        if not is_cluster and (policy, shard_timeout) != ("fail_fast", None):
+            raise DatabaseError(
+                "policy/shard_timeout apply to cluster:// URLs only; "
+                "configure the ShardRouter directly"
+            )
         if owns_proxy:
-            from repro.net.client import RemoteError, RemoteServerProxy
+            from repro.cluster.router import ShardRouter
+            from repro.net.client import RemoteServerProxy
+            from repro.outsourcing.server import ServerError as _ServerError
 
             try:
-                provider = RemoteServerProxy.connect(
-                    provider, pool_size=pool_size, timeout=timeout
-                )
-            except RemoteError as exc:
+                if is_cluster:
+                    provider = ShardRouter.connect(
+                        provider,
+                        pool_size=pool_size,
+                        timeout=timeout,
+                        policy=policy,
+                        shard_timeout=shard_timeout,
+                    )
+                else:
+                    provider = RemoteServerProxy.connect(
+                        provider, pool_size=pool_size, timeout=timeout
+                    )
+            except _ServerError as exc:
                 raise DatabaseError(str(exc)) from exc
         elif (pool_size, timeout) != (4, 30.0):
             raise DatabaseError(
-                "pool_size/timeout apply to tcp:// URLs only; "
+                "pool_size/timeout apply to tcp:// and cluster:// URLs only; "
                 "configure the server object directly"
             )
         try:

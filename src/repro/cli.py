@@ -21,12 +21,21 @@ the CLI exposes the reproduction's main entry points without writing any code:
     optionally file-backed, until interrupted.  Sessions connect with
     ``EncryptedDatabase.connect("tcp://host:port")``.
 
+``cluster``
+    Sharded multi-provider tools (see :mod:`repro.cluster`): ``spawn`` a
+    local fleet of providers on ephemeral ports, ``route`` keys through the
+    deterministic placement ring offline, and ``status`` a running fleet
+    over its stats control channel.  Sessions connect with
+    ``EncryptedDatabase.connect("cluster://h1:p1,h2:p2,...")``.
+
 Examples::
 
     python -m repro.cli experiments --only E1 E4
     python -m repro.cli demo --scheme swp --size 500
     python -m repro.cli attack hospital --size 2000
     python -m repro.cli serve --port 7707 --data-dir /var/lib/repro
+    python -m repro.cli cluster spawn --shards 4
+    python -m repro.cli cluster status cluster://127.0.0.1:7707,127.0.0.1:7708
 """
 
 from __future__ import annotations
@@ -162,6 +171,11 @@ def command_serve(args: argparse.Namespace) -> int:
         max_frame_size=args.max_frame_size,
     )
 
+    async def _report_stats() -> None:
+        while True:
+            await asyncio.sleep(args.stats_interval)
+            print(f"repro provider stats: {tcp.stats.throughput_summary()}", flush=True)
+
     async def _serve() -> None:
         await tcp.start()
         host, port = tcp.address
@@ -172,7 +186,14 @@ def command_serve(args: argparse.Namespace) -> int:
         for signum in (signal.SIGINT, signal.SIGTERM):
             with contextlib.suppress(NotImplementedError, ValueError):
                 loop.add_signal_handler(signum, stop.set)
+        reporter = None
+        if args.stats_interval > 0:
+            reporter = asyncio.ensure_future(_report_stats())
         await stop.wait()
+        if reporter is not None:
+            reporter.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await reporter
         print("repro provider shutting down...", flush=True)
         await tcp.stop()
         print(f"repro provider stopped: {tcp.stats.throughput_summary()}", flush=True)
@@ -182,6 +203,144 @@ def command_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass  # platforms without signal-handler support land here
     return 0
+
+
+def command_cluster_spawn(args: argparse.Namespace) -> int:
+    """Run a local fleet of providers (ephemeral ports) until interrupted."""
+    from repro.net.server import DatabaseTcpServer
+    from repro.outsourcing import (
+        FileStorageBackend,
+        OutsourcedDatabaseServer,
+        ServerAuditLog,
+    )
+
+    if args.shards < 1:
+        print(f"--shards must be positive, got {args.shards}", file=sys.stderr)
+        return 2
+
+    def make_database(index: int) -> OutsourcedDatabaseServer:
+        storage = None
+        if args.data_dir:
+            storage = FileStorageBackend(f"{args.data_dir}/shard-{index}")
+        return OutsourcedDatabaseServer(
+            audit_log=ServerAuditLog(max_events=args.max_audit_events),
+            storage=storage,
+        )
+
+    servers = [
+        DatabaseTcpServer(make_database(index), host=args.host, port=0)
+        for index in range(args.shards)
+    ]
+
+    async def _serve() -> None:
+        for server in servers:
+            await server.start()
+        addresses = []
+        for index, server in enumerate(servers):
+            host, port = server.address
+            addresses.append(f"{host}:{port}")
+            print(f"repro cluster shard {index} listening on tcp://{host}:{port}", flush=True)
+        print(f"repro cluster ready: cluster://{','.join(addresses)}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("repro cluster shutting down...", flush=True)
+        for server in servers:
+            await server.stop()
+        for index, server in enumerate(servers):
+            print(f"repro cluster shard {index} stopped: "
+                  f"{server.stats.throughput_summary()}", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # platforms without signal-handler support land here
+    return 0
+
+
+def command_cluster_route(args: argparse.Namespace) -> int:
+    """Show the deterministic ring placement for a cluster URL (offline)."""
+    from repro.cluster import (
+        ClusterError,
+        ConsistentHashRing,
+        DEFAULT_REPLICAS,
+        parse_cluster_url,
+    )
+
+    try:
+        shard_urls = parse_cluster_url(args.url)
+    except ClusterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    replicas = args.replicas if args.replicas is not None else DEFAULT_REPLICAS
+    if replicas < 1:
+        print(f"--replicas must be positive, got {replicas}", file=sys.stderr)
+        return 2
+    ring = ConsistentHashRing(shard_urls, replicas=replicas)
+    if args.key is not None:
+        try:
+            key = bytes.fromhex(args.key)
+        except ValueError:
+            print(f"--key must be hex, got {args.key!r}", file=sys.stderr)
+            return 2
+        print(f"{args.key} -> {ring.assign(key)}")
+        return 0
+    if args.keys < 1:
+        print(f"--keys must be positive, got {args.keys}", file=sys.stderr)
+        return 2
+    keys = [f"key-{i}".encode("ascii") for i in range(args.keys)]
+    distribution = ring.distribution(keys)
+    mean = args.keys / len(shard_urls)
+    print(f"ring of {len(shard_urls)} shard(s), {replicas} replicas, "
+          f"{args.keys} sample keys:")
+    worst = 0.0
+    for shard_url in shard_urls:
+        count = distribution[shard_url]
+        deviation = (count - mean) / mean if mean else 0.0
+        worst = max(worst, abs(deviation))
+        print(f"  {shard_url}: {count} ({count / args.keys:.1%}, {deviation:+.1%} of fair share)")
+    print(f"max deviation from fair share: {worst:.1%}")
+    return 0
+
+
+def command_cluster_status(args: argparse.Namespace) -> int:
+    """Probe every shard of a running fleet over the stats control channel."""
+    from repro.cluster import ClusterError, parse_cluster_url
+    from repro.net.client import RemoteError, RemoteServerProxy
+
+    try:
+        shard_urls = parse_cluster_url(args.url)
+    except ClusterError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    unreachable = 0
+    for shard_url in shard_urls:
+        try:
+            with RemoteServerProxy.connect(
+                shard_url, pool_size=1, timeout=args.timeout
+            ) as proxy:
+                stats = proxy.server_stats()
+                names = proxy.relation_names
+                counts = {name: proxy.tuple_count(name) for name in names}
+        except RemoteError as exc:
+            unreachable += 1
+            print(f"{shard_url}: DOWN ({exc})")
+            continue
+        transport = stats.get("stats", {})
+        relations = ", ".join(f"{name}={count}" for name, count in counts.items()) or "none"
+        print(
+            f"{shard_url}: up, relations: {relations}; "
+            f"{transport.get('connections_total', 0)} connection(s), "
+            f"{transport.get('envelope_frames', 0)} envelope / "
+            f"{transport.get('control_frames', 0)} control frame(s), "
+            f"{transport.get('bytes_received', 0)} B in / "
+            f"{transport.get('bytes_sent', 0)} B out"
+        )
+    print(f"{len(shard_urls) - unreachable}/{len(shard_urls)} shard(s) up")
+    return 1 if unreachable else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -221,7 +380,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ring-buffer cap on the provider's audit log")
     serve.add_argument("--max-frame-size", type=int, default=64 * 1024 * 1024,
                        help="reject frames larger than this many bytes")
+    serve.add_argument("--stats-interval", type=float, default=0.0, metavar="SECONDS",
+                       help="log a transport-stats line every SECONDS (0 disables)")
     serve.set_defaults(handler=command_serve)
+
+    cluster = subparsers.add_parser("cluster", help="sharded multi-provider tools")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    spawn = cluster_sub.add_parser(
+        "spawn", help="run a local fleet of providers on ephemeral ports")
+    spawn.add_argument("--shards", type=int, default=2, help="number of providers")
+    spawn.add_argument("--host", default="127.0.0.1", help="bind address")
+    spawn.add_argument("--data-dir", default=None, metavar="DIR",
+                       help="persist each shard under DIR/shard-<i> (default in-memory)")
+    spawn.add_argument("--max-audit-events", type=int, default=10_000,
+                       help="ring-buffer cap on each provider's audit log")
+    spawn.set_defaults(handler=command_cluster_spawn)
+
+    route = cluster_sub.add_parser(
+        "route", help="show the deterministic ring placement (offline)")
+    route.add_argument("url", help="cluster://host:port,host:port,... URL")
+    route.add_argument("--keys", type=int, default=10_000,
+                       help="number of sample keys for the distribution")
+    route.add_argument("--key", default=None, metavar="HEX",
+                       help="show the owning shard of one key instead")
+    route.add_argument("--replicas", type=int, default=None,
+                       help="virtual nodes per shard (default: the ring's default)")
+    route.set_defaults(handler=command_cluster_route)
+
+    status = cluster_sub.add_parser(
+        "status", help="probe every shard of a running fleet")
+    status.add_argument("url", help="cluster://host:port,host:port,... URL")
+    status.add_argument("--timeout", type=float, default=10.0,
+                        help="per-shard connection timeout in seconds")
+    status.set_defaults(handler=command_cluster_status)
 
     return parser
 

@@ -1,0 +1,80 @@
+"""``repro.cluster`` -- sharded multi-provider outsourcing.
+
+The paper outsources one encrypted relation to one untrusted provider;
+this subsystem spreads the same ciphertexts across a *fleet* of providers
+and queries them in parallel, which is what turns the reproduction into a
+horizontally scalable service:
+
+**Placement** (:mod:`repro.cluster.ring`)
+    A deterministic consistent-hash ring keyed on the public random tuple
+    id, so routing reveals nothing the providers do not already see and
+    membership changes strand only ``~1/N`` of the tuples.
+
+**Execution** (:mod:`repro.cluster.executor`)
+    A scatter-gather thread pool with per-shard timeouts and a pluggable
+    partial-failure policy: ``fail_fast`` for correctness-critical paths,
+    ``degraded`` for reads that should survive a dead shard.
+
+**Routing** (:mod:`repro.cluster.router`)
+    :class:`ShardRouter` -- the same duck-type as
+    :class:`~repro.outsourcing.server.OutsourcedDatabaseServer`, so
+    ``EncryptedDatabase.connect("cluster://h1:p1,h2:p2")`` (or
+    ``EncryptedDatabase.open(shards=[...])``) works transparently: inserts
+    route to one shard, deletes to the owning shards, queries scatter to
+    all and the evaluation results merge client-side.
+
+**Elasticity** (:mod:`repro.cluster.rebalance`)
+    Insert-first tuple migration when shards are added or removed, so a
+    mid-migration crash duplicates rather than loses ciphertexts.
+
+Security note: the coordinator runs client-side (trusted).  Each provider
+in the fleet observes strictly less than the single-provider deployment --
+its ``1/N`` of the ciphertexts plus every query's fan-out -- so the
+paper's per-provider security analysis carries over unchanged.
+"""
+
+from repro.cluster.executor import (
+    ClusterError,
+    DEGRADED,
+    FAIL_FAST,
+    GatherResult,
+    PARTIAL_FAILURE_POLICIES,
+    ScatterGatherExecutor,
+    ShardFailedError,
+    ShardOutcome,
+    ShardTimeoutError,
+    resolve_outcomes,
+)
+from repro.cluster.rebalance import RebalanceReport, misplaced_tuples, rebalance
+from repro.cluster.ring import ConsistentHashRing, DEFAULT_REPLICAS, RingError
+from repro.cluster.router import (
+    CLUSTER_URL_PREFIX,
+    ClusterStats,
+    ShardRouter,
+    merge_evaluation_results,
+    parse_cluster_url,
+)
+
+__all__ = [
+    "ClusterError",
+    "DEGRADED",
+    "FAIL_FAST",
+    "GatherResult",
+    "PARTIAL_FAILURE_POLICIES",
+    "ScatterGatherExecutor",
+    "ShardFailedError",
+    "ShardOutcome",
+    "ShardTimeoutError",
+    "resolve_outcomes",
+    "RebalanceReport",
+    "misplaced_tuples",
+    "rebalance",
+    "ConsistentHashRing",
+    "DEFAULT_REPLICAS",
+    "RingError",
+    "CLUSTER_URL_PREFIX",
+    "ClusterStats",
+    "ShardRouter",
+    "merge_evaluation_results",
+    "parse_cluster_url",
+]

@@ -1,0 +1,212 @@
+"""Scatter-gather execution across a shard fleet.
+
+:class:`ScatterGatherExecutor` fans one operation out to many shards on a
+thread pool and gathers per-shard :class:`ShardOutcome`\\ s.  Threads (not a
+process pool) are the right tool here: an in-process shard is GIL-bound
+anyway, and a ``tcp://`` shard spends its time blocked on the socket while
+the remote provider does the work -- which is exactly where the near-linear
+scaling of the sharded deployment comes from.
+
+Failure handling is a *policy*, not hard-coded:
+
+* :data:`FAIL_FAST` -- any shard failure fails the whole operation
+  (:class:`ShardFailedError` carries every outcome for diagnosis).  Always
+  used for writes: a partially applied write is corruption.
+* :data:`DEGRADED` -- a read that loses some shards still answers from the
+  survivors; the caller is told which shards were missing so it can surface
+  the result as partial.  At least one shard must answer.
+
+A per-shard ``timeout`` bounds how long the gather waits for each shard;
+a shard that exceeds it is reported as failed with
+:class:`ShardTimeoutError` (the worker thread is left to finish in the
+background -- Python offers no safe preemption -- but its result is
+discarded).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.outsourcing.server import ServerError
+
+#: Any shard failure fails the operation.
+FAIL_FAST = "fail_fast"
+#: Serve reads from the surviving shards and flag the result as partial.
+DEGRADED = "degraded"
+
+PARTIAL_FAILURE_POLICIES = (FAIL_FAST, DEGRADED)
+
+
+class ClusterError(ServerError):
+    """A cluster operation failed (subclasses the provider error, so the
+    session facade's error translation applies unchanged)."""
+
+
+class ShardTimeoutError(ClusterError):
+    """One shard did not answer within the per-shard timeout."""
+
+
+class ShardFailedError(ClusterError):
+    """One or more shards failed a scatter; ``outcomes`` has the full picture."""
+
+    def __init__(self, message: str, outcomes: Sequence["ShardOutcome"]) -> None:
+        super().__init__(message)
+        self.outcomes = tuple(outcomes)
+
+    @property
+    def failed_shard_ids(self) -> tuple[str, ...]:
+        return tuple(o.shard_id for o in self.outcomes if not o.ok)
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard returned (or why it did not)."""
+
+    shard_id: str
+    value: Any = None
+    error: Exception | None = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class GatherResult:
+    """A policy-resolved scatter: the surviving values, in scatter order."""
+
+    values: tuple[Any, ...]
+    #: Shards that failed but were tolerated by the DEGRADED policy.
+    missing_shard_ids: tuple[str, ...] = ()
+    outcomes: tuple[ShardOutcome, ...] = field(default=())
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing_shard_ids)
+
+
+class ScatterGatherExecutor:
+    """A bounded thread pool that scatters callables across shards."""
+
+    def __init__(self, max_workers: int = 8, timeout: float | None = None) -> None:
+        if max_workers < 1:
+            raise ValueError("the executor needs at least one worker")
+        self._timeout = timeout
+        self._max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-cluster"
+        )
+
+    @property
+    def timeout(self) -> float | None:
+        """Per-shard gather timeout in seconds (None waits forever)."""
+        return self._timeout
+
+    @property
+    def max_workers(self) -> int:
+        """Size of the scatter thread pool."""
+        return self._max_workers
+
+    def close(self) -> None:
+        """Shut the pool down (outstanding work is still drained)."""
+        self._pool.shutdown(wait=False)
+
+    def scatter(
+        self,
+        calls: Sequence[tuple[str, Callable[[], Any]]],
+        timeout: float | None = None,
+    ) -> list[ShardOutcome]:
+        """Run every ``(shard_id, thunk)`` concurrently; never raises itself."""
+        if timeout is None:
+            timeout = self._timeout
+        started = time.monotonic()
+        futures = [
+            (shard_id, self._pool.submit(self._timed, thunk))
+            for shard_id, thunk in calls
+        ]
+        outcomes = []
+        for shard_id, future in futures:
+            remaining = None
+            if timeout is not None:
+                remaining = max(0.0, started + timeout - time.monotonic())
+            try:
+                value, elapsed = future.result(timeout=remaining)
+                outcomes.append(
+                    ShardOutcome(shard_id=shard_id, value=value, elapsed_s=elapsed)
+                )
+            except FutureTimeoutError:
+                outcomes.append(
+                    ShardOutcome(
+                        shard_id=shard_id,
+                        error=ShardTimeoutError(
+                            f"shard {shard_id!r} did not answer within {timeout}s"
+                        ),
+                        elapsed_s=time.monotonic() - started,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - per-shard failures are data
+                outcomes.append(
+                    ShardOutcome(
+                        shard_id=shard_id,
+                        error=exc,
+                        elapsed_s=time.monotonic() - started,
+                    )
+                )
+        return outcomes
+
+    def gather(
+        self,
+        operation: str,
+        calls: Sequence[tuple[str, Callable[[], Any]]],
+        *,
+        policy: str = FAIL_FAST,
+        timeout: float | None = None,
+    ) -> GatherResult:
+        """Scatter, then resolve the outcomes under a partial-failure policy."""
+        return resolve_outcomes(
+            operation, self.scatter(calls, timeout=timeout), policy=policy
+        )
+
+    @staticmethod
+    def _timed(thunk: Callable[[], Any]) -> tuple[Any, float]:
+        started = time.monotonic()
+        return thunk(), time.monotonic() - started
+
+
+def resolve_outcomes(
+    operation: str, outcomes: Sequence[ShardOutcome], *, policy: str = FAIL_FAST
+) -> GatherResult:
+    """Apply a partial-failure policy to raw scatter outcomes.
+
+    Raises :class:`ShardFailedError` when the policy does not tolerate the
+    observed failures; otherwise returns the surviving values (in scatter
+    order) plus the ids of any shards the DEGRADED policy papered over.
+    """
+    if policy not in PARTIAL_FAILURE_POLICIES:
+        raise ClusterError(
+            f"unknown partial-failure policy {policy!r} "
+            f"(choose from {PARTIAL_FAILURE_POLICIES})"
+        )
+    failures = [o for o in outcomes if not o.ok]
+    if not failures:
+        return GatherResult(
+            values=tuple(o.value for o in outcomes), outcomes=tuple(outcomes)
+        )
+    detail = "; ".join(
+        f"{o.shard_id}: {o.error}" for o in failures[:3]
+    ) + ("; ..." if len(failures) > 3 else "")
+    if policy == FAIL_FAST or len(failures) == len(outcomes):
+        raise ShardFailedError(
+            f"{operation} failed on {len(failures)}/{len(outcomes)} shard(s): {detail}",
+            outcomes,
+        )
+    return GatherResult(
+        values=tuple(o.value for o in outcomes if o.ok),
+        missing_shard_ids=tuple(o.shard_id for o in failures),
+        outcomes=tuple(outcomes),
+    )

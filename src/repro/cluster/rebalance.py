@@ -1,0 +1,107 @@
+"""Tuple migration when the shard fleet changes shape.
+
+Consistent hashing guarantees that membership changes strand only a small
+fraction of tuples on the wrong shard (roughly ``1/N`` on an add); this
+module moves exactly those.  For every relation and every shard it fetches
+the shard's ciphertexts, finds the tuples whose ring owner differs, and
+migrates each one **insert-first**: the tuple is appended at its new owner
+before it is deleted at the old one, so a crash mid-migration degrades to a
+transient duplicate (filtered like any false positive is not -- the tuple
+decrypts identically twice) rather than data loss.  Re-running the
+rebalance converges: already-correct tuples are never touched.
+
+The migration is not atomic with respect to concurrent writers; run it from
+the coordinator while no other session mutates the affected relations (the
+same discipline the single-provider ``STORE_RELATION`` replacement already
+requires).
+
+Everything here works on the :class:`~repro.outsourcing.server.OutsourcedDatabaseServer`
+duck-type (``stored_relation`` / ``insert_tuple`` / ``delete_tuples``), so
+in-process shards and ``tcp://`` proxies migrate identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.cluster.executor import ClusterError
+from repro.cluster.ring import ConsistentHashRing
+
+
+@dataclass
+class RebalanceReport:
+    """What a migration did: scanned/moved counts by relation and shard."""
+
+    #: Tuples inspected across all shards and relations.
+    scanned: int = 0
+    #: Tuples moved to a different shard.
+    moved: int = 0
+    per_relation: dict[str, int] = field(default_factory=dict)
+    #: ``(source, target) -> count`` of migrated tuples.
+    per_edge: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record_move(self, relation: str, source: str, target: str) -> None:
+        self.moved += 1
+        self.per_relation[relation] = self.per_relation.get(relation, 0) + 1
+        self.per_edge[(source, target)] = self.per_edge.get((source, target), 0) + 1
+
+    def summary(self) -> str:
+        """One-line human rendering (printed by the CLI)."""
+        if not self.moved:
+            return f"rebalance: {self.scanned} tuple(s) scanned, nothing to move"
+        edges = ", ".join(
+            f"{source}->{target}: {count}"
+            for (source, target), count in sorted(self.per_edge.items())
+        )
+        return (
+            f"rebalance: moved {self.moved}/{self.scanned} tuple(s) ({edges})"
+        )
+
+
+def misplaced_tuples(
+    shards: Mapping[str, Any], ring: ConsistentHashRing, relation_name: str
+) -> list[tuple[str, str, Any]]:
+    """``(source, target, encrypted_tuple)`` for every tuple off its ring owner."""
+    moves = []
+    for shard_id, server in shards.items():
+        for encrypted_tuple in server.stored_relation(relation_name):
+            target = ring.assign(encrypted_tuple.tuple_id)
+            if target != shard_id:
+                moves.append((shard_id, target, encrypted_tuple))
+    return moves
+
+
+def rebalance(
+    shards: Mapping[str, Any],
+    ring: ConsistentHashRing,
+    relation_names: Iterable[str],
+) -> RebalanceReport:
+    """Migrate every misplaced tuple of the named relations to its ring owner."""
+    unknown = [shard_id for shard_id in ring.shard_ids if shard_id not in shards]
+    if unknown:
+        raise ClusterError(
+            f"the ring names shard(s) {unknown} that have no backend"
+        )
+    report = RebalanceReport()
+    for name in relation_names:
+        # Snapshot every shard before moving anything, so freshly migrated
+        # tuples are not re-scanned on their destination shard.
+        snapshots = {
+            shard_id: server.stored_relation(name)
+            for shard_id, server in shards.items()
+        }
+        pending: dict[str, list[bytes]] = {}
+        for shard_id, relation in snapshots.items():
+            report.scanned += len(relation)
+            for encrypted_tuple in relation:
+                target = ring.assign(encrypted_tuple.tuple_id)
+                if target == shard_id:
+                    continue
+                # Insert-first: a crash here leaves a duplicate, not a loss.
+                shards[target].insert_tuple(name, encrypted_tuple)
+                pending.setdefault(shard_id, []).append(encrypted_tuple.tuple_id)
+                report.record_move(name, shard_id, target)
+        for shard_id, tuple_ids in pending.items():
+            shards[shard_id].delete_tuples(name, tuple_ids)
+    return report

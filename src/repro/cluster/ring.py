@@ -1,0 +1,138 @@
+"""Deterministic consistent-hash ring over shard identifiers.
+
+The cluster's placement function: every encrypted tuple is assigned to one
+shard by hashing its *public* tuple id onto a ring of virtual nodes.  The
+tuple id is a random nonce chosen at encryption time
+(:class:`~repro.core.dph.EncryptedTuple`), so the coordinator's routing
+decision is a function of values the provider already sees -- sharding adds
+no new leakage beyond which provider stores which ciphertext, and even that
+is a function of public randomness, not of any plaintext.
+
+Properties the rest of :mod:`repro.cluster` relies on:
+
+* **Deterministic** -- the ring is a pure function of the shard identifiers
+  and the replica count; two coordinators configured with the same shard
+  list route identically, with no shared state.
+* **Balanced** -- each shard owns many virtual points
+  (:data:`DEFAULT_REPLICAS` per shard), so 10k keys spread within a few
+  percent of the fair share.
+* **Stable** -- adding or removing one shard only reassigns the keys that
+  move to/from that shard (roughly ``1/N`` of them); every other key keeps
+  its shard, which is what makes :mod:`repro.cluster.rebalance` cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections import Counter
+from typing import Iterable, Sequence
+
+#: Virtual nodes per shard.  256 keeps the maximum deviation from the fair
+#: share around ~10% for clusters up to 8 shards (tests/cluster/test_ring.py
+#: pins the <=15% bound at 10k keys).
+DEFAULT_REPLICAS = 256
+
+
+class RingError(Exception):
+    """The ring cannot satisfy a placement request."""
+
+
+def _hash_point(data: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(data).digest()[:16], "big")
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring mapping byte keys to shard identifiers."""
+
+    def __init__(
+        self, shard_ids: Iterable[str] = (), *, replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise RingError("a ring needs at least one replica per shard")
+        self._replicas = replicas
+        self._shard_ids: list[str] = []
+        # Parallel sorted arrays: bisect over _points, index into _owners.
+        self._points: list[int] = []
+        self._owners: list[str] = []
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        """The shards on the ring, in insertion order."""
+        return tuple(self._shard_ids)
+
+    @property
+    def replicas(self) -> int:
+        """Virtual nodes per shard."""
+        return self._replicas
+
+    def __len__(self) -> int:
+        return len(self._shard_ids)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shard_ids
+
+    def add_shard(self, shard_id: str) -> None:
+        """Insert one shard's virtual nodes."""
+        if not shard_id:
+            raise RingError("shard ids must be non-empty strings")
+        if shard_id in self._shard_ids:
+            raise RingError(f"shard {shard_id!r} is already on the ring")
+        self._shard_ids.append(shard_id)
+        for point in self._shard_points(shard_id):
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard_id)
+
+    def remove_shard(self, shard_id: str) -> None:
+        """Remove one shard's virtual nodes."""
+        if shard_id not in self._shard_ids:
+            raise RingError(f"shard {shard_id!r} is not on the ring")
+        self._shard_ids.remove(shard_id)
+        keep = [
+            (point, owner)
+            for point, owner in zip(self._points, self._owners)
+            if owner != shard_id
+        ]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    def _shard_points(self, shard_id: str) -> list[int]:
+        label = shard_id.encode("utf-8")
+        return [
+            _hash_point(b"ring-node\x00" + label + b"\x00" + str(i).encode("ascii"))
+            for i in range(self._replicas)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Placement
+    # ------------------------------------------------------------------ #
+
+    def assign(self, key: bytes) -> str:
+        """The shard owning ``key`` (the first virtual node at or after it)."""
+        if not self._points:
+            raise RingError("the ring has no shards")
+        point = _hash_point(b"ring-key\x00" + key)
+        index = bisect.bisect(self._points, point)
+        if index == len(self._points):  # wrap around past the last node
+            index = 0
+        return self._owners[index]
+
+    def partition(self, keys: Iterable[bytes]) -> dict[str, list[bytes]]:
+        """Group keys by owning shard (every shard present, even when empty)."""
+        groups: dict[str, list[bytes]] = {shard_id: [] for shard_id in self._shard_ids}
+        for key in keys:
+            groups[self.assign(key)].append(key)
+        return groups
+
+    def distribution(self, keys: Sequence[bytes]) -> Counter:
+        """How many of ``keys`` land on each shard."""
+        counts = Counter({shard_id: 0 for shard_id in self._shard_ids})
+        counts.update(self.assign(key) for key in keys)
+        return counts

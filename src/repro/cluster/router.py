@@ -1,0 +1,846 @@
+"""The shard router: one logical provider over a fleet of shards.
+
+:class:`ShardRouter` implements the same duck-type
+:class:`~repro.api.EncryptedDatabase` and
+:class:`~repro.outsourcing.client.OutsourcingClient` already consume --
+byte-level :meth:`~ShardRouter.handle_message` plus the management calls --
+so a session drives N providers exactly as it drives one.  Each backend is
+either an in-process :class:`~repro.outsourcing.server.OutsourcedDatabaseServer`
+(or anything with its duck-type) or a ``tcp://host:port`` URL (opened as an
+owned :class:`~repro.net.client.RemoteServerProxy`), mixed freely.
+
+Routing is per *encrypted tuple*: the consistent-hash ring of
+:mod:`repro.cluster.ring` keys on the public random tuple id, so placement
+is a function of values every provider sees anyway.  Operation shapes:
+
+===================  ====================================================
+``INSERT_TUPLE``     one shard (the ring owner of the tuple id)
+``DELETE_TUPLES``    scatter the public ids to every shard (providers
+                     ignore unknown ids, so this stays correct while
+                     tuples are mid-migration or a rebalance is deferred)
+``STORE_RELATION``   partitioned across all shards (every shard stores the
+                     relation, possibly empty, so queries can fan out)
+``QUERY``            scatter to all shards, merge the evaluation results
+``BATCH_QUERY``      scatter the whole batch, merge element-wise
+===================  ====================================================
+
+Writes always run fail-fast (a partially applied write is corruption);
+reads honor the router's partial-failure ``policy``
+(:data:`~repro.cluster.executor.FAIL_FAST` or
+:data:`~repro.cluster.executor.DEGRADED`).
+
+The coordinator (this class) runs client-side and is trusted; the providers
+individually observe strictly less than the single-provider deployment --
+each sees only its ``1/N`` of the ciphertexts and every query's fan-out,
+which is the same access pattern the paper already concedes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.dph import (
+    DphError,
+    EncryptedQuery,
+    EncryptedRelation,
+    EncryptedTuple,
+    EvaluationResult,
+    ServerEvaluator,
+)
+from repro.cluster.executor import (
+    ClusterError,
+    FAIL_FAST,
+    GatherResult,
+    PARTIAL_FAILURE_POLICIES,
+    ScatterGatherExecutor,
+)
+from repro.cluster.ring import ConsistentHashRing, DEFAULT_REPLICAS
+from repro.outsourcing import protocol
+from repro.outsourcing.protocol import (
+    Message,
+    MessageKind,
+    MessageV2,
+    ProtocolError,
+    SUPPORTED_VERSIONS,
+)
+from repro.outsourcing.server import ServerError
+from repro.outsourcing.storage import StorageError
+
+#: URL scheme of a sharded deployment: ``cluster://host:port,host:port,...``
+CLUSTER_URL_PREFIX = "cluster://"
+
+
+def parse_cluster_url(url: str) -> tuple[str, ...]:
+    """Split ``cluster://h1:p1,h2:p2,...`` into per-shard ``tcp://`` URLs."""
+    from repro.net.client import RemoteError, parse_tcp_url
+
+    if not url.startswith(CLUSTER_URL_PREFIX):
+        raise ClusterError(
+            f"unsupported cluster URL {url!r} (want {CLUSTER_URL_PREFIX}host:port,...)"
+        )
+    parts = [part.strip() for part in url[len(CLUSTER_URL_PREFIX):].split(",")]
+    parts = [part for part in parts if part]
+    if not parts:
+        raise ClusterError(f"cluster URL {url!r} names no shards")
+    urls = []
+    for part in parts:
+        tcp_url = part if part.startswith("tcp://") else f"tcp://{part}"
+        try:
+            parse_tcp_url(tcp_url)
+        except RemoteError as exc:
+            raise ClusterError(str(exc)) from exc
+        if tcp_url in urls:
+            raise ClusterError(f"cluster URL {url!r} lists shard {part!r} twice")
+        urls.append(tcp_url)
+    return tuple(urls)
+
+
+def merge_evaluation_results(
+    results: Sequence[EvaluationResult],
+) -> EvaluationResult:
+    """Concatenate per-shard matches; sum the server-side work counters."""
+    if not results:
+        raise ClusterError("cannot merge zero evaluation results")
+    tuples: list[EncryptedTuple] = []
+    examined = 0
+    token_evaluations = 0
+    for result in results:
+        tuples.extend(result.matching.encrypted_tuples)
+        examined += result.examined
+        token_evaluations += result.token_evaluations
+    return EvaluationResult(
+        matching=EncryptedRelation(
+            schema=results[0].matching.schema, encrypted_tuples=tuple(tuples)
+        ),
+        examined=examined,
+        token_evaluations=token_evaluations,
+    )
+
+
+@dataclass
+class ClusterStats:
+    """Counters of the router's scatter-gather activity."""
+
+    scatter_reads: int = 0
+    degraded_reads: int = 0
+    routed_inserts: int = 0
+    #: Shards missing from the most recent degraded read.
+    last_missing_shard_ids: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "scatter_reads": self.scatter_reads,
+            "degraded_reads": self.degraded_reads,
+            "routed_inserts": self.routed_inserts,
+            "last_missing_shard_ids": list(self.last_missing_shard_ids),
+        }
+
+
+@dataclass
+class _Shard:
+    """One backend: the duck-typed server plus ownership bookkeeping."""
+
+    shard_id: str
+    server: Any
+    #: True when the router opened this backend itself (a tcp:// proxy) and
+    #: is therefore responsible for closing it.
+    owned: bool = False
+
+
+class ShardRouter:
+    """One logical :class:`OutsourcedDatabaseServer` spread over many shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[Any],
+        *,
+        shard_ids: Sequence[str] | None = None,
+        replicas: int = DEFAULT_REPLICAS,
+        policy: str = FAIL_FAST,
+        shard_timeout: float | None = None,
+        pool_size: int = 4,
+        timeout: float | None = 30.0,
+    ) -> None:
+        """Build a router over backends (server objects and/or tcp:// URLs).
+
+        Parameters
+        ----------
+        shards:
+            The backends.  A string is treated as a ``tcp://host:port`` URL
+            and opened as an owned proxy; anything else must satisfy the
+            :class:`~repro.outsourcing.server.OutsourcedDatabaseServer`
+            duck-type.
+        shard_ids:
+            Ring identifiers, one per backend.  Defaults to the URL for URL
+            shards and ``shard-<index>`` for object shards.  Identifiers are
+            the ring's key space: reuse the same ids (and order, for the
+            positional defaults) across coordinator restarts, or tuples will
+            appear misplaced until a rebalance.
+        replicas:
+            Virtual nodes per shard on the ring.
+        policy:
+            Partial-failure policy for scatter reads (``fail_fast`` or
+            ``degraded``); writes are always fail-fast.
+        shard_timeout:
+            Per-shard gather timeout in seconds (None waits forever).
+        pool_size / timeout:
+            Connection-pool settings for URL shards.
+        """
+        if not shards:
+            raise ClusterError("a cluster needs at least one shard")
+        if policy not in PARTIAL_FAILURE_POLICIES:
+            raise ClusterError(
+                f"unknown partial-failure policy {policy!r} "
+                f"(choose from {PARTIAL_FAILURE_POLICIES})"
+            )
+        if shard_ids is not None and len(shard_ids) != len(shards):
+            raise ClusterError(
+                f"{len(shards)} shard(s) but {len(shard_ids)} shard id(s)"
+            )
+        self._policy = policy
+        self._pool_size = pool_size
+        self._timeout = timeout
+        self._shards: dict[str, _Shard] = {}
+        self._ring = ConsistentHashRing(replicas=replicas)
+        self._evaluators: dict[str, ServerEvaluator] = {}
+        self._schemas: dict[str, Any] = {}
+        self._stats = ClusterStats()
+        # Room for several concurrent scatters (threads are created lazily,
+        # so the headroom is free when idle).  Note the per-shard timeout is
+        # measured from the scatter call, so under heavier concurrency than
+        # this headroom it also covers time spent queued for a worker.
+        self._executor = ScatterGatherExecutor(
+            max_workers=self._pool_headroom(len(shards)), timeout=shard_timeout
+        )
+        try:
+            for index, backend in enumerate(shards):
+                explicit = shard_ids[index] if shard_ids is not None else None
+                shard = self._open_backend(backend, explicit, index)
+                if shard.shard_id in self._shards:
+                    if shard.owned:
+                        shard.server.close()
+                    raise ClusterError(f"duplicate shard id {shard.shard_id!r}")
+                self._shards[shard.shard_id] = shard
+                self._ring.add_shard(shard.shard_id)
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _pool_headroom(shard_count: int) -> int:
+        return min(64, max(8, 4 * shard_count))
+
+    @classmethod
+    def connect(
+        cls,
+        url: str,
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+        policy: str = FAIL_FAST,
+        shard_timeout: float | None = None,
+        pool_size: int = 4,
+        timeout: float | None = 30.0,
+    ) -> "ShardRouter":
+        """Open a router from a ``cluster://host:port,host:port`` URL."""
+        return cls(
+            parse_cluster_url(url),
+            replicas=replicas,
+            policy=policy,
+            shard_timeout=shard_timeout,
+            pool_size=pool_size,
+            timeout=timeout,
+        )
+
+    def _open_backend(
+        self, backend: Any, shard_id: str | None, index: int
+    ) -> _Shard:
+        if isinstance(backend, str):
+            from repro.net.client import RemoteServerProxy
+
+            proxy = RemoteServerProxy.connect(
+                backend, pool_size=self._pool_size, timeout=self._timeout
+            )
+            return _Shard(
+                shard_id=shard_id if shard_id is not None else backend,
+                server=proxy,
+                owned=True,
+            )
+        return _Shard(
+            shard_id=shard_id if shard_id is not None else self._free_shard_id(index),
+            server=backend,
+        )
+
+    def _free_shard_id(self, index: int) -> str:
+        """First unused positional id (an earlier remove may have freed one)."""
+        while f"shard-{index}" in self._shards:
+            index += 1
+        return f"shard-{index}"
+
+    # ------------------------------------------------------------------ #
+    # Cluster introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        """Ring identifiers of the shards, in insertion order."""
+        return tuple(self._shards)
+
+    @property
+    def ring(self) -> ConsistentHashRing:
+        """The placement ring (shared, do not mutate directly)."""
+        return self._ring
+
+    @property
+    def policy(self) -> str:
+        """Partial-failure policy applied to scatter reads."""
+        return self._policy
+
+    @property
+    def stats(self) -> ClusterStats:
+        """Scatter/routing counters."""
+        return self._stats
+
+    def shard(self, shard_id: str) -> Any:
+        """The backend registered under one ring identifier."""
+        try:
+            return self._shards[shard_id].server
+        except KeyError as exc:
+            raise ClusterError(f"no shard named {shard_id!r}") from exc
+
+    def shard_for(self, tuple_id: bytes) -> str:
+        """Which shard the ring assigns a tuple id to."""
+        return self._ring.assign(tuple_id)
+
+    def per_shard_tuple_counts(self, name: str) -> dict[str, int]:
+        """Ciphertext count of one relation on every shard."""
+        gathered = self._gather(
+            f"tuple-count({name!r})",
+            [(s.shard_id, (lambda sv: lambda: sv.tuple_count(name))(s.server))
+             for s in self._shards.values()],
+            policy=FAIL_FAST,
+        )
+        return dict(zip(self.shard_ids, gathered.values))
+
+    def cluster_status(self) -> dict[str, dict]:
+        """Best-effort per-shard health/stats snapshot (never raises)."""
+        status: dict[str, dict] = {}
+        for shard in self._shards.values():
+            try:
+                names = tuple(shard.server.relation_names)
+                entry: dict[str, Any] = {
+                    "ok": True,
+                    "relations": {n: shard.server.tuple_count(n) for n in names},
+                }
+                remote_stats = getattr(shard.server, "server_stats", None)
+                if remote_stats is not None:
+                    entry["stats"] = remote_stats()
+                else:
+                    entry["audit"] = shard.server.audit_log.summary()
+            except Exception as exc:  # noqa: BLE001 - a status probe never raises
+                entry = {"ok": False, "error": str(exc)}
+            status[shard.shard_id] = entry
+        return status
+
+    def close(self) -> None:
+        """Close owned backends and the scatter pool."""
+        for shard in self._shards.values():
+            if shard.owned:
+                shard.server.close()
+        self._executor.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The OutsourcedDatabaseServer duck-type: session management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def supported_protocol_versions(self) -> tuple[int, ...]:
+        """Versions every shard speaks (the fleet negotiates as one)."""
+        common = [
+            version
+            for version in SUPPORTED_VERSIONS
+            if all(
+                version in shard.server.supported_protocol_versions
+                for shard in self._shards.values()
+            )
+        ]
+        return tuple(common)
+
+    def register_evaluator(self, name: str, evaluator: ServerEvaluator) -> None:
+        """Deploy the keyless evaluator on every shard."""
+        self._gather(
+            f"register-evaluator({name!r})",
+            self._all_shards(lambda server: server.register_evaluator(name, evaluator)),
+            policy=FAIL_FAST,
+        )
+        self._evaluators[name] = evaluator
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Union of the shards' relations, first-seen order preserved."""
+        gathered = self._gather(
+            "relation-names",
+            self._all_shards(lambda server: tuple(server.relation_names)),
+            policy=FAIL_FAST,
+        )
+        names: list[str] = []
+        for shard_names in gathered.values:
+            for name in shard_names:
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    def stored_relation(self, name: str) -> EncryptedRelation:
+        """The full ciphertext relation, reassembled from every shard."""
+        gathered = self._gather(
+            f"stored-relation({name!r})",
+            self._all_shards(lambda server: server.stored_relation(name)),
+            policy=FAIL_FAST,  # reassembling data must be complete
+        )
+        tuples: list[EncryptedTuple] = []
+        for piece in gathered.values:
+            tuples.extend(piece.encrypted_tuples)
+        return EncryptedRelation(
+            schema=gathered.values[0].schema, encrypted_tuples=tuple(tuples)
+        )
+
+    def tuple_count(self, name: str) -> int:
+        """Total ciphertext count across the fleet."""
+        return sum(self.per_shard_tuple_counts(name).values())
+
+    def drop_relation(self, name: str) -> None:
+        """Drop the relation on every shard (fail-fast: no half-dropped state)."""
+        self._gather(
+            f"drop-relation({name!r})",
+            self._all_shards(lambda server: server.drop_relation(name)),
+            policy=FAIL_FAST,
+        )
+        self._evaluators.pop(name, None)
+        self._schemas.pop(name, None)
+
+    # ------------------------------------------------------------------ #
+    # The OutsourcedDatabaseServer duck-type: wire level
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, raw: bytes) -> bytes:
+        """Route one protocol envelope across the fleet.
+
+        Mirrors the single-provider contract: failures inside a well-formed
+        request come back as ``ERROR`` envelopes, not exceptions.
+        """
+        request = protocol.parse_message(raw)
+        try:
+            return self._route_envelope(request, raw)
+        except (ServerError, StorageError, ProtocolError, DphError, ValueError) as exc:
+            return self._respond(
+                request, MessageKind.ERROR, str(exc).encode("utf-8")
+            ).to_bytes()
+
+    def _route_envelope(self, request: Message | MessageV2, raw: bytes) -> bytes:
+        kind = request.kind
+        if kind is MessageKind.INSERT_TUPLE:
+            encrypted_tuple, consumed = protocol.decode_encrypted_tuple(request.body)
+            if consumed != len(request.body):
+                raise ProtocolError("trailing bytes after encrypted tuple")
+            shard_id = self._ring.assign(encrypted_tuple.tuple_id)
+            self._stats.routed_inserts += 1
+            try:
+                return self.shard(shard_id).handle_message(raw)
+            except (ServerError, StorageError, ProtocolError, DphError, ValueError):
+                raise
+            except Exception as exc:  # a dying backend must not escape the envelope contract
+                raise ClusterError(f"shard {shard_id!r} failed: {exc}") from exc
+        if kind is MessageKind.STORE_RELATION:
+            encrypted_relation = protocol.decode_encrypted_relation(request.body)
+            self._scatter_store(request, encrypted_relation)
+            return self._respond(
+                request, MessageKind.ACK, protocol.encode_count(len(encrypted_relation))
+            ).to_bytes()
+        if kind is MessageKind.DELETE_TUPLES:
+            deleted = self._scatter_delete(
+                request, protocol.decode_tuple_ids(request.body)
+            )
+            return self._respond(
+                request, MessageKind.ACK, protocol.encode_count(deleted)
+            ).to_bytes()
+        if kind is MessageKind.QUERY:
+            merged = self._scatter_query(request, raw)
+            if request.version == protocol.PROTOCOL_V1:
+                body = protocol.encode_encrypted_relation(merged.matching)
+            else:
+                body = protocol.encode_evaluation_result(merged)
+            return self._respond(request, MessageKind.QUERY_RESULT, body).to_bytes()
+        if kind is MessageKind.BATCH_QUERY:
+            merged_batch = self._scatter_batch(request, raw)
+            return self._respond(
+                request,
+                MessageKind.BATCH_RESULT,
+                protocol.encode_result_batch(merged_batch),
+            ).to_bytes()
+        raise ClusterError(f"cannot route message kind {kind.value!r}")
+
+    def _scatter_store(
+        self, request: Message | MessageV2, encrypted_relation: EncryptedRelation
+    ) -> None:
+        self._schemas[request.relation_name] = encrypted_relation.schema
+        groups = self._partition_tuples(encrypted_relation)
+        calls = []
+        for shard_id, tuples in groups.items():
+            shard_relation = EncryptedRelation(
+                schema=encrypted_relation.schema, encrypted_tuples=tuple(tuples)
+            )
+            envelope = self._respond(
+                request,
+                MessageKind.STORE_RELATION,
+                protocol.encode_encrypted_relation(shard_relation),
+            ).to_bytes()
+            calls.append(self._envelope_call(shard_id, envelope, MessageKind.ACK))
+        self._gather(
+            f"store-relation({request.relation_name!r})", calls, policy=FAIL_FAST
+        )
+
+    def _scatter_delete(
+        self, request: Message | MessageV2, tuple_ids: Sequence[bytes]
+    ) -> int:
+        # Every shard gets the full id list: ring ownership is a *placement*
+        # policy, not an invariant -- a deferred rebalance or a crash mid-
+        # migration can leave a tuple (or its transient duplicate) off its
+        # owner, and providers ignore ids they do not hold.
+        if not tuple_ids:
+            return 0
+        envelope = self._respond(
+            request, MessageKind.DELETE_TUPLES, protocol.encode_tuple_ids(tuple_ids)
+        ).to_bytes()
+        calls = [
+            self._envelope_call(shard_id, envelope, MessageKind.ACK)
+            for shard_id in self._shards
+        ]
+        gathered = self._gather(
+            f"delete-tuples({request.relation_name!r})", calls, policy=FAIL_FAST
+        )
+        return sum(protocol.decode_count(response.body) for response in gathered.values)
+
+    def _scatter_query(
+        self, request: Message | MessageV2, raw: bytes
+    ) -> EvaluationResult:
+        calls = [
+            self._envelope_call(shard_id, raw, MessageKind.QUERY_RESULT)
+            for shard_id in self._shards
+        ]
+        gathered = self._gather(
+            f"query({request.relation_name!r})", calls, policy=self._policy, read=True
+        )
+        results = [self._decode_result(request, response) for response in gathered.values]
+        return merge_evaluation_results(results)
+
+    def _scatter_batch(
+        self, request: Message | MessageV2, raw: bytes
+    ) -> list[EvaluationResult]:
+        calls = [
+            self._envelope_call(shard_id, raw, MessageKind.BATCH_RESULT)
+            for shard_id in self._shards
+        ]
+        gathered = self._gather(
+            f"batch-query({request.relation_name!r})",
+            calls,
+            policy=self._policy,
+            read=True,
+        )
+        per_shard = [
+            protocol.decode_result_batch(response.body) for response in gathered.values
+        ]
+        lengths = {len(results) for results in per_shard}
+        if len(lengths) != 1:
+            raise ClusterError(
+                f"shards answered differing batch sizes: {sorted(lengths)}"
+            )
+        return [
+            merge_evaluation_results([results[i] for results in per_shard])
+            for i in range(lengths.pop())
+        ]
+
+    @staticmethod
+    def _decode_result(
+        request: Message | MessageV2, response: Message | MessageV2
+    ) -> EvaluationResult:
+        if request.version == protocol.PROTOCOL_V1:
+            return EvaluationResult(
+                matching=protocol.decode_encrypted_relation(response.body)
+            )
+        result, consumed = protocol.decode_evaluation_result(response.body)
+        if consumed != len(response.body):
+            raise ClusterError("trailing bytes after evaluation result")
+        return result
+
+    def _envelope_call(
+        self, shard_id: str, envelope: bytes, expect: MessageKind
+    ) -> tuple[str, Callable[[], Message | MessageV2]]:
+        server = self.shard(shard_id)
+
+        def call() -> Message | MessageV2:
+            response = protocol.parse_message(server.handle_message(envelope))
+            if response.kind is MessageKind.ERROR:
+                raise ClusterError(response.body.decode("utf-8", "replace"))
+            if response.kind is not expect:
+                raise ClusterError(
+                    f"shard {shard_id!r} answered {response.kind.value!r}, "
+                    f"expected {expect.value!r}"
+                )
+            return response
+
+        return shard_id, call
+
+    # ------------------------------------------------------------------ #
+    # Object-level convenience API (what OutsourcingClient uses)
+    # ------------------------------------------------------------------ #
+
+    def store_relation(
+        self,
+        name: str,
+        encrypted_relation: EncryptedRelation,
+        evaluator: ServerEvaluator,
+    ) -> None:
+        """Deploy the evaluator everywhere, then store each shard's partition."""
+        self.register_evaluator(name, evaluator)
+        self._schemas[name] = encrypted_relation.schema
+        groups = self._partition_tuples(encrypted_relation)
+        self._gather(
+            f"store-relation({name!r})",
+            [
+                (
+                    shard_id,
+                    (
+                        lambda sv, part: lambda: sv.store_relation(
+                            name,
+                            EncryptedRelation(
+                                schema=encrypted_relation.schema,
+                                encrypted_tuples=tuple(part),
+                            ),
+                            evaluator,
+                        )
+                    )(self.shard(shard_id), tuples),
+                )
+                for shard_id, tuples in groups.items()
+            ],
+            policy=FAIL_FAST,
+        )
+
+    def insert_tuple(self, name: str, encrypted_tuple: EncryptedTuple) -> None:
+        """Append one ciphertext on its ring-assigned shard."""
+        shard_id = self._ring.assign(encrypted_tuple.tuple_id)
+        self._stats.routed_inserts += 1
+        self.shard(shard_id).insert_tuple(name, encrypted_tuple)
+
+    def delete_tuples(self, name: str, tuple_ids: Sequence[bytes]) -> int:
+        """Delete ids on every shard; returns the fleet-wide count.
+
+        The full id list goes to the whole fleet (providers ignore unknown
+        ids), so deletes stay correct while tuples sit off their ring owner
+        -- a deferred rebalance, or insert-first migration duplicates.
+        """
+        if not tuple_ids:
+            return 0
+        ids = list(tuple_ids)
+        gathered = self._gather(
+            f"delete-tuples({name!r})",
+            self._all_shards(lambda server: server.delete_tuples(name, ids)),
+            policy=FAIL_FAST,
+        )
+        return sum(gathered.values)
+
+    def execute_query(
+        self, name: str, encrypted_query: EncryptedQuery
+    ) -> EvaluationResult:
+        """Scatter one encrypted query and merge the per-shard results."""
+        gathered = self._gather(
+            f"query({name!r})",
+            self._all_shards(lambda server: server.execute_query(name, encrypted_query)),
+            policy=self._policy,
+            read=True,
+        )
+        return merge_evaluation_results(list(gathered.values))
+
+    def execute_batch(
+        self, name: str, encrypted_queries: Sequence[EncryptedQuery]
+    ) -> list[EvaluationResult]:
+        """Scatter a query batch and merge element-wise."""
+        gathered = self._gather(
+            f"batch-query({name!r})",
+            self._all_shards(lambda server: server.execute_batch(name, encrypted_queries)),
+            policy=self._policy,
+            read=True,
+        )
+        return [
+            merge_evaluation_results([results[i] for results in gathered.values])
+            for i in range(len(encrypted_queries))
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Elastic membership
+    # ------------------------------------------------------------------ #
+
+    def add_shard(
+        self, backend: Any, shard_id: str | None = None, *, rebalance: bool = True
+    ):
+        """Grow the fleet by one shard and migrate its ring share onto it.
+
+        The new shard is primed with every known relation (its evaluator and
+        an empty partition) before it joins the ring, so scatter reads never
+        observe a shard without the relation.  Requires every relation's
+        evaluator to have been registered through this router.
+
+        Returns the :class:`~repro.cluster.rebalance.RebalanceReport` (or
+        None with ``rebalance=False``, leaving existing tuples in place
+        until :meth:`rebalance` runs).
+        """
+        names = self.relation_names
+        missing = [name for name in names if name not in self._evaluators]
+        if missing:
+            raise ClusterError(
+                f"cannot prime a new shard: no evaluator registered through this "
+                f"router for relation(s) {missing} (register_evaluator them first)"
+            )
+        shard = self._open_backend(backend, shard_id, len(self._shards))
+        if shard.shard_id in self._shards:
+            if shard.owned:
+                shard.server.close()
+            raise ClusterError(f"duplicate shard id {shard.shard_id!r}")
+        try:
+            for name in names:
+                schema = self._any_schema(name)
+                shard.server.store_relation(
+                    name,
+                    EncryptedRelation(schema=schema, encrypted_tuples=()),
+                    self._evaluators[name],
+                )
+        except BaseException:
+            if shard.owned:
+                shard.server.close()
+            raise
+        self._shards[shard.shard_id] = shard
+        self._ring.add_shard(shard.shard_id)
+        self._resize_executor()
+        if not rebalance:
+            return None
+        return self.rebalance()
+
+    def remove_shard(self, shard_id: str, *, drain: bool = True):
+        """Shrink the fleet, draining the leaving shard's tuples first.
+
+        With ``drain=True`` every tuple on the leaving shard is re-inserted
+        at its new ring owner and the relations are dropped from the leaving
+        shard before it is detached (and closed, when owned).  Returns the
+        :class:`~repro.cluster.rebalance.RebalanceReport` of the drain.
+        """
+        from repro.cluster.rebalance import RebalanceReport
+
+        if shard_id not in self._shards:
+            raise ClusterError(f"no shard named {shard_id!r}")
+        if len(self._shards) == 1:
+            raise ClusterError("cannot remove the last shard")
+        leaving = self._shards[shard_id]
+        self._ring.remove_shard(shard_id)
+        report = RebalanceReport()
+        try:
+            if drain:
+                for name in tuple(leaving.server.relation_names):
+                    relation = leaving.server.stored_relation(name)
+                    for encrypted_tuple in relation:
+                        target = self._ring.assign(encrypted_tuple.tuple_id)
+                        self.shard(target).insert_tuple(name, encrypted_tuple)
+                        report.record_move(name, shard_id, target)
+                    report.scanned += len(relation)
+                    leaving.server.drop_relation(name)
+        except BaseException:
+            # Put the shard back: its data was not (fully) drained.
+            self._ring.add_shard(shard_id)
+            raise
+        del self._shards[shard_id]
+        if leaving.owned:
+            leaving.server.close()
+        return report
+
+    def rebalance(self):
+        """Move every misplaced tuple to its ring-assigned shard."""
+        from repro.cluster.rebalance import rebalance as run_rebalance
+
+        return run_rebalance(
+            {shard_id: shard.server for shard_id, shard in self._shards.items()},
+            self._ring,
+            self.relation_names,
+        )
+
+    def _any_schema(self, name: str):
+        """The (public) schema of a stored relation.
+
+        Served from the cache populated at store time; falls back to
+        fetching one shard's copy for relations stored before this router
+        existed (e.g. an attach-style session over persisted shards).
+        """
+        cached = self._schemas.get(name)
+        if cached is not None:
+            return cached
+        first = next(iter(self._shards.values()))
+        schema = first.server.stored_relation(name).schema
+        self._schemas[name] = schema
+        return schema
+
+    def _resize_executor(self) -> None:
+        wanted = self._pool_headroom(len(self._shards))
+        if wanted > self._executor.max_workers:
+            old = self._executor
+            self._executor = ScatterGatherExecutor(
+                max_workers=wanted, timeout=old.timeout
+            )
+            old.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _partition_tuples(
+        self, encrypted_relation: EncryptedRelation
+    ) -> dict[str, list[EncryptedTuple]]:
+        groups: dict[str, list[EncryptedTuple]] = {
+            shard_id: [] for shard_id in self._shards
+        }
+        for encrypted_tuple in encrypted_relation:
+            groups[self._ring.assign(encrypted_tuple.tuple_id)].append(encrypted_tuple)
+        return groups
+
+    def _all_shards(
+        self, operation: Callable[[Any], Any]
+    ) -> list[tuple[str, Callable[[], Any]]]:
+        return [
+            (shard.shard_id, (lambda sv: lambda: operation(sv))(shard.server))
+            for shard in self._shards.values()
+        ]
+
+    def _gather(
+        self,
+        operation: str,
+        calls: Sequence[tuple[str, Callable[[], Any]]],
+        *,
+        policy: str,
+        read: bool = False,
+    ) -> GatherResult:
+        if read:
+            self._stats.scatter_reads += 1
+        gathered = self._executor.gather(operation, calls, policy=policy)
+        if gathered.degraded:
+            self._stats.degraded_reads += 1
+            self._stats.last_missing_shard_ids = gathered.missing_shard_ids
+        return gathered
+
+    @staticmethod
+    def _respond(
+        request: Message | MessageV2, kind: MessageKind, body: bytes
+    ) -> Message | MessageV2:
+        envelope = Message if request.version == protocol.PROTOCOL_V1 else MessageV2
+        return envelope(kind=kind, relation_name=request.relation_name, body=body)

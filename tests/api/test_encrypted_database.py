@@ -36,9 +36,9 @@ def tcp_provider():
         yield server
 
 
-@pytest.fixture(params=["in-process", "tcp"])
+@pytest.fixture(params=["in-process", "tcp", "cluster"])
 def transport(request):
-    """Whether the session talks to the provider directly or over a socket."""
+    """Direct provider, a socket, or a 2-shard cluster of in-process backends."""
     return request.param
 
 
@@ -48,6 +48,23 @@ def db(request, transport, secret_key, rng):
         session = EncryptedDatabase.open(secret_key, scheme=request.param, rng=rng)
         session.create_table(EMP_DECL, rows=ROWS)
         yield session
+        return
+    if transport == "cluster":
+        # The same suite sharded across two backends -- the scatter-gather
+        # router must be just as transparent as the socket.
+        from repro.outsourcing import OutsourcedDatabaseServer
+
+        session = EncryptedDatabase.open(
+            secret_key,
+            shards=[OutsourcedDatabaseServer(), OutsourcedDatabaseServer()],
+            scheme=request.param,
+            rng=rng,
+        )
+        try:
+            session.create_table(EMP_DECL, rows=ROWS)
+            yield session
+        finally:
+            session.close()  # shuts the router's scatter pool down
         return
     # The same suite over tcp:// -- the transport must be transparent.
     provider = request.getfixturevalue("tcp_provider")

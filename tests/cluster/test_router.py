@@ -1,0 +1,230 @@
+"""ShardRouter: CRUD routing, merging, partial failure, duck-type fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import DatabaseError, EncryptedDatabase
+from repro.cluster import (
+    ClusterError,
+    DEGRADED,
+    ShardFailedError,
+    ShardRouter,
+    parse_cluster_url,
+)
+from repro.outsourcing import OutsourcedDatabaseServer, OutsourcingClient
+from repro.outsourcing.protocol import PROTOCOL_V1, PROTOCOL_V2
+from repro.relational import Selection
+
+EMP_DECL = "Emp(name:string[14], dept:string[5], salary:int[6])"
+ROWS = [(f"emp{i}", "HR" if i % 2 else "IT", 1000 + i) for i in range(30)]
+
+
+class FlakyServer(OutsourcedDatabaseServer):
+    """A shard that can be switched off to exercise partial-failure paths."""
+
+    def __init__(self):
+        super().__init__()
+        self.down = False
+
+    def _check(self):
+        if self.down:
+            raise ConnectionError("shard is down")
+
+    def handle_message(self, raw: bytes) -> bytes:
+        self._check()
+        return super().handle_message(raw)
+
+    def execute_query(self, name, encrypted_query):
+        self._check()
+        return super().execute_query(name, encrypted_query)
+
+    def insert_tuple(self, name, encrypted_tuple):
+        self._check()
+        return super().insert_tuple(name, encrypted_tuple)
+
+    def delete_tuples(self, name, tuple_ids):
+        self._check()
+        return super().delete_tuples(name, tuple_ids)
+
+
+@pytest.fixture
+def backends():
+    return [OutsourcedDatabaseServer() for _ in range(3)]
+
+
+@pytest.fixture
+def db(backends, secret_key, rng):
+    session = EncryptedDatabase.open(secret_key, shards=backends, rng=rng)
+    session.create_table(EMP_DECL, rows=ROWS)
+    return session
+
+
+class TestRouting:
+    def test_tuples_spread_across_every_shard(self, db):
+        counts = db.server.per_shard_tuple_counts("Emp")
+        assert set(counts) == {"shard-0", "shard-1", "shard-2"}
+        assert sum(counts.values()) == len(ROWS)
+        assert all(count > 0 for count in counts.values())
+
+    def test_merged_select_finds_matches_on_every_shard(self, db):
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 15
+
+    def test_insert_lands_on_the_ring_assigned_shard(self, db):
+        db.insert("Emp", {"name": "Zoe", "dept": "NEW", "salary": 1})
+        assert len(db.select(Selection.equals("dept", "NEW"), table="Emp").relation) == 1
+        # every physically stored tuple sits exactly where the ring says
+        router = db.server
+        for shard_id in router.shard_ids:
+            for t in router.shard(shard_id).stored_relation("Emp"):
+                assert router.shard_for(t.tuple_id) == shard_id
+
+    def test_delete_spans_shards_and_counts_truthfully(self, db):
+        deleted = db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert deleted == 15
+        assert db.count("Emp") == 15
+        assert len(db.select(Selection.equals("dept", "HR"), table="Emp").relation) == 0
+
+    def test_update_keeps_placement_consistent(self, db):
+        updated = db.update(Selection.equals("name", "emp3"), {"salary": 9}, table="Emp")
+        assert updated == 1
+        router = db.server
+        for shard_id in router.shard_ids:
+            for t in router.shard(shard_id).stored_relation("Emp"):
+                assert router.shard_for(t.tuple_id) == shard_id
+
+    def test_batch_queries_merge_element_wise(self, db):
+        outcomes = db.select_many(
+            [Selection.equals("dept", "HR"), Selection.equals("dept", "IT")],
+            table="Emp",
+        )
+        assert [len(o.relation) for o in outcomes] == [15, 15]
+
+    def test_stored_relation_reassembles_the_fleet(self, db):
+        assert len(db.server.stored_relation("Emp")) == len(ROWS)
+        assert len(db.retrieve_all("Emp")) == len(ROWS)
+
+    def test_drop_removes_the_relation_everywhere(self, db, backends):
+        db.drop_table("Emp")
+        for backend in backends:
+            assert backend.relation_names == ()
+
+
+class TestDuckType:
+    def test_version_intersection(self, backends):
+        class V1Only(OutsourcedDatabaseServer):
+            SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_V1,)
+
+        full = ShardRouter(backends)
+        assert full.supported_protocol_versions == (PROTOCOL_V1, PROTOCOL_V2)
+        mixed = ShardRouter([OutsourcedDatabaseServer(), V1Only()])
+        assert mixed.supported_protocol_versions == (PROTOCOL_V1,)
+
+    def test_legacy_outsourcing_client_works_over_a_cluster(
+        self, employee_relation, swp_dph
+    ):
+        router = ShardRouter([OutsourcedDatabaseServer(), OutsourcedDatabaseServer()])
+        client = OutsourcingClient(swp_dph, router, relation_name="Legacy")
+        client.outsource(employee_relation)
+        assert len(client.select(Selection.equals("dept", "HR")).relation) == 2
+        counts = router.per_shard_tuple_counts("Legacy")
+        assert sum(counts.values()) == len(employee_relation)
+
+    def test_relation_names_unions_shards(self, db):
+        assert db.server.relation_names == ("Emp",)
+
+    def test_unknown_relation_errors_like_a_server(self, db):
+        with pytest.raises(DatabaseError):
+            db.count("Nope")
+
+
+class TestPartialFailure:
+    def _cluster(self, policy):
+        shards = [FlakyServer(), FlakyServer(), FlakyServer()]
+        router = ShardRouter(shards, policy=policy)
+        db = EncryptedDatabase.open(server=router)
+        db.create_table(EMP_DECL, rows=ROWS)
+        return db, router, shards
+
+    def test_fail_fast_read_surfaces_the_failure(self):
+        db, router, shards = self._cluster("fail_fast")
+        shards[1].down = True
+        with pytest.raises(DatabaseError, match="shard is down"):
+            db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+
+    def test_degraded_read_serves_the_survivors(self):
+        db, router, shards = self._cluster(DEGRADED)
+        full = len(db.select("SELECT * FROM Emp WHERE dept = 'HR'").relation)
+        assert full == 15
+        handle = db.table("Emp")
+        hr_on_lost_shard = sum(
+            1
+            for t in shards[1].stored_relation("Emp")
+            if handle.scheme.decrypt_tuple(t)["dept"] == "HR"
+        )
+        assert hr_on_lost_shard > 0  # the outage actually hides matches
+        shards[1].down = True
+        partial = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(partial.relation) == full - hr_on_lost_shard
+        assert router.stats.degraded_reads >= 1
+        assert router.stats.last_missing_shard_ids == ("shard-1",)
+
+    def test_degraded_with_every_shard_down_still_fails(self):
+        db, router, shards = self._cluster(DEGRADED)
+        for shard in shards:
+            shard.down = True
+        with pytest.raises(DatabaseError):
+            db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+
+    def test_writes_are_always_fail_fast(self):
+        db, router, shards = self._cluster(DEGRADED)
+        # ids physically owned by shard-2, captured before the outage
+        lost_ids = [t.tuple_id for t in shards[2].stored_relation("Emp")]
+        assert lost_ids
+        shards[2].down = True
+        with pytest.raises(ClusterError):
+            router.delete_tuples("Emp", lost_ids)
+        # a degraded *read* of the same table still works meanwhile
+        assert db.select("SELECT * FROM Emp WHERE dept = 'IT'").relation is not None
+
+    def test_insert_to_a_down_shard_fails_loudly(self):
+        db, router, shards = self._cluster(DEGRADED)
+        for shard in shards:
+            shard.down = True
+        with pytest.raises(DatabaseError):
+            db.insert("Emp", {"name": "X", "dept": "HR", "salary": 1})
+
+
+class TestConstruction:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ClusterError):
+            ShardRouter([])
+
+    def test_shard_id_count_must_match(self):
+        with pytest.raises(ClusterError):
+            ShardRouter([OutsourcedDatabaseServer()], shard_ids=["a", "b"])
+
+    def test_duplicate_shard_ids_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardRouter(
+                [OutsourcedDatabaseServer(), OutsourcedDatabaseServer()],
+                shard_ids=["a", "a"],
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ClusterError):
+            ShardRouter([OutsourcedDatabaseServer()], policy="hope")
+
+    def test_parse_cluster_url(self):
+        assert parse_cluster_url("cluster://h1:1,h2:2") == (
+            "tcp://h1:1", "tcp://h2:2"
+        )
+        with pytest.raises(ClusterError):
+            parse_cluster_url("tcp://h1:1")
+        with pytest.raises(ClusterError):
+            parse_cluster_url("cluster://")
+        with pytest.raises(ClusterError):
+            parse_cluster_url("cluster://h1:1,h1:1")
+        with pytest.raises(ClusterError):
+            parse_cluster_url("cluster://h1:notaport")

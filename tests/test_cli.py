@@ -26,6 +26,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["attack", "unknown-attack"])
 
+    def test_cluster_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+
+    def test_cluster_spawn_defaults(self):
+        args = build_parser().parse_args(["cluster", "spawn"])
+        assert args.shards == 2
+        assert args.host == "127.0.0.1"
+
+    def test_serve_stats_interval_flag(self):
+        args = build_parser().parse_args(["serve", "--stats-interval", "2.5"])
+        assert args.stats_interval == 2.5
+
 
 class TestBuildScheme:
     def test_every_choice_is_constructible(self):
@@ -77,3 +90,64 @@ class TestCommands:
         assert exit_code == 0
         assert "E9" in captured.out
         assert "expansion" in captured.out
+
+
+class TestClusterCommands:
+    def test_route_distribution_is_offline_and_balanced(self, capsys):
+        exit_code = main([
+            "cluster", "route",
+            "cluster://10.0.0.1:7707,10.0.0.2:7707,10.0.0.3:7707",
+            "--keys", "3000",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ring of 3 shard(s)" in captured.out
+        assert "max deviation" in captured.out
+
+    def test_route_single_key(self, capsys):
+        exit_code = main([
+            "cluster", "route", "cluster://a:1,b:2", "--key", "deadbeef",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "deadbeef -> tcp://" in captured.out
+
+    def test_route_rejects_garbage(self, capsys):
+        assert main(["cluster", "route", "cluster://"]) == 2
+        assert main(["cluster", "route", "cluster://h:1", "--key", "zz"]) == 2
+        assert main(["cluster", "route", "cluster://h:1", "--keys", "0"]) == 2
+        assert main(["cluster", "route", "cluster://h:1", "--replicas", "0"]) == 2
+
+    def test_spawn_rejects_a_zero_fleet(self, capsys):
+        assert main(["cluster", "spawn", "--shards", "0"]) == 2
+
+    def test_status_reports_live_shards(self, capsys):
+        from repro.api import EncryptedDatabase
+        from repro.net import ThreadedTcpServer
+
+        with ThreadedTcpServer() as one, ThreadedTcpServer() as two:
+            url = f"cluster://127.0.0.1:{one.port},127.0.0.1:{two.port}"
+            with EncryptedDatabase.connect(url) as db:
+                db.create_table(
+                    "T(name:string[8], v:int[4])",
+                    rows=[(f"n{i}", i) for i in range(20)],
+                )
+                exit_code = main(["cluster", "status", url])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "2/2 shard(s) up" in captured.out
+        assert "T=" in captured.out
+
+    def test_status_flags_a_down_shard(self, capsys):
+        from repro.net import ThreadedTcpServer
+
+        with ThreadedTcpServer() as one:
+            exit_code = main([
+                "cluster", "status",
+                f"cluster://127.0.0.1:{one.port},127.0.0.1:1",
+                "--timeout", "2",
+            ])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "DOWN" in captured.out
+        assert "1/2 shard(s) up" in captured.out
