@@ -1,0 +1,236 @@
+"""E14: read completeness and latency under replication and provider loss.
+
+New-workload claim (no paper counterpart): with per-shard replication
+(``?replicas=2``) the sharded deployment keeps answering *exact* query
+results -- the paper's core guarantee -- while a provider is dead.  Every
+tuple is stored on its 2 ring-successor shards, so when 1 of 3 providers
+is SIGKILLed mid-workload the surviving replicas still cover the whole
+relation: the router fails over, deduplicates by public tuple id, and the
+read completes un-degraded (the DEGRADED policy never fires; the session
+runs the default fail-fast policy throughout).
+
+Three measured configurations, all real ``repro serve`` subprocesses
+driven through ``cluster://``:
+
+* ``r1-baseline`` -- 3 shards, no replication: the pre-replication read
+  cost, for the replication overhead figure.
+* ``r2-healthy``  -- 3 shards, ``replicas=2``, all providers up: each
+  provider scans ~2/3 of the relation instead of ~1/3, the price paid
+  for surviving a failure.
+* ``r2-failover`` -- the same fleet after SIGKILLing one provider: the
+  *before/after* read latency around the kill is the headline number,
+  recorded to ``benchmarks/results/e14_replicated_reads.json``.
+
+The correctness bar: every configuration answers every query with exactly
+one true match (duplicate-free despite 2 physical copies per tuple), the
+post-kill reads are complete with ``degraded_reads == 0`` and
+``failover_reads > 0``, and the logical tuple count never inflates.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import time
+
+from conftest import run_once
+
+from repro.analysis.reporting import ExperimentTable
+from repro.api import EncryptedDatabase
+from repro.crypto.keys import SecretKey
+from repro.crypto.rng import DeterministicRng
+
+TABLE_SIZE = 600
+NUM_QUERIES = 24
+NUM_SHARDS = 3
+SCHEME = "swp"
+SEED = 14
+
+EMP_DECL = "Emp(name:string[14], dept:string[5], salary:int[6])"
+STARTUP_TIMEOUT_S = 30
+
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+
+def _rows() -> list[tuple]:
+    return [(f"emp{i}", f"D{i % 7}", 1000 + i) for i in range(TABLE_SIZE)]
+
+
+def _statements() -> list[str]:
+    step = TABLE_SIZE // NUM_QUERIES
+    return [
+        f"SELECT * FROM Emp WHERE name = 'emp{i * step}'" for i in range(NUM_QUERIES)
+    ]
+
+
+def _spawn_providers(count: int) -> tuple[list[subprocess.Popen], list[str]]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    procs, hosts = [], []
+    for _ in range(count):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        procs.append(proc)
+    try:
+        for proc in procs:
+            banner = proc.stdout.readline()
+            match = re.search(r"tcp://([\d.]+):(\d+)", banner)
+            if not match:
+                raise RuntimeError(f"provider did not start: {banner!r}")
+            hosts.append(f"{match.group(1)}:{match.group(2)}")
+    except BaseException:
+        _stop_providers(procs)
+        raise
+    return procs, hosts
+
+
+def _stop_providers(procs: list[subprocess.Popen]) -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+    for proc in procs:
+        if proc.poll() is None:
+            try:
+                proc.communicate(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.communicate(timeout=10)
+
+
+def _timed_selects(db, statements) -> tuple[list[float], list[int]]:
+    """Per-query wall clock (ms) and result sizes."""
+    latencies, sizes = [], []
+    for statement in statements:
+        start = time.perf_counter()
+        outcome = db.select(statement)
+        latencies.append((time.perf_counter() - start) * 1000.0)
+        sizes.append(len(outcome.relation))
+    return latencies, sizes
+
+
+def _phase_metrics(label: str, latencies: list[float], sizes: list[int]) -> dict:
+    return {
+        "phase": label,
+        "mean_ms": statistics.fmean(latencies),
+        "p95_ms": sorted(latencies)[int(0.95 * (len(latencies) - 1))],
+        "hits": sizes,
+    }
+
+
+def run_e14_replicated_reads():
+    """Measure read latency before and after killing 1 of 3 providers."""
+    secret_key = SecretKey.generate(rng=DeterministicRng(SEED))
+    statements = _statements()
+    rows = _rows()
+    phases = []
+
+    # --- r1 baseline: the unreplicated fleet's read latency -------------- #
+    procs, hosts = _spawn_providers(NUM_SHARDS)
+    try:
+        url = "cluster://" + ",".join(hosts)
+        with EncryptedDatabase.connect(
+            url, secret_key, scheme=SCHEME, rng=DeterministicRng(SEED)
+        ) as db:
+            db.create_table(EMP_DECL, rows=rows)
+            latencies, sizes = _timed_selects(db, statements)
+            phases.append(_phase_metrics("r1-baseline", latencies, sizes))
+            db.drop_table("Emp")
+    finally:
+        _stop_providers(procs)
+
+    # --- r2: the replicated fleet, healthy then with one provider dead --- #
+    procs, hosts = _spawn_providers(NUM_SHARDS)
+    try:
+        url = "cluster://" + ",".join(hosts) + "?replicas=2"
+        with EncryptedDatabase.connect(
+            url, secret_key, scheme=SCHEME, rng=DeterministicRng(SEED)
+        ) as db:
+            db.create_table(EMP_DECL, rows=rows)
+            physical = sum(db.server.per_shard_tuple_counts("Emp").values())
+            assert physical == 2 * TABLE_SIZE, physical
+
+            latencies, sizes = _timed_selects(db, statements)
+            phases.append(_phase_metrics("r2-healthy", latencies, sizes))
+
+            procs[0].send_signal(signal.SIGKILL)  # mid-workload provider loss
+            procs[0].wait(timeout=15)
+
+            latencies, sizes = _timed_selects(db, statements)
+            phases.append(_phase_metrics("r2-failover", latencies, sizes))
+            stats = db.server.stats.as_dict()
+            logical = db.count("Emp")
+    finally:
+        _stop_providers(procs)
+
+    table = ExperimentTable(
+        title=(
+            f"E14: {NUM_QUERIES} exact selects over {TABLE_SIZE} tuples "
+            f"({SCHEME}), {NUM_SHARDS} provider subprocesses, replicas=2, "
+            "1 provider SIGKILLed mid-workload"
+        ),
+        columns=["phase", "mean ms", "p95 ms", "hits", "complete"],
+    )
+    for phase in phases:
+        table.add_row(
+            phase["phase"],
+            phase["mean_ms"],
+            phase["p95_ms"],
+            sum(phase["hits"]),
+            all(size == 1 for size in phase["hits"]),
+        )
+    return table, phases, stats, logical
+
+
+def test_e14_replicated_reads(benchmark, record_table):
+    table, phases, stats, logical = run_once(benchmark, run_e14_replicated_reads)
+    by_phase = {phase["phase"]: phase for phase in phases}
+    record_table(
+        "e14_replicated_reads",
+        table,
+        metrics={
+            "read_latency_ms": {
+                phase["phase"]: {
+                    "mean": round(phase["mean_ms"], 3),
+                    "p95": round(phase["p95_ms"], 3),
+                }
+                for phase in phases
+            },
+            "before_kill_mean_ms": round(by_phase["r2-healthy"]["mean_ms"], 3),
+            "after_kill_mean_ms": round(by_phase["r2-failover"]["mean_ms"], 3),
+            "replication_read_overhead_x": round(
+                by_phase["r2-healthy"]["mean_ms"] / by_phase["r1-baseline"]["mean_ms"],
+                3,
+            ),
+            "failover_reads": stats["failover_reads"],
+            "degraded_reads": stats["degraded_reads"],
+        },
+        params={
+            "table_size": TABLE_SIZE,
+            "num_queries": NUM_QUERIES,
+            "num_shards": NUM_SHARDS,
+            "replicas": 2,
+            "scheme": SCHEME,
+            "seed": SEED,
+        },
+    )
+
+    # Every phase answered every query with exactly its one true match --
+    # duplicate-free despite 2 physical copies per tuple, and complete
+    # despite a dead provider in the failover phase.
+    for phase in phases:
+        assert phase["hits"] == [1] * NUM_QUERIES, phase["phase"]
+
+    # The failover really happened and never degraded a read.
+    assert stats["failover_reads"] >= NUM_QUERIES
+    assert stats["degraded_reads"] == 0
+    assert logical == TABLE_SIZE  # replicas/duplicates never inflate the count

@@ -98,6 +98,7 @@ class EncryptedDatabase:
         *,
         storage: StorageBackend | None = None,
         shards: list | None = None,
+        replicas: int = 1,
         rng: RandomSource | None = None,
         scheme_options: dict | None = None,
     ) -> "EncryptedDatabase":
@@ -122,6 +123,11 @@ class EncryptedDatabase:
             :class:`~repro.cluster.router.ShardRouter`.  Mutually exclusive
             with ``server`` and ``storage``; build the router yourself for
             non-default cluster options (policy, timeouts, shard ids).
+        replicas:
+            Replication factor of a sharded session: every tuple is stored
+            on this many shards, so reads stay complete with up to
+            ``replicas - 1`` shards down.  Only valid together with
+            ``shards``; defaults to 1 (no replication).
         rng:
             Randomness source handed to each table's scheme instance
             (seedable for reproducible experiments).
@@ -142,9 +148,14 @@ class EncryptedDatabase:
             from repro.outsourcing.server import ServerError as _ServerError
 
             try:
-                server = ShardRouter(shards)
+                server = ShardRouter(shards, replicas=replicas)
             except _ServerError as exc:
                 raise DatabaseError(str(exc)) from exc
+        elif replicas != 1:
+            raise DatabaseError(
+                "replicas applies to sharded sessions only "
+                "(pass shards=[...] or connect to a cluster:// URL)"
+            )
         elif server is None:
             server = OutsourcedDatabaseServer(storage=storage)
         elif storage is not None:
@@ -164,6 +175,7 @@ class EncryptedDatabase:
         timeout: float | None = 30.0,
         policy: str = "fail_fast",
         shard_timeout: float | None = None,
+        replicas: int | None = None,
     ) -> "EncryptedDatabase":
         """Open a session against a provider given by URL (or server object).
 
@@ -180,7 +192,11 @@ class EncryptedDatabase:
         tuples across every listed provider and scatter-gathers its queries.
         ``policy`` (``"fail_fast"`` or ``"degraded"``) and ``shard_timeout``
         configure the router's partial-failure handling for reads and apply
-        to cluster URLs only.
+        to cluster URLs only.  A ``?replicas=R`` URL query (or the
+        ``replicas`` keyword; they must agree when both are given) stores
+        every tuple on R shards, so reads stay complete -- failing over to
+        surviving replicas, never degrading -- with up to R-1 providers
+        down: ``connect("cluster://h1:p1,h2:p2,h3:p3?replicas=2")``.
 
         Anything that is not a URL string is treated as a server object and
         handed to :meth:`open` unchanged, so call sites can take "where is
@@ -188,9 +204,13 @@ class EncryptedDatabase:
         """
         owns_proxy = isinstance(provider, str)
         is_cluster = owns_proxy and provider.startswith("cluster://")
-        if not is_cluster and (policy, shard_timeout) != ("fail_fast", None):
+        if not is_cluster and (policy, shard_timeout, replicas) != (
+            "fail_fast",
+            None,
+            None,
+        ):
             raise DatabaseError(
-                "policy/shard_timeout apply to cluster:// URLs only; "
+                "policy/shard_timeout/replicas apply to cluster:// URLs only; "
                 "configure the ShardRouter directly"
             )
         if owns_proxy:
@@ -206,6 +226,7 @@ class EncryptedDatabase:
                         timeout=timeout,
                         policy=policy,
                         shard_timeout=shard_timeout,
+                        replicas=replicas,
                     )
                 else:
                     provider = RemoteServerProxy.connect(

@@ -24,9 +24,10 @@ the CLI exposes the reproduction's main entry points without writing any code:
 ``cluster``
     Sharded multi-provider tools (see :mod:`repro.cluster`): ``spawn`` a
     local fleet of providers on ephemeral ports, ``route`` keys through the
-    deterministic placement ring offline, and ``status`` a running fleet
+    deterministic placement ring offline (including the per-key replica
+    sets of a ``?replicas=R`` deployment), and ``status`` a running fleet
     over its stats control channel.  Sessions connect with
-    ``EncryptedDatabase.connect("cluster://h1:p1,h2:p2,...")``.
+    ``EncryptedDatabase.connect("cluster://h1:p1,h2:p2,...[?replicas=R]")``.
 
 Examples::
 
@@ -217,6 +218,16 @@ def command_cluster_spawn(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"--shards must be positive, got {args.shards}", file=sys.stderr)
         return 2
+    if args.replicas < 1:
+        print(f"--replicas must be positive, got {args.replicas}", file=sys.stderr)
+        return 2
+    if args.replicas > args.shards:
+        print(
+            f"--replicas {args.replicas} needs at least that many shards, "
+            f"got {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
 
     def make_database(index: int) -> OutsourcedDatabaseServer:
         storage = None
@@ -240,7 +251,16 @@ def command_cluster_spawn(args: argparse.Namespace) -> int:
             host, port = server.address
             addresses.append(f"{host}:{port}")
             print(f"repro cluster shard {index} listening on tcp://{host}:{port}", flush=True)
-        print(f"repro cluster ready: cluster://{','.join(addresses)}", flush=True)
+        url = f"cluster://{','.join(addresses)}"
+        if args.replicas > 1:
+            url += f"?replicas={args.replicas}"
+            print(
+                f"repro cluster replication: every tuple stored on "
+                f"{args.replicas} of {args.shards} shard(s); reads stay "
+                f"complete with up to {args.replicas - 1} shard(s) down",
+                flush=True,
+            )
+        print(f"repro cluster ready: {url}", flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -263,58 +283,95 @@ def command_cluster_spawn(args: argparse.Namespace) -> int:
 
 def command_cluster_route(args: argparse.Namespace) -> int:
     """Show the deterministic ring placement for a cluster URL (offline)."""
+    from collections import Counter
+
     from repro.cluster import (
         ClusterError,
         ConsistentHashRing,
-        DEFAULT_REPLICAS,
-        parse_cluster_url,
+        DEFAULT_VIRTUAL_NODES,
+        parse_cluster_options,
     )
 
     try:
-        shard_urls = parse_cluster_url(args.url)
+        shard_urls, options = parse_cluster_options(args.url)
     except ClusterError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    replicas = args.replicas if args.replicas is not None else DEFAULT_REPLICAS
+    replicas = args.replicas if args.replicas is not None else options.get("replicas", 1)
     if replicas < 1:
         print(f"--replicas must be positive, got {replicas}", file=sys.stderr)
         return 2
-    ring = ConsistentHashRing(shard_urls, replicas=replicas)
+    if replicas > len(shard_urls):
+        print(
+            f"--replicas {replicas} needs at least that many shards, "
+            f"got {len(shard_urls)}",
+            file=sys.stderr,
+        )
+        return 2
+    virtual_nodes = (
+        args.virtual_nodes if args.virtual_nodes is not None else DEFAULT_VIRTUAL_NODES
+    )
+    if virtual_nodes < 1:
+        print(f"--virtual-nodes must be positive, got {virtual_nodes}", file=sys.stderr)
+        return 2
+    ring = ConsistentHashRing(shard_urls, virtual_nodes=virtual_nodes)
     if args.key is not None:
         try:
             key = bytes.fromhex(args.key)
         except ValueError:
             print(f"--key must be hex, got {args.key!r}", file=sys.stderr)
             return 2
-        print(f"{args.key} -> {ring.assign(key)}")
+        print(f"{args.key} -> {', '.join(ring.successors(key, replicas))}")
         return 0
     if args.keys < 1:
         print(f"--keys must be positive, got {args.keys}", file=sys.stderr)
         return 2
     keys = [f"key-{i}".encode("ascii") for i in range(args.keys)]
-    distribution = ring.distribution(keys)
-    mean = args.keys / len(shard_urls)
-    print(f"ring of {len(shard_urls)} shard(s), {replicas} replicas, "
-          f"{args.keys} sample keys:")
+    copies = Counter({shard_url: 0 for shard_url in shard_urls})
+    for key in keys:
+        copies.update(ring.successors(key, replicas))
+    total_copies = args.keys * replicas
+    mean = total_copies / len(shard_urls)
+    print(
+        f"ring of {len(shard_urls)} shard(s), replication factor {replicas}, "
+        f"{virtual_nodes} virtual nodes, {args.keys} sample keys "
+        f"({total_copies} copies):"
+    )
     worst = 0.0
     for shard_url in shard_urls:
-        count = distribution[shard_url]
+        count = copies[shard_url]
         deviation = (count - mean) / mean if mean else 0.0
         worst = max(worst, abs(deviation))
-        print(f"  {shard_url}: {count} ({count / args.keys:.1%}, {deviation:+.1%} of fair share)")
+        print(
+            f"  {shard_url}: {count} copies "
+            f"({count / total_copies:.1%}, {deviation:+.1%} of fair share)"
+        )
     print(f"max deviation from fair share: {worst:.1%}")
+    if replicas > 1:
+        print(
+            f"every key is stored on {replicas} distinct shard(s); reads stay "
+            f"complete with up to {replicas - 1} shard(s) down"
+        )
     return 0
 
 
 def command_cluster_status(args: argparse.Namespace) -> int:
     """Probe every shard of a running fleet over the stats control channel."""
-    from repro.cluster import ClusterError, parse_cluster_url
+    from repro.cluster import ClusterError, parse_cluster_options
     from repro.net.client import RemoteError, RemoteServerProxy
 
     try:
-        shard_urls = parse_cluster_url(args.url)
+        shard_urls, options = parse_cluster_options(args.url)
     except ClusterError as exc:
         print(str(exc), file=sys.stderr)
+        return 2
+    replicas = options.get("replicas", 1)
+    if replicas < 1 or replicas > len(shard_urls):
+        print(
+            f"URL replicas={replicas} is impossible for {len(shard_urls)} "
+            f"shard(s); no session can run with it",
+            file=sys.stderr,
+        )
         return 2
     unreachable = 0
     for shard_url in shard_urls:
@@ -340,6 +397,19 @@ def command_cluster_status(args: argparse.Namespace) -> int:
             f"{transport.get('bytes_sent', 0)} B out"
         )
     print(f"{len(shard_urls) - unreachable}/{len(shard_urls)} shard(s) up")
+    if replicas > 1:
+        tolerated = replicas - 1
+        if unreachable <= tolerated:
+            print(
+                f"replication factor {replicas}: reads stay complete "
+                f"({unreachable}/{tolerated} tolerated outage(s) in use)"
+            )
+        else:
+            print(
+                f"replication factor {replicas}: {unreachable} shard(s) down "
+                f"exceeds the {tolerated} the replicas absorb -- reads may "
+                f"be incomplete"
+            )
     return 1 if unreachable else 0
 
 
@@ -390,6 +460,9 @@ def build_parser() -> argparse.ArgumentParser:
     spawn = cluster_sub.add_parser(
         "spawn", help="run a local fleet of providers on ephemeral ports")
     spawn.add_argument("--shards", type=int, default=2, help="number of providers")
+    spawn.add_argument("--replicas", type=int, default=1,
+                       help="replication factor advertised in the cluster URL "
+                            "(tuples stored on this many shards)")
     spawn.add_argument("--host", default="127.0.0.1", help="bind address")
     spawn.add_argument("--data-dir", default=None, metavar="DIR",
                        help="persist each shard under DIR/shard-<i> (default in-memory)")
@@ -399,18 +472,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     route = cluster_sub.add_parser(
         "route", help="show the deterministic ring placement (offline)")
-    route.add_argument("url", help="cluster://host:port,host:port,... URL")
+    route.add_argument("url", help="cluster://host:port,...[?replicas=R] URL")
     route.add_argument("--keys", type=int, default=10_000,
                        help="number of sample keys for the distribution")
     route.add_argument("--key", default=None, metavar="HEX",
-                       help="show the owning shard of one key instead")
+                       help="show the replica shards of one key instead")
     route.add_argument("--replicas", type=int, default=None,
+                       help="replication factor (default: the URL's ?replicas, else 1)")
+    route.add_argument("--virtual-nodes", type=int, default=None,
                        help="virtual nodes per shard (default: the ring's default)")
     route.set_defaults(handler=command_cluster_route)
 
     status = cluster_sub.add_parser(
         "status", help="probe every shard of a running fleet")
-    status.add_argument("url", help="cluster://host:port,host:port,... URL")
+    status.add_argument("url", help="cluster://host:port,...[?replicas=R] URL")
     status.add_argument("--timeout", type=float, default=10.0,
                         help="per-shard connection timeout in seconds")
     status.set_defaults(handler=command_cluster_status)

@@ -8,7 +8,9 @@ horizontally scalable service:
 **Placement** (:mod:`repro.cluster.ring`)
     A deterministic consistent-hash ring keyed on the public random tuple
     id, so routing reveals nothing the providers do not already see and
-    membership changes strand only ``~1/N`` of the tuples.
+    membership changes strand only ``~1/N`` of the tuples.  The ring also
+    yields each key's deterministic *successor list* -- the R distinct
+    shards holding its replicas.
 
 **Execution** (:mod:`repro.cluster.executor`)
     A scatter-gather thread pool with per-shard timeouts and a pluggable
@@ -18,14 +20,20 @@ horizontally scalable service:
 **Routing** (:mod:`repro.cluster.router`)
     :class:`ShardRouter` -- the same duck-type as
     :class:`~repro.outsourcing.server.OutsourcedDatabaseServer`, so
-    ``EncryptedDatabase.connect("cluster://h1:p1,h2:p2")`` (or
-    ``EncryptedDatabase.open(shards=[...])``) works transparently: inserts
-    route to one shard, deletes to the owning shards, queries scatter to
-    all and the evaluation results merge client-side.
+    ``EncryptedDatabase.connect("cluster://h1:p1,h2:p2?replicas=2")`` (or
+    ``EncryptedDatabase.open(shards=[...], replicas=2)``) works
+    transparently: inserts go to all R replica shards (fail-fast), deletes
+    fan out fleet-wide, queries scatter to all shards and the evaluation
+    results merge client-side, deduplicated by tuple id.  A read that
+    loses shards fails over to surviving replicas and stays *complete*
+    whenever the ring coverage holds -- a dead shard stops degrading
+    queries.
 
 **Elasticity** (:mod:`repro.cluster.rebalance`)
-    Insert-first tuple migration when shards are added or removed, so a
-    mid-migration crash duplicates rather than loses ciphertexts.
+    Insert-first, replica-aware tuple migration when shards are added or
+    removed: every tuple converges onto exactly its R ring successors, a
+    mid-migration crash duplicates rather than loses ciphertexts, and
+    under-replicated tuples are re-copied from any surviving holder.
 
 Security note: the coordinator runs client-side (trusted).  Each provider
 in the fleet observes strictly less than the single-provider deployment --
@@ -45,13 +53,24 @@ from repro.cluster.executor import (
     ShardTimeoutError,
     resolve_outcomes,
 )
-from repro.cluster.rebalance import RebalanceReport, misplaced_tuples, rebalance
-from repro.cluster.ring import ConsistentHashRing, DEFAULT_REPLICAS, RingError
+from repro.cluster.rebalance import (
+    RebalanceReport,
+    misplaced_tuples,
+    rebalance,
+    surplus_copies,
+)
+from repro.cluster.ring import (
+    ConsistentHashRing,
+    DEFAULT_REPLICAS,
+    DEFAULT_VIRTUAL_NODES,
+    RingError,
+)
 from repro.cluster.router import (
     CLUSTER_URL_PREFIX,
     ClusterStats,
     ShardRouter,
     merge_evaluation_results,
+    parse_cluster_options,
     parse_cluster_url,
 )
 
@@ -69,12 +88,15 @@ __all__ = [
     "RebalanceReport",
     "misplaced_tuples",
     "rebalance",
+    "surplus_copies",
     "ConsistentHashRing",
     "DEFAULT_REPLICAS",
+    "DEFAULT_VIRTUAL_NODES",
     "RingError",
     "CLUSTER_URL_PREFIX",
     "ClusterStats",
     "ShardRouter",
     "merge_evaluation_results",
+    "parse_cluster_options",
     "parse_cluster_url",
 ]

@@ -16,11 +16,20 @@ Failure handling is a *policy*, not hard-coded:
   survivors; the caller is told which shards were missing so it can surface
   the result as partial.  At least one shard must answer.
 
-A per-shard ``timeout`` bounds how long the gather waits for each shard;
-a shard that exceeds it is reported as failed with
-:class:`ShardTimeoutError` (the worker thread is left to finish in the
-background -- Python offers no safe preemption -- but its result is
-discarded).
+A per-shard ``timeout`` bounds how long the gather waits for each shard:
+every shard gets the *full* budget over its own wait window (it is not a
+shared deadline burned from scatter start, so a slow-but-within-budget
+shard is never misreported as timed out just because an earlier shard used
+up the wall clock).  A shard that exceeds its budget is reported as failed
+with :class:`ShardTimeoutError` (the worker thread is left to finish in
+the background -- Python offers no safe preemption -- but its result is
+discarded).  The worst-case wall clock of one gather is therefore
+``len(calls) * timeout``, not ``timeout``.  One caveat survives: when
+*every* worker is occupied by hung thunks (pool saturation across
+concurrent gathers), a queued call can exhaust its budget before a worker
+ever picks it up and is then reported as timed out without having run;
+:class:`~repro.cluster.router.ShardRouter` sizes its pool at 4x the shard
+count to keep that out of the single-gather path.
 """
 
 from __future__ import annotations
@@ -121,21 +130,26 @@ class ScatterGatherExecutor:
         calls: Sequence[tuple[str, Callable[[], Any]]],
         timeout: float | None = None,
     ) -> list[ShardOutcome]:
-        """Run every ``(shard_id, thunk)`` concurrently; never raises itself."""
+        """Run every ``(shard_id, thunk)`` concurrently; never raises itself.
+
+        Each shard is granted the full ``timeout`` over its own wait window:
+        the deadline restarts when the gather turns to that shard's future,
+        so a shard queued behind a slow sibling keeps its whole budget
+        instead of inheriting a deadline another shard already burned.
+        (If the pool stays saturated for the entire window the queued thunk
+        may still never run -- see the module docstring.)
+        """
         if timeout is None:
             timeout = self._timeout
-        started = time.monotonic()
         futures = [
             (shard_id, self._pool.submit(self._timed, thunk))
             for shard_id, thunk in calls
         ]
         outcomes = []
         for shard_id, future in futures:
-            remaining = None
-            if timeout is not None:
-                remaining = max(0.0, started + timeout - time.monotonic())
+            wait_started = time.monotonic()
             try:
-                value, elapsed = future.result(timeout=remaining)
+                value, elapsed = future.result(timeout=timeout)
                 outcomes.append(
                     ShardOutcome(shard_id=shard_id, value=value, elapsed_s=elapsed)
                 )
@@ -144,9 +158,10 @@ class ScatterGatherExecutor:
                     ShardOutcome(
                         shard_id=shard_id,
                         error=ShardTimeoutError(
-                            f"shard {shard_id!r} did not answer within {timeout}s"
+                            f"shard {shard_id!r} did not answer within "
+                            f"its {timeout}s budget"
                         ),
-                        elapsed_s=time.monotonic() - started,
+                        elapsed_s=time.monotonic() - wait_started,
                     )
                 )
             except Exception as exc:  # noqa: BLE001 - per-shard failures are data
@@ -154,7 +169,7 @@ class ScatterGatherExecutor:
                     ShardOutcome(
                         shard_id=shard_id,
                         error=exc,
-                        elapsed_s=time.monotonic() - started,
+                        elapsed_s=time.monotonic() - wait_started,
                     )
                 )
         return outcomes

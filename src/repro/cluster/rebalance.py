@@ -1,14 +1,26 @@
 """Tuple migration when the shard fleet changes shape.
 
 Consistent hashing guarantees that membership changes strand only a small
-fraction of tuples on the wrong shard (roughly ``1/N`` on an add); this
-module moves exactly those.  For every relation and every shard it fetches
-the shard's ciphertexts, finds the tuples whose ring owner differs, and
-migrates each one **insert-first**: the tuple is appended at its new owner
-before it is deleted at the old one, so a crash mid-migration degrades to a
-transient duplicate (filtered like any false positive is not -- the tuple
-decrypts identically twice) rather than data loss.  Re-running the
-rebalance converges: already-correct tuples are never touched.
+fraction of tuples on the wrong shards (roughly ``1/N`` on an add); this
+module repairs exactly those.  The desired placement of a tuple is the set
+of its R ring successors (:meth:`ConsistentHashRing.successors`, R = the
+``replication`` factor, 1 when unreplicated).  For every relation the
+rebalance snapshots the whole fleet, indexes the physical copies by public
+tuple id, and then makes reality match the ring:
+
+* a tuple missing from one of its R successors is **copied there first**
+  (insert-first: a crash mid-migration degrades to a transient surplus
+  copy -- deduplicated by every read path -- rather than data loss, and
+  never drops below the replication factor);
+* only after all copies of a relation are placed are the **stale copies
+  deleted** from shards outside the successor set.
+
+Re-running the rebalance converges: correctly placed tuples are never
+touched, and a crash between the insert and delete phases just leaves
+work the next run finishes.  This also makes the rebalance the repair
+path for *under-replication* -- a tuple that lost a copy (a shard wiped
+and re-added, a failed replicated insert that was retried) is re-copied
+from any surviving holder.
 
 The migration is not atomic with respect to concurrent writers; run it from
 the coordinator while no other session mutates the affected relations (the
@@ -17,7 +29,10 @@ requires).
 
 Everything here works on the :class:`~repro.outsourcing.server.OutsourcedDatabaseServer`
 duck-type (``stored_relation`` / ``insert_tuple`` / ``delete_tuples``), so
-in-process shards and ``tcp://`` proxies migrate identically.
+in-process shards and ``tcp://`` proxies migrate identically.  The
+``shards`` mapping may contain backends that are *not* on the ring (a
+leaving shard being drained): they serve as copy sources and end up
+holding nothing.
 """
 
 from __future__ import annotations
@@ -31,14 +46,16 @@ from repro.cluster.ring import ConsistentHashRing
 
 @dataclass
 class RebalanceReport:
-    """What a migration did: scanned/moved counts by relation and shard."""
+    """What a migration did: scanned/copied/deleted counts by relation."""
 
-    #: Tuples inspected across all shards and relations.
+    #: Physical tuple copies inspected across all shards and relations.
     scanned: int = 0
-    #: Tuples moved to a different shard.
+    #: Copies created on a missing successor shard.
     moved: int = 0
+    #: Stale physical copies deleted from shards outside the successor set.
+    removed: int = 0
     per_relation: dict[str, int] = field(default_factory=dict)
-    #: ``(source, target) -> count`` of migrated tuples.
+    #: ``(source, target) -> count`` of migrated tuple copies.
     per_edge: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def record_move(self, relation: str, source: str, target: str) -> None:
@@ -48,60 +65,122 @@ class RebalanceReport:
 
     def summary(self) -> str:
         """One-line human rendering (printed by the CLI)."""
-        if not self.moved:
+        if not self.moved and not self.removed:
             return f"rebalance: {self.scanned} tuple(s) scanned, nothing to move"
         edges = ", ".join(
             f"{source}->{target}: {count}"
             for (source, target), count in sorted(self.per_edge.items())
         )
+        trailer = f", {self.removed} stale cop(ies) removed" if self.removed else ""
         return (
-            f"rebalance: moved {self.moved}/{self.scanned} tuple(s) ({edges})"
+            f"rebalance: moved {self.moved}/{self.scanned} tuple cop(ies) "
+            f"({edges}){trailer}"
         )
 
 
-def misplaced_tuples(
-    shards: Mapping[str, Any], ring: ConsistentHashRing, relation_name: str
-) -> list[tuple[str, str, Any]]:
-    """``(source, target, encrypted_tuple)`` for every tuple off its ring owner."""
-    moves = []
+def _index_copies(
+    shards: Mapping[str, Any], relation_name: str, report: RebalanceReport | None = None
+) -> dict[bytes, tuple[Any, set[str]]]:
+    """``tuple_id -> (encrypted_tuple, holder shard ids)`` for one relation.
+
+    Snapshots every shard up front so freshly migrated copies are not
+    re-scanned on their destination shard.
+    """
+    placement: dict[bytes, tuple[Any, set[str]]] = {}
     for shard_id, server in shards.items():
-        for encrypted_tuple in server.stored_relation(relation_name):
-            target = ring.assign(encrypted_tuple.tuple_id)
-            if target != shard_id:
-                moves.append((shard_id, target, encrypted_tuple))
+        relation = server.stored_relation(relation_name)
+        if report is not None:
+            report.scanned += len(relation)
+        for encrypted_tuple in relation:
+            entry = placement.get(encrypted_tuple.tuple_id)
+            if entry is None:
+                placement[encrypted_tuple.tuple_id] = (encrypted_tuple, {shard_id})
+            else:
+                entry[1].add(shard_id)
+    return placement
+
+
+def misplaced_tuples(
+    shards: Mapping[str, Any],
+    ring: ConsistentHashRing,
+    relation_name: str,
+    *,
+    replication: int = 1,
+) -> list[tuple[str, str, Any]]:
+    """``(source, target, encrypted_tuple)`` for every copy the fleet lacks.
+
+    One entry per missing ``(tuple, successor shard)`` pair; ``source`` is
+    a shard currently holding a copy the rebalance would duplicate from.
+    """
+    moves = []
+    for tuple_id, (encrypted_tuple, holders) in _index_copies(
+        shards, relation_name
+    ).items():
+        desired = set(ring.successors(tuple_id, replication))
+        missing = desired - holders
+        if not missing:
+            continue
+        kept = holders & desired
+        source = sorted(kept)[0] if kept else sorted(holders)[0]
+        for target in sorted(missing):
+            moves.append((source, target, encrypted_tuple))
     return moves
+
+
+def surplus_copies(
+    shards: Mapping[str, Any],
+    ring: ConsistentHashRing,
+    relation_name: str,
+    *,
+    replication: int = 1,
+) -> list[tuple[str, bytes]]:
+    """``(shard_id, tuple_id)`` for every copy stored off its successor set."""
+    surplus = []
+    for tuple_id, (_, holders) in _index_copies(shards, relation_name).items():
+        desired = set(ring.successors(tuple_id, replication))
+        for shard_id in sorted(holders - desired):
+            surplus.append((shard_id, tuple_id))
+    return surplus
 
 
 def rebalance(
     shards: Mapping[str, Any],
     ring: ConsistentHashRing,
     relation_names: Iterable[str],
+    *,
+    replication: int = 1,
 ) -> RebalanceReport:
-    """Migrate every misplaced tuple of the named relations to its ring owner."""
+    """Repair every tuple of the named relations onto its R ring successors.
+
+    Copies are created before any stale copy is deleted (per relation), so
+    a crash at any point leaves every tuple with at least as many live
+    copies as before the run.
+    """
     unknown = [shard_id for shard_id in ring.shard_ids if shard_id not in shards]
     if unknown:
         raise ClusterError(
             f"the ring names shard(s) {unknown} that have no backend"
         )
+    if replication < 1 or replication > len(ring):
+        raise ClusterError(
+            f"cannot place {replication} replicas on {len(ring)} ring shard(s)"
+        )
     report = RebalanceReport()
     for name in relation_names:
-        # Snapshot every shard before moving anything, so freshly migrated
-        # tuples are not re-scanned on their destination shard.
-        snapshots = {
-            shard_id: server.stored_relation(name)
-            for shard_id, server in shards.items()
-        }
-        pending: dict[str, list[bytes]] = {}
-        for shard_id, relation in snapshots.items():
-            report.scanned += len(relation)
-            for encrypted_tuple in relation:
-                target = ring.assign(encrypted_tuple.tuple_id)
-                if target == shard_id:
-                    continue
-                # Insert-first: a crash here leaves a duplicate, not a loss.
+        placement = _index_copies(shards, name, report)
+        pending_deletes: dict[str, list[bytes]] = {}
+        for tuple_id, (encrypted_tuple, holders) in placement.items():
+            desired = set(ring.successors(tuple_id, replication))
+            if holders == desired:
+                continue
+            kept = holders & desired
+            source = sorted(kept)[0] if kept else sorted(holders)[0]
+            # Insert-first: a crash here leaves a surplus copy, not a loss.
+            for target in sorted(desired - holders):
                 shards[target].insert_tuple(name, encrypted_tuple)
-                pending.setdefault(shard_id, []).append(encrypted_tuple.tuple_id)
-                report.record_move(name, shard_id, target)
-        for shard_id, tuple_ids in pending.items():
-            shards[shard_id].delete_tuples(name, tuple_ids)
+                report.record_move(name, source, target)
+            for shard_id in sorted(holders - desired):
+                pending_deletes.setdefault(shard_id, []).append(tuple_id)
+        for shard_id, tuple_ids in pending_deletes.items():
+            report.removed += shards[shard_id].delete_tuples(name, tuple_ids)
     return report

@@ -11,23 +11,39 @@ owned :class:`~repro.net.client.RemoteServerProxy`), mixed freely.
 
 Routing is per *encrypted tuple*: the consistent-hash ring of
 :mod:`repro.cluster.ring` keys on the public random tuple id, so placement
-is a function of values every provider sees anyway.  Operation shapes:
+is a function of values every provider sees anyway.  With a replication
+factor R (``replicas=R``) every tuple lives on its R ring successors --
+R distinct shards.  Operation shapes:
 
 ===================  ====================================================
-``INSERT_TUPLE``     one shard (the ring owner of the tuple id)
+``INSERT_TUPLE``     all R replica shards of the tuple id (fail-fast)
 ``DELETE_TUPLES``    scatter the public ids to every shard (providers
                      ignore unknown ids, so this stays correct while
                      tuples are mid-migration or a rebalance is deferred)
-``STORE_RELATION``   partitioned across all shards (every shard stores the
-                     relation, possibly empty, so queries can fan out)
+``STORE_RELATION``   partitioned across all shards, each tuple stored on
+                     its R successors (every shard stores the relation,
+                     possibly empty, so queries can fan out)
 ``QUERY``            scatter to all shards, merge the evaluation results
+                     (deduplicated by public tuple id)
 ``BATCH_QUERY``      scatter the whole batch, merge element-wise
 ===================  ====================================================
 
-Writes always run fail-fast (a partially applied write is corruption);
-reads honor the router's partial-failure ``policy``
+Writes always run fail-fast (a partially applied write is corruption).
+Scatter reads first try to *fail over*: when some shards fail but every
+ring segment still has a live replica (:meth:`ConsistentHashRing.covers`),
+the surviving answers are provably complete after deduplication and the
+read succeeds as if nothing happened -- no policy fires, nothing degrades.
+Only when failover is impossible (more failures than replicas can absorb)
+does the router fall back to its partial-failure ``policy``
 (:data:`~repro.cluster.executor.FAIL_FAST` or
 :data:`~repro.cluster.executor.DEGRADED`).
+
+Merged reads deduplicate by the public tuple id: replication makes
+multiple physical copies of one ciphertext the *normal* case, and the
+insert-first rebalancer can leave transient duplicates after a crash, so
+every read path collapses copies before answering (a tuple id is a random
+nonce chosen at encryption time; two ciphertexts sharing it are the same
+stored tuple, not a collision).
 
 The coordinator (this class) runs client-side and is trusted; the providers
 individually observe strictly less than the single-provider deployment --
@@ -37,7 +53,8 @@ which is the same access pattern the paper already concedes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.core.dph import (
@@ -54,8 +71,9 @@ from repro.cluster.executor import (
     GatherResult,
     PARTIAL_FAILURE_POLICIES,
     ScatterGatherExecutor,
+    resolve_outcomes,
 )
-from repro.cluster.ring import ConsistentHashRing, DEFAULT_REPLICAS
+from repro.cluster.ring import ConsistentHashRing, DEFAULT_VIRTUAL_NODES
 from repro.outsourcing import protocol
 from repro.outsourcing.protocol import (
     Message,
@@ -71,15 +89,37 @@ from repro.outsourcing.storage import StorageError
 CLUSTER_URL_PREFIX = "cluster://"
 
 
-def parse_cluster_url(url: str) -> tuple[str, ...]:
-    """Split ``cluster://h1:p1,h2:p2,...`` into per-shard ``tcp://`` URLs."""
+def parse_cluster_options(url: str) -> tuple[tuple[str, ...], dict]:
+    """Split ``cluster://h1:p1,h2:p2,...?replicas=R`` into URLs and options.
+
+    Returns the per-shard ``tcp://`` URLs plus the parsed query options --
+    currently only ``replicas``, the replication factor of the deployment.
+    """
     from repro.net.client import RemoteError, parse_tcp_url
 
     if not url.startswith(CLUSTER_URL_PREFIX):
         raise ClusterError(
             f"unsupported cluster URL {url!r} (want {CLUSTER_URL_PREFIX}host:port,...)"
         )
-    parts = [part.strip() for part in url[len(CLUSTER_URL_PREFIX):].split(",")]
+    rest = url[len(CLUSTER_URL_PREFIX):]
+    options: dict = {}
+    if "?" in rest:
+        rest, _, query = rest.partition("?")
+        for item in query.split("&"):
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            if key != "replicas":
+                raise ClusterError(
+                    f"unknown cluster URL option {key!r} (supported: replicas)"
+                )
+            try:
+                options["replicas"] = int(value)
+            except ValueError as exc:
+                raise ClusterError(
+                    f"cluster URL option replicas must be an integer, got {value!r}"
+                ) from exc
+    parts = [part.strip() for part in rest.split(",")]
     parts = [part for part in parts if part]
     if not parts:
         raise ClusterError(f"cluster URL {url!r} names no shards")
@@ -93,20 +133,38 @@ def parse_cluster_url(url: str) -> tuple[str, ...]:
         if tcp_url in urls:
             raise ClusterError(f"cluster URL {url!r} lists shard {part!r} twice")
         urls.append(tcp_url)
-    return tuple(urls)
+    return tuple(urls), options
+
+
+def parse_cluster_url(url: str) -> tuple[str, ...]:
+    """Split ``cluster://h1:p1,h2:p2,...`` into per-shard ``tcp://`` URLs."""
+    return parse_cluster_options(url)[0]
 
 
 def merge_evaluation_results(
     results: Sequence[EvaluationResult],
 ) -> EvaluationResult:
-    """Concatenate per-shard matches; sum the server-side work counters."""
+    """Merge per-shard matches, one copy per public tuple id.
+
+    Replication stores each ciphertext on R shards, and the insert-first
+    rebalancer can leave a transient extra copy after a crash, so the same
+    tuple id may arrive from several shards; answering it once is what
+    keeps query multiplicities exact.  The server-side work counters
+    (``examined``/``token_evaluations``) stay summed -- they measure work
+    the fleet really performed, duplicates included.
+    """
     if not results:
         raise ClusterError("cannot merge zero evaluation results")
     tuples: list[EncryptedTuple] = []
+    seen: set[bytes] = set()
     examined = 0
     token_evaluations = 0
     for result in results:
-        tuples.extend(result.matching.encrypted_tuples)
+        for encrypted_tuple in result.matching.encrypted_tuples:
+            if encrypted_tuple.tuple_id in seen:
+                continue
+            seen.add(encrypted_tuple.tuple_id)
+            tuples.append(encrypted_tuple)
         examined += result.examined
         token_evaluations += result.token_evaluations
     return EvaluationResult(
@@ -120,21 +178,55 @@ def merge_evaluation_results(
 
 @dataclass
 class ClusterStats:
-    """Counters of the router's scatter-gather activity."""
+    """Counters of the router's scatter-gather activity.
+
+    Scatters run on a thread pool and several sessions may share one
+    router, so every mutation goes through the ``record_*`` methods (which
+    hold the internal lock) and :meth:`as_dict` returns an atomic snapshot
+    -- a reader never observes a half-updated counter pair.
+    """
 
     scatter_reads: int = 0
     degraded_reads: int = 0
+    #: Reads that lost shards but stayed complete via surviving replicas.
+    failover_reads: int = 0
     routed_inserts: int = 0
     #: Shards missing from the most recent degraded read.
     last_missing_shard_ids: tuple[str, ...] = ()
+    #: Shards whose failure the most recent failover read absorbed.
+    last_failover_shard_ids: tuple[str, ...] = ()
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_scatter_read(self) -> None:
+        with self._lock:
+            self.scatter_reads += 1
+
+    def record_routed_insert(self) -> None:
+        with self._lock:
+            self.routed_inserts += 1
+
+    def record_degraded_read(self, missing_shard_ids: Sequence[str]) -> None:
+        with self._lock:
+            self.degraded_reads += 1
+            self.last_missing_shard_ids = tuple(missing_shard_ids)
+
+    def record_failover_read(self, failed_shard_ids: Sequence[str]) -> None:
+        with self._lock:
+            self.failover_reads += 1
+            self.last_failover_shard_ids = tuple(failed_shard_ids)
 
     def as_dict(self) -> dict:
-        return {
-            "scatter_reads": self.scatter_reads,
-            "degraded_reads": self.degraded_reads,
-            "routed_inserts": self.routed_inserts,
-            "last_missing_shard_ids": list(self.last_missing_shard_ids),
-        }
+        with self._lock:
+            return {
+                "scatter_reads": self.scatter_reads,
+                "degraded_reads": self.degraded_reads,
+                "failover_reads": self.failover_reads,
+                "routed_inserts": self.routed_inserts,
+                "last_missing_shard_ids": list(self.last_missing_shard_ids),
+                "last_failover_shard_ids": list(self.last_failover_shard_ids),
+            }
 
 
 @dataclass
@@ -156,7 +248,8 @@ class ShardRouter:
         shards: Sequence[Any],
         *,
         shard_ids: Sequence[str] | None = None,
-        replicas: int = DEFAULT_REPLICAS,
+        replicas: int = 1,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
         policy: str = FAIL_FAST,
         shard_timeout: float | None = None,
         pool_size: int = 4,
@@ -178,10 +271,16 @@ class ShardRouter:
             positional defaults) across coordinator restarts, or tuples will
             appear misplaced until a rebalance.
         replicas:
+            Replication factor R: every tuple is written to its R ring
+            successor shards (fail-fast), so reads stay complete with up to
+            R-1 shards down.  Needs at least R shards; 1 disables
+            replication.
+        virtual_nodes:
             Virtual nodes per shard on the ring.
         policy:
-            Partial-failure policy for scatter reads (``fail_fast`` or
-            ``degraded``); writes are always fail-fast.
+            Partial-failure policy for scatter reads whose failures exceed
+            what the replicas can absorb (``fail_fast`` or ``degraded``);
+            writes are always fail-fast.
         shard_timeout:
             Per-shard gather timeout in seconds (None waits forever).
         pool_size / timeout:
@@ -189,6 +288,13 @@ class ShardRouter:
         """
         if not shards:
             raise ClusterError("a cluster needs at least one shard")
+        if replicas < 1:
+            raise ClusterError("the replication factor must be at least 1")
+        if replicas > len(shards):
+            raise ClusterError(
+                f"replication factor {replicas} needs at least {replicas} "
+                f"shard(s), got {len(shards)}"
+            )
         if policy not in PARTIAL_FAILURE_POLICIES:
             raise ClusterError(
                 f"unknown partial-failure policy {policy!r} "
@@ -199,10 +305,11 @@ class ShardRouter:
                 f"{len(shards)} shard(s) but {len(shard_ids)} shard id(s)"
             )
         self._policy = policy
+        self._replication = replicas
         self._pool_size = pool_size
         self._timeout = timeout
         self._shards: dict[str, _Shard] = {}
-        self._ring = ConsistentHashRing(replicas=replicas)
+        self._ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
         self._evaluators: dict[str, ServerEvaluator] = {}
         self._schemas: dict[str, Any] = {}
         self._stats = ClusterStats()
@@ -236,16 +343,31 @@ class ShardRouter:
         cls,
         url: str,
         *,
-        replicas: int = DEFAULT_REPLICAS,
+        replicas: int | None = None,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
         policy: str = FAIL_FAST,
         shard_timeout: float | None = None,
         pool_size: int = 4,
         timeout: float | None = 30.0,
     ) -> "ShardRouter":
-        """Open a router from a ``cluster://host:port,host:port`` URL."""
+        """Open a router from a ``cluster://h1:p1,h2:p2[?replicas=R]`` URL.
+
+        The replication factor can come from the URL query or the keyword
+        (they must agree when both are given); it defaults to 1.
+        """
+        urls, options = parse_cluster_options(url)
+        url_replicas = options.get("replicas")
+        if replicas is None:
+            replicas = url_replicas if url_replicas is not None else 1
+        elif url_replicas is not None and url_replicas != replicas:
+            raise ClusterError(
+                f"conflicting replication factors: the URL says "
+                f"{url_replicas}, the caller says {replicas}"
+            )
         return cls(
-            parse_cluster_url(url),
+            urls,
             replicas=replicas,
+            virtual_nodes=virtual_nodes,
             policy=policy,
             shard_timeout=shard_timeout,
             pool_size=pool_size,
@@ -297,6 +419,11 @@ class ShardRouter:
         return self._policy
 
     @property
+    def replication(self) -> int:
+        """Replication factor R: physical copies stored per tuple."""
+        return self._replication
+
+    @property
     def stats(self) -> ClusterStats:
         """Scatter/routing counters."""
         return self._stats
@@ -309,8 +436,12 @@ class ShardRouter:
             raise ClusterError(f"no shard named {shard_id!r}") from exc
 
     def shard_for(self, tuple_id: bytes) -> str:
-        """Which shard the ring assigns a tuple id to."""
+        """The primary shard of a tuple id (its first ring successor)."""
         return self._ring.assign(tuple_id)
+
+    def replica_shards(self, tuple_id: bytes) -> tuple[str, ...]:
+        """The R shards storing a tuple id, primary first."""
+        return self._ring.successors(tuple_id, self._replication)
 
     def per_shard_tuple_counts(self, name: str) -> dict[str, int]:
         """Ciphertext count of one relation on every shard."""
@@ -397,22 +528,54 @@ class ShardRouter:
         return tuple(names)
 
     def stored_relation(self, name: str) -> EncryptedRelation:
-        """The full ciphertext relation, reassembled from every shard."""
+        """The logical ciphertext relation, reassembled from every shard.
+
+        Each tuple id appears exactly once, however many physical copies
+        the fleet holds (replicas, or transient migration duplicates).
+        Reassembly must be complete: a dead shard is tolerated only when
+        surviving replicas still cover its data (read failover); otherwise
+        the call fails fast regardless of the read policy.
+        """
         gathered = self._gather(
             f"stored-relation({name!r})",
             self._all_shards(lambda server: server.stored_relation(name)),
             policy=FAIL_FAST,  # reassembling data must be complete
+            read=True,
         )
         tuples: list[EncryptedTuple] = []
+        seen: set[bytes] = set()
         for piece in gathered.values:
-            tuples.extend(piece.encrypted_tuples)
+            for encrypted_tuple in piece.encrypted_tuples:
+                if encrypted_tuple.tuple_id in seen:
+                    continue
+                seen.add(encrypted_tuple.tuple_id)
+                tuples.append(encrypted_tuple)
         return EncryptedRelation(
             schema=gathered.values[0].schema, encrypted_tuples=tuple(tuples)
         )
 
     def tuple_count(self, name: str) -> int:
-        """Total ciphertext count across the fleet."""
-        return sum(self.per_shard_tuple_counts(name).values())
+        """Logical tuple count: distinct tuple ids across the fleet.
+
+        Physical copies count once, so the number always matches what a
+        query can return -- replication (R copies per tuple) and crash
+        duplicates never inflate it.  :meth:`per_shard_tuple_counts` still
+        reports the raw physical counts (cheap metadata reads) for
+        placement introspection.  Counting distinct ids requires the ids
+        themselves, so this fetches each shard's stored relation --
+        ``O(data * R)`` bytes over a ``tcp://`` fleet; an id-listing
+        protocol op would shrink that to ``O(ids)`` (see ROADMAP).
+        """
+        gathered = self._gather(
+            f"tuple-count({name!r})",
+            self._all_shards(lambda server: server.stored_relation(name)),
+            policy=FAIL_FAST,
+            read=True,
+        )
+        ids: set[bytes] = set()
+        for piece in gathered.values:
+            ids.update(t.tuple_id for t in piece.encrypted_tuples)
+        return len(ids)
 
     def drop_relation(self, name: str) -> None:
         """Drop the relation on every shard (fail-fast: no half-dropped state)."""
@@ -448,14 +611,26 @@ class ShardRouter:
             encrypted_tuple, consumed = protocol.decode_encrypted_tuple(request.body)
             if consumed != len(request.body):
                 raise ProtocolError("trailing bytes after encrypted tuple")
-            shard_id = self._ring.assign(encrypted_tuple.tuple_id)
-            self._stats.routed_inserts += 1
-            try:
-                return self.shard(shard_id).handle_message(raw)
-            except (ServerError, StorageError, ProtocolError, DphError, ValueError):
-                raise
-            except Exception as exc:  # a dying backend must not escape the envelope contract
-                raise ClusterError(f"shard {shard_id!r} failed: {exc}") from exc
+            targets = self.replica_shards(encrypted_tuple.tuple_id)
+            self._stats.record_routed_insert()
+            if len(targets) == 1:  # unreplicated fast path: no scatter hop
+                shard_id = targets[0]
+                try:
+                    return self.shard(shard_id).handle_message(raw)
+                except (ServerError, StorageError, ProtocolError, DphError, ValueError):
+                    raise
+                except Exception as exc:  # a dying backend must not escape the envelope contract
+                    raise ClusterError(f"shard {shard_id!r} failed: {exc}") from exc
+            # Replicated insert: every replica must apply it (fail-fast) or
+            # the write as a whole fails -- a partial write is corruption.
+            calls = [
+                self._envelope_call(shard_id, raw, MessageKind.ACK)
+                for shard_id in targets
+            ]
+            gathered = self._gather(
+                f"insert-tuple({request.relation_name!r})", calls, policy=FAIL_FAST
+            )
+            return gathered.values[0].to_bytes()
         if kind is MessageKind.STORE_RELATION:
             encrypted_relation = protocol.decode_encrypted_relation(request.body)
             self._scatter_store(request, encrypted_relation)
@@ -524,7 +699,28 @@ class ShardRouter:
         gathered = self._gather(
             f"delete-tuples({request.relation_name!r})", calls, policy=FAIL_FAST
         )
-        return sum(protocol.decode_count(response.body) for response in gathered.values)
+        return self._logical_deletions(
+            [protocol.decode_count(response.body) for response in gathered.values],
+            len(tuple_ids),
+        )
+
+    @staticmethod
+    def _logical_deletions(per_shard_deleted: Sequence[int], requested: int) -> int:
+        """Logical tuples removed, from per-shard physical deletion counts.
+
+        With replication (and with transient migration duplicates) one
+        logical tuple dies on several shards, so the raw sum over-counts;
+        the fleet cannot report per-id outcomes, so the sum is capped at
+        the number of addressed ids.  This is exact whenever every
+        addressed id still existed somewhere -- the normal case, since the
+        session derives the ids from a just-executed query.  It is an
+        *estimate* for stale batches on a replicated cluster: addressing
+        ids that no longer exist alongside ids with R live copies can make
+        the capped sum land anywhere between the true logical count and
+        the batch size (a per-id protocol op would make it exact; see
+        ROADMAP).
+        """
+        return min(sum(per_shard_deleted), requested)
 
     def _scatter_query(
         self, request: Message | MessageV2, raw: bytes
@@ -632,17 +828,40 @@ class ShardRouter:
         )
 
     def insert_tuple(self, name: str, encrypted_tuple: EncryptedTuple) -> None:
-        """Append one ciphertext on its ring-assigned shard."""
-        shard_id = self._ring.assign(encrypted_tuple.tuple_id)
-        self._stats.routed_inserts += 1
-        self.shard(shard_id).insert_tuple(name, encrypted_tuple)
+        """Append one ciphertext on all R of its ring-assigned replica shards.
+
+        Fail-fast: if any replica cannot apply the write, the insert as a
+        whole fails (the caller may retry; providers tolerate re-inserts of
+        an id they already hold only as duplicates that reads deduplicate,
+        so surfacing the failure beats silently under-replicating).
+        """
+        targets = self.replica_shards(encrypted_tuple.tuple_id)
+        self._stats.record_routed_insert()
+        if len(targets) == 1:  # unreplicated fast path: no scatter hop
+            self.shard(targets[0]).insert_tuple(name, encrypted_tuple)
+            return
+        self._gather(
+            f"insert-tuple({name!r})",
+            [
+                (
+                    shard_id,
+                    (lambda sv: lambda: sv.insert_tuple(name, encrypted_tuple))(
+                        self.shard(shard_id)
+                    ),
+                )
+                for shard_id in targets
+            ],
+            policy=FAIL_FAST,
+        )
 
     def delete_tuples(self, name: str, tuple_ids: Sequence[bytes]) -> int:
-        """Delete ids on every shard; returns the fleet-wide count.
+        """Delete ids on every shard; returns the *logical* count removed.
 
         The full id list goes to the whole fleet (providers ignore unknown
         ids), so deletes stay correct while tuples sit off their ring owner
-        -- a deferred rebalance, or insert-first migration duplicates.
+        -- a deferred rebalance, insert-first migration duplicates, or the
+        R replica copies; physical copies of one tuple count once (see
+        :meth:`_logical_deletions`).
         """
         if not tuple_ids:
             return 0
@@ -652,7 +871,7 @@ class ShardRouter:
             self._all_shards(lambda server: server.delete_tuples(name, ids)),
             policy=FAIL_FAST,
         )
-        return sum(gathered.values)
+        return self._logical_deletions(gathered.values, len(ids))
 
     def execute_query(
         self, name: str, encrypted_query: EncryptedQuery
@@ -733,29 +952,43 @@ class ShardRouter:
     def remove_shard(self, shard_id: str, *, drain: bool = True):
         """Shrink the fleet, draining the leaving shard's tuples first.
 
-        With ``drain=True`` every tuple on the leaving shard is re-inserted
-        at its new ring owner and the relations are dropped from the leaving
-        shard before it is detached (and closed, when owned).  Returns the
+        With ``drain=True`` the leaving shard is taken off the ring and a
+        replica-aware rebalance runs over the whole fleet (the leaving
+        backend included as a copy source), so every tuple ends up on its R
+        new ring successors -- the replication factor is restored, not just
+        the leaving shard's data rehomed.  The relations are then dropped
+        from the leaving shard before it is detached (and closed, when
+        owned).  Returns the
         :class:`~repro.cluster.rebalance.RebalanceReport` of the drain.
+
+        Removal below R shards is refused: the remaining fleet could not
+        hold R distinct copies of anything.
         """
         from repro.cluster.rebalance import RebalanceReport
+        from repro.cluster.rebalance import rebalance as run_rebalance
 
         if shard_id not in self._shards:
             raise ClusterError(f"no shard named {shard_id!r}")
         if len(self._shards) == 1:
             raise ClusterError("cannot remove the last shard")
+        if len(self._shards) - 1 < self._replication:
+            raise ClusterError(
+                f"removing shard {shard_id!r} would leave "
+                f"{len(self._shards) - 1} shard(s), fewer than the "
+                f"replication factor {self._replication}"
+            )
         leaving = self._shards[shard_id]
         self._ring.remove_shard(shard_id)
         report = RebalanceReport()
         try:
             if drain:
+                report = run_rebalance(
+                    {sid: shard.server for sid, shard in self._shards.items()},
+                    self._ring,
+                    self.relation_names,
+                    replication=self._replication,
+                )
                 for name in tuple(leaving.server.relation_names):
-                    relation = leaving.server.stored_relation(name)
-                    for encrypted_tuple in relation:
-                        target = self._ring.assign(encrypted_tuple.tuple_id)
-                        self.shard(target).insert_tuple(name, encrypted_tuple)
-                        report.record_move(name, shard_id, target)
-                    report.scanned += len(relation)
                     leaving.server.drop_relation(name)
         except BaseException:
             # Put the shard back: its data was not (fully) drained.
@@ -767,13 +1000,14 @@ class ShardRouter:
         return report
 
     def rebalance(self):
-        """Move every misplaced tuple to its ring-assigned shard."""
+        """Repair every tuple's placement to exactly its R ring successors."""
         from repro.cluster.rebalance import rebalance as run_rebalance
 
         return run_rebalance(
             {shard_id: shard.server for shard_id, shard in self._shards.items()},
             self._ring,
             self.relation_names,
+            replication=self._replication,
         )
 
     def _any_schema(self, name: str):
@@ -807,11 +1041,13 @@ class ShardRouter:
     def _partition_tuples(
         self, encrypted_relation: EncryptedRelation
     ) -> dict[str, list[EncryptedTuple]]:
+        """Per-shard slices: every tuple goes to each of its R successors."""
         groups: dict[str, list[EncryptedTuple]] = {
             shard_id: [] for shard_id in self._shards
         }
         for encrypted_tuple in encrypted_relation:
-            groups[self._ring.assign(encrypted_tuple.tuple_id)].append(encrypted_tuple)
+            for shard_id in self.replica_shards(encrypted_tuple.tuple_id):
+                groups[shard_id].append(encrypted_tuple)
         return groups
 
     def _all_shards(
@@ -830,12 +1066,36 @@ class ShardRouter:
         policy: str,
         read: bool = False,
     ) -> GatherResult:
+        """Scatter ``calls`` and resolve failures: failover first, then policy.
+
+        A full-fleet *read* that loses shards first tries replica failover:
+        when every ring segment still has a live successor
+        (:meth:`ConsistentHashRing.covers`) the surviving answers are
+        complete after deduplication, so the read succeeds un-degraded and
+        only ``stats.failover_reads`` records that anything happened.  Only
+        when the failures exceed what the replicas absorb does the
+        partial-failure ``policy`` decide between raising and degrading.
+        """
         if read:
-            self._stats.scatter_reads += 1
-        gathered = self._executor.gather(operation, calls, policy=policy)
+            self._stats.record_scatter_read()
+        outcomes = self._executor.scatter(calls)
+        failures = [o for o in outcomes if not o.ok]
+        if (
+            failures
+            and read
+            and self._replication > 1
+            and len(calls) == len(self._shards)  # coverage math needs the full fleet
+        ):
+            live = [o.shard_id for o in outcomes if o.ok]
+            if self._ring.covers(live, self._replication):
+                self._stats.record_failover_read([o.shard_id for o in failures])
+                return GatherResult(
+                    values=tuple(o.value for o in outcomes if o.ok),
+                    outcomes=tuple(outcomes),
+                )
+        gathered = resolve_outcomes(operation, outcomes, policy=policy)
         if gathered.degraded:
-            self._stats.degraded_reads += 1
-            self._stats.last_missing_shard_ids = gathered.missing_shard_ids
+            self._stats.record_degraded_read(gathered.missing_shard_ids)
         return gathered
 
     @staticmethod

@@ -109,3 +109,36 @@ class TestFacadeKnobs:
             _url(fleet), secret_key, policy="degraded", shard_timeout=30.0
         ) as db:
             assert db.server.policy == "degraded"
+
+    def test_url_replicas_reach_the_router(self, fleet, secret_key):
+        with EncryptedDatabase.connect(
+            _url(fleet) + "?replicas=2", secret_key
+        ) as db:
+            assert db.server.replication == 2
+
+    def test_replicas_rejected_for_plain_tcp(self, fleet):
+        one, _ = fleet
+        with pytest.raises(DatabaseError, match="cluster:// URLs only"):
+            EncryptedDatabase.connect(f"tcp://127.0.0.1:{one.port}", replicas=2)
+
+
+class TestReplicatedClusterOverSockets:
+    def test_killing_one_provider_keeps_reads_complete(self, secret_key, rng):
+        with ThreadedTcpServer() as one, ThreadedTcpServer() as two:
+            three = ThreadedTcpServer().start()
+            url = (
+                f"cluster://127.0.0.1:{one.port},127.0.0.1:{two.port},"
+                f"127.0.0.1:{three.port}?replicas=2"
+            )
+            with EncryptedDatabase.connect(
+                url, secret_key, rng=rng, timeout=10.0
+            ) as db:
+                db.create_table(EMP_DECL, rows=ROWS)
+                assert len(db.select("SELECT * FROM Emp WHERE dept = 'HR'").relation) == 12
+                three.stop()  # a provider dies mid-workload
+                outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+                assert len(outcome.relation) == 12  # complete, not partial
+                assert db.count("Emp") == len(ROWS)
+                stats = db.server.stats
+                assert stats.failover_reads >= 1
+                assert stats.degraded_reads == 0

@@ -64,6 +64,38 @@ class TestScatter:
         assert outcomes[0].ok
         assert isinstance(outcomes[1].error, ShardTimeoutError)
 
+    def test_each_slow_shard_gets_its_full_budget(self):
+        # Regression: the timeout used to be one shared deadline burned from
+        # scatter start, so with several slow-but-in-budget shards the later
+        # ones inherited ~0s and were misreported as timed out.  Two shards
+        # serialized on one worker each take 0.3s against a 0.45s per-shard
+        # budget: both must succeed even though the second finishes 0.6s
+        # after scatter start.
+        executor = ScatterGatherExecutor(max_workers=1, timeout=0.45)
+
+        def slow():
+            time.sleep(0.3)
+            return "done"
+
+        try:
+            outcomes = executor.scatter([("s1", slow), ("s2", slow)])
+        finally:
+            executor.close()
+        assert [o.ok for o in outcomes] == [True, True], [
+            (o.shard_id, o.error) for o in outcomes
+        ]
+
+    def test_a_genuinely_slow_shard_still_times_out_behind_a_queue(self):
+        executor = ScatterGatherExecutor(max_workers=1, timeout=0.2)
+        try:
+            outcomes = executor.scatter(
+                [("fast", lambda: "x"), ("slow", lambda: time.sleep(2.0))]
+            )
+        finally:
+            executor.close()
+        assert outcomes[0].ok
+        assert isinstance(outcomes[1].error, ShardTimeoutError)
+
 
 class TestPolicies:
     def _outcomes(self, *oks):

@@ -5,7 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.api import EncryptedDatabase
-from repro.cluster import ClusterError, ShardRouter, rebalance
+from repro.cluster import (
+    ClusterError,
+    ShardRouter,
+    misplaced_tuples,
+    rebalance,
+    surplus_copies,
+)
 from repro.outsourcing import OutsourcedDatabaseServer
 from repro.relational import Selection
 
@@ -125,6 +131,124 @@ class TestRemoveShard:
     def test_unknown_shard_rejected(self, db):
         with pytest.raises(ClusterError, match="no shard"):
             db.server.remove_shard("shard-9")
+
+
+class TestCrashMidMigration:
+    """The insert-first rebalancer may die between its insert and delete
+    phases; the duplicate it leaves must not change what queries answer,
+    and the next rebalance must clean it up."""
+
+    def _crash_rebalance(self, db):
+        """Crash-inject the rebalancer: inserts applied, deletes refused."""
+        router = db.server
+        router.add_shard(OutsourcedDatabaseServer(), rebalance=False)
+        saboteurs = []
+        for shard_id in router.shard_ids:
+            backend = router.shard(shard_id)
+
+            def refuse(name, tuple_ids):
+                raise ConnectionError("crashed before the delete phase")
+
+            backend.delete_tuples = refuse  # shadow the bound method
+            saboteurs.append(backend)
+        with pytest.raises(ConnectionError):
+            router.rebalance()
+        for backend in saboteurs:  # un-shadow: restore the class method
+            del backend.delete_tuples
+        return router
+
+    def test_queries_answer_each_tuple_once_despite_duplicates(self, db):
+        router = self._crash_rebalance(db)
+        physical = sum(router.per_shard_tuple_counts("Emp").values())
+        assert physical > len(ROWS)  # the crash really left duplicates
+        assert len(db.select("SELECT * FROM Emp WHERE dept = 'HR'").relation) == 20
+        assert len(db.select("SELECT * FROM Emp WHERE dept = 'IT'").relation) == 20
+
+    def test_counts_do_not_inflate_despite_duplicates(self, db):
+        router = self._crash_rebalance(db)
+        assert db.count("Emp") == len(ROWS)
+        assert len(router.stored_relation("Emp")) == len(ROWS)
+        assert len(db.retrieve_all("Emp")) == len(ROWS)
+
+    def test_rerunning_the_rebalance_converges_and_cleans_up(self, db):
+        router = self._crash_rebalance(db)
+        report = router.rebalance()
+        assert report.removed > 0  # the stale copies died this time
+        assert sum(router.per_shard_tuple_counts("Emp").values()) == len(ROWS)
+        _placement_is_consistent(router, "Emp")
+        assert router.rebalance().moved == 0
+
+
+class TestReplicatedRebalance:
+    REPLICAS = 2
+
+    @pytest.fixture
+    def rdb(self, secret_key, rng):
+        session = EncryptedDatabase.open(
+            secret_key,
+            shards=[OutsourcedDatabaseServer() for _ in range(3)],
+            replicas=self.REPLICAS,
+            rng=rng,
+        )
+        session.create_table(EMP_DECL, rows=ROWS)
+        return session
+
+    def _holders(self, router, name):
+        holders = {}
+        for shard_id in router.shard_ids:
+            for t in router.shard(shard_id).stored_relation(name):
+                holders.setdefault(t.tuple_id, set()).add(shard_id)
+        return holders
+
+    def _fully_replicated(self, router, name):
+        for tuple_id, shard_ids in self._holders(router, name).items():
+            assert shard_ids == set(router.replica_shards(tuple_id))
+
+    def test_steady_state_has_nothing_to_move(self, rdb):
+        report = rdb.server.rebalance()
+        assert report.moved == 0 and report.removed == 0
+        assert report.scanned == self.REPLICAS * len(ROWS)
+
+    def test_repairs_under_replication(self, rdb):
+        router = rdb.server
+        # wound one replica set: drop a single copy behind the router's back
+        tuple_id, holders = next(iter(self._holders(router, "Emp").items()))
+        victim = sorted(holders)[0]
+        router.shard(victim).delete_tuples("Emp", [tuple_id])
+        report = router.rebalance()
+        assert report.moved == 1
+        self._fully_replicated(router, "Emp")
+
+    def test_add_shard_keeps_replica_sets_complete(self, rdb):
+        router = rdb.server
+        report = router.add_shard(OutsourcedDatabaseServer())
+        assert report.moved > 0
+        self._fully_replicated(router, "Emp")
+        assert router.rebalance().moved == 0
+        assert rdb.count("Emp") == len(ROWS)
+
+    def test_remove_shard_restores_the_replication_factor(self, rdb):
+        router = rdb.server
+        router.remove_shard("shard-2")
+        self._fully_replicated(router, "Emp")
+        assert rdb.count("Emp") == len(ROWS)
+        assert len(rdb.select("SELECT * FROM Emp WHERE dept = 'HR'").relation) == 20
+
+    def test_misplaced_and_surplus_report_the_pending_work(self, rdb):
+        router = rdb.server
+        shards = {sid: router.shard(sid) for sid in router.shard_ids}
+        assert misplaced_tuples(shards, router.ring, "Emp",
+                                replication=self.REPLICAS) == []
+        assert surplus_copies(shards, router.ring, "Emp",
+                              replication=self.REPLICAS) == []
+        tuple_id, holders = next(iter(self._holders(router, "Emp").items()))
+        victim = sorted(holders)[0]
+        router.shard(victim).delete_tuples("Emp", [tuple_id])
+        pending = misplaced_tuples(shards, router.ring, "Emp",
+                                   replication=self.REPLICAS)
+        assert [(source, target, t.tuple_id) for source, target, t in pending] == [
+            (sorted(holders - {victim})[0], victim, tuple_id)
+        ]
 
 
 class TestRebalanceFunction:

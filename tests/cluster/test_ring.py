@@ -8,7 +8,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.ring import ConsistentHashRing, DEFAULT_REPLICAS, RingError
+from repro.cluster.ring import (
+    ConsistentHashRing,
+    DEFAULT_REPLICAS,
+    DEFAULT_VIRTUAL_NODES,
+    RingError,
+)
 
 
 def _keys(count: int) -> list[bytes]:
@@ -91,7 +96,7 @@ class TestStability:
         keys=st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=50),
     )
     def test_surviving_keys_never_move_property(self, shards, removed, keys):
-        ring = ConsistentHashRing(shards, replicas=32)
+        ring = ConsistentHashRing(shards, virtual_nodes=32)
         victim = shards[removed % len(shards)]
         before = {bytes(key): ring.assign(key) for key in keys}
         ring.remove_shard(victim)
@@ -118,9 +123,9 @@ class TestEdges:
         with pytest.raises(RingError):
             ConsistentHashRing([""])
 
-    def test_invalid_replicas_rejected(self):
+    def test_invalid_virtual_nodes_rejected(self):
         with pytest.raises(RingError):
-            ConsistentHashRing(replicas=0)
+            ConsistentHashRing(virtual_nodes=0)
 
     def test_partition_covers_every_shard(self):
         ring = ConsistentHashRing(["a", "b", "c"])
@@ -128,5 +133,89 @@ class TestEdges:
         assert set(groups) == {"a", "b", "c"}
         assert sum(len(keys) for keys in groups.values()) == 30
 
-    def test_default_replicas_exported(self):
-        assert ConsistentHashRing(["a"]).replicas == DEFAULT_REPLICAS
+    def test_default_virtual_nodes_exported(self):
+        assert ConsistentHashRing(["a"]).virtual_nodes == DEFAULT_VIRTUAL_NODES
+        # the pre-replication alias keeps old call sites meaningful
+        assert DEFAULT_REPLICAS == DEFAULT_VIRTUAL_NODES
+
+
+class TestSuccessors:
+    def test_first_successor_is_the_assignment(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        for key in _keys(200):
+            successors = ring.successors(key, 2)
+            assert successors[0] == ring.assign(key)
+
+    def test_successors_are_distinct_and_deterministic(self):
+        first = ConsistentHashRing(["a", "b", "c", "d"])
+        second = ConsistentHashRing(["d", "c", "b", "a"])
+        for key in _keys(200):
+            successors = first.successors(key, 3)
+            assert len(set(successors)) == 3
+            assert second.successors(key, 3) == successors
+
+    def test_full_replication_lists_every_shard(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        for key in _keys(50):
+            assert set(ring.successors(key, 3)) == {"a", "b", "c"}
+
+    def test_replica_sets_are_balanced(self):
+        ring = ConsistentHashRing([f"shard-{i}" for i in range(4)])
+        copies = {shard_id: 0 for shard_id in ring.shard_ids}
+        for key in TEN_K:
+            for shard_id in ring.successors(key, 2):
+                copies[shard_id] += 1
+        mean = len(TEN_K) * 2 / 4
+        worst = max(abs(count - mean) / mean for count in copies.values())
+        assert worst <= 0.15, copies
+
+    def test_membership_change_only_touches_crossing_successor_sets(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"])
+        before = {key: ring.successors(key, 2) for key in TEN_K[:2000]}
+        ring.add_shard("e")
+        for key, old in before.items():
+            new = ring.successors(key, 2)
+            if new != old:
+                assert "e" in new  # a change always involves the new shard
+
+    def test_more_replicas_than_shards_rejected(self):
+        ring = ConsistentHashRing(["a", "b"])
+        with pytest.raises(RingError, match="cannot place 3 replicas"):
+            ring.successors(b"k", 3)
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(RingError):
+            ConsistentHashRing(["a"]).successors(b"k", 0)
+
+    def test_empty_ring_refuses_successors(self):
+        with pytest.raises(RingError):
+            ConsistentHashRing().successors(b"k", 1)
+
+
+class TestCovers:
+    def test_all_shards_live_always_covers(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert ring.covers(["a", "b", "c"], 2)
+        assert ring.covers(["a", "b", "c"], 1)
+
+    def test_fewer_dead_than_replicas_covers(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        for dead in "abc":
+            live = [s for s in "abc" if s != dead]
+            assert ring.covers(live, 2)
+
+    def test_one_dead_never_covers_without_replication(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        # R=1: some segment's only successor is the dead shard
+        assert not ring.covers(["a", "b"], 1)
+
+    def test_as_many_dead_as_replicas_breaks_coverage(self):
+        # With 256 virtual nodes some segment's 2 successors are exactly
+        # the two dead shards, so the exact per-segment walk must say no.
+        ring = ConsistentHashRing(["a", "b", "c"])
+        assert not ring.covers(["a"], 2)
+
+    def test_no_live_shards_never_covers(self):
+        ring = ConsistentHashRing(["a", "b"])
+        assert not ring.covers([], 1)
+        assert not ring.covers(["ghost"], 1)

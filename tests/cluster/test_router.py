@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+import threading
+
 from repro.api import DatabaseError, EncryptedDatabase
 from repro.cluster import (
     ClusterError,
+    ClusterStats,
     DEGRADED,
     ShardFailedError,
     ShardRouter,
+    parse_cluster_options,
     parse_cluster_url,
 )
 from repro.outsourcing import OutsourcedDatabaseServer, OutsourcingClient
@@ -196,6 +200,219 @@ class TestPartialFailure:
             db.insert("Emp", {"name": "X", "dept": "HR", "salary": 1})
 
 
+def _copy_holders(router, name):
+    """``tuple_id -> holder shard ids`` from the physical per-shard stores."""
+    holders = {}
+    for shard_id in router.shard_ids:
+        for t in router.shard(shard_id).stored_relation(name):
+            holders.setdefault(t.tuple_id, set()).add(shard_id)
+    return holders
+
+
+def _assert_fully_replicated(router, name):
+    """Every tuple is stored on exactly its R ring successors."""
+    holders = _copy_holders(router, name)
+    assert holders, "relation is empty"
+    for tuple_id, shard_ids in holders.items():
+        assert shard_ids == set(router.replica_shards(tuple_id))
+
+
+class TestReplication:
+    def _cluster(self, shard_count=3, replicas=2, policy="fail_fast"):
+        shards = [FlakyServer() for _ in range(shard_count)]
+        router = ShardRouter(shards, replicas=replicas, policy=policy)
+        db = EncryptedDatabase.open(server=router)
+        db.create_table(EMP_DECL, rows=ROWS)
+        return db, router, shards
+
+    def test_store_places_every_tuple_on_its_replica_set(self):
+        db, router, _ = self._cluster()
+        assert router.replication == 2
+        _assert_fully_replicated(router, "Emp")
+        # physical copies are 2x the logical relation
+        physical = sum(router.per_shard_tuple_counts("Emp").values())
+        assert physical == 2 * len(ROWS)
+
+    def test_insert_writes_all_replicas(self):
+        db, router, _ = self._cluster()
+        db.insert("Emp", {"name": "Zoe", "dept": "NEW", "salary": 1})
+        _assert_fully_replicated(router, "Emp")
+        assert len(db.select(Selection.equals("dept", "NEW"), table="Emp").relation) == 1
+
+    def test_queries_are_duplicate_free_with_all_shards_up(self):
+        db, router, _ = self._cluster()
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 15  # 2 physical copies each, answered once
+        assert db.count("Emp") == len(ROWS)
+        assert len(db.server.stored_relation("Emp")) == len(ROWS)
+
+    def test_reads_fail_over_when_one_replica_is_down(self):
+        db, router, shards = self._cluster()  # fail_fast policy!
+        shards[1].down = True
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 15  # complete, not degraded
+        assert router.stats.failover_reads >= 1
+        assert router.stats.degraded_reads == 0
+        assert router.stats.last_failover_shard_ids == ("shard-1",)
+
+    def test_batch_reads_fail_over_too(self):
+        db, router, shards = self._cluster()
+        shards[2].down = True
+        outcomes = db.select_many(
+            [Selection.equals("dept", "HR"), Selection.equals("dept", "IT")],
+            table="Emp",
+        )
+        assert [len(o.relation) for o in outcomes] == [15, 15]
+        assert router.stats.degraded_reads == 0
+
+    def test_stored_relation_and_count_survive_one_dead_shard(self):
+        db, router, shards = self._cluster()
+        shards[0].down = True
+        assert len(router.stored_relation("Emp")) == len(ROWS)
+        assert router.tuple_count("Emp") == len(ROWS)
+        assert len(db.retrieve_all("Emp")) == len(ROWS)
+
+    def test_too_many_failures_surface_the_right_shards(self):
+        db, router, shards = self._cluster()
+        shards[0].down = True
+        shards[1].down = True  # 2 dead >= R=2: coverage is broken
+        with pytest.raises(ShardFailedError) as excinfo:
+            router.execute_query(
+                "Emp",
+                db.table("Emp").scheme.encrypt_query(Selection.equals("dept", "HR")),
+            )
+        assert excinfo.value.failed_shard_ids == ("shard-0", "shard-1")
+
+    def test_replicated_writes_fail_fast_when_a_replica_is_down(self):
+        db, router, shards = self._cluster()
+        handle = db.table("Emp")
+        encrypted = handle.scheme.encrypt_tuple(
+            db._make_tuple(handle.schema, {"name": "X", "dept": "HR", "salary": 1})
+        )
+        victim = router.replica_shards(encrypted.tuple_id)[1]
+        router.shard(victim).down = True
+        with pytest.raises(ClusterError):
+            router.insert_tuple("Emp", encrypted)
+        router.shard(victim).down = False
+        router.insert_tuple("Emp", encrypted)
+        _assert_fully_replicated(router, "Emp")
+
+    def test_deletes_fail_fast_and_count_logically(self):
+        db, router, shards = self._cluster()
+        deleted = db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert deleted == 15  # logical, not 30 physical copies
+        assert db.count("Emp") == 15
+        shards[2].down = True
+        with pytest.raises(DatabaseError):
+            db.delete("SELECT * FROM Emp WHERE dept = 'IT'")
+
+    def test_update_keeps_full_replication(self):
+        db, router, _ = self._cluster()
+        assert db.update(Selection.equals("name", "emp3"), {"salary": 9}, table="Emp") == 1
+        _assert_fully_replicated(router, "Emp")
+        assert db.count("Emp") == len(ROWS)
+
+    def test_remove_shard_restores_the_replication_factor(self):
+        db, router, _ = self._cluster(shard_count=3, replicas=2)
+        report = router.remove_shard("shard-1")
+        assert report.moved > 0
+        assert router.shard_ids == ("shard-0", "shard-2")
+        _assert_fully_replicated(router, "Emp")
+        assert db.count("Emp") == len(ROWS)
+        assert len(db.select("SELECT * FROM Emp WHERE dept = 'HR'").relation) == 15
+
+    def test_add_shard_rebalances_replica_sets(self):
+        db, router, _ = self._cluster(shard_count=3, replicas=2)
+        report = router.add_shard(FlakyServer())
+        assert report is not None
+        _assert_fully_replicated(router, "Emp")
+        assert router.rebalance().moved == 0  # converged
+        assert db.count("Emp") == len(ROWS)
+
+    def test_removal_below_the_replication_factor_is_refused(self):
+        db, router, _ = self._cluster(shard_count=2, replicas=2)
+        with pytest.raises(ClusterError, match="replication factor"):
+            router.remove_shard("shard-0")
+
+    def test_full_failover_round_trip_after_losing_a_shard(self):
+        # the acceptance scenario: 3 shards, replicas=2, one dies mid-workload
+        db, router, shards = self._cluster(shard_count=3, replicas=2)
+        before = len(db.select("SELECT * FROM Emp WHERE dept = 'IT'").relation)
+        shards[0].down = True
+        after = db.select("SELECT * FROM Emp WHERE dept = 'IT'")
+        assert len(after.relation) == before == 15
+        assert router.stats.degraded_reads == 0
+        assert router.stats.failover_reads >= 1
+
+
+class TestDuplicateSafety:
+    """Crash-left duplicates must never change query multiplicities."""
+
+    def _duplicated_cluster(self, secret_key, rng):
+        backends = [OutsourcedDatabaseServer() for _ in range(2)]
+        db = EncryptedDatabase.open(secret_key, shards=backends, rng=rng)
+        db.create_table(EMP_DECL, rows=ROWS)
+        router = db.server
+        # simulate the rebalancer crashing mid-migration: the insert at the
+        # new owner happened, the delete at the old owner did not
+        victim = router.shard("shard-0").stored_relation("Emp").encrypted_tuples[0]
+        other = "shard-1" if router.shard_for(victim.tuple_id) == "shard-0" else "shard-0"
+        router.shard(other).insert_tuple("Emp", victim)
+        return db, router, victim
+
+    def test_query_returns_exactly_one_copy(self, secret_key, rng):
+        db, router, victim = self._duplicated_cluster(secret_key, rng)
+        plaintext = db.table("Emp").scheme.decrypt_tuple(victim)
+        outcome = db.select(Selection.equals("name", plaintext["name"]), table="Emp")
+        assert len(outcome.relation) == 1
+
+    def test_counts_do_not_inflate(self, secret_key, rng):
+        db, router, _ = self._duplicated_cluster(secret_key, rng)
+        physical = sum(router.per_shard_tuple_counts("Emp").values())
+        assert physical == len(ROWS) + 1  # the duplicate is really there
+        assert db.count("Emp") == len(ROWS)  # ...and counted once
+        assert len(router.stored_relation("Emp")) == len(ROWS)
+        assert len(db.retrieve_all("Emp")) == len(ROWS)
+
+    def test_delete_kills_every_copy_and_counts_once(self, secret_key, rng):
+        db, router, victim = self._duplicated_cluster(secret_key, rng)
+        plaintext = db.table("Emp").scheme.decrypt_tuple(victim)
+        deleted = db.delete(Selection.equals("name", plaintext["name"]), table="Emp")
+        assert deleted == 1
+        assert sum(router.per_shard_tuple_counts("Emp").values()) == len(ROWS) - 1
+        assert db.count("Emp") == len(ROWS) - 1
+
+
+class TestStatsThreadSafety:
+    def test_concurrent_mutations_are_not_lost(self):
+        stats = ClusterStats()
+        rounds = 500
+        snapshots: list[dict] = []
+
+        def hammer(shard_id: str):
+            for _ in range(rounds):
+                stats.record_scatter_read()
+                stats.record_routed_insert()
+                stats.record_degraded_read((shard_id,))
+                stats.record_failover_read((shard_id,))
+                snapshots.append(stats.as_dict())
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"s{i}",)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert stats.scatter_reads == 8 * rounds
+        assert stats.routed_inserts == 8 * rounds
+        assert stats.degraded_reads == 8 * rounds
+        assert stats.failover_reads == 8 * rounds
+        for snapshot in snapshots:  # every snapshot is internally consistent
+            assert snapshot["degraded_reads"] <= snapshot["scatter_reads"] * 2
+            assert tuple(snapshot["last_missing_shard_ids"]) != ()
+
+
 class TestConstruction:
     def test_needs_at_least_one_shard(self):
         with pytest.raises(ClusterError):
@@ -228,3 +445,33 @@ class TestConstruction:
             parse_cluster_url("cluster://h1:1,h1:1")
         with pytest.raises(ClusterError):
             parse_cluster_url("cluster://h1:notaport")
+
+    def test_parse_cluster_options(self):
+        urls, options = parse_cluster_options("cluster://h1:1,h2:2?replicas=2")
+        assert urls == ("tcp://h1:1", "tcp://h2:2")
+        assert options == {"replicas": 2}
+        assert parse_cluster_options("cluster://h1:1")[1] == {}
+        with pytest.raises(ClusterError, match="unknown cluster URL option"):
+            parse_cluster_options("cluster://h1:1?quorum=2")
+        with pytest.raises(ClusterError, match="integer"):
+            parse_cluster_options("cluster://h1:1?replicas=two")
+
+    def test_replication_factor_validation(self):
+        with pytest.raises(ClusterError, match="replication factor"):
+            ShardRouter([OutsourcedDatabaseServer()], replicas=0)
+        with pytest.raises(ClusterError, match="needs at least"):
+            ShardRouter(
+                [OutsourcedDatabaseServer(), OutsourcedDatabaseServer()], replicas=3
+            )
+        with pytest.raises(ClusterError, match="conflicting replication"):
+            ShardRouter.connect("cluster://h1:1,h2:2?replicas=2", replicas=1)
+
+    def test_session_replicas_requires_shards(self, secret_key):
+        with pytest.raises(DatabaseError, match="sharded sessions only"):
+            EncryptedDatabase.open(secret_key, replicas=2)
+        db = EncryptedDatabase.open(
+            secret_key,
+            shards=[OutsourcedDatabaseServer(), OutsourcedDatabaseServer()],
+            replicas=2,
+        )
+        assert db.server.replication == 2

@@ -117,9 +117,38 @@ class TestClusterCommands:
         assert main(["cluster", "route", "cluster://h:1", "--key", "zz"]) == 2
         assert main(["cluster", "route", "cluster://h:1", "--keys", "0"]) == 2
         assert main(["cluster", "route", "cluster://h:1", "--replicas", "0"]) == 2
+        assert main(["cluster", "route", "cluster://h:1", "--replicas", "2"]) == 2
+        assert main(["cluster", "route", "cluster://h:1", "--virtual-nodes", "0"]) == 2
+        assert main(["cluster", "route", "cluster://h:1?quorum=2"]) == 2
+
+    def test_route_reports_replica_placement(self, capsys):
+        exit_code = main([
+            "cluster", "route", "cluster://a:1,b:2,c:3?replicas=2",
+            "--keys", "500",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "replication factor 2" in captured.out
+        assert "1000 copies" in captured.out
+        assert "up to 1 shard(s) down" in captured.out
+
+    def test_route_single_key_lists_the_replica_set(self, capsys):
+        exit_code = main([
+            "cluster", "route", "cluster://a:1,b:2,c:3", "--key", "deadbeef",
+            "--replicas", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        line = [l for l in captured.out.splitlines() if l.startswith("deadbeef")][0]
+        shards = line.split(" -> ")[1].split(", ")
+        assert len(shards) == len(set(shards)) == 2
 
     def test_spawn_rejects_a_zero_fleet(self, capsys):
         assert main(["cluster", "spawn", "--shards", "0"]) == 2
+
+    def test_spawn_rejects_impossible_replication(self, capsys):
+        assert main(["cluster", "spawn", "--shards", "2", "--replicas", "0"]) == 2
+        assert main(["cluster", "spawn", "--shards", "2", "--replicas", "3"]) == 2
 
     def test_status_reports_live_shards(self, capsys):
         from repro.api import EncryptedDatabase
@@ -151,3 +180,21 @@ class TestClusterCommands:
         assert exit_code == 1
         assert "DOWN" in captured.out
         assert "1/2 shard(s) up" in captured.out
+
+    def test_status_rejects_an_impossible_replication_factor(self, capsys):
+        assert main(["cluster", "status", "cluster://h:1,i:2?replicas=5"]) == 2
+        assert "impossible" in capsys.readouterr().err
+
+    def test_status_explains_replicated_outage_tolerance(self, capsys):
+        from repro.net import ThreadedTcpServer
+
+        with ThreadedTcpServer() as one, ThreadedTcpServer() as two:
+            exit_code = main([
+                "cluster", "status",
+                f"cluster://127.0.0.1:{one.port},127.0.0.1:{two.port},"
+                f"127.0.0.1:1?replicas=2",
+                "--timeout", "2",
+            ])
+        captured = capsys.readouterr()
+        assert exit_code == 1  # a shard is still down, even if reads survive
+        assert "replication factor 2: reads stay complete" in captured.out

@@ -1,13 +1,23 @@
 """CI smoke test of the sharded multi-provider deployment.
 
-Starts ``repro cluster spawn --shards 2`` as a real subprocess (two
-providers on ephemeral ports), routes a full CRUD round trip through the
-``cluster://`` session -- which drives a
-:class:`~repro.cluster.router.ShardRouter` -- and asserts that *both*
-shards actually received traffic: each must store a non-empty slice of the
-relation and answer the scatter-gathered queries.  The fleet is then shut
-down with SIGTERM and must exit cleanly.  Every wait is bounded so a hung
-provider fails the CI step instead of wedging it.
+Two phases, every wait bounded so a hung provider fails the CI step
+instead of wedging it:
+
+1. **Scatter-gather CRUD** -- starts ``repro cluster spawn --shards 2`` as
+   a real subprocess (two providers on ephemeral ports), routes a full
+   CRUD round trip through the ``cluster://`` session -- which drives a
+   :class:`~repro.cluster.router.ShardRouter` -- and asserts that *both*
+   shards actually received traffic: each must store a non-empty slice of
+   the relation and answer the scatter-gathered queries.  The fleet is
+   then shut down with SIGTERM and must exit cleanly.
+
+2. **Replicated failover** -- starts three *independent* ``repro serve``
+   subprocesses (separate processes, so one can be SIGKILLed alone),
+   connects with ``?replicas=2``, stores a relation, SIGKILLs one
+   provider mid-workload, and asserts the next query still answers
+   *complete and non-degraded*: the surviving replicas cover the dead
+   shard's data, the router's failover counter fires and its degraded
+   counter stays zero.
 
 Usage::
 
@@ -26,7 +36,7 @@ SHUTDOWN_TIMEOUT_S = 15
 NUM_ROWS = 24  # enough that both shards hold tuples with overwhelming odds
 
 
-def main() -> int:
+def smoke_scatter_gather_crud() -> int:
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "cluster", "spawn", "--shards", "2"],
         stdout=subprocess.PIPE,
@@ -93,6 +103,92 @@ def main() -> int:
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+
+
+def _spawn_provider() -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = proc.stdout.readline()
+    match = re.search(r"tcp://([\d.]+):(\d+)", banner)
+    if not match:
+        proc.kill()
+        proc.wait(timeout=10)
+        raise RuntimeError(f"provider did not start: {banner!r}")
+    return proc, f"{match.group(1)}:{match.group(2)}"
+
+
+def smoke_replicated_failover() -> int:
+    procs: list[subprocess.Popen] = []
+    try:
+        hosts = []
+        for _ in range(3):
+            proc, host = _spawn_provider()
+            procs.append(proc)
+            hosts.append(host)
+        url = "cluster://" + ",".join(hosts) + "?replicas=2"
+        print(f"replicated fleet up at {url}")
+
+        from repro.api import EncryptedDatabase
+
+        with EncryptedDatabase.connect(url, timeout=STARTUP_TIMEOUT_S) as db:
+            db.create_table(
+                "Smoke(name:string[10], value:int[4])",
+                rows=[(f"row{i}", i % 3) for i in range(NUM_ROWS)],
+            )
+            counts = db.server.per_shard_tuple_counts("Smoke")
+            if sum(counts.values()) != 2 * NUM_ROWS:
+                print(f"FAIL: expected {2 * NUM_ROWS} physical copies: {counts}")
+                return 1
+            expected = NUM_ROWS // 3
+            if len(db.select("SELECT * FROM Smoke WHERE value = 1").relation) != expected:
+                print("FAIL: replicated query answered wrong multiplicities")
+                return 1
+
+            procs[0].send_signal(signal.SIGKILL)  # a provider dies, hard
+            procs[0].wait(timeout=SHUTDOWN_TIMEOUT_S)
+            print(f"SIGKILLed provider {hosts[0]}")
+
+            outcome = db.select("SELECT * FROM Smoke WHERE value = 1")
+            if len(outcome.relation) != expected:
+                print(
+                    f"FAIL: post-kill query degraded: {len(outcome.relation)} "
+                    f"of {expected} rows"
+                )
+                return 1
+            stats = db.server.stats.as_dict()
+            if stats["degraded_reads"] != 0 or stats["failover_reads"] < 1:
+                print(f"FAIL: read was not a clean failover: {stats}")
+                return 1
+            if db.count("Smoke") != NUM_ROWS:
+                print(f"FAIL: post-kill count inflated/deflated: {db.count('Smoke')}")
+                return 1
+            print(
+                "query stayed complete and non-degraded with 1/3 providers dead "
+                f"(failover_reads={stats['failover_reads']})"
+            )
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.communicate(timeout=SHUTDOWN_TIMEOUT_S)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+
+def main() -> int:
+    exit_code = smoke_scatter_gather_crud()
+    if exit_code != 0:
+        return exit_code
+    return smoke_replicated_failover()
 
 
 if __name__ == "__main__":
