@@ -185,6 +185,11 @@ class EncryptedDatabase:
         over a socket by a pooled :class:`~repro.net.client.RemoteServerProxy`.
         ``pool_size`` and ``timeout`` configure that pool and are rejected
         for non-URL providers (configure the server object directly).
+        Append ``?async=1`` to ride the *pipelined* transport instead
+        (:class:`~repro.net.aio.AsyncRemoteServerProxy`): one asyncio
+        connection multiplexing every in-flight request by correlation id
+        -- the same sync session API, but N concurrent callers share one
+        socket instead of a pool (``pool_size`` does not apply).
 
         A ``"cluster://host:port,host:port,..."`` URL targets a *sharded*
         deployment (see :mod:`repro.cluster`): one
@@ -196,14 +201,25 @@ class EncryptedDatabase:
         ``replicas`` keyword; they must agree when both are given) stores
         every tuple on R shards, so reads stay complete -- failing over to
         surviving replicas, never degrading -- with up to R-1 providers
-        down: ``connect("cluster://h1:p1,h2:p2,h3:p3?replicas=2")``.
+        down: ``connect("cluster://h1:p1,h2:p2,h3:p3?replicas=2")``.  An
+        ``&async=1`` option drives the whole fleet over pipelined
+        connections from one event-loop thread (the scatter keeps every
+        shard's round trip in flight simultaneously instead of burning a
+        blocking thread per shard).
+
+        A ``"cluster+file://fleet.json"`` URL restores a sharded session
+        from a fleet manifest (``repro cluster spawn --manifest``): shard
+        addresses, stable ring ids, replication factor and transport all
+        come from the file, so a coordinator restart needs no re-supplied
+        topology.
 
         Anything that is not a URL string is treated as a server object and
         handed to :meth:`open` unchanged, so call sites can take "where is
         the provider" as a single configuration value.
         """
         owns_proxy = isinstance(provider, str)
-        is_cluster = owns_proxy and provider.startswith("cluster://")
+        is_manifest = owns_proxy and provider.startswith("cluster+file://")
+        is_cluster = is_manifest or (owns_proxy and provider.startswith("cluster://"))
         if not is_cluster and (policy, shard_timeout, replicas) != (
             "fail_fast",
             None,
@@ -215,11 +231,30 @@ class EncryptedDatabase:
             )
         if owns_proxy:
             from repro.cluster.router import ShardRouter
-            from repro.net.client import RemoteServerProxy
+            from repro.net.client import RemoteServerProxy, parse_tcp_options
             from repro.outsourcing.server import ServerError as _ServerError
 
             try:
-                if is_cluster:
+                if is_manifest:
+                    from repro.cluster.manifest import (
+                        ClusterManifest,
+                        parse_cluster_file_url,
+                    )
+
+                    manifest = ClusterManifest.load(parse_cluster_file_url(provider))
+                    if replicas is not None and replicas != manifest.replicas:
+                        raise DatabaseError(
+                            f"conflicting replication factors: the manifest says "
+                            f"{manifest.replicas}, the caller says {replicas}"
+                        )
+                    provider = ShardRouter.from_manifest(
+                        manifest,
+                        pool_size=pool_size,
+                        timeout=timeout,
+                        policy=policy,
+                        shard_timeout=shard_timeout,
+                    )
+                elif is_cluster:
                     provider = ShardRouter.connect(
                         provider,
                         pool_size=pool_size,
@@ -229,9 +264,17 @@ class EncryptedDatabase:
                         replicas=replicas,
                     )
                 else:
-                    provider = RemoteServerProxy.connect(
-                        provider, pool_size=pool_size, timeout=timeout
-                    )
+                    host, port, options = parse_tcp_options(provider)
+                    if options.get("async"):
+                        from repro.net.aio import AsyncRemoteServerProxy
+
+                        provider = AsyncRemoteServerProxy(
+                            host, port, timeout=timeout
+                        )
+                    else:
+                        provider = RemoteServerProxy(
+                            host, port, pool_size=pool_size, timeout=timeout
+                        )
             except _ServerError as exc:
                 raise DatabaseError(str(exc)) from exc
         elif (pool_size, timeout) != (4, 30.0):

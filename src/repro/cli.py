@@ -18,16 +18,20 @@ the CLI exposes the reproduction's main entry points without writing any code:
 
 ``serve``
     Run a standalone untrusted provider over TCP (see :mod:`repro.net`),
-    optionally file-backed, until interrupted.  Sessions connect with
-    ``EncryptedDatabase.connect("tcp://host:port")``.
+    optionally file-backed, until interrupted.  Requests touching
+    different relations dispatch in parallel (``--dispatch-workers``);
+    same-relation requests stay FIFO.  Sessions connect with
+    ``EncryptedDatabase.connect("tcp://host:port[?async=1]")``.
 
 ``cluster``
     Sharded multi-provider tools (see :mod:`repro.cluster`): ``spawn`` a
-    local fleet of providers on ephemeral ports, ``route`` keys through the
-    deterministic placement ring offline (including the per-key replica
+    local fleet of providers on ephemeral ports (``--manifest`` persists
+    the topology for ``cluster+file://`` sessions), ``route`` keys through
+    the deterministic placement ring offline (including the per-key replica
     sets of a ``?replicas=R`` deployment), and ``status`` a running fleet
-    over its stats control channel.  Sessions connect with
-    ``EncryptedDatabase.connect("cluster://h1:p1,h2:p2,...[?replicas=R]")``.
+    over its stats control channel (by URL or ``--manifest``).  Sessions
+    connect with
+    ``EncryptedDatabase.connect("cluster://h1:p1,...[?replicas=R&async=1]")``.
 
 Examples::
 
@@ -165,11 +169,16 @@ def command_serve(args: argparse.Namespace) -> int:
         audit_log=ServerAuditLog(max_events=args.max_audit_events),
         storage=storage,
     )
+    if args.dispatch_workers < 1:
+        print(f"--dispatch-workers must be positive, got {args.dispatch_workers}",
+              file=sys.stderr)
+        return 2
     tcp = DatabaseTcpServer(
         database,
         host=args.host,
         port=args.port,
         max_frame_size=args.max_frame_size,
+        dispatch_workers=args.dispatch_workers,
     )
 
     async def _report_stats() -> None:
@@ -181,7 +190,11 @@ def command_serve(args: argparse.Namespace) -> int:
         await tcp.start()
         host, port = tcp.address
         where = f"{len(database.relation_names)} relation(s) on disk" if storage else "in-memory"
-        print(f"repro provider listening on tcp://{host}:{port} ({where})", flush=True)
+        print(
+            f"repro provider listening on tcp://{host}:{port} ({where}, "
+            f"{tcp.dispatch_workers} dispatch worker(s))",
+            flush=True,
+        )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -258,6 +271,29 @@ def command_cluster_spawn(args: argparse.Namespace) -> int:
                 f"repro cluster replication: every tuple stored on "
                 f"{args.replicas} of {args.shards} shard(s); reads stay "
                 f"complete with up to {args.replicas - 1} shard(s) down",
+                flush=True,
+            )
+        if args.manifest:
+            from repro.cluster import ClusterManifest, ShardEntry
+
+            # Shard ids deliberately equal the URLs: that is the id a plain
+            # cluster:// session derives, so both advertised ways of
+            # connecting to this fleet build the *identical* placement
+            # ring.  Hand-author symbolic ids only for fleets whose
+            # addresses change while their data persists (then rebalance
+            # or keep sessions manifest-only).
+            manifest = ClusterManifest(
+                shards=tuple(
+                    ShardEntry(shard_id=f"tcp://{address}", url=f"tcp://{address}")
+                    for address in addresses
+                ),
+                replicas=args.replicas,
+            )
+            path = manifest.save(args.manifest)
+            print(f"repro cluster manifest written: {path}", flush=True)
+            print(
+                f"repro cluster sessions can restore topology with "
+                f"cluster+file://{path}",
                 flush=True,
             )
         print(f"repro cluster ready: {url}", flush=True)
@@ -360,12 +396,31 @@ def command_cluster_status(args: argparse.Namespace) -> int:
     from repro.cluster import ClusterError, parse_cluster_options
     from repro.net.client import RemoteError, RemoteServerProxy
 
-    try:
-        shard_urls, options = parse_cluster_options(args.url)
-    except ClusterError as exc:
-        print(str(exc), file=sys.stderr)
+    if (args.url is None) == (args.manifest is None):
+        print("pass exactly one of a cluster:// URL or --manifest", file=sys.stderr)
         return 2
-    replicas = options.get("replicas", 1)
+    if args.manifest is not None:
+        from repro.cluster import ManifestError
+        from repro.cluster.manifest import ClusterManifest
+
+        try:
+            manifest = ClusterManifest.load(args.manifest)
+        except ManifestError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        shard_urls = manifest.shard_urls
+        replicas = manifest.replicas
+        print(
+            f"fleet of {len(shard_urls)} shard(s) from manifest {args.manifest} "
+            f"(ids: {', '.join(manifest.shard_ids)})"
+        )
+    else:
+        try:
+            shard_urls, options = parse_cluster_options(args.url)
+        except ClusterError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        replicas = options.get("replicas", 1)
     if replicas < 1 or replicas > len(shard_urls):
         print(
             f"URL replicas={replicas} is impossible for {len(shard_urls)} "
@@ -452,6 +507,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reject frames larger than this many bytes")
     serve.add_argument("--stats-interval", type=float, default=0.0, metavar="SECONDS",
                        help="log a transport-stats line every SECONDS (0 disables)")
+    serve.add_argument("--dispatch-workers", type=int, default=4, metavar="N",
+                       help="requests touching different relations execute on up "
+                            "to N threads (same-relation requests stay FIFO)")
     serve.set_defaults(handler=command_serve)
 
     cluster = subparsers.add_parser("cluster", help="sharded multi-provider tools")
@@ -468,6 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist each shard under DIR/shard-<i> (default in-memory)")
     spawn.add_argument("--max-audit-events", type=int, default=10_000,
                        help="ring-buffer cap on each provider's audit log")
+    spawn.add_argument("--manifest", default=None, metavar="FILE",
+                       help="write the fleet topology (shard ids/addresses, "
+                            "replication, ring config) to FILE; sessions restore "
+                            "it with cluster+file://FILE")
     spawn.set_defaults(handler=command_cluster_spawn)
 
     route = cluster_sub.add_parser(
@@ -485,7 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = cluster_sub.add_parser(
         "status", help="probe every shard of a running fleet")
-    status.add_argument("url", help="cluster://host:port,...[?replicas=R] URL")
+    status.add_argument("url", nargs="?", default=None,
+                        help="cluster://host:port,...[?replicas=R] URL")
+    status.add_argument("--manifest", default=None, metavar="FILE",
+                        help="read the fleet topology from a manifest file "
+                             "instead of a URL")
     status.add_argument("--timeout", type=float, default=10.0,
                         help="per-shard connection timeout in seconds")
     status.set_defaults(handler=command_cluster_status)

@@ -13,9 +13,20 @@ horizontally scalable service:
     shards holding its replicas.
 
 **Execution** (:mod:`repro.cluster.executor`)
-    A scatter-gather thread pool with per-shard timeouts and a pluggable
+    Scatter-gather with per-shard timeouts and a pluggable
     partial-failure policy: ``fail_fast`` for correctness-critical paths,
-    ``degraded`` for reads that should survive a dead shard.
+    ``degraded`` for reads that should survive a dead shard.  Two
+    engines, one outcome model: a thread pool (one blocking call per
+    shard) and an event-loop scatter that drives every shard's round trip
+    concurrently from a single coordinator thread over pipelined
+    connections (``cluster://...?async=1``), cancelling stragglers
+    mid-flight on timeout.
+
+**Topology persistence** (:mod:`repro.cluster.manifest`)
+    Fleet manifests: shard ids/addresses, replication factor and ring
+    configuration as a JSON file (``repro cluster spawn --manifest``),
+    restored by ``connect("cluster+file://fleet.json")`` without
+    re-supplying topology.
 
 **Routing** (:mod:`repro.cluster.router`)
     :class:`ShardRouter` -- the same duck-type as
@@ -52,6 +63,14 @@ from repro.cluster.executor import (
     ShardOutcome,
     ShardTimeoutError,
     resolve_outcomes,
+    scatter_async,
+)
+from repro.cluster.manifest import (
+    CLUSTER_FILE_URL_PREFIX,
+    ClusterManifest,
+    ManifestError,
+    ShardEntry,
+    parse_cluster_file_url,
 )
 from repro.cluster.rebalance import (
     RebalanceReport,
@@ -85,6 +104,12 @@ __all__ = [
     "ShardOutcome",
     "ShardTimeoutError",
     "resolve_outcomes",
+    "scatter_async",
+    "CLUSTER_FILE_URL_PREFIX",
+    "ClusterManifest",
+    "ManifestError",
+    "ShardEntry",
+    "parse_cluster_file_url",
     "RebalanceReport",
     "misplaced_tuples",
     "rebalance",

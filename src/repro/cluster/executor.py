@@ -30,10 +30,25 @@ concurrent gathers), a queued call can exhaust its budget before a worker
 ever picks it up and is then reported as timed out without having run;
 :class:`~repro.cluster.router.ShardRouter` sizes its pool at 4x the shard
 count to keep that out of the single-gather path.
+
+The **event-loop scatter** (:func:`scatter_async` /
+:meth:`ScatterGatherExecutor.scatter_on_loop`) is the pipelined
+alternative: when every shard sits behind an asyncio proxy
+(:class:`~repro.net.aio.AsyncRemoteServerProxy`), one coordinator thread
+drives *all* shard round trips concurrently as coroutines -- no thread per
+shard, every shard's timeout ticking simultaneously, so the worst-case
+wall clock of one gather is ``timeout``, not ``len(calls) * timeout``.  A
+shard that exceeds its budget has its in-flight request *cancelled*
+(:func:`asyncio.wait_for`), which orphans the correlation id on the
+pipelined connection: the connection survives, the provider's late answer
+is dropped.  Outcome semantics (per-shard :class:`ShardOutcome`, policy
+resolution) are identical to the thread-pool path, so the router's
+failover and dedup logic is transport-agnostic.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -174,6 +189,26 @@ class ScatterGatherExecutor:
                 )
         return outcomes
 
+    def scatter_on_loop(
+        self,
+        loop_thread,
+        calls: Sequence[tuple[str, Callable[[], Any]]],
+        timeout: float | None = None,
+    ) -> list[ShardOutcome]:
+        """Scatter coroutine factories on an event loop; never raises itself.
+
+        ``calls`` pairs each shard id with a *coroutine factory* (called on
+        the loop); ``loop_thread`` is an
+        :class:`~repro.net.aio.EventLoopThread` (anything with its ``run``
+        contract).  All shards' round trips are in flight simultaneously,
+        each under its own full ``timeout``; a shard that exceeds it has
+        its request cancelled mid-flight and is reported with
+        :class:`ShardTimeoutError`, exactly like the thread-pool path.
+        """
+        if timeout is None:
+            timeout = self._timeout
+        return loop_thread.run(scatter_async(calls, timeout))
+
     def gather(
         self,
         operation: str,
@@ -191,6 +226,49 @@ class ScatterGatherExecutor:
     def _timed(thunk: Callable[[], Any]) -> tuple[Any, float]:
         started = time.monotonic()
         return thunk(), time.monotonic() - started
+
+
+async def scatter_async(
+    calls: Sequence[tuple[str, Callable[[], Any]]],
+    timeout: float | None = None,
+) -> list[ShardOutcome]:
+    """Run every ``(shard_id, coroutine factory)`` concurrently on this loop.
+
+    The event-loop twin of :meth:`ScatterGatherExecutor.scatter`: one task
+    per shard, all awaited together, each granted the full ``timeout``
+    concurrently.  Timeouts *cancel* the shard's in-flight coroutine
+    (pipelined connections orphan the correlation id and live on); other
+    per-shard exceptions become failed outcomes.  Never raises itself.
+    """
+
+    async def run_one(shard_id: str, factory: Callable[[], Any]) -> ShardOutcome:
+        started = time.monotonic()
+        try:
+            value = await asyncio.wait_for(factory(), timeout)
+        except asyncio.TimeoutError:
+            return ShardOutcome(
+                shard_id=shard_id,
+                error=ShardTimeoutError(
+                    f"shard {shard_id!r} did not answer within "
+                    f"its {timeout}s budget"
+                ),
+                elapsed_s=time.monotonic() - started,
+            )
+        except Exception as exc:  # noqa: BLE001 - per-shard failures are data
+            return ShardOutcome(
+                shard_id=shard_id,
+                error=exc,
+                elapsed_s=time.monotonic() - started,
+            )
+        return ShardOutcome(
+            shard_id=shard_id, value=value, elapsed_s=time.monotonic() - started
+        )
+
+    return list(
+        await asyncio.gather(
+            *(run_one(shard_id, factory) for shard_id, factory in calls)
+        )
+    )
 
 
 def resolve_outcomes(

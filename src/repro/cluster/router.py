@@ -90,12 +90,14 @@ CLUSTER_URL_PREFIX = "cluster://"
 
 
 def parse_cluster_options(url: str) -> tuple[tuple[str, ...], dict]:
-    """Split ``cluster://h1:p1,h2:p2,...?replicas=R`` into URLs and options.
+    """Split ``cluster://h1:p1,...?replicas=R&async=1`` into URLs and options.
 
-    Returns the per-shard ``tcp://`` URLs plus the parsed query options --
-    currently only ``replicas``, the replication factor of the deployment.
+    Returns the per-shard ``tcp://`` URLs plus the parsed query options:
+    ``replicas`` (the replication factor of the deployment) and ``async``
+    (drive the fleet over pipelined asyncio connections from one
+    event-loop thread instead of a blocking pool per shard).
     """
-    from repro.net.client import RemoteError, parse_tcp_url
+    from repro.net.client import RemoteError, parse_bool_option, parse_tcp_url
 
     if not url.startswith(CLUSTER_URL_PREFIX):
         raise ClusterError(
@@ -109,16 +111,22 @@ def parse_cluster_options(url: str) -> tuple[tuple[str, ...], dict]:
             if not item:
                 continue
             key, _, value = item.partition("=")
-            if key != "replicas":
+            if key == "replicas":
+                try:
+                    options["replicas"] = int(value)
+                except ValueError as exc:
+                    raise ClusterError(
+                        f"cluster URL option replicas must be an integer, got {value!r}"
+                    ) from exc
+            elif key == "async":
+                try:
+                    options["async"] = parse_bool_option(key, value)
+                except RemoteError as exc:
+                    raise ClusterError(str(exc)) from exc
+            else:
                 raise ClusterError(
-                    f"unknown cluster URL option {key!r} (supported: replicas)"
+                    f"unknown cluster URL option {key!r} (supported: replicas, async)"
                 )
-            try:
-                options["replicas"] = int(value)
-            except ValueError as exc:
-                raise ClusterError(
-                    f"cluster URL option replicas must be an integer, got {value!r}"
-                ) from exc
     parts = [part.strip() for part in rest.split(",")]
     parts = [part for part in parts if part]
     if not parts:
@@ -191,6 +199,9 @@ class ClusterStats:
     #: Reads that lost shards but stayed complete via surviving replicas.
     failover_reads: int = 0
     routed_inserts: int = 0
+    #: Scatters driven as coroutines on the event-loop thread (the
+    #: pipelined async-transport path) rather than the thread pool.
+    loop_scatters: int = 0
     #: Shards missing from the most recent degraded read.
     last_missing_shard_ids: tuple[str, ...] = ()
     #: Shards whose failure the most recent failover read absorbed.
@@ -206,6 +217,10 @@ class ClusterStats:
     def record_routed_insert(self) -> None:
         with self._lock:
             self.routed_inserts += 1
+
+    def record_loop_scatter(self) -> None:
+        with self._lock:
+            self.loop_scatters += 1
 
     def record_degraded_read(self, missing_shard_ids: Sequence[str]) -> None:
         with self._lock:
@@ -224,6 +239,7 @@ class ClusterStats:
                 "degraded_reads": self.degraded_reads,
                 "failover_reads": self.failover_reads,
                 "routed_inserts": self.routed_inserts,
+                "loop_scatters": self.loop_scatters,
                 "last_missing_shard_ids": list(self.last_missing_shard_ids),
                 "last_failover_shard_ids": list(self.last_failover_shard_ids),
             }
@@ -254,6 +270,7 @@ class ShardRouter:
         shard_timeout: float | None = None,
         pool_size: int = 4,
         timeout: float | None = 30.0,
+        async_transport: bool = False,
     ) -> None:
         """Build a router over backends (server objects and/or tcp:// URLs).
 
@@ -285,6 +302,15 @@ class ShardRouter:
             Per-shard gather timeout in seconds (None waits forever).
         pool_size / timeout:
             Connection-pool settings for URL shards.
+        async_transport:
+            Open URL shards as pipelined asyncio proxies
+            (:class:`~repro.net.aio.AsyncRemoteServerProxy`) sharing one
+            event-loop thread, so every scatter drives all shard round
+            trips concurrently from that single thread instead of burning
+            a blocking thread per shard (``cluster://...?async=1``).
+            Envelope scatters then run on the event loop whenever every
+            addressed shard is pipelined; mixed fleets (object backends
+            alongside URLs) fall back to the thread pool per call.
         """
         if not shards:
             raise ClusterError("a cluster needs at least one shard")
@@ -308,6 +334,14 @@ class ShardRouter:
         self._replication = replicas
         self._pool_size = pool_size
         self._timeout = timeout
+        self._loop_thread = None
+        if async_transport:
+            from repro.net.aio import EventLoopThread
+
+            # One loop thread for the whole fleet: every pipelined shard
+            # connection lives on it, and the event-loop scatter path
+            # drives all shard round trips from it concurrently.
+            self._loop_thread = EventLoopThread("repro-cluster-aio").start()
         self._shards: dict[str, _Shard] = {}
         self._ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
         self._evaluators: dict[str, ServerEvaluator] = {}
@@ -349,11 +383,13 @@ class ShardRouter:
         shard_timeout: float | None = None,
         pool_size: int = 4,
         timeout: float | None = 30.0,
+        async_transport: bool | None = None,
     ) -> "ShardRouter":
-        """Open a router from a ``cluster://h1:p1,h2:p2[?replicas=R]`` URL.
+        """Open a router from a ``cluster://h1:p1[?replicas=R&async=1]`` URL.
 
-        The replication factor can come from the URL query or the keyword
-        (they must agree when both are given); it defaults to 1.
+        The replication factor and the transport can come from the URL
+        query or the keywords (they must agree when both are given);
+        replication defaults to 1, the transport to blocking pools.
         """
         urls, options = parse_cluster_options(url)
         url_replicas = options.get("replicas")
@@ -364,6 +400,14 @@ class ShardRouter:
                 f"conflicting replication factors: the URL says "
                 f"{url_replicas}, the caller says {replicas}"
             )
+        url_async = options.get("async")
+        if async_transport is None:
+            async_transport = bool(url_async) if url_async is not None else False
+        elif url_async is not None and url_async != async_transport:
+            raise ClusterError(
+                f"conflicting transports: the URL says async={url_async}, "
+                f"the caller says async_transport={async_transport}"
+            )
         return cls(
             urls,
             replicas=replicas,
@@ -372,17 +416,62 @@ class ShardRouter:
             shard_timeout=shard_timeout,
             pool_size=pool_size,
             timeout=timeout,
+            async_transport=async_transport,
+        )
+
+    @classmethod
+    def from_manifest(
+        cls,
+        manifest,
+        *,
+        policy: str = FAIL_FAST,
+        shard_timeout: float | None = None,
+        pool_size: int = 4,
+        timeout: float | None = 30.0,
+        async_transport: bool | None = None,
+    ) -> "ShardRouter":
+        """Open a router from a :class:`~repro.cluster.manifest.ClusterManifest`.
+
+        The manifest supplies the topology -- shard URLs *and their stable
+        ring ids*, replication factor, virtual-node count, default
+        transport -- so a coordinator restart reproduces the placement
+        ring exactly (no tuples look misplaced just because the shard
+        order changed hands).  Runtime knobs (policy, timeouts, pool
+        size) stay caller-side; ``async_transport`` overrides the
+        manifest's default when given.
+        """
+        return cls(
+            manifest.shard_urls,
+            shard_ids=manifest.shard_ids,
+            replicas=manifest.replicas,
+            virtual_nodes=manifest.virtual_nodes,
+            policy=policy,
+            shard_timeout=shard_timeout,
+            pool_size=pool_size,
+            timeout=timeout,
+            async_transport=(
+                manifest.async_transport
+                if async_transport is None
+                else async_transport
+            ),
         )
 
     def _open_backend(
         self, backend: Any, shard_id: str | None, index: int
     ) -> _Shard:
         if isinstance(backend, str):
-            from repro.net.client import RemoteServerProxy
+            if self._loop_thread is not None:
+                from repro.net.aio import AsyncRemoteServerProxy
 
-            proxy = RemoteServerProxy.connect(
-                backend, pool_size=self._pool_size, timeout=self._timeout
-            )
+                proxy: Any = AsyncRemoteServerProxy.connect(
+                    backend, loop=self._loop_thread, timeout=self._timeout
+                )
+            else:
+                from repro.net.client import RemoteServerProxy
+
+                proxy = RemoteServerProxy.connect(
+                    backend, pool_size=self._pool_size, timeout=self._timeout
+                )
             return _Shard(
                 shard_id=shard_id if shard_id is not None else backend,
                 server=proxy,
@@ -422,6 +511,11 @@ class ShardRouter:
     def replication(self) -> int:
         """Replication factor R: physical copies stored per tuple."""
         return self._replication
+
+    @property
+    def async_transport(self) -> bool:
+        """True when URL shards ride pipelined asyncio connections."""
+        return self._loop_thread is not None
 
     @property
     def stats(self) -> ClusterStats:
@@ -474,11 +568,13 @@ class ShardRouter:
         return status
 
     def close(self) -> None:
-        """Close owned backends and the scatter pool."""
+        """Close owned backends, the scatter pool, and the loop thread."""
         for shard in self._shards.values():
             if shard.owned:
                 shard.server.close()
         self._executor.close()
+        if self._loop_thread is not None:
+            self._loop_thread.stop()
 
     def __enter__(self) -> "ShardRouter":
         return self
@@ -561,21 +657,36 @@ class ShardRouter:
         query can return -- replication (R copies per tuple) and crash
         duplicates never inflate it.  :meth:`per_shard_tuple_counts` still
         reports the raw physical counts (cheap metadata reads) for
-        placement introspection.  Counting distinct ids requires the ids
-        themselves, so this fetches each shard's stored relation --
-        ``O(data * R)`` bytes over a ``tcp://`` fleet; an id-listing
-        protocol op would shrink that to ``O(ids)`` (see ROADMAP).
+        placement introspection.  Each shard answers with its *id list*
+        (the v2 ``LIST_TUPLE_IDS`` op) rather than its stored ciphertexts,
+        so the wire cost is ``O(ids)`` instead of ``O(data * R)``.
         """
+        return len(self._distinct_tuple_ids(name))
+
+    def list_tuple_ids(self, name: str) -> tuple[bytes, ...]:
+        """Distinct public tuple ids across the fleet (sorted, each once)."""
+        return tuple(sorted(self._distinct_tuple_ids(name)))
+
+    def _distinct_tuple_ids(self, name: str) -> set[bytes]:
         gathered = self._gather(
-            f"tuple-count({name!r})",
-            self._all_shards(lambda server: server.stored_relation(name)),
+            f"list-tuple-ids({name!r})",
+            self._all_shards(lambda server: self._shard_tuple_ids(server, name)),
             policy=FAIL_FAST,
             read=True,
         )
         ids: set[bytes] = set()
-        for piece in gathered.values:
-            ids.update(t.tuple_id for t in piece.encrypted_tuples)
-        return len(ids)
+        for shard_ids in gathered.values:
+            ids.update(shard_ids)
+        return ids
+
+    @staticmethod
+    def _shard_tuple_ids(server: Any, name: str) -> tuple[bytes, ...]:
+        lister = getattr(server, "list_tuple_ids", None)
+        if lister is not None:
+            return tuple(lister(name))
+        # Duck-typed backend without the id-listing op: fall back to the
+        # stored relation (correct, just O(data) like the pre-op world).
+        return tuple(t.tuple_id for t in server.stored_relation(name).encrypted_tuples)
 
     def drop_relation(self, name: str) -> None:
         """Drop the relation on every shard (fail-fast: no half-dropped state)."""
@@ -623,12 +734,11 @@ class ShardRouter:
                     raise ClusterError(f"shard {shard_id!r} failed: {exc}") from exc
             # Replicated insert: every replica must apply it (fail-fast) or
             # the write as a whole fails -- a partial write is corruption.
-            calls = [
-                self._envelope_call(shard_id, raw, MessageKind.ACK)
-                for shard_id in targets
-            ]
-            gathered = self._gather(
-                f"insert-tuple({request.relation_name!r})", calls, policy=FAIL_FAST
+            gathered = self._gather_envelopes(
+                f"insert-tuple({request.relation_name!r})",
+                {shard_id: raw for shard_id in targets},
+                expect=MessageKind.ACK,
+                policy=FAIL_FAST,
             )
             return gathered.values[0].to_bytes()
         if kind is MessageKind.STORE_RELATION:
@@ -658,6 +768,20 @@ class ShardRouter:
                 MessageKind.BATCH_RESULT,
                 protocol.encode_result_batch(merged_batch),
             ).to_bytes()
+        if kind is MessageKind.LIST_TUPLE_IDS:
+            gathered = self._gather_envelopes(
+                f"list-tuple-ids({request.relation_name!r})",
+                {shard_id: raw for shard_id in self._shards},
+                expect=MessageKind.TUPLE_IDS,
+                policy=FAIL_FAST,
+                read=True,
+            )
+            ids: set[bytes] = set()
+            for response in gathered.values:
+                ids.update(protocol.decode_tuple_ids(response.body))
+            return self._respond(
+                request, MessageKind.TUPLE_IDS, protocol.encode_tuple_ids(sorted(ids))
+            ).to_bytes()
         raise ClusterError(f"cannot route message kind {kind.value!r}")
 
     def _scatter_store(
@@ -665,19 +789,21 @@ class ShardRouter:
     ) -> None:
         self._schemas[request.relation_name] = encrypted_relation.schema
         groups = self._partition_tuples(encrypted_relation)
-        calls = []
+        envelopes = {}
         for shard_id, tuples in groups.items():
             shard_relation = EncryptedRelation(
                 schema=encrypted_relation.schema, encrypted_tuples=tuple(tuples)
             )
-            envelope = self._respond(
+            envelopes[shard_id] = self._respond(
                 request,
                 MessageKind.STORE_RELATION,
                 protocol.encode_encrypted_relation(shard_relation),
             ).to_bytes()
-            calls.append(self._envelope_call(shard_id, envelope, MessageKind.ACK))
-        self._gather(
-            f"store-relation({request.relation_name!r})", calls, policy=FAIL_FAST
+        self._gather_envelopes(
+            f"store-relation({request.relation_name!r})",
+            envelopes,
+            expect=MessageKind.ACK,
+            policy=FAIL_FAST,
         )
 
     def _scatter_delete(
@@ -692,12 +818,11 @@ class ShardRouter:
         envelope = self._respond(
             request, MessageKind.DELETE_TUPLES, protocol.encode_tuple_ids(tuple_ids)
         ).to_bytes()
-        calls = [
-            self._envelope_call(shard_id, envelope, MessageKind.ACK)
-            for shard_id in self._shards
-        ]
-        gathered = self._gather(
-            f"delete-tuples({request.relation_name!r})", calls, policy=FAIL_FAST
+        gathered = self._gather_envelopes(
+            f"delete-tuples({request.relation_name!r})",
+            {shard_id: envelope for shard_id in self._shards},
+            expect=MessageKind.ACK,
+            policy=FAIL_FAST,
         )
         return self._logical_deletions(
             [protocol.decode_count(response.body) for response in gathered.values],
@@ -725,12 +850,12 @@ class ShardRouter:
     def _scatter_query(
         self, request: Message | MessageV2, raw: bytes
     ) -> EvaluationResult:
-        calls = [
-            self._envelope_call(shard_id, raw, MessageKind.QUERY_RESULT)
-            for shard_id in self._shards
-        ]
-        gathered = self._gather(
-            f"query({request.relation_name!r})", calls, policy=self._policy, read=True
+        gathered = self._gather_envelopes(
+            f"query({request.relation_name!r})",
+            {shard_id: raw for shard_id in self._shards},
+            expect=MessageKind.QUERY_RESULT,
+            policy=self._policy,
+            read=True,
         )
         results = [self._decode_result(request, response) for response in gathered.values]
         return merge_evaluation_results(results)
@@ -738,13 +863,10 @@ class ShardRouter:
     def _scatter_batch(
         self, request: Message | MessageV2, raw: bytes
     ) -> list[EvaluationResult]:
-        calls = [
-            self._envelope_call(shard_id, raw, MessageKind.BATCH_RESULT)
-            for shard_id in self._shards
-        ]
-        gathered = self._gather(
+        gathered = self._gather_envelopes(
             f"batch-query({request.relation_name!r})",
-            calls,
+            {shard_id: raw for shard_id in self._shards},
+            expect=MessageKind.BATCH_RESULT,
             policy=self._policy,
             read=True,
         )
@@ -774,23 +896,78 @@ class ShardRouter:
             raise ClusterError("trailing bytes after evaluation result")
         return result
 
+    def _gather_envelopes(
+        self,
+        operation: str,
+        envelopes: dict[str, bytes],
+        *,
+        expect: MessageKind,
+        policy: str,
+        read: bool = False,
+    ) -> GatherResult:
+        """Scatter per-shard envelopes, on the event loop when possible.
+
+        When every addressed shard sits behind a pipelined asyncio proxy
+        (the ``async_transport`` fleet), the scatter runs as coroutines on
+        the router's loop thread -- one coordinator thread, all shard
+        round trips in flight at once, timeouts cancelling mid-flight.
+        Otherwise (in-process backends, mixed fleets, sync proxies) the
+        thread-pool scatter serves as the fallback.  Outcome resolution --
+        failover, policy, stats -- is identical either way.
+        """
+        calls = [
+            self._envelope_call(shard_id, envelope, expect)
+            for shard_id, envelope in envelopes.items()
+        ]
+        async_calls = None
+        if self._loop_thread is not None and all(
+            hasattr(self.shard(shard_id), "handle_message_async")
+            for shard_id in envelopes
+        ):
+            async_calls = [
+                self._envelope_call_async(shard_id, envelope, expect)
+                for shard_id, envelope in envelopes.items()
+            ]
+        return self._gather(
+            operation, calls, policy=policy, read=read, async_calls=async_calls
+        )
+
+    def _check_envelope_response(
+        self, shard_id: str, raw_response: bytes, expect: MessageKind
+    ) -> Message | MessageV2:
+        response = protocol.parse_message(raw_response)
+        if response.kind is MessageKind.ERROR:
+            raise ClusterError(response.body.decode("utf-8", "replace"))
+        if response.kind is not expect:
+            raise ClusterError(
+                f"shard {shard_id!r} answered {response.kind.value!r}, "
+                f"expected {expect.value!r}"
+            )
+        return response
+
     def _envelope_call(
         self, shard_id: str, envelope: bytes, expect: MessageKind
     ) -> tuple[str, Callable[[], Message | MessageV2]]:
         server = self.shard(shard_id)
 
         def call() -> Message | MessageV2:
-            response = protocol.parse_message(server.handle_message(envelope))
-            if response.kind is MessageKind.ERROR:
-                raise ClusterError(response.body.decode("utf-8", "replace"))
-            if response.kind is not expect:
-                raise ClusterError(
-                    f"shard {shard_id!r} answered {response.kind.value!r}, "
-                    f"expected {expect.value!r}"
-                )
-            return response
+            return self._check_envelope_response(
+                shard_id, server.handle_message(envelope), expect
+            )
 
         return shard_id, call
+
+    def _envelope_call_async(
+        self, shard_id: str, envelope: bytes, expect: MessageKind
+    ) -> tuple[str, Callable[[], Any]]:
+        server = self.shard(shard_id)
+
+        async def round_trip() -> Message | MessageV2:
+            return self._check_envelope_response(
+                shard_id, await server.handle_message_async(envelope), expect
+            )
+
+        return shard_id, round_trip
 
     # ------------------------------------------------------------------ #
     # Object-level convenience API (what OutsourcingClient uses)
@@ -1065,8 +1242,13 @@ class ShardRouter:
         *,
         policy: str,
         read: bool = False,
+        async_calls: Sequence[tuple[str, Callable[[], Any]]] | None = None,
     ) -> GatherResult:
         """Scatter ``calls`` and resolve failures: failover first, then policy.
+
+        When ``async_calls`` (coroutine factories, same shard order) are
+        provided the scatter runs on the router's event-loop thread over
+        the pipelined connections; the thread pool remains the fallback.
 
         A full-fleet *read* that loses shards first tries replica failover:
         when every ring segment still has a live successor
@@ -1078,7 +1260,11 @@ class ShardRouter:
         """
         if read:
             self._stats.record_scatter_read()
-        outcomes = self._executor.scatter(calls)
+        if async_calls is not None and self._loop_thread is not None:
+            self._stats.record_loop_scatter()
+            outcomes = self._executor.scatter_on_loop(self._loop_thread, async_calls)
+        else:
+            outcomes = self._executor.scatter(calls)
         failures = [o for o in outcomes if not o.ok]
         if (
             failures

@@ -10,27 +10,38 @@ machine boundary.  ``repro.net`` is that missing transport, in three layers:
     and eager rejection of truncated, oversized or garbage input.  A
     one-byte channel tag multiplexes *envelope* frames (opaque protocol
     v1/v2 messages, exactly the bytes ``handle_message`` consumes) and
-    *control* frames (JSON session management) on one connection.  The
-    decoder is sans-IO, shared by both endpoints.
+    *control* frames (JSON session management) on one connection, and a
+    4-byte **correlation id** pairs every response to its request so a
+    connection is a pipeline: many requests in flight, answered in
+    whatever order dispatch completes.  The decoder is sans-IO, shared by
+    every endpoint.
 
 **Provider side** (:mod:`repro.net.server`)
     :class:`~repro.net.server.DatabaseTcpServer`: an asyncio server hosting
     one :class:`~repro.outsourcing.server.OutsourcedDatabaseServer` for many
     concurrent connections.  Each connection starts with a hello exchange
-    that negotiates the protocol version; envelope dispatch runs on a
-    dedicated worker thread so a heavy query never blocks other
-    connections' I/O; shutdown drains in-flight requests.  Per-connection and aggregate stats are kept,
-    and ``repro serve`` (see :mod:`repro.cli`) runs the whole thing as a
-    standalone process over any registered storage backend.
+    that negotiates the protocol version; envelope dispatch is parallel
+    across relations and FIFO within one
+    (:class:`~repro.net.server.KeyedSerialDispatcher`), so a heavy scan of
+    one relation blocks neither other connections' I/O nor other
+    relations' requests; shutdown drains in-flight requests.
+    Per-connection and aggregate stats (including the dispatch parallelism
+    achieved) are kept, and ``repro serve`` (see :mod:`repro.cli`) runs the
+    whole thing as a standalone process over any registered storage
+    backend.
 
-**Client side** (:mod:`repro.net.client`)
-    :class:`~repro.net.client.RemoteServerProxy`: a blocking proxy with a
-    bounded connection pool that satisfies the same duck-type
+**Client side** (:mod:`repro.net.client` / :mod:`repro.net.aio`)
+    One sans-IO protocol core (:mod:`repro.net.wire`) under two frontends
+    satisfying the same duck-type
     :class:`~repro.api.EncryptedDatabase` and
-    :class:`~repro.outsourcing.client.OutsourcingClient` already use, so
-    ``EncryptedDatabase.connect("tcp://host:port")`` transparently targets
-    a remote provider.  Dead connections (provider restarts) are retried
-    once on a fresh socket.
+    :class:`~repro.outsourcing.client.OutsourcingClient` already use:
+    :class:`~repro.net.client.RemoteServerProxy`, a blocking proxy with a
+    bounded connection pool (``connect("tcp://host:port")``), and
+    :class:`~repro.net.aio.AsyncRemoteServerProxy`, which multiplexes any
+    number of in-flight requests over **one** pipelined asyncio connection
+    (``connect("tcp://host:port?async=1")``).  Both retry a dead
+    connection once with at-most-once semantics for non-idempotent
+    operations.
 
 Evaluator deployment is the one operation that cannot ship objects across
 the wire; :mod:`repro.net.evaluators` serializes evaluators as allowlisted
@@ -44,12 +55,19 @@ traffic metadata (frame sizes and timing), which the paper's model already
 concedes to her.
 """
 
+from repro.net.aio import (
+    AsyncRemoteConnection,
+    AsyncRemoteServerProxy,
+    EventLoopThread,
+)
 from repro.net.client import (
     ConnectionLostError,
     ConnectionPool,
     RemoteConnection,
     RemoteError,
+    RemoteProxyBase,
     RemoteServerProxy,
+    parse_tcp_options,
     parse_tcp_url,
 )
 from repro.net.evaluators import (
@@ -62,6 +80,7 @@ from repro.net.framing import (
     CHANNEL_CONTROL,
     CHANNEL_ENVELOPE,
     DEFAULT_MAX_FRAME_SIZE,
+    FRAME_HEADER_SIZE,
     Frame,
     FrameDecoder,
     FramingError,
@@ -74,16 +93,23 @@ from repro.net.framing import (
 from repro.net.server import (
     ConnectionStats,
     DatabaseTcpServer,
+    KeyedSerialDispatcher,
     TcpServerStats,
     ThreadedTcpServer,
 )
+from repro.net.wire import ClientChannel, ServerHello
 
 __all__ = [
+    "AsyncRemoteConnection",
+    "AsyncRemoteServerProxy",
+    "EventLoopThread",
     "ConnectionLostError",
     "ConnectionPool",
     "RemoteConnection",
     "RemoteError",
+    "RemoteProxyBase",
     "RemoteServerProxy",
+    "parse_tcp_options",
     "parse_tcp_url",
     "EvaluatorDescriptionError",
     "build_evaluator",
@@ -92,6 +118,7 @@ __all__ = [
     "CHANNEL_CONTROL",
     "CHANNEL_ENVELOPE",
     "DEFAULT_MAX_FRAME_SIZE",
+    "FRAME_HEADER_SIZE",
     "Frame",
     "FrameDecoder",
     "FramingError",
@@ -102,6 +129,9 @@ __all__ = [
     "send_frame",
     "ConnectionStats",
     "DatabaseTcpServer",
+    "KeyedSerialDispatcher",
     "TcpServerStats",
     "ThreadedTcpServer",
+    "ClientChannel",
+    "ServerHello",
 ]

@@ -1,15 +1,21 @@
-"""Client side of the TCP transport: connections, pool, and the proxy.
+"""Client side of the TCP transport: connections, pool, and the proxies.
 
 :class:`RemoteServerProxy` is the piece that makes the network transparent:
 it exposes the same duck-type as
 :class:`~repro.outsourcing.server.OutsourcedDatabaseServer` -- the
-byte-level :meth:`~RemoteServerProxy.handle_message` plus the management
-calls (:meth:`~RemoteServerProxy.register_evaluator`,
-:attr:`~RemoteServerProxy.relation_names`,
-:meth:`~RemoteServerProxy.stored_relation`, ...) -- so
+byte-level :meth:`~RemoteProxyBase.handle_message` plus the management
+calls (:meth:`~RemoteProxyBase.register_evaluator`,
+:attr:`~RemoteProxyBase.relation_names`,
+:meth:`~RemoteProxyBase.stored_relation`, ...) -- so
 :class:`~repro.api.EncryptedDatabase` and
 :class:`~repro.outsourcing.client.OutsourcingClient` drive a remote
 provider with the code paths they already use in-process.
+
+That whole surface lives in :class:`RemoteProxyBase`, expressed in terms of
+two transport primitives (ship an envelope, run a control operation), so
+the blocking proxy here and the pipelined
+:class:`~repro.net.aio.AsyncRemoteServerProxy` share every line of
+protocol logic and differ only in how bytes move.
 
 Connections are blocking sockets behind a bounded :class:`ConnectionPool`,
 so several threads can issue queries concurrently, each on its own
@@ -28,7 +34,6 @@ from __future__ import annotations
 
 import base64
 import contextlib
-import json
 import socket
 import threading
 from typing import Sequence
@@ -48,15 +53,15 @@ from repro.net.framing import (
     DEFAULT_MAX_FRAME_SIZE,
     Frame,
     FramingError,
-    recv_frame,
-    send_frame,
 )
+from repro.net import wire
 from repro.outsourcing import protocol
 from repro.outsourcing.protocol import (
     Message,
     MessageKind,
     MessageV2,
     PROTOCOL_V1,
+    PROTOCOL_V2,
     SUPPORTED_VERSIONS,
 )
 from repro.outsourcing.server import ServerError
@@ -80,8 +85,30 @@ class ConnectionLostError(RemoteError):
         self.request_delivered = request_delivered
 
 
-def parse_tcp_url(url: str) -> tuple[str, int]:
-    """Split ``tcp://host:port`` into its parts, strictly."""
+#: Truthy / falsy spellings accepted by boolean URL options.
+_TRUE_OPTION_VALUES = frozenset({"1", "true", "yes", "on"})
+_FALSE_OPTION_VALUES = frozenset({"0", "false", "no", "off"})
+
+
+def parse_bool_option(key: str, value: str) -> bool:
+    """Parse a boolean URL query value, strictly."""
+    lowered = value.strip().lower()
+    if lowered in _TRUE_OPTION_VALUES:
+        return True
+    if lowered in _FALSE_OPTION_VALUES:
+        return False
+    raise RemoteError(
+        f"URL option {key} must be a boolean (0/1/true/false), got {value!r}"
+    )
+
+
+def parse_tcp_options(url: str) -> tuple[str, int, dict]:
+    """Split ``tcp://host:port[?async=1]`` into its parts, strictly.
+
+    Returns ``(host, port, options)``; the only supported option is
+    ``async`` (picks the pipelined asyncio transport, see
+    :class:`~repro.net.aio.AsyncRemoteServerProxy`).
+    """
     parts = urlsplit(url)
     if parts.scheme != "tcp":
         raise RemoteError(f"unsupported provider URL scheme {parts.scheme!r} (want tcp://)")
@@ -91,13 +118,39 @@ def parse_tcp_url(url: str) -> tuple[str, int]:
         raise RemoteError(f"provider URL {url!r}: {exc}") from exc
     if not hostname or port is None:
         raise RemoteError(f"provider URL {url!r} needs both a host and a port")
-    if parts.path or parts.query or parts.fragment:
+    if parts.path or parts.fragment:
         raise RemoteError(f"provider URL {url!r} carries an unexpected path")
+    options: dict = {}
+    if parts.query:
+        for item in parts.query.split("&"):
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            if key != "async":
+                raise RemoteError(
+                    f"unknown provider URL option {key!r} (supported: async)"
+                )
+            options["async"] = parse_bool_option(key, value)
+    return hostname, port, options
+
+
+def parse_tcp_url(url: str) -> tuple[str, int]:
+    """Split a bare ``tcp://host:port`` into its parts (no options allowed)."""
+    hostname, port, options = parse_tcp_options(url)
+    if options:
+        raise RemoteError(f"provider URL {url!r} carries unexpected options")
     return hostname, port
 
 
 class RemoteConnection:
-    """One blocking framed connection, hello-negotiated at construction."""
+    """One blocking framed connection, hello-negotiated at construction.
+
+    The wire work -- correlation ids, response pairing, hello -- lives in
+    the sans-IO :class:`~repro.net.wire.ClientChannel`; this class only
+    moves bytes through a blocking socket, one request at a time
+    (concurrency comes from the pool, pipelining from the asyncio
+    frontend over the very same channel core).
+    """
 
     def __init__(
         self,
@@ -109,6 +162,7 @@ class RemoteConnection:
         client_versions: Sequence[int] = SUPPORTED_VERSIONS,
     ) -> None:
         self._max_frame_size = max_frame_size
+        self._channel = wire.ClientChannel(max_frame_size)
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
@@ -121,10 +175,11 @@ class RemoteConnection:
         except RemoteError:
             self.close()
             raise
-        self.server_versions: tuple[int, ...] = tuple(hello.get("versions", ()))
-        self.negotiated_version: int = int(hello["version"])
-        self.server_software: str = str(hello.get("server", "unknown"))
-        self.server_max_frame_size: int = int(hello.get("max_frame_size", max_frame_size))
+        parsed = wire.decode_hello(hello, max_frame_size)
+        self.server_versions: tuple[int, ...] = parsed.versions
+        self.negotiated_version: int = parsed.version
+        self.server_software: str = parsed.software
+        self.server_max_frame_size: int = parsed.max_frame_size
 
     def call_envelope(self, raw: bytes) -> bytes:
         """One protocol round trip: envelope bytes out, envelope bytes back."""
@@ -137,20 +192,17 @@ class RemoteConnection:
 
     def call_control(self, op: str, **fields) -> dict:
         """One control round trip; returns the response object on ``ok``."""
-        request = {"op": op, **fields}
         frame = self._round_trip(
-            json.dumps(request).encode("utf-8"), CHANNEL_CONTROL
+            wire.encode_control_request(op, **fields), CHANNEL_CONTROL
         )
         if frame.channel != CHANNEL_CONTROL:
             raise RemoteError(f"provider answered control op {op!r} on the wrong channel")
         try:
-            response = json.loads(frame.payload.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            raise RemoteError(f"malformed control response: {exc}") from exc
-        if not isinstance(response, dict):
-            raise RemoteError("malformed control response: not an object")
+            response = wire.decode_control_response(frame.payload)
+        except wire.WireProtocolError as exc:
+            raise RemoteError(str(exc)) from exc
         if not response.get("ok"):
-            raise RemoteError(str(response.get("error", "unspecified provider error")))
+            raise RemoteError(wire.control_error(response))
         return response
 
     def close(self) -> None:
@@ -160,28 +212,46 @@ class RemoteConnection:
 
     def _round_trip(self, payload: bytes, channel: int) -> Frame:
         delivered = False
+        correlation = None
         try:
-            send_frame(
-                self._sock, payload, channel=channel, max_frame_size=self._max_frame_size
-            )
+            correlation, wire_bytes = self._channel.send(payload, channel)
+            self._sock.sendall(wire_bytes)
             delivered = True
-            frame = recv_frame(self._sock, max_frame_size=self._max_frame_size)
+            while True:
+                chunk = self._sock.recv(65536)
+                if not chunk:
+                    raise ConnectionLostError(
+                        self._connection_lost_message(), request_delivered=True
+                    )
+                matched = self._channel.receive(chunk)
+                if matched:
+                    # One request in flight at a time: the first (and only)
+                    # matched response is ours.
+                    return matched[0][1]
+                if self._channel.fault is not None:
+                    # The server broadcast why it is hanging up (e.g. our
+                    # frame exceeded its size limit); surface that instead
+                    # of the bare EOF that follows.
+                    raise ConnectionLostError(
+                        self._connection_lost_message(), request_delivered=True
+                    )
         except (OSError, FramingError) as exc:
+            if correlation is not None:
+                self._channel.cancel(correlation)
             raise ConnectionLostError(
                 f"provider connection failed: {exc}", request_delivered=delivered
             ) from exc
-        if frame is None:
-            raise ConnectionLostError(
-                "provider closed the connection", request_delivered=True
-            )
-        return frame
+
+    def _connection_lost_message(self) -> str:
+        if self._channel.fault is not None:
+            return f"provider closed the connection: {self._channel.fault}"
+        return "provider closed the connection"
 
     @staticmethod
     def _control_error(payload: bytes) -> str:
         try:
-            response = json.loads(payload.decode("utf-8"))
-            return str(response.get("error", "unspecified provider error"))
-        except (ValueError, UnicodeDecodeError):
+            return wire.control_error(wire.decode_control_response(payload))
+        except wire.WireProtocolError:
             return "unreadable provider error"
 
 
@@ -258,134 +328,86 @@ class ConnectionPool:
             connection.close()
 
 
-class RemoteServerProxy:
-    """A remote provider behind the :class:`OutsourcedDatabaseServer` duck-type."""
+class RemoteProxyBase:
+    """The :class:`OutsourcedDatabaseServer` duck-type over two primitives.
 
-    def __init__(
-        self,
-        host: str,
-        port: int,
-        *,
-        pool_size: int = 4,
-        timeout: float | None = 30.0,
-        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
-        client_versions: Sequence[int] = SUPPORTED_VERSIONS,
-    ) -> None:
-        self._host = host
-        self._port = port
-        self._timeout = timeout
-        self._max_frame_size = max_frame_size
-        self._client_versions = tuple(client_versions)
-        self._pool = ConnectionPool(self._new_connection, max_size=pool_size)
-        # Handshake eagerly: fail fast on a bad address, and learn the
-        # server's protocol versions for the session's negotiation.
-        with self._pool.checkout() as connection:
-            self._server_versions = connection.server_versions
-            self._negotiated_version = connection.negotiated_version
-            self._server_software = connection.server_software
-
-    @classmethod
-    def connect(cls, url: str, **kwargs) -> "RemoteServerProxy":
-        """Open a proxy from a ``tcp://host:port`` URL."""
-        host, port = parse_tcp_url(url)
-        return cls(host, port, **kwargs)
-
-    # ------------------------------------------------------------------ #
-    # Connection management
-    # ------------------------------------------------------------------ #
-
-    @property
-    def address(self) -> tuple[str, int]:
-        """The provider's ``(host, port)``."""
-        return self._host, self._port
-
-    @property
-    def server_software(self) -> str:
-        """What the provider announced in its hello response."""
-        return self._server_software
-
-    def close(self) -> None:
-        """Close the proxy's connection pool."""
-        self._pool.close()
-
-    def __enter__(self) -> "RemoteServerProxy":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def _new_connection(self) -> RemoteConnection:
-        return RemoteConnection(
-            self._host,
-            self._port,
-            timeout=self._timeout,
-            max_frame_size=self._max_frame_size,
-            client_versions=self._client_versions,
-        )
-
-    def _call(self, operation, idempotent: bool = True):
-        """Run ``operation(connection)``, retrying once on a dead connection.
-
-        Only transport-level failures (:class:`ConnectionLostError`) are
-        retried, and a non-idempotent operation is only retried when the
-        request never left this machine (``request_delivered`` is False) --
-        otherwise a provider that processed the request before dying would
-        see it applied twice.  Protocol-level errors are never retried.
-        """
-        try:
-            with self._pool.checkout() as connection:
-                return operation(connection)
-        except ConnectionLostError as exc:
-            if exc.request_delivered and not idempotent:
-                raise
-            self._pool.discard_idle()
-            with self._pool.checkout() as connection:
-                return operation(connection)
-
-    # ------------------------------------------------------------------ #
-    # The OutsourcedDatabaseServer duck-type
-    # ------------------------------------------------------------------ #
-
-    @property
-    def supported_protocol_versions(self) -> tuple[int, ...]:
-        """The versions the remote provider advertised at hello time."""
-        return self._server_versions
+    Subclasses provide :meth:`_transport_envelope` (ship one protocol
+    envelope, honoring the retry/idempotence contract) and
+    :meth:`_control` (run one management operation); everything else --
+    envelope construction, response validation, the object-level
+    convenience API -- is written once here and shared by the blocking
+    and the pipelined asyncio proxies, so their sync surfaces cannot
+    drift apart.
+    """
 
     #: Envelope kinds whose replay would change provider state a second time.
     #: (STORE_RELATION replaces, DELETE_TUPLES ignores unknown ids, queries
     #: are read-only -- only INSERT_TUPLE appends blindly.)
     NON_IDEMPOTENT_KINDS = frozenset({MessageKind.INSERT_TUPLE})
 
+    # Subclasses set these during their handshake.
+    _server_versions: tuple[int, ...]
+    _negotiated_version: int
+    _server_software: str
+
+    # ------------------------------------------------------------------ #
+    # Transport primitives (implemented by the frontends)
+    # ------------------------------------------------------------------ #
+
+    def _transport_envelope(self, raw: bytes, idempotent: bool) -> bytes:
+        raise NotImplementedError
+
+    def _control(self, op: str, *, idempotent: bool = True, **fields) -> dict:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Connection facts
+    # ------------------------------------------------------------------ #
+
+    @property
+    def server_software(self) -> str:
+        """What the provider announced in its hello response."""
+        return self._server_software
+
+    @property
+    def supported_protocol_versions(self) -> tuple[int, ...]:
+        """The versions the remote provider advertised at hello time."""
+        return self._server_versions
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The OutsourcedDatabaseServer duck-type
+    # ------------------------------------------------------------------ #
+
     def handle_message(self, raw: bytes) -> bytes:
         """Ship one protocol envelope and return the provider's response."""
-        kind = protocol.parse_message(raw).kind
-        return self._call(
-            lambda connection: connection.call_envelope(raw),
-            idempotent=kind not in self.NON_IDEMPOTENT_KINDS,
+        _, kind, _ = protocol.peek_envelope(raw)  # O(header): no body copy
+        return self._transport_envelope(
+            raw, idempotent=kind not in self.NON_IDEMPOTENT_KINDS
         )
 
     def register_evaluator(self, name: str, evaluator: ServerEvaluator) -> None:
         """Deploy an evaluator remotely, by public-parameter description."""
         description = describe_evaluator(evaluator)
-        self._call(
-            lambda connection: connection.call_control(
-                "register-evaluator", relation=name, evaluator=description
-            )
-        )
+        self._control("register-evaluator", relation=name, evaluator=description)
 
     @property
     def relation_names(self) -> tuple[str, ...]:
         """Names of the relations the provider stores."""
-        response = self._call(
-            lambda connection: connection.call_control("relation-names")
-        )
+        response = self._control("relation-names")
         return tuple(response.get("names", ()))
 
     def stored_relation(self, name: str) -> EncryptedRelation:
         """Fetch the provider's ciphertext copy of a relation."""
-        response = self._call(
-            lambda connection: connection.call_control("stored-relation", relation=name)
-        )
+        response = self._control("stored-relation", relation=name)
         try:
             raw = base64.b64decode(response["relation_b64"])
         except (KeyError, ValueError) as exc:
@@ -394,10 +416,26 @@ class RemoteServerProxy:
 
     def tuple_count(self, name: str) -> int:
         """Number of tuple ciphertexts the provider stores for a relation."""
-        response = self._call(
-            lambda connection: connection.call_control("tuple-count", relation=name)
-        )
+        response = self._control("tuple-count", relation=name)
         return int(response.get("count", 0))
+
+    def list_tuple_ids(self, name: str) -> tuple[bytes, ...]:
+        """The public tuple ids a relation stores, without its ciphertexts.
+
+        ``O(ids)`` bytes over the wire via the v2 ``LIST_TUPLE_IDS`` op --
+        what replicated coordinators use to count distinct tuples without
+        fetching whole stored relations.  Against a v1-only provider the
+        ids are derived from the fetched relation instead (correct, just
+        as expensive as before the op existed).
+        """
+        if self._negotiated_version < PROTOCOL_V2:
+            return tuple(
+                t.tuple_id for t in self.stored_relation(name).encrypted_tuples
+            )
+        response = self._request(
+            MessageKind.LIST_TUPLE_IDS, name, b"", expect=MessageKind.TUPLE_IDS
+        )
+        return protocol.decode_tuple_ids(response.body)
 
     def drop_relation(self, name: str) -> None:
         """Drop a relation (and its evaluator) at the provider.
@@ -405,10 +443,7 @@ class RemoteServerProxy:
         Not auto-retried once delivered: replaying a drop that was applied
         would surface a spurious "no such relation" error.
         """
-        self._call(
-            lambda connection: connection.call_control("drop-relation", relation=name),
-            idempotent=False,
-        )
+        self._control("drop-relation", relation=name, idempotent=False)
 
     # ------------------------------------------------------------------ #
     # Object-level convenience API (what OutsourcingClient uses)
@@ -483,12 +518,12 @@ class RemoteServerProxy:
 
     def ping(self) -> bool:
         """One control round trip; True when the provider answers."""
-        self._call(lambda connection: connection.call_control("ping"))
+        self._control("ping")
         return True
 
     def server_stats(self) -> dict:
         """The provider's aggregate transport stats and audit summary."""
-        response = self._call(lambda connection: connection.call_control("stats"))
+        response = self._control("stats")
         return {key: value for key, value in response.items() if key != "ok"}
 
     # ------------------------------------------------------------------ #
@@ -510,3 +545,98 @@ class RemoteServerProxy:
                 f"expected {expect.value!r} response, got {response.kind.value!r}"
             )
         return response
+
+
+class RemoteServerProxy(RemoteProxyBase):
+    """A remote provider behind a pool of blocking connections."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 4,
+        timeout: float | None = 30.0,
+        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+        client_versions: Sequence[int] = SUPPORTED_VERSIONS,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._max_frame_size = max_frame_size
+        self._client_versions = tuple(client_versions)
+        self._pool = ConnectionPool(self._new_connection, max_size=pool_size)
+        # Handshake eagerly: fail fast on a bad address, and learn the
+        # server's protocol versions for the session's negotiation.
+        with self._pool.checkout() as connection:
+            self._server_versions = connection.server_versions
+            self._negotiated_version = connection.negotiated_version
+            self._server_software = connection.server_software
+
+    @classmethod
+    def connect(cls, url: str, **kwargs) -> "RemoteServerProxy":
+        """Open a proxy from a ``tcp://host:port`` URL."""
+        host, port, options = parse_tcp_options(url)
+        if options.get("async"):
+            raise RemoteError(
+                f"provider URL {url!r} requests the async transport; open it "
+                "with AsyncRemoteServerProxy.connect (or through "
+                "EncryptedDatabase.connect, which dispatches on the option)"
+            )
+        return cls(host, port, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The provider's ``(host, port)``."""
+        return self._host, self._port
+
+    def close(self) -> None:
+        """Close the proxy's connection pool."""
+        self._pool.close()
+
+    def _new_connection(self) -> RemoteConnection:
+        return RemoteConnection(
+            self._host,
+            self._port,
+            timeout=self._timeout,
+            max_frame_size=self._max_frame_size,
+            client_versions=self._client_versions,
+        )
+
+    def _call(self, operation, idempotent: bool = True):
+        """Run ``operation(connection)``, retrying once on a dead connection.
+
+        Only transport-level failures (:class:`ConnectionLostError`) are
+        retried, and a non-idempotent operation is only retried when the
+        request never left this machine (``request_delivered`` is False) --
+        otherwise a provider that processed the request before dying would
+        see it applied twice.  Protocol-level errors are never retried.
+        """
+        try:
+            with self._pool.checkout() as connection:
+                return operation(connection)
+        except ConnectionLostError as exc:
+            if exc.request_delivered and not idempotent:
+                raise
+            self._pool.discard_idle()
+            with self._pool.checkout() as connection:
+                return operation(connection)
+
+    # ------------------------------------------------------------------ #
+    # Transport primitives
+    # ------------------------------------------------------------------ #
+
+    def _transport_envelope(self, raw: bytes, idempotent: bool) -> bytes:
+        return self._call(
+            lambda connection: connection.call_envelope(raw), idempotent=idempotent
+        )
+
+    def _control(self, op: str, *, idempotent: bool = True, **fields) -> dict:
+        return self._call(
+            lambda connection: connection.call_control(op, **fields),
+            idempotent=idempotent,
+        )

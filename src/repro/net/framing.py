@@ -4,12 +4,13 @@ TCP delivers a byte stream, the outsourcing protocol exchanges discrete
 envelopes; this module is the (deliberately tiny) layer in between.  Each
 frame is::
 
-    +----------------+---------------+----------------------+
-    | length (4, BE) | channel (1 B) | payload (length-1 B) |
-    +----------------+---------------+----------------------+
+    +----------------+---------------+---------------------+----------------------+
+    | length (4, BE) | channel (1 B) | correlation (4, BE) | payload (length-5 B) |
+    +----------------+---------------+---------------------+----------------------+
 
-where ``length`` counts the channel byte plus the payload.  The channel byte
-multiplexes two kinds of traffic over one connection:
+where ``length`` counts the channel byte, the correlation id and the
+payload.  The channel byte multiplexes two kinds of traffic over one
+connection:
 
 * :data:`CHANNEL_ENVELOPE` -- the payload is a protocol envelope exactly as
   :func:`repro.outsourcing.protocol.parse_message` consumes it (v1 or v2);
@@ -19,15 +20,24 @@ multiplexes two kinds of traffic over one connection:
   (evaluator deployment, relation listing, drops) that the in-process API
   performs as direct method calls.
 
+The **correlation id** is what makes the connection pipelinable: a client
+may keep many requests in flight, the server answers each in whatever order
+dispatch completes, and every response frame echoes the correlation id of
+the request it answers.  The id is transport-local (allocated per
+connection, wrapping at 32 bits) and never reaches the protocol layer --
+envelopes stay byte-identical to the in-process path.
+
 Framing is strict by design: a frame announcing more than
 ``max_frame_size`` bytes kills the connection before any allocation happens
 (a four-byte header must never make the provider reserve gigabytes), a
-zero-length frame is malformed (it cannot even carry a channel byte), and a
-stream that ends mid-frame raises :class:`TruncatedFrameError` so callers
-can distinguish a clean EOF between frames from a peer dying mid-send.
+frame too short to carry its channel byte and correlation id is malformed,
+and a stream that ends mid-frame raises :class:`TruncatedFrameError` so
+callers can distinguish a clean EOF between frames from a peer dying
+mid-send.
 
 :class:`FrameDecoder` is sans-IO (fed bytes, yields frames) so the asyncio
-server and the blocking client share one tested implementation.
+server, the blocking client and the asyncio client share one tested
+implementation.
 """
 
 from __future__ import annotations
@@ -37,9 +47,17 @@ from dataclasses import dataclass
 #: Bytes of the big-endian length prefix.
 LENGTH_PREFIX_SIZE = 4
 
-#: Default ceiling on ``channel byte + payload``.  Generous enough for a
-#: whole encrypted relation in one STORE_RELATION frame, small enough that a
-#: hostile length prefix cannot make the peer allocate without bound.
+#: Bytes of the per-frame header inside the length-counted body:
+#: the channel byte plus the 4-byte correlation id.
+FRAME_HEADER_SIZE = 5
+
+#: The correlation id is an unsigned 32-bit counter (wrapping).
+MAX_CORRELATION_ID = 2**32 - 1
+
+#: Default ceiling on ``channel byte + correlation id + payload``.  Generous
+#: enough for a whole encrypted relation in one STORE_RELATION frame, small
+#: enough that a hostile length prefix cannot make the peer allocate without
+#: bound.
 DEFAULT_MAX_FRAME_SIZE = 64 * 1024 * 1024
 
 #: Channel tags (the byte after the length prefix).
@@ -62,26 +80,35 @@ class TruncatedFrameError(FramingError):
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded frame: its channel tag and opaque payload."""
+    """One decoded frame: its channel tag, opaque payload and correlation id."""
 
     channel: int
     payload: bytes
+    correlation: int = 0
 
 
 def encode_frame(
     payload: bytes,
     channel: int = CHANNEL_ENVELOPE,
+    correlation: int = 0,
     max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
 ) -> bytes:
     """Wrap a payload into one wire frame."""
     if channel not in KNOWN_CHANNELS:
         raise FramingError(f"unknown frame channel {channel:#x}")
-    body_size = 1 + len(payload)
+    if not 0 <= correlation <= MAX_CORRELATION_ID:
+        raise FramingError(f"correlation id {correlation} does not fit 32 bits")
+    body_size = FRAME_HEADER_SIZE + len(payload)
     if body_size > max_frame_size:
         raise OversizedFrameError(
             f"frame of {body_size} bytes exceeds the {max_frame_size}-byte limit"
         )
-    return body_size.to_bytes(LENGTH_PREFIX_SIZE, "big") + bytes([channel]) + payload
+    return (
+        body_size.to_bytes(LENGTH_PREFIX_SIZE, "big")
+        + bytes([channel])
+        + correlation.to_bytes(4, "big")
+        + payload
+    )
 
 
 class FrameDecoder:
@@ -127,32 +154,49 @@ class FrameDecoder:
                 f"frame of {body_size} bytes exceeds the "
                 f"{self._max_frame_size}-byte limit"
             )
-        if body_size == 0:
-            raise FramingError("zero-length frame (no channel byte)")
+        if body_size < FRAME_HEADER_SIZE:
+            raise FramingError(
+                f"frame body of {body_size} byte(s) cannot carry the "
+                f"{FRAME_HEADER_SIZE}-byte channel/correlation header"
+            )
         if len(self._buffer) < LENGTH_PREFIX_SIZE + body_size:
             return None
         channel = self._buffer[LENGTH_PREFIX_SIZE]
         if channel not in KNOWN_CHANNELS:
             raise FramingError(f"unknown frame channel {channel:#x}")
+        correlation = int.from_bytes(
+            self._buffer[LENGTH_PREFIX_SIZE + 1: LENGTH_PREFIX_SIZE + FRAME_HEADER_SIZE],
+            "big",
+        )
         payload = bytes(
-            self._buffer[LENGTH_PREFIX_SIZE + 1: LENGTH_PREFIX_SIZE + body_size]
+            self._buffer[
+                LENGTH_PREFIX_SIZE + FRAME_HEADER_SIZE: LENGTH_PREFIX_SIZE + body_size
+            ]
         )
         del self._buffer[: LENGTH_PREFIX_SIZE + body_size]
-        return Frame(channel=channel, payload=payload)
+        return Frame(channel=channel, payload=payload, correlation=correlation)
 
 
 # --------------------------------------------------------------------------- #
-# Blocking-socket helpers (the client side)
+# Blocking-socket helpers (tests and simple tooling)
 # --------------------------------------------------------------------------- #
 
 def send_frame(
     sock,
     payload: bytes,
     channel: int = CHANNEL_ENVELOPE,
+    correlation: int = 0,
     max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
 ) -> None:
     """Send one frame over a connected blocking socket."""
-    sock.sendall(encode_frame(payload, channel=channel, max_frame_size=max_frame_size))
+    sock.sendall(
+        encode_frame(
+            payload,
+            channel=channel,
+            correlation=correlation,
+            max_frame_size=max_frame_size,
+        )
+    )
 
 
 def recv_frame(sock, max_frame_size: int = DEFAULT_MAX_FRAME_SIZE) -> Frame | None:
@@ -169,13 +213,20 @@ def recv_frame(sock, max_frame_size: int = DEFAULT_MAX_FRAME_SIZE) -> Frame | No
         raise OversizedFrameError(
             f"frame of {body_size} bytes exceeds the {max_frame_size}-byte limit"
         )
-    if body_size == 0:
-        raise FramingError("zero-length frame (no channel byte)")
+    if body_size < FRAME_HEADER_SIZE:
+        raise FramingError(
+            f"frame body of {body_size} byte(s) cannot carry the "
+            f"{FRAME_HEADER_SIZE}-byte channel/correlation header"
+        )
     body = _recv_exactly(sock, body_size, eof_ok=False)
     channel = body[0]
     if channel not in KNOWN_CHANNELS:
         raise FramingError(f"unknown frame channel {channel:#x}")
-    return Frame(channel=channel, payload=bytes(body[1:]))
+    return Frame(
+        channel=channel,
+        payload=bytes(body[FRAME_HEADER_SIZE:]),
+        correlation=int.from_bytes(body[1:FRAME_HEADER_SIZE], "big"),
+    )
 
 
 def _recv_exactly(sock, size: int, eof_ok: bool) -> bytes | None:

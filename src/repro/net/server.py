@@ -11,13 +11,26 @@ that speaks the framing of :mod:`repro.net.framing`:
   server's frame-size limit;
 * **envelope** frames are forwarded verbatim to
   :meth:`~repro.outsourcing.server.OutsourcedDatabaseServer.handle_message`
-  on a dedicated dispatch thread (one request at a time, FIFO -- the
-  storage backends are not thread-safe -- but the event loop keeps every
-  other connection responsive while a query runs);
+  on the dispatch pool;
 * **control** frames carry the management operations the in-process API
   performs as direct method calls: evaluator deployment (by public-parameter
   description, see :mod:`repro.net.evaluators`), relation listing, drops,
   counts and stats.
+
+Dispatch is **parallel across relations, FIFO within one**: the
+:class:`KeyedSerialDispatcher` runs requests on a bounded thread pool but
+serializes all requests that touch the same relation in arrival order
+(the storage backends are not thread-safe per relation, and reordering
+same-relation mutations would corrupt causality), while requests for
+*different* relations -- or different shards colocated in one process --
+execute concurrently.  A slow scan of one relation therefore no longer
+blocks every other relation behind it.
+
+Connections are **pipelined**: a client may send many request frames
+without waiting, each carrying a correlation id; the server answers them
+as dispatch completes -- possibly out of order -- and every response frame
+echoes the correlation id of the request it answers, which is how the
+pipelined clients pair them up again.
 
 Byte-level violations -- garbage that does not frame, oversized length
 prefixes, envelope bytes that do not parse -- are answered with one control
@@ -27,20 +40,23 @@ request stay inside the protocol (``ERROR`` envelopes / ``ok: false``
 control responses) and the connection lives on.
 
 The server counts per-connection and aggregate traffic
-(:class:`ConnectionStats` / :class:`TcpServerStats`); ``repro serve`` prints
-the aggregate on shutdown and the ``stats`` control operation exposes it to
-remote clients.
+(:class:`ConnectionStats` / :class:`TcpServerStats`, including the dispatch
+parallelism actually achieved); ``repro serve`` prints the aggregate on
+shutdown and the ``stats`` control operation exposes it to remote clients.
 """
 
 from __future__ import annotations
 
 import asyncio
 import base64
+import concurrent.futures
 import contextlib
 import json
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable, Hashable
 
 from repro.net import framing
 from repro.net.evaluators import EvaluatorDescriptionError, build_evaluator
@@ -51,12 +67,120 @@ from repro.net.framing import (
     FrameDecoder,
     FramingError,
 )
+from repro.outsourcing import protocol
 from repro.outsourcing.protocol import ProtocolError, negotiate_version
 from repro.outsourcing.server import OutsourcedDatabaseServer, ServerError
 from repro.outsourcing.storage import StorageError
 
 #: Identifier the server announces in its hello response.
 SERVER_SOFTWARE = "repro-provider"
+
+#: Default size of the dispatch thread pool (how many relations can be
+#: served concurrently by one provider process).
+DEFAULT_DISPATCH_WORKERS = 4
+
+#: Default cap on concurrently in-flight requests per connection; a client
+#: pipelining harder than this sees TCP backpressure, not an error.
+DEFAULT_MAX_IN_FLIGHT = 128
+
+
+class KeyedSerialDispatcher:
+    """FIFO-per-key execution on one bounded thread pool.
+
+    ``submit(key, func, *args)`` returns a :class:`concurrent.futures.Future`.
+    Jobs sharing a key run strictly in submission order, one at a time; jobs
+    with different keys run concurrently up to ``max_workers``.  This is the
+    concurrency contract of the provider: the storage backends tolerate
+    concurrent access to *different* relations (separate dict slots /
+    files) but not to the same one, and same-relation mutations must apply
+    in the order the client pipelined them.
+
+    Implementation: a deque of pending jobs per key; the first job submitted
+    for an idle key also claims a pool worker that drains the key's queue to
+    exhaustion, so one key never occupies more than one worker.
+    """
+
+    def __init__(
+        self, max_workers: int, thread_name_prefix: str = "repro-net-dispatch"
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("the dispatcher needs at least one worker")
+        self._max_workers = max_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=thread_name_prefix
+        )
+        self._lock = threading.Lock()
+        self._queues: dict[Hashable, deque] = {}
+        self._executing = 0
+        self._peak_executing = 0
+        self._total = 0
+
+    @property
+    def workers(self) -> int:
+        """Size of the dispatch pool."""
+        return self._max_workers
+
+    @property
+    def peak_concurrency(self) -> int:
+        """Most jobs ever observed executing at the same instant."""
+        with self._lock:
+            return self._peak_executing
+
+    @property
+    def total_dispatched(self) -> int:
+        """Jobs completed (or failed) so far."""
+        with self._lock:
+            return self._total
+
+    def submit(
+        self, key: Hashable, func: Callable, *args
+    ) -> concurrent.futures.Future:
+        """Queue one job under ``key``; FIFO per key, parallel across keys."""
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            queue = self._queues.get(key)
+            if queue is None:
+                queue = deque()
+                self._queues[key] = queue
+                queue.append((func, args, future))
+                self._pool.submit(self._drain, key)
+            else:
+                queue.append((func, args, future))
+        return future
+
+    def _drain(self, key: Hashable) -> None:
+        while True:
+            with self._lock:
+                queue = self._queues[key]
+                if not queue:
+                    del self._queues[key]
+                    return
+                func, args, future = queue[0]
+            if future.set_running_or_notify_cancel():
+                with self._lock:
+                    self._executing += 1
+                    self._peak_executing = max(self._peak_executing, self._executing)
+                try:
+                    result = func(*args)
+                except BaseException as exc:  # noqa: BLE001 - delivered via the future
+                    outcome, value = "error", exc
+                else:
+                    outcome, value = "ok", result
+                # Counters first: by the time a caller observes the result,
+                # the stats already account for its dispatch.
+                with self._lock:
+                    self._executing -= 1
+                    self._total += 1
+                if outcome == "ok":
+                    future.set_result(value)
+                else:
+                    future.set_exception(value)
+            with self._lock:
+                queue.popleft()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool (queued jobs still drain when ``wait`` is True)."""
+        self._pool.shutdown(wait=wait)
 
 
 @dataclass
@@ -71,8 +195,16 @@ class ConnectionStats:
     envelope_frames: int = 0
     control_frames: int = 0
     negotiated_version: int | None = None
-    #: True while a frame is being served (shutdown only waits for these).
-    busy: bool = False
+    #: Requests admitted but not yet answered (shutdown only waits for
+    #: connections with in-flight work).
+    in_flight: int = 0
+    #: Most requests this connection ever had in flight at once.
+    peak_in_flight: int = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while at least one request is being served."""
+        return self.in_flight > 0
 
 
 @dataclass
@@ -88,6 +220,13 @@ class TcpServerStats:
     envelope_frames: int = 0
     control_frames: int = 0
     framing_errors: int = 0
+    #: Size of the dispatch pool (requests touching different relations
+    #: execute concurrently up to this many at a time).
+    dispatch_workers: int = 0
+    #: Most requests ever executing simultaneously on the dispatch pool.
+    peak_concurrent_dispatch: int = 0
+    #: Requests the dispatch pool has completed.
+    requests_dispatched: int = 0
 
     def as_dict(self) -> dict:
         """JSON-able snapshot (what the ``stats`` control operation returns)."""
@@ -99,7 +238,9 @@ class TcpServerStats:
             f"{self.connections_total} connection(s), "
             f"{self.frames_received} frame(s) in / {self.frames_sent} out, "
             f"{self.bytes_received} B in / {self.bytes_sent} B out, "
-            f"{self.framing_errors} framing error(s)"
+            f"{self.framing_errors} framing error(s), "
+            f"dispatch {self.dispatch_workers} worker(s) / "
+            f"peak {self.peak_concurrent_dispatch} concurrent"
         )
 
 
@@ -113,25 +254,26 @@ class DatabaseTcpServer:
         port: int = 0,
         *,
         max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+        dispatch_workers: int = DEFAULT_DISPATCH_WORKERS,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
     ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
         self._database = (
             database_server if database_server is not None else OutsourcedDatabaseServer()
         )
         self._requested_host = host
         self._requested_port = port
         self._max_frame_size = max_frame_size
-        # handle_message and the storage backends are synchronous and not
-        # thread-safe, so dispatch is a single worker thread: the event loop
-        # (and with it every other connection's I/O) stays responsive while
-        # a query runs, and requests execute one at a time in FIFO order.
-        # True dispatch parallelism needs per-relation locking first -- the
-        # natural follow-up once relations shard across backends.
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-net-dispatch"
-        )
+        self._max_in_flight = max_in_flight
+        # Parallel across relations, FIFO within one: handle_message and the
+        # storage backends are synchronous and per-relation not thread-safe,
+        # so requests are serialized by the relation they touch while
+        # different relations (or colocated shards) dispatch concurrently.
+        self._dispatcher = KeyedSerialDispatcher(dispatch_workers)
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._connections: dict[asyncio.Task, ConnectionStats] = {}
-        self._stats = TcpServerStats()
+        self._stats = TcpServerStats(dispatch_workers=dispatch_workers)
         self._stopping = False
 
     # ------------------------------------------------------------------ #
@@ -145,8 +287,15 @@ class DatabaseTcpServer:
 
     @property
     def stats(self) -> TcpServerStats:
-        """Aggregate traffic counters."""
+        """Aggregate traffic counters (dispatch numbers refreshed live)."""
+        self._stats.peak_concurrent_dispatch = self._dispatcher.peak_concurrency
+        self._stats.requests_dispatched = self._dispatcher.total_dispatched
         return self._stats
+
+    @property
+    def dispatch_workers(self) -> int:
+        """Size of the dispatch pool."""
+        return self._dispatcher.workers
 
     @property
     def address(self) -> tuple[str, int]:
@@ -173,8 +322,8 @@ class DatabaseTcpServer:
         """Stop accepting, drain in-flight requests, then cut stragglers.
 
         Idle connections (blocked waiting for the peer's next frame) are
-        closed immediately; only connections mid-request get the grace
-        period.
+        closed immediately; only connections with in-flight requests get
+        the grace period.
         """
         self._stopping = True
         if self._asyncio_server is not None:
@@ -191,7 +340,7 @@ class DatabaseTcpServer:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
-        self._executor.shutdown(wait=True)
+        self._dispatcher.shutdown(wait=True)
 
     async def serve_forever(self) -> None:
         """Start (when needed) and serve until cancelled."""
@@ -217,8 +366,11 @@ class DatabaseTcpServer:
         self._stats.connections_total += 1
         self._stats.connections_active += 1
         decoder = FrameDecoder(self._max_frame_size)
+        in_flight: set[asyncio.Task] = set()
+        admission = asyncio.Semaphore(self._max_in_flight)
         try:
-            while not self._stopping:
+            fatal = False
+            while not self._stopping and not fatal:
                 chunk = await reader.read(65536)
                 if not chunk:
                     break
@@ -230,45 +382,96 @@ class DatabaseTcpServer:
                         writer, connection, {"ok": False, "error": str(exc)}
                     )
                     break
-                fatal = False
-                connection.busy = True
-                try:
-                    for frame in frames:
-                        connection.frames_received += 1
-                        self._stats.frames_received += 1
-                        if not await self._serve_frame(writer, connection, frame):
-                            fatal = True
-                            break
-                finally:
-                    connection.busy = False
-                if fatal:
-                    break
+                for frame in frames:
+                    connection.frames_received += 1
+                    self._stats.frames_received += 1
+                    if not await self._admit_frame(
+                        writer, connection, in_flight, admission, frame
+                    ):
+                        fatal = True
+                        break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # peer vanished; nothing to answer
         except asyncio.CancelledError:
             pass  # server shutdown cut this connection deliberately
         finally:
-            self._stats.connections_active -= 1
-            writer.close()
-            with contextlib.suppress(Exception):
-                await writer.wait_closed()
-            if task is not None:
-                self._connections.pop(task, None)
+            try:
+                # Let admitted requests finish and answer before the socket
+                # closes; their dispatch jobs are already running or queued.
+                if in_flight:
+                    await asyncio.gather(*in_flight, return_exceptions=True)
+            except asyncio.CancelledError:
+                # Forced shutdown after the drain grace period: abandon the
+                # stragglers (their dispatch results are discarded).
+                for responder in tuple(in_flight):
+                    responder.cancel()
+            finally:
+                self._stats.connections_active -= 1
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+                if task is not None:
+                    self._connections.pop(task, None)
 
-    async def _serve_frame(
+    async def _admit_frame(
         self,
         writer: asyncio.StreamWriter,
         connection: ConnectionStats,
+        in_flight: set[asyncio.Task],
+        admission: asyncio.Semaphore,
         frame: framing.Frame,
     ) -> bool:
-        """Answer one frame; returns False when the connection must close."""
-        frame_size = len(frame.payload) + framing.LENGTH_PREFIX_SIZE + 1
+        """Route one frame into dispatch; returns False to close the connection.
+
+        Hello (and pre-hello violations) are answered inline; everything
+        else is queued on the keyed dispatcher *in arrival order* -- which
+        is what makes same-relation FIFO hold -- and answered by a
+        per-request responder task whenever its dispatch completes.
+        """
+        frame_size = (
+            len(frame.payload) + framing.LENGTH_PREFIX_SIZE + framing.FRAME_HEADER_SIZE
+        )
         connection.bytes_received += frame_size
         self._stats.bytes_received += frame_size
         if frame.channel == CHANNEL_CONTROL:
             connection.control_frames += 1
             self._stats.control_frames += 1
-            return await self._serve_control(writer, connection, frame.payload)
+            try:
+                request = json.loads(frame.payload.decode("utf-8"))
+                if not isinstance(request, dict) or "op" not in request:
+                    raise ValueError("control messages are objects with an 'op' field")
+            except (ValueError, UnicodeDecodeError) as exc:
+                await self._send_control(
+                    writer,
+                    connection,
+                    {"ok": False, "error": f"malformed control frame: {exc}"},
+                    correlation=frame.correlation,
+                )
+                return False
+            op = request["op"]
+            if op == "hello":
+                return await self._serve_hello(
+                    writer, connection, request, frame.correlation
+                )
+            if connection.negotiated_version is None:
+                await self._send_control(
+                    writer,
+                    connection,
+                    {"ok": False, "error": "the first frame must be a hello"},
+                    correlation=frame.correlation,
+                )
+                return False
+            relation = request.get("relation")
+            key = ("rel", str(relation)) if relation is not None else ("global",)
+            await admission.acquire()
+            future = self._dispatcher.submit(key, self._control_operation, request)
+            self._spawn_responder(
+                in_flight,
+                admission,
+                connection,
+                self._deliver_control(writer, connection, frame.correlation, op, future),
+            )
+            return True
         connection.envelope_frames += 1
         self._stats.envelope_frames += 1
         if connection.negotiated_version is None:
@@ -276,53 +479,102 @@ class DatabaseTcpServer:
                 writer,
                 connection,
                 {"ok": False, "error": "the first frame must be a hello"},
+                correlation=frame.correlation,
             )
             return False
         try:
-            response = await self._dispatch(
-                self._database.handle_message, frame.payload
-            )
+            # A structural peek -- O(header), the body is never copied here
+            # -- learns the dispatch key; handle_message parses in full on
+            # the worker.  Garbage that does not even frame is a protocol
+            # violation, not a servable error: answer and close.
+            _, _, relation_name = protocol.peek_envelope(frame.payload)
         except ProtocolError as exc:
-            # handle_message could not even frame the request (garbage
-            # envelope): protocol violation, not a servable error.
-            await self._send_control(writer, connection, {"ok": False, "error": str(exc)})
-            return False
-        await self._send(writer, connection, response, CHANNEL_ENVELOPE)
-        return True
-
-    async def _serve_control(
-        self, writer: asyncio.StreamWriter, connection: ConnectionStats, payload: bytes
-    ) -> bool:
-        try:
-            request = json.loads(payload.decode("utf-8"))
-            if not isinstance(request, dict) or "op" not in request:
-                raise ValueError("control messages are objects with an 'op' field")
-        except (ValueError, UnicodeDecodeError) as exc:
-            await self._send_control(
-                writer, connection, {"ok": False, "error": f"malformed control frame: {exc}"}
-            )
-            return False
-        op = request["op"]
-        if op == "hello":
-            return await self._serve_hello(writer, connection, request)
-        if connection.negotiated_version is None:
             await self._send_control(
                 writer,
                 connection,
-                {"ok": False, "error": "the first frame must be a hello"},
+                {"ok": False, "error": str(exc)},
+                correlation=frame.correlation,
             )
             return False
+        await admission.acquire()
+        future = self._dispatcher.submit(
+            ("rel", relation_name),
+            self._database.handle_message,
+            frame.payload,
+        )
+        self._spawn_responder(
+            in_flight,
+            admission,
+            connection,
+            self._deliver_envelope(writer, connection, frame.correlation, future),
+        )
+        return True
+
+    def _spawn_responder(
+        self,
+        in_flight: set[asyncio.Task],
+        admission: asyncio.Semaphore,
+        connection: ConnectionStats,
+        coroutine,
+    ) -> None:
+        connection.in_flight += 1
+        connection.peak_in_flight = max(connection.peak_in_flight, connection.in_flight)
+        task = asyncio.ensure_future(coroutine)
+        in_flight.add(task)
+
+        def _done(finished: asyncio.Task) -> None:
+            in_flight.discard(finished)
+            connection.in_flight -= 1
+            admission.release()
+
+        task.add_done_callback(_done)
+
+    async def _deliver_envelope(
+        self,
+        writer: asyncio.StreamWriter,
+        connection: ConnectionStats,
+        correlation: int,
+        future: concurrent.futures.Future,
+    ) -> None:
         try:
-            response = await self._dispatch(self._control_operation, request)
+            response = await asyncio.wrap_future(future)
+        except Exception as exc:  # noqa: BLE001 - a dispatch bug must not kill siblings
+            await self._send_control(
+                writer,
+                connection,
+                {"ok": False, "error": f"internal dispatch failure: {exc}"},
+                correlation=correlation,
+            )
+            return
+        with contextlib.suppress(ConnectionError):
+            await self._send(
+                writer, connection, response, CHANNEL_ENVELOPE, correlation
+            )
+
+    async def _deliver_control(
+        self,
+        writer: asyncio.StreamWriter,
+        connection: ConnectionStats,
+        correlation: int,
+        op: str,
+        future: concurrent.futures.Future,
+    ) -> None:
+        try:
+            response = await asyncio.wrap_future(future)
         except (ServerError, StorageError, EvaluatorDescriptionError, ProtocolError) as exc:
             response = {"ok": False, "error": str(exc)}
         except (KeyError, TypeError, ValueError) as exc:
             response = {"ok": False, "error": f"malformed {op!r} request: {exc}"}
-        await self._send_control(writer, connection, response)
-        return True
+        except Exception as exc:  # noqa: BLE001 - a dispatch bug must not kill siblings
+            response = {"ok": False, "error": f"internal dispatch failure: {exc}"}
+        await self._send_control(writer, connection, response, correlation=correlation)
 
     async def _serve_hello(
-        self, writer: asyncio.StreamWriter, connection: ConnectionStats, request: dict
+        self,
+        writer: asyncio.StreamWriter,
+        connection: ConnectionStats,
+        request: dict,
+        correlation: int,
     ) -> bool:
         try:
             client_versions = [int(v) for v in request["versions"]]
@@ -331,11 +583,19 @@ class DatabaseTcpServer:
             )
         except (KeyError, TypeError, ValueError) as exc:
             await self._send_control(
-                writer, connection, {"ok": False, "error": f"malformed hello: {exc}"}
+                writer,
+                connection,
+                {"ok": False, "error": f"malformed hello: {exc}"},
+                correlation=correlation,
             )
             return False
         except ProtocolError as exc:
-            await self._send_control(writer, connection, {"ok": False, "error": str(exc)})
+            await self._send_control(
+                writer,
+                connection,
+                {"ok": False, "error": str(exc)},
+                correlation=correlation,
+            )
             return False
         connection.negotiated_version = version
         await self._send_control(
@@ -348,11 +608,12 @@ class DatabaseTcpServer:
                 "server": SERVER_SOFTWARE,
                 "max_frame_size": self._max_frame_size,
             },
+            correlation=correlation,
         )
         return True
 
     # ------------------------------------------------------------------ #
-    # Control operations (executed on the dispatch pool, under the lock)
+    # Control operations (executed on the dispatch pool)
     # ------------------------------------------------------------------ #
 
     def _control_operation(self, request: dict) -> dict:
@@ -383,15 +644,11 @@ class DatabaseTcpServer:
         if op == "stats":
             return {
                 "ok": True,
-                "stats": self._stats.as_dict(),
+                "stats": self.stats.as_dict(),
                 "audit": self._database.audit_log.summary(),
                 "relations": list(self._database.relation_names),
             }
         raise ServerError(f"unknown control operation {op!r}")
-
-    async def _dispatch(self, func, argument):
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._executor, func, argument)
 
     # ------------------------------------------------------------------ #
     # Frame output
@@ -403,19 +660,30 @@ class DatabaseTcpServer:
         connection: ConnectionStats,
         payload: bytes,
         channel: int,
+        correlation: int = 0,
     ) -> None:
         frame = framing.encode_frame(
-            payload, channel=channel, max_frame_size=self._max_frame_size
+            payload,
+            channel=channel,
+            correlation=correlation,
+            max_frame_size=self._max_frame_size,
         )
         connection.frames_sent += 1
         connection.bytes_sent += len(frame)
         self._stats.frames_sent += 1
         self._stats.bytes_sent += len(frame)
+        # write() appends the whole frame to the transport buffer in one
+        # synchronous step, so concurrent responder tasks cannot interleave
+        # partial frames; drain() only applies backpressure.
         writer.write(frame)
         await writer.drain()
 
     async def _send_control(
-        self, writer: asyncio.StreamWriter, connection: ConnectionStats, message: dict
+        self,
+        writer: asyncio.StreamWriter,
+        connection: ConnectionStats,
+        message: dict,
+        correlation: int = 0,
     ) -> None:
         with contextlib.suppress(ConnectionError):
             await self._send(
@@ -423,6 +691,7 @@ class DatabaseTcpServer:
                 connection,
                 json.dumps(message).encode("utf-8"),
                 CHANNEL_CONTROL,
+                correlation,
             )
 
 

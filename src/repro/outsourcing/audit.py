@@ -25,6 +25,7 @@ class AuditEventKind(Enum):
     TUPLES_DELETED = "tuples-deleted"
     BATCH_EXECUTED = "batch-executed"
     RELATION_DROPPED = "relation-dropped"
+    TUPLE_IDS_LISTED = "tuple-ids-listed"
 
 
 @dataclass(frozen=True)

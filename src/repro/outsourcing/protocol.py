@@ -12,9 +12,11 @@ Two envelope versions coexist:
   (``STORE_RELATION`` / ``INSERT_TUPLE`` / ``QUERY``), kept byte-compatible
   for existing deployments.
 * **v2** (:class:`MessageV2`) -- a magic-prefixed, versioned envelope adding
-  the full-CRUD operations: tuple-id-addressed ``DELETE_TUPLES`` and
-  multi-query ``BATCH_QUERY``, plus ``ACK`` responses carrying counts and
-  query results that include the server's evaluation statistics.
+  the full-CRUD operations: tuple-id-addressed ``DELETE_TUPLES``,
+  multi-query ``BATCH_QUERY`` and the metadata read ``LIST_TUPLE_IDS``
+  (answered with ``TUPLE_IDS``, the public ids without their ciphertexts),
+  plus ``ACK`` responses carrying counts and query results that include the
+  server's evaluation statistics.
 
 :func:`peek_version` distinguishes the two on the wire (v1 envelopes start
 with a 4-byte length prefix whose leading bytes are zero; v2 envelopes start
@@ -176,12 +178,12 @@ def _schema_declaration(schema: RelationSchema) -> str:
 # --------------------------------------------------------------------------- #
 
 def encode_tuple_ids(tuple_ids: Sequence[bytes]) -> bytes:
-    """Serialize the id list of a ``DELETE_TUPLES`` request."""
+    """Serialize an id list (``DELETE_TUPLES`` request / ``TUPLE_IDS`` response)."""
     return _encode_sequence(list(tuple_ids))
 
 
 def decode_tuple_ids(raw: bytes) -> tuple[bytes, ...]:
-    """Parse a ``DELETE_TUPLES`` body."""
+    """Parse a ``DELETE_TUPLES`` or ``TUPLE_IDS`` body."""
     ids, offset = _decode_sequence(raw, 0)
     if offset != len(raw):
         raise ProtocolError("trailing bytes after tuple id list")
@@ -277,6 +279,8 @@ class MessageKind(Enum):
     DELETE_TUPLES = "delete-tuples"
     BATCH_QUERY = "batch-query"
     BATCH_RESULT = "batch-result"
+    LIST_TUPLE_IDS = "list-tuple-ids"
+    TUPLE_IDS = "tuple-ids"
 
 
 #: Kinds that may only travel inside a version >= 2 envelope.
@@ -285,6 +289,8 @@ V2_ONLY_KINDS = frozenset(
         MessageKind.DELETE_TUPLES,
         MessageKind.BATCH_QUERY,
         MessageKind.BATCH_RESULT,
+        MessageKind.LIST_TUPLE_IDS,
+        MessageKind.TUPLE_IDS,
     }
 )
 
@@ -398,6 +404,44 @@ def parse_message(raw: bytes) -> "Message | MessageV2":
     if version == PROTOCOL_V1:
         return Message.from_bytes(raw)
     return MessageV2.from_bytes(raw)
+
+
+def peek_envelope(raw: bytes) -> tuple[int, MessageKind, str]:
+    """Validate an envelope's structure without copying its body.
+
+    Returns ``(version, kind, relation_name)``.  Performs every structural
+    check the full parsers do -- magic/version, kind validity (including
+    the v2-only rule), name decoding, the body's length prefix accounting
+    for exactly the remaining bytes -- but never slices the body, so a
+    dispatcher can learn an envelope's routing key at ``O(header)`` cost
+    even for a frame carrying a whole relation.
+    """
+    version = peek_version(raw)
+    offset = 0 if version == PROTOCOL_V1 else len(V2_MAGIC) + 1
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    kind_bytes, offset = _decode_bytes(raw, offset)
+    name_bytes, offset = _decode_bytes(raw, offset)
+    if offset + 4 > len(raw):
+        raise ProtocolError("truncated length prefix")
+    body_length = int.from_bytes(raw[offset: offset + 4], "big")
+    if offset + 4 + body_length < len(raw):
+        raise ProtocolError("trailing bytes after message")
+    if offset + 4 + body_length > len(raw):
+        raise ProtocolError("truncated byte string")
+    try:
+        kind = MessageKind(kind_bytes.decode("utf-8"))
+    except ValueError as exc:  # covers UnicodeDecodeError too
+        raise ProtocolError(f"unknown message kind {kind_bytes!r}") from exc
+    if version == PROTOCOL_V1 and kind in V2_ONLY_KINDS:
+        raise ProtocolError(
+            f"message kind {kind.value!r} requires protocol version >= 2"
+        )
+    try:
+        relation_name = name_bytes.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"relation name {name_bytes!r} is not valid UTF-8") from exc
+    return version, kind, relation_name
 
 
 def negotiate_version(

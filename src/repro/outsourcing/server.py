@@ -248,6 +248,21 @@ class OutsourcedDatabaseServer:
         except StorageError as exc:
             raise ServerError(str(exc)) from exc
 
+    def list_tuple_ids(self, name: str) -> tuple[bytes, ...]:
+        """The public random ids of a relation's stored tuples, in order.
+
+        The ids are metadata every transport already reveals (they address
+        deletes on the wire), so listing them leaks nothing new; what it
+        buys is an ``O(ids)`` answer for coordinators that need distinct-id
+        counts without shipping whole ciphertext relations.
+        """
+        stored = self._load(name)
+        ids = tuple(t.tuple_id for t in stored.encrypted_tuples)
+        self._audit.record(
+            AuditEventKind.TUPLE_IDS_LISTED, name, id_count=len(ids)
+        )
+        return ids
+
     def storage_in_bytes(self, name: str | None = None) -> int:
         """Total ciphertext bytes stored (for one relation or overall)."""
         if name is not None:
@@ -310,6 +325,13 @@ class OutsourcedDatabaseServer:
             results = self.execute_batch(name, queries)
             return self._respond(
                 request, MessageKind.BATCH_RESULT, protocol.encode_result_batch(results)
+            )
+        if request.kind is MessageKind.LIST_TUPLE_IDS:
+            if request.body:
+                raise ProtocolError("a list-tuple-ids request carries no body")
+            ids = self.list_tuple_ids(name)
+            return self._respond(
+                request, MessageKind.TUPLE_IDS, protocol.encode_tuple_ids(ids)
             )
         raise ServerError(f"cannot serve message kind {request.kind.value!r}")
 

@@ -36,9 +36,10 @@ def tcp_provider():
         yield server
 
 
-@pytest.fixture(params=["in-process", "tcp", "cluster"])
+@pytest.fixture(params=["in-process", "tcp", "tcp-async", "cluster"])
 def transport(request):
-    """Direct provider, a socket, or a 2-shard cluster of in-process backends."""
+    """Direct provider, a socket (blocking or pipelined), or a 2-shard
+    cluster of in-process backends."""
     return request.param
 
 
@@ -66,10 +67,15 @@ def db(request, transport, secret_key, rng):
         finally:
             session.close()  # shuts the router's scatter pool down
         return
-    # The same suite over tcp:// -- the transport must be transparent.
+    # The same suite over tcp:// -- the transport must be transparent --
+    # both the blocking pooled proxy and the pipelined asyncio proxy.
     provider = request.getfixturevalue("tcp_provider")
+    suffix = "?async=1" if transport == "tcp-async" else ""
     session = EncryptedDatabase.connect(
-        f"tcp://127.0.0.1:{provider.port}", secret_key, scheme=request.param, rng=rng
+        f"tcp://127.0.0.1:{provider.port}{suffix}",
+        secret_key,
+        scheme=request.param,
+        rng=rng,
     )
     try:
         session.create_table(EMP_DECL, rows=ROWS)

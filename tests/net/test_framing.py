@@ -9,10 +9,12 @@ import pytest
 from repro.net.framing import (
     CHANNEL_CONTROL,
     CHANNEL_ENVELOPE,
+    FRAME_HEADER_SIZE,
     Frame,
     FrameDecoder,
     FramingError,
     LENGTH_PREFIX_SIZE,
+    MAX_CORRELATION_ID,
     OversizedFrameError,
     TruncatedFrameError,
     encode_frame,
@@ -23,8 +25,24 @@ from repro.net.framing import (
 
 class TestEncode:
     def test_layout(self):
-        raw = encode_frame(b"abc", channel=CHANNEL_ENVELOPE)
-        assert raw == (4).to_bytes(LENGTH_PREFIX_SIZE, "big") + b"\x00abc"
+        raw = encode_frame(b"abc", channel=CHANNEL_ENVELOPE, correlation=7)
+        assert raw == (
+            (FRAME_HEADER_SIZE + 3).to_bytes(LENGTH_PREFIX_SIZE, "big")
+            + b"\x00"
+            + (7).to_bytes(4, "big")
+            + b"abc"
+        )
+
+    def test_correlation_round_trips(self):
+        raw = encode_frame(b"x", correlation=MAX_CORRELATION_ID)
+        assert FrameDecoder().feed(raw) == [
+            Frame(CHANNEL_ENVELOPE, b"x", MAX_CORRELATION_ID)
+        ]
+
+    def test_correlation_must_fit_32_bits(self):
+        for bad in (-1, MAX_CORRELATION_ID + 1):
+            with pytest.raises(FramingError, match="32 bits"):
+                encode_frame(b"x", correlation=bad)
 
     def test_empty_payload_is_legal(self):
         raw = encode_frame(b"", channel=CHANNEL_CONTROL)
@@ -71,12 +89,13 @@ class TestDecoder:
         with pytest.raises(OversizedFrameError):
             FrameDecoder(max_frame_size=1024).feed(huge)
 
-    def test_zero_length_frame_rejected(self):
-        with pytest.raises(FramingError, match="zero-length"):
-            FrameDecoder().feed((0).to_bytes(LENGTH_PREFIX_SIZE, "big"))
+    def test_headerless_frame_rejected(self):
+        for short in range(FRAME_HEADER_SIZE):
+            with pytest.raises(FramingError, match="header"):
+                FrameDecoder().feed((short).to_bytes(LENGTH_PREFIX_SIZE, "big"))
 
     def test_unknown_channel_rejected(self):
-        raw = (2).to_bytes(LENGTH_PREFIX_SIZE, "big") + b"\x7fx"
+        raw = (FRAME_HEADER_SIZE + 1).to_bytes(LENGTH_PREFIX_SIZE, "big") + b"\x7f\x00\x00\x00\x00x"
         with pytest.raises(FramingError, match="channel"):
             FrameDecoder().feed(raw)
 

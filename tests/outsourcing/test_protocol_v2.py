@@ -265,3 +265,77 @@ class TestWireDispatch:
         bad = MessageV2(kind=MessageKind.DELETE_TUPLES, relation_name="Emp", body=b"\x01")
         response = parse_message(loaded_server.handle_message(bad.to_bytes()))
         assert response.kind is MessageKind.ERROR
+
+    def test_list_tuple_ids_returns_ids_without_ciphertexts(self, loaded_server):
+        stored = loaded_server.stored_relation("Emp")
+        request = MessageV2(kind=MessageKind.LIST_TUPLE_IDS, relation_name="Emp")
+        response = parse_message(loaded_server.handle_message(request.to_bytes()))
+        assert response.kind is MessageKind.TUPLE_IDS
+        ids = decode_tuple_ids(response.body)
+        assert ids == tuple(t.tuple_id for t in stored.encrypted_tuples)
+        # O(ids) on the wire: the response is far smaller than the data.
+        assert len(response.body) < stored.size_in_bytes()
+
+    def test_list_tuple_ids_rejects_a_body(self, loaded_server):
+        request = MessageV2(
+            kind=MessageKind.LIST_TUPLE_IDS, relation_name="Emp", body=b"junk"
+        )
+        response = parse_message(loaded_server.handle_message(request.to_bytes()))
+        assert response.kind is MessageKind.ERROR
+        assert b"no body" in response.body
+
+    def test_list_tuple_ids_unknown_relation_is_an_error(self, loaded_server):
+        request = MessageV2(kind=MessageKind.LIST_TUPLE_IDS, relation_name="missing")
+        response = parse_message(loaded_server.handle_message(request.to_bytes()))
+        assert response.kind is MessageKind.ERROR
+
+    def test_list_tuple_ids_is_v2_only(self):
+        # Hand-build a v1 envelope carrying the v2-only kind: rejected.
+        raw = (
+            (len("list-tuple-ids")).to_bytes(4, "big") + b"list-tuple-ids"
+            + (3).to_bytes(4, "big") + b"Emp"
+            + (0).to_bytes(4, "big")
+        )
+        with pytest.raises(ProtocolError, match="version >= 2"):
+            Message.from_bytes(raw)
+
+    def test_peek_envelope_matches_the_full_parse(self, loaded_server):
+        from repro.outsourcing.protocol import peek_envelope
+
+        for envelope in (
+            MessageV2(kind=MessageKind.QUERY, relation_name="Emp", body=b"x" * 64),
+            Message(kind=MessageKind.INSERT_TUPLE, relation_name="Other", body=b"y"),
+            MessageV2(kind=MessageKind.LIST_TUPLE_IDS, relation_name="Emp"),
+        ):
+            raw = envelope.to_bytes()
+            parsed = parse_message(raw)
+            assert peek_envelope(raw) == (
+                parsed.version, parsed.kind, parsed.relation_name
+            )
+
+    def test_peek_envelope_rejects_what_the_parsers_reject(self):
+        from repro.outsourcing.protocol import peek_envelope
+
+        good = MessageV2(kind=MessageKind.QUERY, relation_name="Emp", body=b"abc")
+        raw = good.to_bytes()
+        with pytest.raises(ProtocolError):
+            peek_envelope(raw[:-1])  # truncated body
+        with pytest.raises(ProtocolError):
+            peek_envelope(raw + b"!")  # trailing bytes
+        with pytest.raises(ProtocolError):
+            peek_envelope(b"\x00\x00\x00\x05junk!")  # unknown kind
+        # v2-only kind in a v1 envelope is still a protocol violation.
+        v1_raw = (
+            (len("batch-query")).to_bytes(4, "big") + b"batch-query"
+            + (3).to_bytes(4, "big") + b"Emp"
+            + (0).to_bytes(4, "big")
+        )
+        with pytest.raises(ProtocolError, match="version >= 2"):
+            peek_envelope(v1_raw)
+
+    def test_list_tuple_ids_is_audited(self, loaded_server):
+        from repro.outsourcing.audit import AuditEventKind
+
+        loaded_server.list_tuple_ids("Emp")
+        events = loaded_server.audit_log.events_of_kind(AuditEventKind.TUPLE_IDS_LISTED)
+        assert events and events[-1].detail["id_count"] == 5

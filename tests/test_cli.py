@@ -39,6 +39,22 @@ class TestParser:
         args = build_parser().parse_args(["serve", "--stats-interval", "2.5"])
         assert args.stats_interval == 2.5
 
+    def test_serve_dispatch_workers_flag(self):
+        args = build_parser().parse_args(["serve", "--dispatch-workers", "8"])
+        assert args.dispatch_workers == 8
+        assert build_parser().parse_args(["serve"]).dispatch_workers == 4
+
+    def test_cluster_manifest_flags(self):
+        spawn = build_parser().parse_args(
+            ["cluster", "spawn", "--manifest", "fleet.json"]
+        )
+        assert spawn.manifest == "fleet.json"
+        status = build_parser().parse_args(
+            ["cluster", "status", "--manifest", "fleet.json"]
+        )
+        assert status.manifest == "fleet.json"
+        assert status.url is None
+
 
 class TestBuildScheme:
     def test_every_choice_is_constructible(self):
@@ -198,3 +214,37 @@ class TestClusterCommands:
         captured = capsys.readouterr()
         assert exit_code == 1  # a shard is still down, even if reads survive
         assert "replication factor 2: reads stay complete" in captured.out
+
+    def test_status_from_a_manifest_file(self, capsys, tmp_path):
+        from repro.cluster import ClusterManifest, ShardEntry
+        from repro.net import ThreadedTcpServer
+
+        with ThreadedTcpServer() as one, ThreadedTcpServer() as two:
+            path = ClusterManifest(
+                shards=(
+                    ShardEntry("shard-0", f"tcp://127.0.0.1:{one.port}"),
+                    ShardEntry("shard-1", f"tcp://127.0.0.1:{two.port}"),
+                ),
+            ).save(tmp_path / "fleet.json")
+            exit_code = main(["cluster", "status", "--manifest", str(path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "2/2 shard(s) up" in captured.out
+        assert "shard-0" in captured.out
+
+    def test_status_needs_exactly_one_topology_source(self, capsys, tmp_path):
+        assert main(["cluster", "status"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main([
+            "cluster", "status", "cluster://h:1", "--manifest", str(tmp_path / "f.json")
+        ]) == 2
+
+    def test_status_rejects_a_broken_manifest(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["cluster", "status", "--manifest", str(bad)]) == 2
+        assert "JSON" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_dispatch_workers(self, capsys):
+        assert main(["serve", "--dispatch-workers", "0"]) == 2
+        assert "dispatch-workers" in capsys.readouterr().err

@@ -1,6 +1,6 @@
 """CI smoke test of the sharded multi-provider deployment.
 
-Two phases, every wait bounded so a hung provider fails the CI step
+Three phases, every wait bounded so a hung provider fails the CI step
 instead of wedging it:
 
 1. **Scatter-gather CRUD** -- starts ``repro cluster spawn --shards 2`` as
@@ -18,6 +18,13 @@ instead of wedging it:
    *complete and non-degraded*: the surviving replicas cover the dead
    shard's data, the router's failover counter fires and its degraded
    counter stays zero.
+
+3. **Async pipelined transport** -- two ``repro serve`` subprocesses
+   driven through a ``cluster://...?async=1`` session: the full CRUD
+   round trip over pipelined asyncio connections, the router's
+   event-loop scatter counter asserted to have fired, plus a direct
+   ``AsyncRemoteServerProxy`` burst of concurrent in-flight requests
+   over one connection.
 
 Usage::
 
@@ -184,11 +191,88 @@ def smoke_replicated_failover() -> int:
                     proc.wait(timeout=10)
 
 
+def smoke_async_transport() -> int:
+    procs: list[subprocess.Popen] = []
+    try:
+        hosts = []
+        for _ in range(2):
+            proc, host = _spawn_provider()
+            procs.append(proc)
+            hosts.append(host)
+        url = "cluster://" + ",".join(hosts) + "?async=1"
+        print(f"async fleet up at {url}")
+
+        from repro.api import EncryptedDatabase
+        from repro.net import AsyncRemoteServerProxy
+
+        with EncryptedDatabase.connect(url, timeout=STARTUP_TIMEOUT_S) as db:
+            if not db.server.async_transport:
+                print("FAIL: session did not pick the async transport")
+                return 1
+            db.create_table(
+                "Smoke(name:string[10], value:int[4])",
+                rows=[(f"row{i}", i % 3) for i in range(NUM_ROWS)],
+            )
+            expected = NUM_ROWS // 3
+            if len(db.select("SELECT * FROM Smoke WHERE value = 1").relation) != expected:
+                print("FAIL: async-transport query answered wrong multiplicities")
+                return 1
+            db.insert("Smoke", {"name": "extra", "value": 1})
+            if db.count("Smoke") != NUM_ROWS + 1:
+                print("FAIL: async-transport insert/count mismatch")
+                return 1
+            if db.delete("SELECT * FROM Smoke WHERE value = 2") != expected:
+                print("FAIL: async-transport delete mismatch")
+                return 1
+            stats = db.server.stats.as_dict()
+            if stats["loop_scatters"] < 3:
+                print(f"FAIL: the event-loop scatter path never ran: {stats}")
+                return 1
+            print(
+                f"async CRUD round trip ok ({stats['loop_scatters']} "
+                "event-loop scatters)"
+            )
+
+        # One pipelined connection, a burst of concurrent in-flight pings.
+        import asyncio
+
+        host, port = hosts[0].rsplit(":", 1)
+        proxy = AsyncRemoteServerProxy(host, int(port), timeout=STARTUP_TIMEOUT_S)
+        try:
+            async def burst():
+                return await asyncio.gather(
+                    *(proxy.call_control_async("ping") for _ in range(32))
+                )
+
+            responses = proxy.loop_thread.run(burst())
+            if len(responses) != 32 or not all(r.get("ok") for r in responses):
+                print("FAIL: pipelined burst lost responses")
+                return 1
+        finally:
+            proxy.close()
+        print("32 pipelined in-flight requests answered on one connection")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.communicate(timeout=SHUTDOWN_TIMEOUT_S)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+
 def main() -> int:
     exit_code = smoke_scatter_gather_crud()
     if exit_code != 0:
         return exit_code
-    return smoke_replicated_failover()
+    exit_code = smoke_replicated_failover()
+    if exit_code != 0:
+        return exit_code
+    return smoke_async_transport()
 
 
 if __name__ == "__main__":
