@@ -35,6 +35,13 @@ from dataclasses import dataclass
 from repro.core.dph import DatabasePrivacyHomomorphism, EvaluationResult
 from repro.crypto.keys import SecretKey
 from repro.crypto.rng import RandomSource
+from repro.index.client import TableIndexer
+from repro.index.wire import (
+    IndexLookupRequest,
+    encode_index_delta,
+    encode_index_lookup,
+    encode_index_snapshot,
+)
 from repro.outsourcing import protocol
 from repro.outsourcing.client import SelectOutcome
 from repro.outsourcing.protocol import (
@@ -47,6 +54,7 @@ from repro.outsourcing.protocol import (
 )
 from repro.outsourcing.server import OutsourcedDatabaseServer, ServerError
 from repro.outsourcing.storage import StorageBackend
+from repro.relational.errors import QueryError
 from repro.relational.query import Projection, Query, selection_predicates
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
@@ -61,11 +69,16 @@ class DatabaseError(Exception):
 
 @dataclass(frozen=True)
 class TableHandle:
-    """One outsourced relation inside a session: its schema and scheme instance."""
+    """One outsourced relation inside a session: its schema and scheme instance.
+
+    ``indexer`` is present on indexed sessions only: the client-side half
+    of the table's encrypted inverted index (see :mod:`repro.index`).
+    """
 
     name: str
     schema: RelationSchema
     scheme: DatabasePrivacyHomomorphism
+    indexer: TableIndexer | None = None
 
 
 class EncryptedDatabase:
@@ -78,6 +91,7 @@ class EncryptedDatabase:
         scheme: str,
         rng: RandomSource | None = None,
         scheme_options: dict | None = None,
+        index: bool = False,
     ) -> None:
         self._key = key
         self._server = server
@@ -88,6 +102,13 @@ class EncryptedDatabase:
         self._version = negotiate_version(
             SUPPORTED_VERSIONS, server.supported_protocol_versions
         )
+        # Index maintenance needs the v2 index ops; a v1-only provider
+        # silently negotiates the session back to plain scans.
+        self._index_enabled = bool(index) and self._version >= protocol.PROTOCOL_V2
+        #: Memoized "this provider cannot serve index ops" flag: set on the
+        #: first ``cannot serve message kind`` error so a fleet of older
+        #: servers costs one failed round trip, not one per operation.
+        self._index_unsupported = False
 
     @classmethod
     def open(
@@ -101,6 +122,7 @@ class EncryptedDatabase:
         replicas: int = 1,
         rng: RandomSource | None = None,
         scheme_options: dict | None = None,
+        index: bool = False,
     ) -> "EncryptedDatabase":
         """Open a session.
 
@@ -133,6 +155,13 @@ class EncryptedDatabase:
             (seedable for reproducible experiments).
         scheme_options:
             Extra keyword options forwarded to the scheme factory.
+        index:
+            Maintain an encrypted inverted index per table (see
+            :mod:`repro.index`): the session ships index snapshots and
+            posting deltas through every DDL/DML operation and serves
+            exact selects via ``INDEX_LOOKUP`` in O(result) provider
+            work, falling back to the linear scan whenever the provider
+            (or the negotiated protocol version) cannot serve it.
         """
         if key is None:
             key = SecretKey.generate(rng=rng)
@@ -160,7 +189,9 @@ class EncryptedDatabase:
             server = OutsourcedDatabaseServer(storage=storage)
         elif storage is not None:
             raise DatabaseError("pass either a server or a storage backend, not both")
-        return cls(key, server, scheme, rng=rng, scheme_options=scheme_options)
+        return cls(
+            key, server, scheme, rng=rng, scheme_options=scheme_options, index=index
+        )
 
     @classmethod
     def connect(
@@ -176,6 +207,7 @@ class EncryptedDatabase:
         policy: str = "fail_fast",
         shard_timeout: float | None = None,
         replicas: int | None = None,
+        index: bool | None = None,
     ) -> "EncryptedDatabase":
         """Open a session against a provider given by URL (or server object).
 
@@ -213,6 +245,12 @@ class EncryptedDatabase:
         come from the file, so a coordinator restart needs no re-supplied
         topology.
 
+        An ``index=1`` URL option (``tcp://...?index=1``,
+        ``cluster://...?index=1``) -- or the ``index`` keyword; they must
+        agree when both are given -- makes the session maintain encrypted
+        inverted indexes and answer exact selects via ``INDEX_LOOKUP``
+        (see :mod:`repro.index`), scan-falling-back wherever unsupported.
+
         Anything that is not a URL string is treated as a server object and
         handed to :meth:`open` unchanged, so call sites can take "where is
         the provider" as a single configuration value.
@@ -220,6 +258,7 @@ class EncryptedDatabase:
         owns_proxy = isinstance(provider, str)
         is_manifest = owns_proxy and provider.startswith("cluster+file://")
         is_cluster = is_manifest or (owns_proxy and provider.startswith("cluster://"))
+        url_index: bool | None = None
         if not is_cluster and (policy, shard_timeout, replicas) != (
             "fail_fast",
             None,
@@ -255,6 +294,9 @@ class EncryptedDatabase:
                         shard_timeout=shard_timeout,
                     )
                 elif is_cluster:
+                    from repro.cluster.router import parse_cluster_options
+
+                    url_index = parse_cluster_options(provider)[1].get("index")
                     provider = ShardRouter.connect(
                         provider,
                         pool_size=pool_size,
@@ -265,6 +307,7 @@ class EncryptedDatabase:
                     )
                 else:
                     host, port, options = parse_tcp_options(provider)
+                    url_index = options.get("index")
                     if options.get("async"):
                         from repro.net.aio import AsyncRemoteServerProxy
 
@@ -283,8 +326,20 @@ class EncryptedDatabase:
                 "configure the server object directly"
             )
         try:
+            if index is None:
+                index = bool(url_index) if url_index is not None else False
+            elif url_index is not None and bool(url_index) != bool(index):
+                raise DatabaseError(
+                    f"conflicting index settings: the URL says index={url_index}, "
+                    f"the caller says index={index}"
+                )
             return cls.open(
-                key, server=provider, scheme=scheme, rng=rng, scheme_options=scheme_options
+                key,
+                server=provider,
+                scheme=scheme,
+                rng=rng,
+                scheme_options=scheme_options,
+                index=index,
             )
         except BaseException:
             if owns_proxy:
@@ -304,6 +359,16 @@ class EncryptedDatabase:
     def protocol_version(self) -> int:
         """The negotiated envelope version."""
         return self._version
+
+    @property
+    def index_enabled(self) -> bool:
+        """True when this session maintains encrypted inverted indexes."""
+        return self._index_enabled
+
+    @property
+    def index_active(self) -> bool:
+        """True while indexed serving is enabled *and* the provider plays along."""
+        return self._index_enabled and not self._index_unsupported
 
     @property
     def server(self) -> OutsourcedDatabaseServer:
@@ -380,6 +445,14 @@ class EncryptedDatabase:
         except DatabaseError:
             del self._tables[name]
             raise
+        if handle.indexer is not None and not self._index_unsupported:
+            snapshot = handle.indexer.snapshot(relation, encrypted)
+            self._index_request(
+                MessageKind.INDEX_PUT,
+                name,
+                encode_index_snapshot(snapshot),
+                expect=MessageKind.ACK,
+            )
         return handle
 
     def attach_table(self, schema: RelationSchema | str) -> TableHandle:
@@ -397,13 +470,26 @@ class EncryptedDatabase:
             raise DatabaseError(f"table {name!r} already exists in this session")
         if name not in self._server.relation_names:
             raise DatabaseError(f"the provider stores no relation named {name!r}")
-        stored_schema = self._stored(name).schema
-        if stored_schema != schema:
+        stored = self._stored(name)
+        if stored.schema != schema:
             raise DatabaseError(
                 f"schema mismatch for table {name!r}: the provider stores "
-                f"{stored_schema!r}"
+                f"{stored.schema!r}"
             )
-        return self._bind_table(schema)
+        handle = self._bind_table(schema)
+        if handle.indexer is not None and not self._index_unsupported:
+            # The provider's index is soft state the previous session may
+            # have taken with it; rebuild it from the stored ciphertexts
+            # (decrypting client-side, as always) and re-ship it.
+            rows = [handle.scheme.decrypt_tuple(t) for t in stored.encrypted_tuples]
+            snapshot = handle.indexer.snapshot(Relation(schema, rows), stored)
+            self._index_request(
+                MessageKind.INDEX_PUT,
+                name,
+                encode_index_snapshot(snapshot),
+                expect=MessageKind.ACK,
+            )
+        return handle
 
     def _bind_table(self, schema: RelationSchema) -> TableHandle:
         """Derive the table key, build the scheme, deploy the evaluator."""
@@ -416,7 +502,14 @@ class EncryptedDatabase:
             rng=self._rng,
             **self._scheme_options,
         )
-        handle = TableHandle(name=name, schema=schema, scheme=scheme)
+        indexer = None
+        if self._index_enabled:
+            # The index PRF key is its own derivation branch: compromising
+            # it reveals keyword labels, never the payload key material.
+            indexer = TableIndexer(
+                schema, self._key.subkey(f"index/{name}"), rng=self._rng
+            )
+        handle = TableHandle(name=name, schema=schema, scheme=scheme, indexer=indexer)
         self._server.register_evaluator(name, scheme.server_evaluator())
         self._tables[name] = handle
         return handle
@@ -445,6 +538,17 @@ class EncryptedDatabase:
         handle = self.table(table)
         relation_tuple = self._as_tuple(handle, row)
         encrypted = handle.scheme.encrypt_tuple(relation_tuple)
+        if handle.indexer is not None and not self._index_unsupported:
+            # Postings first, tuple second: a crash in between leaves a
+            # stale posting whose id fetches nothing (a harmless superset);
+            # the other order could leave an indexed lookup missing a tuple.
+            delta = handle.indexer.insert_delta(relation_tuple, encrypted.tuple_id)
+            self._index_request(
+                MessageKind.INDEX_DELTA,
+                table,
+                encode_index_delta(delta),
+                expect=MessageKind.ACK,
+            )
         self._request(
             MessageKind.INSERT_TUPLE,
             table,
@@ -472,11 +576,7 @@ class EncryptedDatabase:
         matches = self._true_matches(name, parsed)
         if not matches:
             return 0
-        body = protocol.encode_tuple_ids([t.tuple_id for t, _ in matches])
-        response = self._request(
-            MessageKind.DELETE_TUPLES, name, body, expect=MessageKind.ACK
-        )
-        return protocol.decode_count(response.body)
+        return self._delete_matches(name, matches)
 
     def update(self, query: Query | str, changes: dict, table: str | None = None) -> int:
         """Re-encrypt the matching tuples with ``changes`` applied.
@@ -506,8 +606,7 @@ class EncryptedDatabase:
             replacements.append(self._make_tuple(handle.schema, values))
         for replacement in replacements:
             self.insert(name, replacement)
-        body = protocol.encode_tuple_ids([t.tuple_id for t, _ in matches])
-        self._request(MessageKind.DELETE_TUPLES, name, body, expect=MessageKind.ACK)
+        self._delete_matches(name, matches)
         return len(replacements)
 
     # ------------------------------------------------------------------ #
@@ -632,8 +731,33 @@ class EncryptedDatabase:
         return table, parsed
 
     def _run_query(self, handle: TableHandle, parsed: Query) -> EvaluationResult:
-        """One encrypted QUERY round trip for an already-resolved query."""
+        """One encrypted read round trip for an already-resolved query.
+
+        Indexed sessions prefer ``INDEX_LOOKUP``: trapdoor labels plus the
+        ordinary encrypted query as the embedded scan fallback, so any
+        provider answers -- O(result) when it holds the index, O(data)
+        otherwise -- and the result set is the same either way (the client
+        filter below discards index false candidates exactly as it
+        discards scheme false positives).
+        """
         encrypted_query = handle.scheme.encrypt_query(parsed)
+        if handle.indexer is not None and not self._index_unsupported:
+            try:
+                labels = handle.indexer.query_labels(parsed)
+            except QueryError:
+                labels = None  # a query shape the index cannot serve
+            if labels is not None:
+                request = IndexLookupRequest(
+                    labels=labels, fallback_query=encrypted_query
+                )
+                response = self._index_request(
+                    MessageKind.INDEX_LOOKUP,
+                    handle.name,
+                    encode_index_lookup(request),
+                    expect=MessageKind.QUERY_RESULT,
+                )
+                if response is not None:
+                    return self._decode_query_result(response)
         response = self._request(
             MessageKind.QUERY,
             handle.name,
@@ -641,6 +765,57 @@ class EncryptedDatabase:
             expect=MessageKind.QUERY_RESULT,
         )
         return self._decode_query_result(response)
+
+    def _delete_matches(self, name: str, matches: list[tuple]) -> int:
+        """Remove already-resolved matches; returns the logical count.
+
+        Indexed sessions use the per-id ``DELETE_TUPLES_EXACT`` op --
+        tuples first, posting tombstones second, so a crash in between
+        leaves only stale postings (a harmless superset) -- and the
+        reported count is exact even when the batch raced another session.
+        """
+        handle = self.table(name)
+        body = protocol.encode_tuple_ids([t.tuple_id for t, _ in matches])
+        if handle.indexer is not None and not self._index_unsupported:
+            response = self._index_request(
+                MessageKind.DELETE_TUPLES_EXACT,
+                name,
+                body,
+                expect=MessageKind.TUPLE_IDS,
+            )
+            if response is not None:
+                deleted_ids = protocol.decode_tuple_ids(response.body)
+                delta = handle.indexer.remove_delta(
+                    (plaintext, t.tuple_id) for t, plaintext in matches
+                )
+                self._index_request(
+                    MessageKind.INDEX_DELTA,
+                    name,
+                    encode_index_delta(delta),
+                    expect=MessageKind.ACK,
+                )
+                return len(deleted_ids)
+        response = self._request(
+            MessageKind.DELETE_TUPLES, name, body, expect=MessageKind.ACK
+        )
+        return protocol.decode_count(response.body)
+
+    def _index_request(
+        self, kind: MessageKind, relation_name: str, body: bytes, expect: MessageKind
+    ) -> Message | MessageV2 | None:
+        """A request the provider may legitimately not serve.
+
+        ``None`` means the provider rejected the *kind* (an older build):
+        the session memoizes that and every later operation goes straight
+        to the scan/plain-op path.  Real failures still raise.
+        """
+        try:
+            return self._request(kind, relation_name, body, expect=expect)
+        except DatabaseError as exc:
+            if "cannot serve message kind" in str(exc):
+                self._index_unsupported = True
+                return None
+            raise
 
     def _true_matches(
         self, name: str, parsed: Query
@@ -663,7 +838,7 @@ class EncryptedDatabase:
         projected = None
         if isinstance(parsed, Projection) and parsed.attributes:
             projected = report.relation.project(list(parsed.attributes))
-        return SelectOutcome(report=report, projected_rows=projected)
+        return SelectOutcome(report=report, projected_rows=projected, evaluation=result)
 
     def _as_tuple(self, handle: TableHandle, row) -> RelationTuple:
         if isinstance(row, RelationTuple):

@@ -181,10 +181,22 @@ def command_serve(args: argparse.Namespace) -> int:
         dispatch_workers=args.dispatch_workers,
     )
 
+    def _index_summary() -> str:
+        stats = database.index_stats()
+        return (
+            f"{len(stats['indexed_relations'])} indexed relation(s), "
+            f"{stats['puts']} put(s), {stats['deltas']} delta(s), "
+            f"{stats['lookups']} lookup(s), {stats['scan_fallbacks']} scan fallback(s)"
+        )
+
     async def _report_stats() -> None:
         while True:
             await asyncio.sleep(args.stats_interval)
-            print(f"repro provider stats: {tcp.stats.throughput_summary()}", flush=True)
+            print(
+                f"repro provider stats: {tcp.stats.throughput_summary()}; "
+                f"index: {_index_summary()}",
+                flush=True,
+            )
 
     async def _serve() -> None:
         await tcp.start()
@@ -210,7 +222,11 @@ def command_serve(args: argparse.Namespace) -> int:
                 await reporter
         print("repro provider shutting down...", flush=True)
         await tcp.stop()
-        print(f"repro provider stopped: {tcp.stats.throughput_summary()}", flush=True)
+        print(
+            f"repro provider stopped: {tcp.stats.throughput_summary()}; "
+            f"index: {_index_summary()}",
+            flush=True,
+        )
 
     try:
         asyncio.run(_serve())
@@ -451,6 +467,16 @@ def command_cluster_status(args: argparse.Namespace) -> int:
             f"{transport.get('bytes_received', 0)} B in / "
             f"{transport.get('bytes_sent', 0)} B out"
         )
+        indexes = stats.get("indexes")
+        if indexes:
+            indexed = ", ".join(indexes.get("indexed_relations", [])) or "none"
+            print(
+                f"  index: relations: {indexed}; "
+                f"{indexes.get('puts', 0)} put(s), "
+                f"{indexes.get('deltas', 0)} delta(s), "
+                f"{indexes.get('lookups', 0)} lookup(s), "
+                f"{indexes.get('scan_fallbacks', 0)} scan fallback(s)"
+            )
     print(f"{len(shard_urls) - unreachable}/{len(shard_urls)} shard(s) up")
     if replicas > 1:
         tolerated = replicas - 1

@@ -93,9 +93,11 @@ def parse_cluster_options(url: str) -> tuple[tuple[str, ...], dict]:
     """Split ``cluster://h1:p1,...?replicas=R&async=1`` into URLs and options.
 
     Returns the per-shard ``tcp://`` URLs plus the parsed query options:
-    ``replicas`` (the replication factor of the deployment) and ``async``
+    ``replicas`` (the replication factor of the deployment), ``async``
     (drive the fleet over pipelined asyncio connections from one
-    event-loop thread instead of a blocking pool per shard).
+    event-loop thread instead of a blocking pool per shard) and ``index``
+    (the session maintains encrypted inverted indexes and serves exact
+    selects through ``INDEX_LOOKUP``).
     """
     from repro.net.client import RemoteError, parse_bool_option, parse_tcp_url
 
@@ -118,14 +120,15 @@ def parse_cluster_options(url: str) -> tuple[tuple[str, ...], dict]:
                     raise ClusterError(
                         f"cluster URL option replicas must be an integer, got {value!r}"
                     ) from exc
-            elif key == "async":
+            elif key in ("async", "index"):
                 try:
-                    options["async"] = parse_bool_option(key, value)
+                    options[key] = parse_bool_option(key, value)
                 except RemoteError as exc:
                     raise ClusterError(str(exc)) from exc
             else:
                 raise ClusterError(
-                    f"unknown cluster URL option {key!r} (supported: replicas, async)"
+                    f"unknown cluster URL option {key!r} "
+                    "(supported: replicas, async, index)"
                 )
     parts = [part.strip() for part in rest.split(",")]
     parts = [part for part in parts if part]
@@ -202,6 +205,13 @@ class ClusterStats:
     #: Scatters driven as coroutines on the event-loop thread (the
     #: pipelined async-transport path) rather than the thread pool.
     loop_scatters: int = 0
+    #: ``INDEX_LOOKUP`` scatters routed across the fleet.
+    index_lookups: int = 0
+    #: Per-shard scan fallbacks inside index lookups (a fleet member that
+    #: does not speak ``INDEX_LOOKUP`` answered the embedded query instead).
+    index_scan_fallbacks: int = 0
+    #: ``INDEX_PUT`` / ``INDEX_DELTA`` fan-outs.
+    index_writes: int = 0
     #: Shards missing from the most recent degraded read.
     last_missing_shard_ids: tuple[str, ...] = ()
     #: Shards whose failure the most recent failover read absorbed.
@@ -222,6 +232,18 @@ class ClusterStats:
         with self._lock:
             self.loop_scatters += 1
 
+    def record_index_lookup(self) -> None:
+        with self._lock:
+            self.index_lookups += 1
+
+    def record_index_scan_fallback(self) -> None:
+        with self._lock:
+            self.index_scan_fallbacks += 1
+
+    def record_index_write(self) -> None:
+        with self._lock:
+            self.index_writes += 1
+
     def record_degraded_read(self, missing_shard_ids: Sequence[str]) -> None:
         with self._lock:
             self.degraded_reads += 1
@@ -240,6 +262,9 @@ class ClusterStats:
                 "failover_reads": self.failover_reads,
                 "routed_inserts": self.routed_inserts,
                 "loop_scatters": self.loop_scatters,
+                "index_lookups": self.index_lookups,
+                "index_scan_fallbacks": self.index_scan_fallbacks,
+                "index_writes": self.index_writes,
                 "last_missing_shard_ids": list(self.last_missing_shard_ids),
                 "last_failover_shard_ids": list(self.last_failover_shard_ids),
             }
@@ -782,6 +807,46 @@ class ShardRouter:
             return self._respond(
                 request, MessageKind.TUPLE_IDS, protocol.encode_tuple_ids(sorted(ids))
             ).to_bytes()
+        if kind is MessageKind.DELETE_TUPLES_EXACT:
+            # Like DELETE_TUPLES, the full id list goes to the whole fleet;
+            # the union of per-shard outcomes is the exact logical id set
+            # (each physical copy of a tuple reports the same public id).
+            gathered = self._gather_envelopes(
+                f"delete-tuples-exact({request.relation_name!r})",
+                {shard_id: raw for shard_id in self._shards},
+                expect=MessageKind.TUPLE_IDS,
+                policy=FAIL_FAST,
+            )
+            deleted: set[bytes] = set()
+            for response in gathered.values:
+                deleted.update(protocol.decode_tuple_ids(response.body))
+            return self._respond(
+                request,
+                MessageKind.TUPLE_IDS,
+                protocol.encode_tuple_ids(sorted(deleted)),
+            ).to_bytes()
+        if kind in (MessageKind.INDEX_PUT, MessageKind.INDEX_DELTA):
+            # Index writes replicate fleet-wide: every shard holds the whole
+            # index (it is compact soft state), so lookups stay correct under
+            # any placement -- rebalances, crash duplicates, replica reads.
+            self._stats.record_index_write()
+            gathered = self._gather_envelopes(
+                f"{kind.value}({request.relation_name!r})",
+                {shard_id: raw for shard_id in self._shards},
+                expect=MessageKind.ACK,
+                policy=FAIL_FAST,
+            )
+            counts = [protocol.decode_count(response.body) for response in gathered.values]
+            return self._respond(
+                request, MessageKind.ACK, protocol.encode_count(max(counts))
+            ).to_bytes()
+        if kind is MessageKind.INDEX_LOOKUP:
+            merged = self._scatter_index_lookup(request, raw)
+            return self._respond(
+                request,
+                MessageKind.QUERY_RESULT,
+                protocol.encode_evaluation_result(merged),
+            ).to_bytes()
         raise ClusterError(f"cannot route message kind {kind.value!r}")
 
     def _scatter_store(
@@ -842,8 +907,9 @@ class ShardRouter:
         *estimate* for stale batches on a replicated cluster: addressing
         ids that no longer exist alongside ids with R live copies can make
         the capped sum land anywhere between the true logical count and
-        the batch size (a per-id protocol op would make it exact; see
-        ROADMAP).
+        the batch size.  The per-id ``DELETE_TUPLES_EXACT`` op supersedes
+        this whenever the fleet supports it; the estimate survives only
+        for duck-typed backends without the op.
         """
         return min(sum(per_shard_deleted), requested)
 
@@ -859,6 +925,112 @@ class ShardRouter:
         )
         results = [self._decode_result(request, response) for response in gathered.values]
         return merge_evaluation_results(results)
+
+    def _scatter_index_lookup(
+        self, request: Message | MessageV2, raw: bytes
+    ) -> EvaluationResult:
+        """Scatter an ``INDEX_LOOKUP``, per-shard scan fallback included.
+
+        A fleet member that does not speak the op (an older build in a
+        mixed fleet) answers with the ``cannot serve message kind`` error;
+        this coordinator then replays the lookup's embedded fallback query
+        to *that shard only* as a plain ``QUERY``, so the merged answer
+        stays complete -- some shards at O(result), the stragglers at
+        O(data) -- instead of failing the read.
+        """
+        from repro.index.wire import decode_index_lookup
+
+        lookup = decode_index_lookup(request.body)
+        fallback_raw = None
+        if lookup.fallback_query is not None:
+            fallback_raw = self._respond(
+                request,
+                MessageKind.QUERY,
+                protocol.encode_encrypted_query(lookup.fallback_query),
+            ).to_bytes()
+        self._stats.record_index_lookup()
+        calls = [
+            self._lookup_call(shard_id, raw, fallback_raw)
+            for shard_id in self._shards
+        ]
+        async_calls = None
+        if self._loop_thread is not None and all(
+            hasattr(self.shard(shard_id), "handle_message_async")
+            for shard_id in self._shards
+        ):
+            async_calls = [
+                self._lookup_call_async(shard_id, raw, fallback_raw)
+                for shard_id in self._shards
+            ]
+        gathered = self._gather(
+            f"index-lookup({request.relation_name!r})",
+            calls,
+            policy=self._policy,
+            read=True,
+            async_calls=async_calls,
+        )
+        results = [self._decode_result(request, response) for response in gathered.values]
+        return merge_evaluation_results(results)
+
+    #: The error text a provider answers for a message kind it cannot serve;
+    #: the lookup scatter keys its per-shard scan fallback on it.
+    _UNSERVED_KIND_MARKER = b"cannot serve message kind"
+
+    def _lookup_fallback_applies(
+        self, response: Message | MessageV2, fallback_raw: bytes | None
+    ) -> bool:
+        return (
+            response.kind is MessageKind.ERROR
+            and fallback_raw is not None
+            and self._UNSERVED_KIND_MARKER in response.body
+        )
+
+    def _lookup_call(
+        self, shard_id: str, envelope: bytes, fallback_raw: bytes | None
+    ) -> tuple[str, Callable[[], Message | MessageV2]]:
+        server = self.shard(shard_id)
+
+        def call() -> Message | MessageV2:
+            response = protocol.parse_message(server.handle_message(envelope))
+            if self._lookup_fallback_applies(response, fallback_raw):
+                self._stats.record_index_scan_fallback()
+                return self._check_envelope_response(
+                    shard_id, server.handle_message(fallback_raw), MessageKind.QUERY_RESULT
+                )
+            return self._checked_lookup_response(shard_id, response)
+
+        return shard_id, call
+
+    def _lookup_call_async(
+        self, shard_id: str, envelope: bytes, fallback_raw: bytes | None
+    ) -> tuple[str, Callable[[], Any]]:
+        server = self.shard(shard_id)
+
+        async def round_trip() -> Message | MessageV2:
+            response = protocol.parse_message(await server.handle_message_async(envelope))
+            if self._lookup_fallback_applies(response, fallback_raw):
+                self._stats.record_index_scan_fallback()
+                return self._check_envelope_response(
+                    shard_id,
+                    await server.handle_message_async(fallback_raw),
+                    MessageKind.QUERY_RESULT,
+                )
+            return self._checked_lookup_response(shard_id, response)
+
+        return shard_id, round_trip
+
+    @staticmethod
+    def _checked_lookup_response(
+        shard_id: str, response: Message | MessageV2
+    ) -> Message | MessageV2:
+        if response.kind is MessageKind.ERROR:
+            raise ClusterError(response.body.decode("utf-8", "replace"))
+        if response.kind is not MessageKind.QUERY_RESULT:
+            raise ClusterError(
+                f"shard {shard_id!r} answered {response.kind.value!r}, "
+                f"expected {MessageKind.QUERY_RESULT.value!r}"
+            )
+        return response
 
     def _scatter_batch(
         self, request: Message | MessageV2, raw: bytes
@@ -1037,11 +1209,18 @@ class ShardRouter:
         The full id list goes to the whole fleet (providers ignore unknown
         ids), so deletes stay correct while tuples sit off their ring owner
         -- a deferred rebalance, insert-first migration duplicates, or the
-        R replica copies; physical copies of one tuple count once (see
-        :meth:`_logical_deletions`).
+        R replica copies.  When every shard reports per-id outcomes
+        (:meth:`delete_tuples_exact`) the logical count is exact even for
+        stale or replayed batches; only duck-typed backends without the op
+        fall back to the capped-sum estimate of :meth:`_logical_deletions`.
         """
         if not tuple_ids:
             return 0
+        if all(
+            hasattr(shard.server, "delete_tuples_exact")
+            for shard in self._shards.values()
+        ):
+            return len(self.delete_tuples_exact(name, tuple_ids))
         ids = list(tuple_ids)
         gathered = self._gather(
             f"delete-tuples({name!r})",
@@ -1049,6 +1228,28 @@ class ShardRouter:
             policy=FAIL_FAST,
         )
         return self._logical_deletions(gathered.values, len(ids))
+
+    def delete_tuples_exact(self, name: str, tuple_ids: Sequence[bytes]) -> tuple[bytes, ...]:
+        """Delete ids fleet-wide and report exactly which ids were live.
+
+        The union of per-shard outcomes is the precise logical deletion
+        set: every physical copy of a tuple reports the same public id, so
+        replication and crash duplicates collapse for free.  This is the
+        per-id outcome op the capped-sum estimate of
+        :meth:`_logical_deletions` could not provide.
+        """
+        if not tuple_ids:
+            return ()
+        ids = list(tuple_ids)
+        gathered = self._gather(
+            f"delete-tuples-exact({name!r})",
+            self._all_shards(lambda server: tuple(server.delete_tuples_exact(name, ids))),
+            policy=FAIL_FAST,
+        )
+        deleted: set[bytes] = set()
+        for shard_deleted in gathered.values:
+            deleted.update(shard_deleted)
+        return tuple(sorted(deleted))
 
     def execute_query(
         self, name: str, encrypted_query: EncryptedQuery

@@ -111,9 +111,9 @@ EXPERIMENTS: tuple[ExperimentSpec, ...] = (
     ),
     ExperimentSpec(
         "E10",
-        "The secure-index optimization vs the SWP linear scan",
+        "Serving-path index lookups (O(result)) vs linear scans (O(data))",
         "benchmarks/bench_e10_index_vs_scan.py",
         run_e10_index_vs_scan,
-        {"sizes": (500, 2000)},
+        {"sizes": (500, 2000), "queries_per_point": 5},
     ),
 )

@@ -103,11 +103,13 @@ def parse_bool_option(key: str, value: str) -> bool:
 
 
 def parse_tcp_options(url: str) -> tuple[str, int, dict]:
-    """Split ``tcp://host:port[?async=1]`` into its parts, strictly.
+    """Split ``tcp://host:port[?async=1&index=1]`` into its parts, strictly.
 
-    Returns ``(host, port, options)``; the only supported option is
-    ``async`` (picks the pipelined asyncio transport, see
-    :class:`~repro.net.aio.AsyncRemoteServerProxy`).
+    Returns ``(host, port, options)``; the supported options are ``async``
+    (picks the pipelined asyncio transport, see
+    :class:`~repro.net.aio.AsyncRemoteServerProxy`) and ``index`` (the
+    session maintains encrypted inverted indexes and serves exact selects
+    through ``INDEX_LOOKUP``).
     """
     parts = urlsplit(url)
     if parts.scheme != "tcp":
@@ -126,11 +128,11 @@ def parse_tcp_options(url: str) -> tuple[str, int, dict]:
             if not item:
                 continue
             key, _, value = item.partition("=")
-            if key != "async":
+            if key not in ("async", "index"):
                 raise RemoteError(
-                    f"unknown provider URL option {key!r} (supported: async)"
+                    f"unknown provider URL option {key!r} (supported: async, index)"
                 )
-            options["async"] = parse_bool_option(key, value)
+            options[key] = parse_bool_option(key, value)
     return hostname, port, options
 
 
@@ -499,6 +501,16 @@ class RemoteProxyBase:
             expect=MessageKind.ACK,
         )
         return protocol.decode_count(response.body)
+
+    def delete_tuples_exact(self, name: str, tuple_ids: Sequence[bytes]) -> tuple[bytes, ...]:
+        """Delete by public id and learn exactly which ids were live."""
+        response = self._request(
+            MessageKind.DELETE_TUPLES_EXACT,
+            name,
+            protocol.encode_tuple_ids(list(tuple_ids)),
+            expect=MessageKind.TUPLE_IDS,
+        )
+        return protocol.decode_tuple_ids(response.body)
 
     def execute_batch(
         self, name: str, encrypted_queries: Sequence[EncryptedQuery]

@@ -642,12 +642,16 @@ class DatabaseTcpServer:
             self._database.drop_relation(str(request["relation"]))
             return {"ok": True}
         if op == "stats":
-            return {
+            report = {
                 "ok": True,
                 "stats": self.stats.as_dict(),
                 "audit": self._database.audit_log.summary(),
                 "relations": list(self._database.relation_names),
             }
+            index_stats = getattr(self._database, "index_stats", None)
+            if index_stats is not None:
+                report["indexes"] = index_stats()
+            return report
         raise ServerError(f"unknown control operation {op!r}")
 
     # ------------------------------------------------------------------ #

@@ -26,6 +26,9 @@ class AuditEventKind(Enum):
     BATCH_EXECUTED = "batch-executed"
     RELATION_DROPPED = "relation-dropped"
     TUPLE_IDS_LISTED = "tuple-ids-listed"
+    INDEX_STORED = "index-stored"
+    INDEX_DELTA_APPLIED = "index-delta-applied"
+    INDEX_LOOKUP_SERVED = "index-lookup-served"
 
 
 @dataclass(frozen=True)

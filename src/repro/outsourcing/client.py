@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.dph import DatabasePrivacyHomomorphism, DecryptionReport
+from repro.core.dph import (
+    DatabasePrivacyHomomorphism,
+    DecryptionReport,
+    EvaluationResult,
+)
 from repro.outsourcing.server import OutsourcedDatabaseServer
 from repro.relational.query import Projection, Query
 from repro.relational.relation import Relation
@@ -39,6 +43,10 @@ class SelectOutcome:
 
     report: DecryptionReport
     projected_rows: list[tuple] | None = None
+    #: The provider-side evaluation stats (pre-decryption), when the
+    #: transport carried them: result sizes, tuples examined, token work.
+    #: ``examined`` is how O(result) index serving shows up vs O(data) scans.
+    evaluation: EvaluationResult | None = None
 
     @property
     def relation(self) -> Relation:

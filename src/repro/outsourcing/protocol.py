@@ -281,6 +281,10 @@ class MessageKind(Enum):
     BATCH_RESULT = "batch-result"
     LIST_TUPLE_IDS = "list-tuple-ids"
     TUPLE_IDS = "tuple-ids"
+    DELETE_TUPLES_EXACT = "delete-tuples-exact"
+    INDEX_PUT = "index-put"
+    INDEX_DELTA = "index-delta"
+    INDEX_LOOKUP = "index-lookup"
 
 
 #: Kinds that may only travel inside a version >= 2 envelope.
@@ -291,6 +295,10 @@ V2_ONLY_KINDS = frozenset(
         MessageKind.BATCH_RESULT,
         MessageKind.LIST_TUPLE_IDS,
         MessageKind.TUPLE_IDS,
+        MessageKind.DELETE_TUPLES_EXACT,
+        MessageKind.INDEX_PUT,
+        MessageKind.INDEX_DELTA,
+        MessageKind.INDEX_LOOKUP,
     }
 )
 

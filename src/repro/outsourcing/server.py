@@ -76,9 +76,23 @@ class OutsourcedDatabaseServer:
         audit_log: ServerAuditLog | None = None,
         storage: StorageBackend | None = None,
     ) -> None:
+        # Imported here, not at module top: repro.index.wire speaks this
+        # package's protocol, so a top-level import would be circular.
+        from repro.index.access import IndexAccess, ScanAccess
+
         self._storage = storage if storage is not None else InMemoryStorageBackend()
         self._evaluators: dict[str, ServerEvaluator] = {}
         self._audit = audit_log if audit_log is not None else ServerAuditLog()
+        self._scan_access = ScanAccess(self.execute_query)
+        self._index_access = IndexAccess()
+        #: Lookup strategies in preference order; first that can serve wins.
+        self._access_methods = (self._index_access, self._scan_access)
+        self._index_scan_fallbacks = 0
+
+    @property
+    def index_access(self):
+        """The provider's index-serving strategy (stats, installed indexes)."""
+        return self._index_access
 
     @property
     def audit_log(self) -> ServerAuditLog:
@@ -119,6 +133,9 @@ class OutsourcedDatabaseServer:
         """Store (or replace) an encrypted relation and its query evaluator."""
         self.register_evaluator(name, evaluator)
         self._storage.save(name, encrypted_relation)
+        # A full restore invalidates any index built for the old contents;
+        # the client ships a fresh INDEX_PUT right after when indexing is on.
+        self._index_access.note_store(name)
         self._audit.record(
             AuditEventKind.RELATION_STORED,
             name,
@@ -133,6 +150,7 @@ class OutsourcedDatabaseServer:
             self._storage.append(name, encrypted_tuple)
         except StorageError as exc:
             raise ServerError(str(exc)) from exc
+        self._index_access.note_insert(name, encrypted_tuple)
         self._audit.record(
             AuditEventKind.TUPLE_INSERTED,
             name,
@@ -145,24 +163,43 @@ class OutsourcedDatabaseServer:
         Unknown ids are ignored (the client addresses tuples by the public
         random ids, which may already have been deleted by a racing request).
         """
+        return len(self.delete_tuples_exact(name, tuple_ids))
+
+    def delete_tuples_exact(self, name: str, tuple_ids: Sequence[bytes]) -> tuple[bytes, ...]:
+        """Remove the named tuple ciphertexts and report *which* ids went.
+
+        The per-id outcome is what a coordinator needs under replayed or
+        stale delete batches: a count alone cannot say which addressed
+        tuples were still live on this provider, the id set can -- and it
+        is exactly the set whose index postings must be tombstoned.
+        """
         stored = self._load(name)
         wanted = set(tuple_ids)
-        remaining = tuple(
-            t for t in stored.encrypted_tuples if t.tuple_id not in wanted
-        )
-        deleted = len(stored.encrypted_tuples) - len(remaining)
-        if deleted:
+        remaining = []
+        deleted_ids = []
+        seen: set[bytes] = set()
+        for t in stored.encrypted_tuples:
+            if t.tuple_id in wanted:
+                if t.tuple_id not in seen:
+                    seen.add(t.tuple_id)
+                    deleted_ids.append(t.tuple_id)
+            else:
+                remaining.append(t)
+        if deleted_ids:
             self._storage.save(
                 name,
-                EncryptedRelation(schema=stored.schema, encrypted_tuples=remaining),
+                EncryptedRelation(
+                    schema=stored.schema, encrypted_tuples=tuple(remaining)
+                ),
             )
+            self._index_access.note_delete(name, deleted_ids)
         self._audit.record(
             AuditEventKind.TUPLES_DELETED,
             name,
             requested=len(tuple_ids),  # what Eve saw on the wire, duplicates included
-            deleted=deleted,
+            deleted=len(stored.encrypted_tuples) - len(remaining),
         )
-        return deleted
+        return tuple(deleted_ids)
 
     def execute_query(self, name: str, encrypted_query: EncryptedQuery) -> EvaluationResult:
         """Run the encrypted query against a stored relation."""
@@ -225,6 +262,7 @@ class OutsourcedDatabaseServer:
         stored = self._load(name)  # raise ServerError when absent
         self._storage.delete(name)
         self._evaluators.pop(name, None)
+        self._index_access.note_drop(name)
         self._audit.record(
             AuditEventKind.RELATION_DROPPED, name, tuple_count=len(stored)
         )
@@ -262,6 +300,70 @@ class OutsourcedDatabaseServer:
             AuditEventKind.TUPLE_IDS_LISTED, name, id_count=len(ids)
         )
         return ids
+
+    # ------------------------------------------------------------------ #
+    # Encrypted inverted index (repro.index)
+    # ------------------------------------------------------------------ #
+
+    def put_index(self, name: str, snapshot) -> int:
+        """Install a client-built index snapshot for a stored relation."""
+        self._load(name)  # raise ServerError when the relation is absent
+        self._index_access.put(name, snapshot)
+        self._audit.record(
+            AuditEventKind.INDEX_STORED,
+            name,
+            labels=len(snapshot.entries),
+            posting_slots=snapshot.posting_slots(),
+            bucket_capacity=snapshot.bucket_capacity,
+        )
+        return len(snapshot.entries)
+
+    def apply_index_delta(self, name: str, delta) -> int:
+        """Apply a posting delta; a provider without the index no-ops.
+
+        The index is soft state: acknowledging a delta it cannot apply is
+        safe because the next lookup on this provider falls back to scan.
+        Returns how many posting pairs were applied (0 for the no-op).
+        """
+        applied = self._index_access.apply_delta(name, delta)
+        count = (len(delta.additions) + len(delta.removals)) if applied else 0
+        self._audit.record(
+            AuditEventKind.INDEX_DELTA_APPLIED,
+            name,
+            additions=len(delta.additions),
+            removals=len(delta.removals),
+            applied=applied,
+        )
+        return count
+
+    def index_lookup(self, name: str, request) -> EvaluationResult:
+        """Answer an exact select through the best available access method."""
+        stored = self._load(name)
+        for method in self._access_methods:
+            if not method.can_serve(name, request):
+                continue
+            if method is self._scan_access:
+                self._index_scan_fallbacks += 1
+            result = method.search(name, stored, request)
+            self._audit.record(
+                AuditEventKind.INDEX_LOOKUP_SERVED,
+                name,
+                access=method.name,
+                labels=len(request.labels),
+                result_size=len(result.matching),
+                examined=result.examined,
+            )
+            return result
+        raise ServerError(
+            f"no access method can serve the lookup on relation {name!r} "
+            "(no index installed and no fallback query supplied)"
+        )
+
+    def index_stats(self) -> dict:
+        """Index-serving statistics for operators (``repro serve`` stats)."""
+        stats = dict(self._index_access.stats())
+        stats["scan_fallbacks"] = self._index_scan_fallbacks
+        return stats
 
     def storage_in_bytes(self, name: str | None = None) -> int:
         """Total ciphertext bytes stored (for one relation or overall)."""
@@ -332,6 +434,32 @@ class OutsourcedDatabaseServer:
             ids = self.list_tuple_ids(name)
             return self._respond(
                 request, MessageKind.TUPLE_IDS, protocol.encode_tuple_ids(ids)
+            )
+        if request.kind is MessageKind.DELETE_TUPLES_EXACT:
+            tuple_ids = protocol.decode_tuple_ids(request.body)
+            deleted_ids = self.delete_tuples_exact(name, tuple_ids)
+            return self._respond(
+                request, MessageKind.TUPLE_IDS, protocol.encode_tuple_ids(deleted_ids)
+            )
+        if request.kind is MessageKind.INDEX_PUT:
+            from repro.index.wire import decode_index_snapshot
+
+            labels = self.put_index(name, decode_index_snapshot(request.body))
+            return self._respond(request, MessageKind.ACK, protocol.encode_count(labels))
+        if request.kind is MessageKind.INDEX_DELTA:
+            from repro.index.wire import decode_index_delta
+
+            applied = self.apply_index_delta(name, decode_index_delta(request.body))
+            return self._respond(request, MessageKind.ACK, protocol.encode_count(applied))
+        if request.kind is MessageKind.INDEX_LOOKUP:
+            from repro.index.wire import decode_index_lookup
+
+            result = self.index_lookup(name, decode_index_lookup(request.body))
+            # INDEX_LOOKUP is v2-only, so the response always carries stats.
+            return self._respond(
+                request,
+                MessageKind.QUERY_RESULT,
+                protocol.encode_evaluation_result(result),
             )
         raise ServerError(f"cannot serve message kind {request.kind.value!r}")
 

@@ -36,21 +36,37 @@ def tcp_provider():
         yield server
 
 
-@pytest.fixture(params=["in-process", "tcp", "tcp-async", "cluster"])
+@pytest.fixture(
+    params=[
+        "in-process",
+        "tcp",
+        "tcp-async",
+        "cluster",
+        "in-process+index",
+        "tcp+index",
+        "tcp-async+index",
+        "cluster+index",
+    ]
+)
 def transport(request):
     """Direct provider, a socket (blocking or pipelined), or a 2-shard
-    cluster of in-process backends."""
+    cluster of in-process backends -- each plain and with the encrypted
+    inverted index maintained through every operation."""
     return request.param
 
 
 @pytest.fixture(params=available_schemes())
 def db(request, transport, secret_key, rng):
-    if transport == "in-process":
-        session = EncryptedDatabase.open(secret_key, scheme=request.param, rng=rng)
+    indexed = transport.endswith("+index")
+    base = transport[: -len("+index")] if indexed else transport
+    if base == "in-process":
+        session = EncryptedDatabase.open(
+            secret_key, scheme=request.param, rng=rng, index=indexed
+        )
         session.create_table(EMP_DECL, rows=ROWS)
         yield session
         return
-    if transport == "cluster":
+    if base == "cluster":
         # The same suite sharded across two backends -- the scatter-gather
         # router must be just as transparent as the socket.
         from repro.outsourcing import OutsourcedDatabaseServer
@@ -60,6 +76,7 @@ def db(request, transport, secret_key, rng):
             shards=[OutsourcedDatabaseServer(), OutsourcedDatabaseServer()],
             scheme=request.param,
             rng=rng,
+            index=indexed,
         )
         try:
             session.create_table(EMP_DECL, rows=ROWS)
@@ -70,7 +87,9 @@ def db(request, transport, secret_key, rng):
     # The same suite over tcp:// -- the transport must be transparent --
     # both the blocking pooled proxy and the pipelined asyncio proxy.
     provider = request.getfixturevalue("tcp_provider")
-    suffix = "?async=1" if transport == "tcp-async" else ""
+    options = [opt for opt, on in (("async=1", base == "tcp-async"),
+                                   ("index=1", indexed)) if on]
+    suffix = "?" + "&".join(options) if options else ""
     session = EncryptedDatabase.connect(
         f"tcp://127.0.0.1:{provider.port}{suffix}",
         secret_key,
@@ -159,6 +178,42 @@ class TestCrudAcrossAllSchemes:
         relation = db.retrieve_all("Emp")
         assert len(relation) == len(ROWS)
         assert sorted(t["name"] for t in relation) == sorted(r[0] for r in ROWS)
+
+    def test_indexed_serving_is_o_result(self, db):
+        """Indexed sessions answer from the index (examined ~ result size);
+        plain sessions scan (examined ~ data size).  Either way the results
+        above already proved byte-for-byte equality with the expectation."""
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 2
+        if db.index_active:
+            assert outcome.evaluation.examined == 2
+        else:
+            assert outcome.evaluation is None or (
+                outcome.evaluation.examined >= len(ROWS)
+            )
+
+    def test_indexed_crud_matches_a_scan_session(self, db, secret_key, rng):
+        """Drive CRUD through the (possibly indexed) session, then compare
+        every query's result against a plain scanning session attached to
+        the very same provider state."""
+        db.insert("Emp", {"name": "Zoe", "dept": "HR", "salary": 1})
+        db.delete(Selection.equals("name", "Smith"), table="Emp")
+        db.update(Selection.equals("name", "Jones"), {"dept": "OPS"}, table="Emp")
+        scan = EncryptedDatabase.open(
+            secret_key, server=db.server, scheme=db.scheme_name, rng=rng
+        )
+        scan.attach_table(EMP_DECL)
+        for where in (
+            Selection.equals("dept", "HR"),
+            Selection.equals("dept", "OPS"),
+            Selection.equals("name", "Smith"),
+            Selection.equals("name", "Zoe"),
+        ):
+            indexed = db.select(where, table="Emp")
+            scanned = scan.select(where, table="Emp")
+            assert sorted(t["name"] for t in indexed.relation) == sorted(
+                t["name"] for t in scanned.relation
+            )
 
 
 class TestSessionManagement:

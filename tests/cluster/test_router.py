@@ -51,6 +51,10 @@ class FlakyServer(OutsourcedDatabaseServer):
         self._check()
         return super().delete_tuples(name, tuple_ids)
 
+    def delete_tuples_exact(self, name, tuple_ids):
+        self._check()
+        return super().delete_tuples_exact(name, tuple_ids)
+
 
 @pytest.fixture
 def backends():

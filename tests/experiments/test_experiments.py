@@ -89,10 +89,34 @@ class TestPerformanceExperiments:
         assert all(row.expansion >= 1.0 for row in result.rows)
 
     def test_e10_shape(self):
-        result = run_e10_index_vs_scan(sizes=(300,))
-        backends = {row.backend for row in result.rows}
-        assert backends == {"dph-swp", "dph-index"}
-        assert all(row.token_evaluations == 300 for row in result.rows)
+        result = run_e10_index_vs_scan(
+            sizes=(300,), queries_per_point=3, cluster_shards=2
+        )
+        cells = {(r.access, r.topology, r.query_kind) for r in result.rows}
+        assert cells == {
+            (access, topology, kind)
+            for access in ("scan", "index")
+            for topology in ("single", "cluster-2")
+            for kind in ("point", "popular")
+        }
+        for row in result.rows:
+            assert row.ops_per_s > 0 and row.avg_bytes_per_query > 0
+            # Scans examine every tuple; the index examines ~the result.
+            if row.access == "scan":
+                assert row.avg_examined == 300
+            else:
+                assert row.avg_examined <= 300 * 0.75
+        # Indexed results match scan results cell by cell.
+        by_cell = {
+            (r.access, r.topology, r.query_kind): r.avg_result_size
+            for r in result.rows
+        }
+        for topology in ("single", "cluster-2"):
+            for kind in ("point", "popular"):
+                assert (
+                    by_cell[("index", topology, kind)]
+                    == by_cell[("scan", topology, kind)]
+                )
 
 
 class TestRegistry:

@@ -1,0 +1,197 @@
+"""Unit tests for the provider-side index structures and access methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SearchableSelectDph
+from repro.index import (
+    IndexAccess,
+    IndexDelta,
+    IndexLookupRequest,
+    IndexSnapshot,
+    RelationIndex,
+    ScanAccess,
+)
+
+
+def _id(v: int) -> bytes:
+    return bytes([v]) * 16
+
+
+L1, L2 = b"\x01" * 32, b"\x02" * 32
+
+
+class TestRelationIndex:
+    def test_from_snapshot_members(self):
+        index = RelationIndex.from_snapshot(
+            IndexSnapshot(bucket_capacity=2, entries={L1: ((_id(1), _id(2)),)})
+        )
+        assert index.candidates([L1]) == {_id(1), _id(2)}
+        assert index.sealed_bucket_count(L1) == 1
+
+    def test_additions_spill_then_seal(self):
+        index = RelationIndex(bucket_capacity=2)
+        index.apply_delta(IndexDelta(additions=((L1, _id(1)),)))
+        assert index.spill_length(L1) == 1
+        assert index.sealed_bucket_count(L1) == 0
+        # capacity reached: the spill seals into a bucket (overflow spill)
+        index.apply_delta(IndexDelta(additions=((L1, _id(2)),)))
+        assert index.spill_length(L1) == 0
+        assert index.sealed_bucket_count(L1) == 1
+        assert index.candidates([L1]) == {_id(1), _id(2)}
+
+    def test_apply_delta_is_idempotent(self):
+        index = RelationIndex(bucket_capacity=4)
+        delta = IndexDelta(additions=((L1, _id(1)),))
+        index.apply_delta(delta)
+        index.apply_delta(delta)  # replayed batch
+        assert index.live_posting_count(L1) == 1
+        assert index.spill_length(L1) == 1
+
+    def test_removals_tombstone_not_shrink(self):
+        index = RelationIndex.from_snapshot(
+            IndexSnapshot(bucket_capacity=2, entries={L1: ((_id(1), _id(2)),)})
+        )
+        index.apply_delta(IndexDelta(removals=((L1, _id(1)),)))
+        assert index.candidates([L1]) == {_id(2)}
+        assert index.sealed_bucket_count(L1) == 1  # sealed buckets never shrink
+
+    def test_label_empties_after_last_delete(self):
+        index = RelationIndex(bucket_capacity=4)
+        index.apply_delta(IndexDelta(additions=((L1, _id(1)),)))
+        index.apply_delta(IndexDelta(removals=((L1, _id(1)),)))
+        assert index.candidates([L1]) == set()
+        # and an empty label annihilates any intersection
+        index.apply_delta(IndexDelta(additions=((L2, _id(2)),)))
+        assert index.candidates([L1, L2]) == set()
+
+    def test_readdition_resurrects_a_tombstone(self):
+        index = RelationIndex(bucket_capacity=4)
+        index.apply_delta(IndexDelta(additions=((L1, _id(1)),)))
+        index.apply_delta(IndexDelta(removals=((L1, _id(1)),)))
+        index.apply_delta(IndexDelta(additions=((L1, _id(1)),)))
+        assert index.candidates([L1]) == {_id(1)}
+
+    def test_unknown_removals_ignored(self):
+        index = RelationIndex(bucket_capacity=4)
+        index.apply_delta(IndexDelta(removals=((L1, _id(9)),)))
+        assert index.stats()["tombstones"] == 0
+
+    def test_candidates_intersect(self):
+        index = RelationIndex(bucket_capacity=4)
+        index.apply_delta(
+            IndexDelta(additions=((L1, _id(1)), (L1, _id(2)), (L2, _id(2))))
+        )
+        assert index.candidates([L1, L2]) == {_id(2)}
+
+    def test_no_labels_means_no_candidates(self):
+        assert RelationIndex(bucket_capacity=4).candidates([]) == set()
+
+
+@pytest.fixture
+def served(employee_schema, employee_relation, secret_key, rng):
+    """An encrypted relation plus a live evaluator, as a provider holds them."""
+    dph = SearchableSelectDph(employee_schema, secret_key, backend="swp", rng=rng)
+    encrypted = dph.encrypt_relation(employee_relation)
+    return dph, encrypted
+
+
+class TestIndexAccess:
+    def _snapshot_for(self, encrypted, label=L1, matching=2):
+        ids = tuple(t.tuple_id for t in encrypted.encrypted_tuples[:matching])
+        return IndexSnapshot(bucket_capacity=4, entries={label: (ids,)})
+
+    def test_serves_only_indexed_relations(self, served):
+        _, encrypted = served
+        access = IndexAccess()
+        request = IndexLookupRequest(labels=(L1,))
+        assert not access.can_serve("Emp", request)
+        access.put("Emp", self._snapshot_for(encrypted))
+        assert access.can_serve("Emp", request)
+        assert not access.can_serve("Other", request)
+
+    def test_search_fetches_only_candidates(self, served):
+        _, encrypted = served
+        access = IndexAccess()
+        access.put("Emp", self._snapshot_for(encrypted, matching=2))
+        result = access.search("Emp", encrypted, IndexLookupRequest(labels=(L1,)))
+        assert len(result.matching) == 2
+        assert result.examined == 2  # O(result), not O(data)
+        assert result.token_evaluations == 0
+
+    def test_stale_and_dummy_candidates_fetch_nothing(self, served):
+        _, encrypted = served
+        access = IndexAccess()
+        ids = (encrypted.encrypted_tuples[0].tuple_id, b"\xee" * 16)
+        access.put(
+            "Emp", IndexSnapshot(bucket_capacity=4, entries={L1: (ids,)})
+        )
+        result = access.search("Emp", encrypted, IndexLookupRequest(labels=(L1,)))
+        assert len(result.matching) == 1
+        assert result.examined == 1
+
+    def test_delta_on_unindexed_relation_is_noop(self):
+        access = IndexAccess()
+        assert access.apply_delta("Emp", IndexDelta(additions=((L1, _id(1)),))) is False
+        assert access.deltas == 0
+
+    def test_note_store_drops_the_index(self, served):
+        _, encrypted = served
+        access = IndexAccess()
+        access.put("Emp", self._snapshot_for(encrypted))
+        access.note_store("Emp")
+        assert access.index_for("Emp") is None
+        assert not access.can_serve("Emp", IndexLookupRequest(labels=(L1,)))
+
+    def test_mutation_hooks_keep_the_id_map_aligned(self, served):
+        _, encrypted = served
+        access = IndexAccess()
+        first = encrypted.encrypted_tuples[0]
+        access.put(
+            "Emp",
+            IndexSnapshot(bucket_capacity=4, entries={L1: ((first.tuple_id,),)}),
+        )
+        # lookup builds the id map lazily
+        access.search("Emp", encrypted, IndexLookupRequest(labels=(L1,)))
+        access.note_delete("Emp", [first.tuple_id])
+        result = access.search("Emp", encrypted, IndexLookupRequest(labels=(L1,)))
+        assert len(result.matching) == 0
+
+    def test_stats_shape(self, served):
+        _, encrypted = served
+        access = IndexAccess()
+        access.put("Emp", self._snapshot_for(encrypted))
+        stats = access.stats()
+        assert stats["indexed_relations"] == ["Emp"]
+        assert stats["puts"] == 1
+        assert stats["relations"]["Emp"]["bucket_capacity"] == 4
+
+
+class TestScanAccess:
+    def test_serves_only_with_a_fallback_query(self, served):
+        dph, encrypted = served
+        access = ScanAccess(lambda name, query: None)
+        assert not access.can_serve("Emp", IndexLookupRequest(labels=(L1,)))
+        from repro.relational import Selection
+
+        fallback = dph.encrypt_query(Selection.equals("dept", "HR"))
+        assert access.can_serve(
+            "Emp", IndexLookupRequest(labels=(L1,), fallback_query=fallback)
+        )
+
+    def test_search_delegates_to_the_evaluate_callable(self, served):
+        dph, encrypted = served
+        from repro.relational import Selection
+
+        calls = []
+
+        def evaluate(name, query):
+            calls.append((name, query))
+            return "result"
+
+        access = ScanAccess(evaluate)
+        fallback = dph.encrypt_query(Selection.equals("dept", "HR"))
+        request = IndexLookupRequest(labels=(L1,), fallback_query=fallback)
+        assert access.search("Emp", encrypted, request) == "result"
+        assert calls == [("Emp", fallback)]

@@ -1,0 +1,213 @@
+"""Index maintenance edge cases on the serving path.
+
+Covers the corners the happy path skips: labels emptied by the last
+delete, bucket-cap overflow spill, v1 providers negotiating the session
+back to scans, mixed fleets where only some shards speak the index ops,
+and the exact-delete protocol op under duplicates and replays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import EncryptedDatabase
+from repro.outsourcing import OutsourcedDatabaseServer
+from repro.outsourcing.protocol import PROTOCOL_V1, MessageKind
+from repro.outsourcing.server import ServerError
+
+EMP_DECL = "Emp(name:string[14], dept:string[5], salary:int[6])"
+ROWS = [(f"emp{i}", "HR" if i % 2 else "IT", 1000 + i) for i in range(20)]
+
+
+def _names(outcome):
+    return sorted(t.value("name") for t in outcome.relation.tuples)
+
+
+@pytest.fixture
+def db(secret_key, rng):
+    session = EncryptedDatabase.open(secret_key, rng=rng, index=True)
+    session.create_table(EMP_DECL, rows=ROWS)
+    return session
+
+
+class TestEmptiedLabels:
+    def test_deleting_every_match_empties_the_label(self, db):
+        assert db.delete("SELECT * FROM Emp WHERE dept = 'HR'") == 10
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 0
+        # the emptied label answers from the index (0 fetched), not by scan
+        assert db.index_active
+        assert outcome.evaluation.examined == 0
+
+    def test_other_labels_survive_the_emptying(self, db):
+        db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'IT'")
+        assert len(outcome.relation) == 10
+        assert outcome.evaluation.examined == 10
+
+    def test_reinserting_after_emptying_resurrects_the_label(self, db):
+        db.delete("SELECT * FROM Emp WHERE dept = 'HR'")
+        db.insert("Emp", {"name": "Zoe", "dept": "HR", "salary": 1})
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert _names(outcome) == ["Zoe"]
+        assert outcome.evaluation.examined == 1
+
+
+class TestOverflowSpill:
+    def test_inserts_past_the_bucket_cap_seal_spill_buckets(self, db):
+        index = db.server.index_access.index_for("Emp")
+        capacity = index.bucket_capacity
+        sealed_before = index.stats()["sealed_buckets"]
+        for i in range(3 * capacity):
+            db.insert("Emp", {"name": f"extra{i}", "dept": "OPS", "salary": 1})
+        assert index.stats()["sealed_buckets"] > sealed_before
+        # the open spill never exceeds a bucket
+        assert index.stats()["spilled_postings"] < index.stats()["labels"] * capacity
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'OPS'")
+        assert len(outcome.relation) == 3 * capacity
+        assert outcome.evaluation.examined == 3 * capacity
+
+
+class V1OnlyServer(OutsourcedDatabaseServer):
+    """A provider from before the v2 envelope existed."""
+
+    SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_V1,)
+
+
+_INDEX_KINDS = frozenset(
+    {
+        MessageKind.INDEX_PUT,
+        MessageKind.INDEX_DELTA,
+        MessageKind.INDEX_LOOKUP,
+        MessageKind.DELETE_TUPLES_EXACT,
+    }
+)
+
+
+class NoIndexServer(OutsourcedDatabaseServer):
+    """A v2 provider from before the index ops existed."""
+
+    REFUSED = _INDEX_KINDS
+
+    def _dispatch(self, request):
+        if request.kind in self.REFUSED:
+            raise ServerError(f"cannot serve message kind {request.kind.value!r}")
+        return super()._dispatch(request)
+
+
+class NoLookupServer(NoIndexServer):
+    """Accepts index maintenance but cannot serve lookups (mid-upgrade)."""
+
+    REFUSED = frozenset({MessageKind.INDEX_LOOKUP})
+
+
+class TestV1Negotiation:
+    def test_v1_provider_disables_indexing_silently(self, secret_key, rng):
+        db = EncryptedDatabase.open(
+            secret_key, server=V1OnlyServer(), rng=rng, index=True
+        )
+        assert not db.index_enabled
+        assert not db.index_active
+        db.create_table(EMP_DECL, rows=ROWS)
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 10
+
+
+class TestPreIndexProvider:
+    def test_session_falls_back_to_scans_and_stays_correct(self, secret_key, rng):
+        db = EncryptedDatabase.open(
+            secret_key, server=NoIndexServer(), rng=rng, index=True
+        )
+        db.create_table(EMP_DECL, rows=ROWS)
+        # the failed INDEX_PUT memoized "provider has no index ops"
+        assert db.index_enabled
+        assert not db.index_active
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 10
+        assert db.delete("SELECT * FROM Emp WHERE name = 'emp1'") == 1
+        assert db.update("SELECT * FROM Emp WHERE name = 'emp3'", {"salary": 9}) == 1
+        assert len(db.select("SELECT * FROM Emp WHERE dept = 'HR'").relation) == 9
+
+
+class TestMixedFleet:
+    def test_lookups_fall_back_per_shard(self, secret_key, rng):
+        db = EncryptedDatabase.open(
+            secret_key,
+            shards=[OutsourcedDatabaseServer(), NoLookupServer()],
+            rng=rng,
+            index=True,
+        )
+        db.create_table(EMP_DECL, rows=ROWS)
+        assert db.index_active  # maintenance succeeded fleet-wide
+        outcome = db.select("SELECT * FROM Emp WHERE dept = 'HR'")
+        assert len(outcome.relation) == 10
+        # the lookup was served: indexed on one shard, by scan on the other
+        assert db.server.stats.index_lookups >= 1
+        assert db.server.stats.index_scan_fallbacks >= 1
+        assert db.index_active  # per-shard fallback never disables the session
+
+    def test_results_match_an_unindexed_twin(self, secret_key, rng):
+        from repro.crypto.rng import DeterministicRng
+
+        fleets = []
+        for index in (True, False):
+            db = EncryptedDatabase.open(
+                secret_key,
+                shards=[OutsourcedDatabaseServer(), NoLookupServer()],
+                rng=DeterministicRng(7),
+                index=index,
+            )
+            db.create_table(EMP_DECL, rows=ROWS)
+            db.delete("SELECT * FROM Emp WHERE name = 'emp2'")
+            db.update("SELECT * FROM Emp WHERE name = 'emp5'", {"dept": "OPS"})
+            fleets.append(db)
+        indexed, plain = fleets
+        for where in ("dept = 'HR'", "dept = 'IT'", "dept = 'OPS'", "name = 'emp7'"):
+            left = indexed.select(f"SELECT * FROM Emp WHERE {where}")
+            right = plain.select(f"SELECT * FROM Emp WHERE {where}")
+            assert _names(left) == _names(right), where
+
+
+class TestExactDeletes:
+    def test_replicated_fleet_counts_each_tuple_once(self, secret_key, rng):
+        db = EncryptedDatabase.open(
+            secret_key,
+            shards=[OutsourcedDatabaseServer(), OutsourcedDatabaseServer()],
+            replicas=2,
+            rng=rng,
+            index=True,
+        )
+        db.create_table(EMP_DECL, rows=ROWS)
+        # every tuple exists twice physically; the logical count must not
+        assert db.delete("SELECT * FROM Emp WHERE dept = 'HR'") == 10
+        assert db.count("Emp") == 10
+
+    def test_replayed_batch_reports_zero(self, secret_key, rng, employee_schema):
+        from repro.core import SearchableSelectDph
+
+        server = OutsourcedDatabaseServer()
+        dph = SearchableSelectDph(employee_schema, secret_key, backend="swp", rng=rng)
+        from repro.relational import Relation
+
+        relation = Relation.from_rows(
+            employee_schema, [("A", "HR", 1), ("B", "IT", 2)]
+        )
+        encrypted = dph.encrypt_relation(relation)
+        server.store_relation("Emp", encrypted, dph.server_evaluator())
+        ids = [t.tuple_id for t in encrypted.encrypted_tuples]
+        first = server.delete_tuples_exact("Emp", ids)
+        assert sorted(first) == sorted(ids)
+        # a stale batch replayed after a crash deletes nothing more
+        assert server.delete_tuples_exact("Emp", ids) == ()
+
+    def test_duplicate_ids_in_one_batch_count_once(self, secret_key, rng, employee_schema):
+        from repro.core import SearchableSelectDph
+        from repro.relational import Relation
+
+        server = OutsourcedDatabaseServer()
+        dph = SearchableSelectDph(employee_schema, secret_key, backend="swp", rng=rng)
+        relation = Relation.from_rows(employee_schema, [("A", "HR", 1)])
+        encrypted = dph.encrypt_relation(relation)
+        server.store_relation("Emp", encrypted, dph.server_evaluator())
+        the_id = encrypted.encrypted_tuples[0].tuple_id
+        assert server.delete_tuples_exact("Emp", [the_id, the_id]) == (the_id,)

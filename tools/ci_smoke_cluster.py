@@ -1,6 +1,6 @@
 """CI smoke test of the sharded multi-provider deployment.
 
-Three phases, every wait bounded so a hung provider fails the CI step
+Four phases, every wait bounded so a hung provider fails the CI step
 instead of wedging it:
 
 1. **Scatter-gather CRUD** -- starts ``repro cluster spawn --shards 2`` as
@@ -25,6 +25,14 @@ instead of wedging it:
    event-loop scatter counter asserted to have fired, plus a direct
    ``AsyncRemoteServerProxy`` burst of concurrent in-flight requests
    over one connection.
+
+4. **Indexed fleet** -- two ``repro serve`` subprocesses behind a
+   ``cluster://...?index=1`` session: the session builds the encrypted
+   inverted index through ``INDEX_PUT``/``INDEX_DELTA`` as it creates
+   and mutates the table, exact selects are served by ``INDEX_LOOKUP``
+   in ~O(result) provider work (asserted via the per-query ``examined``
+   stat), every indexed result is compared against a plain scanning
+   session on the same fleet, and the router's index counters must fire.
 
 Usage::
 
@@ -265,6 +273,87 @@ def smoke_async_transport() -> int:
                     proc.wait(timeout=10)
 
 
+def smoke_indexed_fleet() -> int:
+    procs: list[subprocess.Popen] = []
+    try:
+        hosts = []
+        for _ in range(2):
+            proc, host = _spawn_provider()
+            procs.append(proc)
+            hosts.append(host)
+        url = "cluster://" + ",".join(hosts) + "?index=1"
+        print(f"indexed fleet up at {url}")
+
+        from repro.api import EncryptedDatabase
+        from repro.crypto.keys import SecretKey
+
+        key = SecretKey.generate()
+        with EncryptedDatabase.connect(url, key, timeout=STARTUP_TIMEOUT_S) as db:
+            if not db.index_active:
+                print("FAIL: session did not activate indexed serving")
+                return 1
+            db.create_table(
+                "Smoke(name:string[10], value:int[4])",
+                rows=[(f"row{i}", i % 3) for i in range(NUM_ROWS)],
+            )
+            db.insert("Smoke", {"name": "extra", "value": 1})
+            if db.delete("SELECT * FROM Smoke WHERE name = 'row0'") != 1:
+                print("FAIL: indexed delete mismatch")
+                return 1
+
+            expected = NUM_ROWS // 3 + 1
+            outcome = db.select("SELECT * FROM Smoke WHERE value = 1")
+            if len(outcome.relation) != expected:
+                print(f"FAIL: indexed select answered {len(outcome.relation)} rows")
+                return 1
+            if not db.index_active:
+                print("FAIL: the fleet pushed the session back to scans")
+                return 1
+            examined = outcome.evaluation.examined if outcome.evaluation else None
+            if examined != expected:
+                print(
+                    f"FAIL: INDEX_LOOKUP examined {examined} tuples for "
+                    f"{expected} results (expected ~O(result))"
+                )
+                return 1
+
+            # Every indexed answer must equal what a scanning session sees.
+            scan_url = "cluster://" + ",".join(hosts)
+            with EncryptedDatabase.connect(
+                scan_url, key, timeout=STARTUP_TIMEOUT_S
+            ) as scan:
+                scan.attach_table("Smoke(name:string[10], value:int[4])")
+                for where in ("value = 0", "value = 1", "name = 'extra'"):
+                    left = db.select(f"SELECT * FROM Smoke WHERE {where}")
+                    right = scan.select(f"SELECT * FROM Smoke WHERE {where}")
+                    left_names = sorted(t["name"] for t in left.relation)
+                    right_names = sorted(t["name"] for t in right.relation)
+                    if left_names != right_names:
+                        print(f"FAIL: index/scan divergence on {where!r}")
+                        return 1
+
+            stats = db.server.stats.as_dict()
+            if stats["index_lookups"] < 1 or stats["index_writes"] < 1:
+                print(f"FAIL: the index serving path never ran: {stats}")
+                return 1
+            print(
+                f"indexed fleet served {stats['index_lookups']} lookup(s) at "
+                f"examined={examined} for {expected} results, scan-equivalent"
+            )
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.communicate(timeout=SHUTDOWN_TIMEOUT_S)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+
 def main() -> int:
     exit_code = smoke_scatter_gather_crud()
     if exit_code != 0:
@@ -272,7 +361,10 @@ def main() -> int:
     exit_code = smoke_replicated_failover()
     if exit_code != 0:
         return exit_code
-    return smoke_async_transport()
+    exit_code = smoke_async_transport()
+    if exit_code != 0:
+        return exit_code
+    return smoke_indexed_fleet()
 
 
 if __name__ == "__main__":
