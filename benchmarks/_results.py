@@ -40,6 +40,24 @@ def git_revision() -> str | None:
     return revision if completed.returncode == 0 and revision else None
 
 
+def runtime_metrics_snapshot() -> dict:
+    """The process-wide observability snapshot, if the obs plane is importable.
+
+    Merges every live :class:`~repro.obs.MetricsRegistry` (session, server,
+    router), so the latency histograms behind each benchmark's numbers ride
+    along in its JSON.  Degrades to an empty dict rather than failing a
+    benchmark over a diagnostics import.
+    """
+    try:
+        from repro.obs.metrics import aggregate_snapshot
+    except Exception:  # noqa: BLE001 - metrics are optional here
+        return {}
+    try:
+        return aggregate_snapshot()
+    except Exception:  # noqa: BLE001
+        return {}
+
+
 def write_result_json(
     name: str,
     *,
@@ -59,6 +77,7 @@ def write_result_json(
         "table": {"columns": columns or [], "rows": rows or []},
         "metrics": metrics or {},
         "params": params or {},
+        "runtime_metrics": runtime_metrics_snapshot(),
     }
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",

@@ -30,6 +30,8 @@ predicate drove the mutation.
 
 from __future__ import annotations
 
+import contextlib
+import time
 from dataclasses import dataclass
 
 from repro.core.dph import DatabasePrivacyHomomorphism, EvaluationResult
@@ -41,6 +43,17 @@ from repro.index.wire import (
     encode_index_delta,
     encode_index_lookup,
     encode_index_snapshot,
+)
+from repro.obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    Trace,
+    TraceBuffer,
+    current_trace,
+    merge_snapshots,
+    new_trace_id,
+    span as obs_span,
+    use_trace,
 )
 from repro.outsourcing import protocol
 from repro.outsourcing.client import SelectOutcome
@@ -109,6 +122,12 @@ class EncryptedDatabase:
         #: first ``cannot serve message kind`` error so a fleet of older
         #: servers costs one failed round trip, not one per operation.
         self._index_unsupported = False
+        # The client-side observability plane: per-op latency histograms,
+        # completed traces, and the slow-query log of this session.
+        self._metrics = MetricsRegistry()
+        self._trace_buffer = TraceBuffer()
+        self._slow_queries = SlowQueryLog()
+        self._last_trace_id: bytes | None = None
 
     @classmethod
     def open(
@@ -380,6 +399,112 @@ class EncryptedDatabase:
         """Names of the tables created in this session."""
         return tuple(self._tables)
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The session's own metrics registry (per-op latency histograms)."""
+        return self._metrics
+
+    @property
+    def trace_buffer(self) -> TraceBuffer:
+        """Completed traces of this session's operations."""
+        return self._trace_buffer
+
+    @property
+    def slow_queries(self) -> SlowQueryLog:
+        """Operations slower than the slow-query threshold."""
+        return self._slow_queries
+
+    @property
+    def last_trace_id(self) -> str | None:
+        """Hex trace id of the most recent traced operation, or None."""
+        return self._last_trace_id.hex() if self._last_trace_id is not None else None
+
+    def metrics_snapshot(self) -> dict:
+        """One merged snapshot: this session's registry plus the provider's.
+
+        Works against every provider shape -- in-process servers and
+        routers contribute their ``metrics_snapshot``, remote proxies the
+        ``metrics`` control operation, and anything older simply adds
+        nothing.  Never raises: metrics are diagnostics, not serving.
+        """
+        snapshots = [self._metrics.snapshot()]
+        local = getattr(self._server, "metrics_snapshot", None)
+        if local is not None:
+            with contextlib.suppress(Exception):
+                snapshots.append(local())
+        else:
+            remote = getattr(self._server, "metrics", None)
+            if callable(remote):  # a proxy's metrics control op
+                with contextlib.suppress(Exception):
+                    snapshot = remote().get("metrics")
+                    if snapshot:
+                        snapshots.append(snapshot)
+        return merge_snapshots(*snapshots)
+
+    def fetch_trace(self, trace_id: str | bytes | None = None) -> dict | None:
+        """Assemble one end-to-end trace from the session and the fleet.
+
+        ``trace_id`` may be the hex string :attr:`last_trace_id` reports, the
+        raw 16 bytes, or None for the most recent traced operation.  The
+        session's own spans are merged with whatever every reachable
+        provider recorded under the same id (via their ``trace`` control
+        operation), sorted by wall-clock start.  Returns None for an
+        unknown id.
+        """
+        tid = bytes.fromhex(trace_id) if isinstance(trace_id, str) else trace_id
+        if tid is None:
+            tid = self._last_trace_id
+        if tid is None:
+            return None
+        local = self._trace_buffer.get(tid)
+        spans: list[dict] = list(local["spans"]) if local is not None else []
+        collector = getattr(self._server, "collect_trace", None)
+        if collector is not None:
+            with contextlib.suppress(Exception):
+                spans.extend(collector(tid))
+        if local is None and not spans:
+            return None
+        spans.sort(key=lambda entry: entry.get("start_s", 0.0))
+        start = min((s.get("start_s", 0.0) for s in spans), default=0.0)
+        end = max(
+            (s.get("start_s", 0.0) + s.get("duration_s", 0.0) for s in spans),
+            default=start,
+        )
+        return {
+            "trace_id": tid.hex(),
+            "duration_s": max(end - start, 0.0),
+            "spans": spans,
+        }
+
+    @contextlib.contextmanager
+    def _traced(self, op_kind: str):
+        """Trace one session operation end to end.
+
+        Mints a fresh trace id, binds it as the ambient trace (every layer
+        below -- proxies, router, provider -- records spans against it and
+        the id rides the v3 envelope to remote providers), and on the way
+        out files the trace, feeds the slow-query log, and observes the
+        per-op-kind latency histogram.  Nested operations (an update's
+        inner insert) join the caller's trace as plain spans instead of
+        minting their own.
+        """
+        if current_trace() is not None:
+            with obs_span(f"session.{op_kind}") as entry:
+                yield entry
+            return
+        trace = Trace(new_trace_id())
+        started = time.monotonic()
+        try:
+            with use_trace(trace), trace.span(f"session.{op_kind}") as entry:
+                yield entry
+        finally:
+            self._last_trace_id = trace.trace_id
+            self._trace_buffer.record(trace)
+            self._slow_queries.observe(trace)
+            self._metrics.histogram(
+                "session_op_seconds", op_kind=op_kind
+            ).observe(time.monotonic() - started)
+
     def close(self) -> None:
         """Release the session's transport resources (a no-op in-process).
 
@@ -535,26 +660,29 @@ class EncryptedDatabase:
 
     def insert(self, table: str, row: RelationTuple | dict | tuple) -> None:
         """Encrypt and append one row (a dict, tuple, or :class:`RelationTuple`)."""
-        handle = self.table(table)
-        relation_tuple = self._as_tuple(handle, row)
-        encrypted = handle.scheme.encrypt_tuple(relation_tuple)
-        if handle.indexer is not None and not self._index_unsupported:
-            # Postings first, tuple second: a crash in between leaves a
-            # stale posting whose id fetches nothing (a harmless superset);
-            # the other order could leave an indexed lookup missing a tuple.
-            delta = handle.indexer.insert_delta(relation_tuple, encrypted.tuple_id)
-            self._index_request(
-                MessageKind.INDEX_DELTA,
+        with self._traced("insert") as op_span:
+            op_span.annotations["table"] = table
+            handle = self.table(table)
+            relation_tuple = self._as_tuple(handle, row)
+            encrypted = handle.scheme.encrypt_tuple(relation_tuple)
+            if handle.indexer is not None and not self._index_unsupported:
+                # Postings first, tuple second: a crash in between leaves a
+                # stale posting whose id fetches nothing (a harmless
+                # superset); the other order could leave an indexed lookup
+                # missing a tuple.
+                delta = handle.indexer.insert_delta(relation_tuple, encrypted.tuple_id)
+                self._index_request(
+                    MessageKind.INDEX_DELTA,
+                    table,
+                    encode_index_delta(delta),
+                    expect=MessageKind.ACK,
+                )
+            self._request(
+                MessageKind.INSERT_TUPLE,
                 table,
-                encode_index_delta(delta),
+                protocol.encode_encrypted_tuple(encrypted),
                 expect=MessageKind.ACK,
             )
-        self._request(
-            MessageKind.INSERT_TUPLE,
-            table,
-            protocol.encode_encrypted_tuple(encrypted),
-            expect=MessageKind.ACK,
-        )
 
     def insert_many(self, table: str, rows) -> int:
         """Insert several rows; returns how many were shipped."""
@@ -572,11 +700,13 @@ class EncryptedDatabase:
         public tuple ids in the v2 ``DELETE_TUPLES`` message.
         """
         self._require_v2("delete")
-        name, parsed = self._resolve(query, table)
-        matches = self._true_matches(name, parsed)
-        if not matches:
-            return 0
-        return self._delete_matches(name, matches)
+        with self._traced("delete") as op_span:
+            name, parsed = self._resolve(query, table)
+            op_span.annotations["table"] = name
+            matches = self._true_matches(name, parsed)
+            if not matches:
+                return 0
+            return self._delete_matches(name, matches)
 
     def update(self, query: Query | str, changes: dict, table: str | None = None) -> int:
         """Re-encrypt the matching tuples with ``changes`` applied.
@@ -591,23 +721,27 @@ class EncryptedDatabase:
         tuple first).
         """
         self._require_v2("update")
-        name, parsed = self._resolve(query, table)
-        handle = self.table(name)
-        unknown = set(changes) - set(handle.schema.attribute_names)
-        if unknown:
-            raise DatabaseError(f"unknown attribute(s) in update: {sorted(unknown)}")
-        matches = self._true_matches(name, parsed)
-        if not matches:
-            return 0
-        replacements = []
-        for _, plaintext in matches:
-            values = plaintext.as_dict()
-            values.update(changes)
-            replacements.append(self._make_tuple(handle.schema, values))
-        for replacement in replacements:
-            self.insert(name, replacement)
-        self._delete_matches(name, matches)
-        return len(replacements)
+        with self._traced("update") as op_span:
+            name, parsed = self._resolve(query, table)
+            op_span.annotations["table"] = name
+            handle = self.table(name)
+            unknown = set(changes) - set(handle.schema.attribute_names)
+            if unknown:
+                raise DatabaseError(
+                    f"unknown attribute(s) in update: {sorted(unknown)}"
+                )
+            matches = self._true_matches(name, parsed)
+            if not matches:
+                return 0
+            replacements = []
+            for _, plaintext in matches:
+                values = plaintext.as_dict()
+                values.update(changes)
+                replacements.append(self._make_tuple(handle.schema, values))
+            for replacement in replacements:
+                self.insert(name, replacement)
+            self._delete_matches(name, matches)
+            return len(replacements)
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -615,10 +749,12 @@ class EncryptedDatabase:
 
     def select(self, query: Query | str, table: str | None = None) -> SelectOutcome:
         """Run one exact select and return the decrypted, filtered result."""
-        name, parsed = self._resolve(query, table)
-        handle = self.table(name)
-        result = self._run_query(handle, parsed)
-        return self._outcome(handle, result, parsed)
+        with self._traced("select") as op_span:
+            name, parsed = self._resolve(query, table)
+            op_span.annotations["table"] = name
+            handle = self.table(name)
+            result = self._run_query(handle, parsed)
+            return self._outcome(handle, result, parsed)
 
     def select_many(
         self, queries, table: str | None = None
@@ -629,32 +765,36 @@ class EncryptedDatabase:
         SQL ``FROM`` clauses).
         """
         self._require_v2("select_many")
-        resolved = [self._resolve(query, table) for query in queries]
-        if not resolved:
-            return []
-        names = {name for name, _ in resolved}
-        if len(names) != 1:
-            raise DatabaseError(
-                f"a batch addresses exactly one table, got {sorted(names)}"
+        with self._traced("select_many") as op_span:
+            resolved = [self._resolve(query, table) for query in queries]
+            if not resolved:
+                return []
+            names = {name for name, _ in resolved}
+            if len(names) != 1:
+                raise DatabaseError(
+                    f"a batch addresses exactly one table, got {sorted(names)}"
+                )
+            name = resolved[0][0]
+            op_span.annotations["table"] = name
+            op_span.annotations["batch_size"] = len(resolved)
+            handle = self.table(name)
+            encrypted = [handle.scheme.encrypt_query(parsed) for _, parsed in resolved]
+            response = self._request(
+                MessageKind.BATCH_QUERY,
+                name,
+                protocol.encode_query_batch(encrypted),
+                expect=MessageKind.BATCH_RESULT,
             )
-        name = resolved[0][0]
-        handle = self.table(name)
-        encrypted = [handle.scheme.encrypt_query(parsed) for _, parsed in resolved]
-        response = self._request(
-            MessageKind.BATCH_QUERY,
-            name,
-            protocol.encode_query_batch(encrypted),
-            expect=MessageKind.BATCH_RESULT,
-        )
-        results = protocol.decode_result_batch(response.body)
-        if len(results) != len(resolved):
-            raise DatabaseError(
-                f"provider answered {len(results)} results for {len(resolved)} queries"
-            )
-        return [
-            self._outcome(handle, result, parsed)
-            for result, (_, parsed) in zip(results, resolved)
-        ]
+            results = protocol.decode_result_batch(response.body)
+            if len(results) != len(resolved):
+                raise DatabaseError(
+                    f"provider answered {len(results)} results "
+                    f"for {len(resolved)} queries"
+                )
+            return [
+                self._outcome(handle, result, parsed)
+                for result, (_, parsed) in zip(results, resolved)
+            ]
 
     def retrieve_all(self, table: str) -> Relation:
         """Fetch the provider's full copy of a table and decrypt it."""

@@ -23,6 +23,14 @@ the CLI exposes the reproduction's main entry points without writing any code:
     same-relation requests stay FIFO.  Sessions connect with
     ``EncryptedDatabase.connect("tcp://host:port[?async=1]")``.
 
+``stats`` / ``trace``
+    The observability plane of a running provider or fleet: ``stats``
+    scrapes the merged metrics snapshot (counters, gauges, p50/p95/p99
+    latency summaries; ``--prometheus`` for the text exposition format)
+    and ``trace`` lists recent end-to-end traces and slow queries, or
+    assembles one trace by id across every shard.  Both accept a
+    ``tcp://`` or ``cluster://`` URL and ``--watch SECONDS``.
+
 ``cluster``
     Sharded multi-provider tools (see :mod:`repro.cluster`): ``spawn`` a
     local fleet of providers on ephemeral ports (``--manifest`` persists
@@ -179,6 +187,7 @@ def command_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_frame_size=args.max_frame_size,
         dispatch_workers=args.dispatch_workers,
+        slow_query_threshold=args.slow_query_threshold,
     )
 
     def _index_summary() -> str:
@@ -190,12 +199,17 @@ def command_serve(args: argparse.Namespace) -> int:
         )
 
     async def _report_stats() -> None:
+        from repro.obs import log_json
+
+        # One JSON record per interval (instead of a prose line), so log
+        # shippers and `jq` consume the periodic state without a parser.
         while True:
             await asyncio.sleep(args.stats_interval)
-            print(
-                f"repro provider stats: {tcp.stats.throughput_summary()}; "
-                f"index: {_index_summary()}",
-                flush=True,
+            log_json(
+                "stats",
+                transport=tcp.stats.as_dict(),
+                index=database.index_stats(),
+                slow_queries=len(tcp.slow_queries),
             )
 
     async def _serve() -> None:
@@ -494,6 +508,168 @@ def command_cluster_status(args: argparse.Namespace) -> int:
     return 1 if unreachable else 0
 
 
+def _observability_shard_urls(url: str) -> list[str] | None:
+    """Resolve a ``tcp://`` or ``cluster://`` URL to per-shard TCP URLs."""
+    if url.startswith("cluster"):
+        from repro.cluster import ClusterError, parse_cluster_options
+
+        try:
+            shard_urls, _options = parse_cluster_options(url)
+        except ClusterError as exc:
+            print(str(exc), file=sys.stderr)
+            return None
+        return list(shard_urls)
+    return [url]
+
+
+def _each_watch_tick(interval: float | None):
+    """Yield once, or forever every ``interval`` seconds (Ctrl-C stops)."""
+    import time as _time
+
+    yield 0
+    tick = 0
+    while interval is not None:
+        try:
+            _time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return
+        tick += 1
+        print(flush=True)
+        yield tick
+
+
+def command_stats(args: argparse.Namespace) -> int:
+    """Scrape and merge the metrics plane of a provider or a whole fleet."""
+    from repro.net.client import RemoteError, RemoteServerProxy
+    from repro.obs import histogram_summaries, merge_snapshots, render_prometheus
+
+    shard_urls = _observability_shard_urls(args.url)
+    if shard_urls is None:
+        return 2
+
+    def scrape() -> int:
+        snapshots = []
+        unreachable = 0
+        for shard_url in shard_urls:
+            try:
+                with RemoteServerProxy.connect(
+                    shard_url, pool_size=1, timeout=args.timeout
+                ) as proxy:
+                    snapshot = proxy.metrics().get("metrics")
+            except RemoteError as exc:
+                unreachable += 1
+                print(f"{shard_url}: DOWN ({exc})", file=sys.stderr)
+                continue
+            if snapshot:
+                snapshots.append(snapshot)
+        merged = merge_snapshots(*snapshots)
+        if args.prometheus:
+            sys.stdout.write(render_prometheus(merged))
+            return 1 if unreachable else 0
+        print(
+            f"metrics from {len(shard_urls) - unreachable}/{len(shard_urls)} "
+            f"shard(s)"
+        )
+        for kind in ("counters", "gauges"):
+            for entry in sorted(
+                merged[kind], key=lambda e: (e["name"], sorted(e["labels"].items()))
+            ):
+                print(f"  {_metric_label(entry)} {entry['value']}")
+        summaries = histogram_summaries(merged)
+        if summaries:
+            print("latency (seconds):")
+        for entry in sorted(
+            summaries, key=lambda e: (e["name"], sorted(e["labels"].items()))
+        ):
+            print(
+                f"  {_metric_label(entry)} count={entry['count']} "
+                f"mean={entry['mean']:.6f} p50={entry['p50']:.6f} "
+                f"p95={entry['p95']:.6f} p99={entry['p99']:.6f}"
+            )
+        return 1 if unreachable else 0
+
+    status = 0
+    for _ in _each_watch_tick(args.watch):
+        status = scrape()
+    return status
+
+
+def _metric_label(entry: dict) -> str:
+    labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+    return f"{entry['name']}{{{labels}}}" if labels else entry["name"]
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    """List recent traces / slow queries, or assemble one trace by id."""
+    from repro.net.client import RemoteError, RemoteServerProxy
+
+    shard_urls = _observability_shard_urls(args.url)
+    if shard_urls is None:
+        return 2
+    trace_id = None
+    if args.trace_id is not None:
+        try:
+            trace_id = bytes.fromhex(args.trace_id)
+        except ValueError:
+            print(f"--trace-id {args.trace_id!r} is not hex", file=sys.stderr)
+            return 2
+
+    def poll() -> int:
+        unreachable = 0
+        spans: list[dict] = []
+        for shard_url in shard_urls:
+            try:
+                with RemoteServerProxy.connect(
+                    shard_url, pool_size=1, timeout=args.timeout
+                ) as proxy:
+                    if trace_id is not None:
+                        spans.extend(proxy.collect_trace(trace_id))
+                        continue
+                    recent = proxy.recent_traces(args.limit)
+            except RemoteError as exc:
+                unreachable += 1
+                print(f"{shard_url}: DOWN ({exc})", file=sys.stderr)
+                continue
+            traces = recent.get("traces", ())
+            slow = recent.get("slow", ())
+            print(f"{shard_url}: {len(traces)} recent trace(s), {len(slow)} slow")
+            for trace in traces:
+                _print_trace(trace)
+            if slow:
+                print("  slow queries:")
+                for entry in slow:
+                    print(
+                        f"    {entry['trace_id']} {entry['duration_s']:.6f}s "
+                        f"({entry.get('span_count', len(entry.get('spans', ())))} span(s))"
+                    )
+        if trace_id is not None:
+            if not spans:
+                print(f"trace {trace_id.hex()}: not found on any shard")
+                return 1
+            _print_trace({"trace_id": trace_id.hex(), "spans": spans})
+        return 1 if unreachable else 0
+
+    status = 0
+    for _ in _each_watch_tick(args.watch):
+        status = poll()
+    return status
+
+
+def _print_trace(trace: dict) -> None:
+    spans = sorted(trace.get("spans", ()), key=lambda s: s.get("start_s", 0.0))
+    print(f"  trace {trace['trace_id']}:")
+    if not spans:
+        return
+    origin = spans[0].get("start_s", 0.0)
+    for span in spans:
+        offset_ms = (span.get("start_s", 0.0) - origin) * 1000.0
+        duration_ms = span.get("duration_s", 0.0) * 1000.0
+        annotations = span.get("annotations") or {}
+        suffix = " ".join(f"{k}={v}" for k, v in sorted(annotations.items()))
+        line = f"    +{offset_ms:9.3f}ms {duration_ms:9.3f}ms {span['name']}"
+        print(f"{line}  {suffix}" if suffix else line)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -536,6 +712,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--dispatch-workers", type=int, default=4, metavar="N",
                        help="requests touching different relations execute on up "
                             "to N threads (same-relation requests stay FIFO)")
+    serve.add_argument("--slow-query-threshold", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="traced requests slower than this land in the "
+                            "slow-query log (inspect with `repro trace`)")
     serve.set_defaults(handler=command_serve)
 
     cluster = subparsers.add_parser("cluster", help="sharded multi-provider tools")
@@ -581,6 +761,32 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("--timeout", type=float, default=10.0,
                         help="per-shard connection timeout in seconds")
     status.set_defaults(handler=command_cluster_status)
+
+    stats_cmd = subparsers.add_parser(
+        "stats", help="scrape the metrics plane of a provider or fleet")
+    stats_cmd.add_argument("url", help="tcp://host:port or cluster://host:port,... URL")
+    stats_cmd.add_argument("--prometheus", action="store_true",
+                           help="print the Prometheus text exposition instead "
+                                "of the human summary")
+    stats_cmd.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                           help="rescrape every SECONDS until interrupted")
+    stats_cmd.add_argument("--timeout", type=float, default=10.0,
+                           help="per-shard connection timeout in seconds")
+    stats_cmd.set_defaults(handler=command_stats)
+
+    trace_cmd = subparsers.add_parser(
+        "trace", help="inspect recent traces and slow queries of a provider or fleet")
+    trace_cmd.add_argument("url", help="tcp://host:port or cluster://host:port,... URL")
+    trace_cmd.add_argument("--trace-id", default=None, metavar="HEX",
+                           help="assemble one trace by id across every shard "
+                                "instead of listing recent ones")
+    trace_cmd.add_argument("--limit", type=int, default=10,
+                           help="recent traces / slow queries to show per shard")
+    trace_cmd.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                           help="re-poll every SECONDS until interrupted")
+    trace_cmd.add_argument("--timeout", type=float, default=10.0,
+                           help="per-shard connection timeout in seconds")
+    trace_cmd.set_defaults(handler=command_trace)
 
     return parser
 

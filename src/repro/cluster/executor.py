@@ -55,6 +55,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.obs import current_trace, use_trace
 from repro.outsourcing.server import ServerError
 
 #: Any shard failure fails the operation.
@@ -94,6 +95,9 @@ class ShardOutcome:
     value: Any = None
     error: Exception | None = None
     elapsed_s: float = 0.0
+    #: Wall-clock instant the shard's thunk started (or the gather began
+    #: waiting on it); what per-shard trace spans are anchored to.
+    started_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -156,17 +160,26 @@ class ScatterGatherExecutor:
         """
         if timeout is None:
             timeout = self._timeout
+        # Capture the caller's ambient trace here: the thunks run on pool
+        # threads where the contextvar is unset, so _timed re-binds it.
+        trace = current_trace()
         futures = [
-            (shard_id, self._pool.submit(self._timed, thunk))
+            (shard_id, self._pool.submit(self._timed, trace, thunk))
             for shard_id, thunk in calls
         ]
         outcomes = []
         for shard_id, future in futures:
             wait_started = time.monotonic()
+            wait_started_wall = time.time()
             try:
-                value, elapsed = future.result(timeout=timeout)
+                value, elapsed, started_wall = future.result(timeout=timeout)
                 outcomes.append(
-                    ShardOutcome(shard_id=shard_id, value=value, elapsed_s=elapsed)
+                    ShardOutcome(
+                        shard_id=shard_id,
+                        value=value,
+                        elapsed_s=elapsed,
+                        started_s=started_wall,
+                    )
                 )
             except FutureTimeoutError:
                 outcomes.append(
@@ -177,6 +190,7 @@ class ScatterGatherExecutor:
                             f"its {timeout}s budget"
                         ),
                         elapsed_s=time.monotonic() - wait_started,
+                        started_s=wait_started_wall,
                     )
                 )
             except Exception as exc:  # noqa: BLE001 - per-shard failures are data
@@ -185,6 +199,7 @@ class ScatterGatherExecutor:
                         shard_id=shard_id,
                         error=exc,
                         elapsed_s=time.monotonic() - wait_started,
+                        started_s=wait_started_wall,
                     )
                 )
         return outcomes
@@ -223,9 +238,12 @@ class ScatterGatherExecutor:
         )
 
     @staticmethod
-    def _timed(thunk: Callable[[], Any]) -> tuple[Any, float]:
+    def _timed(trace, thunk: Callable[[], Any]) -> tuple[Any, float, float]:
+        started_wall = time.time()
         started = time.monotonic()
-        return thunk(), time.monotonic() - started
+        with use_trace(trace):
+            value = thunk()
+        return value, time.monotonic() - started, started_wall
 
 
 async def scatter_async(
@@ -242,6 +260,7 @@ async def scatter_async(
     """
 
     async def run_one(shard_id: str, factory: Callable[[], Any]) -> ShardOutcome:
+        started_wall = time.time()
         started = time.monotonic()
         try:
             value = await asyncio.wait_for(factory(), timeout)
@@ -253,15 +272,20 @@ async def scatter_async(
                     f"its {timeout}s budget"
                 ),
                 elapsed_s=time.monotonic() - started,
+                started_s=started_wall,
             )
         except Exception as exc:  # noqa: BLE001 - per-shard failures are data
             return ShardOutcome(
                 shard_id=shard_id,
                 error=exc,
                 elapsed_s=time.monotonic() - started,
+                started_s=started_wall,
             )
         return ShardOutcome(
-            shard_id=shard_id, value=value, elapsed_s=time.monotonic() - started
+            shard_id=shard_id,
+            value=value,
+            elapsed_s=time.monotonic() - started,
+            started_s=started_wall,
         )
 
     return list(

@@ -54,7 +54,8 @@ which is the same access pattern the paper already concedes.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.core.dph import (
@@ -74,6 +75,7 @@ from repro.cluster.executor import (
     resolve_outcomes,
 )
 from repro.cluster.ring import ConsistentHashRing, DEFAULT_VIRTUAL_NODES
+from repro.obs import MetricsRegistry, current_trace_id, merge_snapshots
 from repro.outsourcing import protocol
 from repro.outsourcing.protocol import (
     Message,
@@ -187,87 +189,97 @@ def merge_evaluation_results(
     )
 
 
-@dataclass
 class ClusterStats:
     """Counters of the router's scatter-gather activity.
 
-    Scatters run on a thread pool and several sessions may share one
-    router, so every mutation goes through the ``record_*`` methods (which
-    hold the internal lock) and :meth:`as_dict` returns an atomic snapshot
-    -- a reader never observes a half-updated counter pair.
+    The counters live in a :class:`~repro.obs.MetricsRegistry` (as
+    ``cluster_<name>_total``), so one registry snapshot covers transport,
+    provider, and routing activity alike; every historical attribute read
+    (``stats.scatter_reads``, ...) keeps working through ``__getattr__``
+    and :meth:`as_dict` keeps its key set.  Scatters run on a thread pool
+    and several sessions may share one router, so mutations go through the
+    ``record_*`` methods (registry counters carry their own locks; the
+    last-shard-id tuples share this object's lock) and :meth:`as_dict`
+    returns an atomic snapshot of the tuple pair.
     """
 
-    scatter_reads: int = 0
-    degraded_reads: int = 0
-    #: Reads that lost shards but stayed complete via surviving replicas.
-    failover_reads: int = 0
-    routed_inserts: int = 0
-    #: Scatters driven as coroutines on the event-loop thread (the
-    #: pipelined async-transport path) rather than the thread pool.
-    loop_scatters: int = 0
-    #: ``INDEX_LOOKUP`` scatters routed across the fleet.
-    index_lookups: int = 0
-    #: Per-shard scan fallbacks inside index lookups (a fleet member that
-    #: does not speak ``INDEX_LOOKUP`` answered the embedded query instead).
-    index_scan_fallbacks: int = 0
-    #: ``INDEX_PUT`` / ``INDEX_DELTA`` fan-outs.
-    index_writes: int = 0
-    #: Shards missing from the most recent degraded read.
-    last_missing_shard_ids: tuple[str, ...] = ()
-    #: Shards whose failure the most recent failover read absorbed.
-    last_failover_shard_ids: tuple[str, ...] = ()
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _COUNTERS = (
+        "scatter_reads",
+        "degraded_reads",
+        #: see record_failover_read: reads completed via surviving replicas.
+        "failover_reads",
+        "routed_inserts",
+        # Scatters driven as coroutines on the event-loop thread (the
+        # pipelined async-transport path) rather than the thread pool.
+        "loop_scatters",
+        # ``INDEX_LOOKUP`` scatters routed across the fleet.
+        "index_lookups",
+        # Per-shard scan fallbacks inside index lookups (a fleet member that
+        # does not speak ``INDEX_LOOKUP`` answered the embedded query).
+        "index_scan_fallbacks",
+        # ``INDEX_PUT`` / ``INDEX_DELTA`` fan-outs.
+        "index_writes",
     )
 
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._metrics = registry
+        self._counters = {
+            name: registry.counter(f"cluster_{name}_total") for name in self._COUNTERS
+        }
+        self._lock = threading.Lock()
+        #: Shards missing from the most recent degraded read.
+        self.last_missing_shard_ids: tuple[str, ...] = ()
+        #: Shards whose failure the most recent failover read absorbed.
+        self.last_failover_shard_ids: tuple[str, ...] = ()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry holding the routing counters."""
+        return self._metrics
+
+    def __getattr__(self, name: str) -> int:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
     def record_scatter_read(self) -> None:
-        with self._lock:
-            self.scatter_reads += 1
+        self._counters["scatter_reads"].inc()
 
     def record_routed_insert(self) -> None:
-        with self._lock:
-            self.routed_inserts += 1
+        self._counters["routed_inserts"].inc()
 
     def record_loop_scatter(self) -> None:
-        with self._lock:
-            self.loop_scatters += 1
+        self._counters["loop_scatters"].inc()
 
     def record_index_lookup(self) -> None:
-        with self._lock:
-            self.index_lookups += 1
+        self._counters["index_lookups"].inc()
 
     def record_index_scan_fallback(self) -> None:
-        with self._lock:
-            self.index_scan_fallbacks += 1
+        self._counters["index_scan_fallbacks"].inc()
 
     def record_index_write(self) -> None:
-        with self._lock:
-            self.index_writes += 1
+        self._counters["index_writes"].inc()
 
     def record_degraded_read(self, missing_shard_ids: Sequence[str]) -> None:
+        self._counters["degraded_reads"].inc()
         with self._lock:
-            self.degraded_reads += 1
             self.last_missing_shard_ids = tuple(missing_shard_ids)
 
     def record_failover_read(self, failed_shard_ids: Sequence[str]) -> None:
+        self._counters["failover_reads"].inc()
         with self._lock:
-            self.failover_reads += 1
             self.last_failover_shard_ids = tuple(failed_shard_ids)
 
     def as_dict(self) -> dict:
+        counts = {name: self._counters[name].value for name in self._COUNTERS}
         with self._lock:
-            return {
-                "scatter_reads": self.scatter_reads,
-                "degraded_reads": self.degraded_reads,
-                "failover_reads": self.failover_reads,
-                "routed_inserts": self.routed_inserts,
-                "loop_scatters": self.loop_scatters,
-                "index_lookups": self.index_lookups,
-                "index_scan_fallbacks": self.index_scan_fallbacks,
-                "index_writes": self.index_writes,
-                "last_missing_shard_ids": list(self.last_missing_shard_ids),
-                "last_failover_shard_ids": list(self.last_failover_shard_ids),
-            }
+            counts["last_missing_shard_ids"] = list(self.last_missing_shard_ids)
+            counts["last_failover_shard_ids"] = list(self.last_failover_shard_ids)
+        return counts
 
 
 @dataclass
@@ -371,7 +383,8 @@ class ShardRouter:
         self._ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
         self._evaluators: dict[str, ServerEvaluator] = {}
         self._schemas: dict[str, Any] = {}
-        self._stats = ClusterStats()
+        self._metrics = MetricsRegistry()
+        self._stats = ClusterStats(metrics=self._metrics)
         # Room for several concurrent scatters (threads are created lazily,
         # so the headroom is free when idle).  Note the per-shard timeout is
         # measured from the scatter call, so under heavier concurrency than
@@ -591,6 +604,60 @@ class ShardRouter:
                 entry = {"ok": False, "error": str(exc)}
             status[shard.shard_id] = entry
         return status
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry holding the router's own counters and histograms."""
+        return self._metrics
+
+    def metrics_snapshot(self) -> dict:
+        """One merged snapshot: the router's registry plus every shard's.
+
+        Shards that cannot answer (dead, or builds without the metrics
+        plane) are skipped -- a metrics probe never raises.  Histograms
+        merge exactly because every registry shares the fixed bucket
+        bounds.
+        """
+        snapshots = [self._metrics.snapshot()]
+        for shard in self._shards.values():
+            try:
+                local = getattr(shard.server, "metrics_snapshot", None)
+                if local is not None:
+                    snapshots.append(local())
+                    continue
+                remote = getattr(shard.server, "metrics", None)
+                if callable(remote):  # a proxy's metrics control op
+                    snapshot = remote().get("metrics")
+                    if snapshot:
+                        snapshots.append(snapshot)
+            except Exception:  # noqa: BLE001 - a metrics probe never raises
+                continue
+        return merge_snapshots(*snapshots)
+
+    def collect_trace(self, trace_id: bytes) -> list[dict]:
+        """Every span the fleet recorded under ``trace_id``, shard-tagged.
+
+        Fans the ``trace`` control operation out to shards that support it
+        (older builds simply contribute nothing) and annotates each span
+        with the shard it came from; per-shard failures are suppressed --
+        trace assembly is diagnostics, not serving.
+        """
+        spans: list[dict] = []
+        for shard in self._shards.values():
+            collector = getattr(shard.server, "collect_trace", None)
+            if collector is None:
+                continue
+            try:
+                shard_spans = collector(trace_id)
+            except Exception:  # noqa: BLE001 - a trace probe never raises
+                continue
+            for entry in shard_spans:
+                tagged = dict(entry)
+                annotations = dict(tagged.get("annotations") or {})
+                annotations.setdefault("shard_id", shard.shard_id)
+                tagged["annotations"] = annotations
+                spans.append(tagged)
+        return spans
 
     def close(self) -> None:
         """Close owned backends, the scatter pool, and the loop thread."""
@@ -1005,14 +1072,19 @@ class ShardRouter:
         self, shard_id: str, envelope: bytes, fallback_raw: bytes | None
     ) -> tuple[str, Callable[[], Any]]:
         server = self.shard(shard_id)
+        # Captured here, on the session thread: the coroutine runs on the
+        # loop thread where the ambient contextvar is unset.
+        trace_id = current_trace_id()
 
         async def round_trip() -> Message | MessageV2:
-            response = protocol.parse_message(await server.handle_message_async(envelope))
+            response = protocol.parse_message(
+                await server.handle_message_async(envelope, trace_id=trace_id)
+            )
             if self._lookup_fallback_applies(response, fallback_raw):
                 self._stats.record_index_scan_fallback()
                 return self._check_envelope_response(
                     shard_id,
-                    await server.handle_message_async(fallback_raw),
+                    await server.handle_message_async(fallback_raw, trace_id=trace_id),
                     MessageKind.QUERY_RESULT,
                 )
             return self._checked_lookup_response(shard_id, response)
@@ -1133,10 +1205,13 @@ class ShardRouter:
         self, shard_id: str, envelope: bytes, expect: MessageKind
     ) -> tuple[str, Callable[[], Any]]:
         server = self.shard(shard_id)
+        trace_id = current_trace_id()  # captured on the session thread
 
         async def round_trip() -> Message | MessageV2:
             return self._check_envelope_response(
-                shard_id, await server.handle_message_async(envelope), expect
+                shard_id,
+                await server.handle_message_async(envelope, trace_id=trace_id),
+                expect,
             )
 
         return shard_id, round_trip
@@ -1459,13 +1534,24 @@ class ShardRouter:
         when the failures exceed what the replicas absorb does the
         partial-failure ``policy`` decide between raising and degrading.
         """
+        from repro.obs import current_trace
+
         if read:
             self._stats.record_scatter_read()
+        trace = current_trace()
+        scatter_started_wall = time.time()
+        scatter_started = time.monotonic()
         if async_calls is not None and self._loop_thread is not None:
             self._stats.record_loop_scatter()
+            transport = "event-loop"
             outcomes = self._executor.scatter_on_loop(self._loop_thread, async_calls)
         else:
+            transport = "thread-pool"
             outcomes = self._executor.scatter(calls)
+        scatter_elapsed = time.monotonic() - scatter_started
+        self._record_outcomes(
+            trace, operation, transport, scatter_started_wall, scatter_elapsed, outcomes
+        )
         failures = [o for o in outcomes if not o.ok]
         if (
             failures
@@ -1484,6 +1570,53 @@ class ShardRouter:
         if gathered.degraded:
             self._stats.record_degraded_read(gathered.missing_shard_ids)
         return gathered
+
+    def _record_outcomes(
+        self,
+        trace,
+        operation: str,
+        transport: str,
+        started_wall: float,
+        elapsed_s: float,
+        outcomes,
+    ) -> None:
+        """Per-shard latency histograms plus, when traced, the scatter spans.
+
+        Every outcome -- success, failure, timeout -- feeds its shard's
+        ``cluster_shard_seconds`` histogram (the executor timed all of
+        them), so shard tail latency is visible without tracing; under a
+        trace the router additionally records one ``router.scatter`` span
+        and a ``shard.request`` child span per outcome.
+        """
+        for outcome in outcomes:
+            self._metrics.histogram(
+                "cluster_shard_seconds", shard_id=outcome.shard_id
+            ).observe(outcome.elapsed_s)
+        if trace is None:
+            return
+        failed = [o.shard_id for o in outcomes if not o.ok]
+        trace.record(
+            "router.scatter",
+            started_wall,
+            elapsed_s,
+            operation=operation,
+            transport=transport,
+            shards=len(outcomes),
+            failed_shard_ids=failed,
+        )
+        for outcome in outcomes:
+            annotations = {"shard_id": outcome.shard_id}
+            if outcome.ok:
+                annotations["outcome"] = "ok"
+            else:
+                annotations["outcome"] = "error"
+                annotations["error"] = str(outcome.error)
+            trace.record(
+                "shard.request",
+                outcome.started_s or started_wall,
+                outcome.elapsed_s,
+                **annotations,
+            )
 
     @staticmethod
     def _respond(

@@ -25,6 +25,7 @@ from typing import Callable, Iterable
 
 from repro.core.dph import EncryptedRelation, EncryptedTuple, EvaluationResult
 from repro.index.wire import IndexDelta, IndexLookupRequest, IndexSnapshot
+from repro.obs import MetricsRegistry
 
 
 class RelationIndex:
@@ -177,12 +178,30 @@ class IndexAccess(AccessMethod):
 
     name = "index"
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self._indexes: dict[str, RelationIndex] = {}
         self._id_maps: dict[str, dict[bytes, EncryptedTuple]] = {}
-        self.puts = 0
-        self.deltas = 0
-        self.lookups = 0
+        # Registry-backed counters (thread-safe under the dispatch pool);
+        # the old attribute names stay readable as properties below.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._puts = self._metrics.counter("index_puts_total")
+        self._deltas = self._metrics.counter("index_deltas_total")
+        self._lookups = self._metrics.counter("index_lookups_total")
+
+    @property
+    def puts(self) -> int:
+        """Snapshots installed so far."""
+        return self._puts.value
+
+    @property
+    def deltas(self) -> int:
+        """Posting deltas applied so far."""
+        return self._deltas.value
+
+    @property
+    def lookups(self) -> int:
+        """Lookups served from the index so far."""
+        return self._lookups.value
 
     # -- index lifecycle ------------------------------------------------- #
 
@@ -190,7 +209,7 @@ class IndexAccess(AccessMethod):
         """Install (or replace) a relation's index from a full snapshot."""
         self._indexes[relation_name] = RelationIndex.from_snapshot(snapshot)
         self._id_maps.pop(relation_name, None)
-        self.puts += 1
+        self._puts.inc()
 
     def apply_delta(self, relation_name: str, delta: IndexDelta) -> bool:
         """Apply a posting delta; ``False`` when the relation has no index.
@@ -203,7 +222,7 @@ class IndexAccess(AccessMethod):
         if index is None:
             return False
         index.apply_delta(delta)
-        self.deltas += 1
+        self._deltas.inc()
         return True
 
     def index_for(self, relation_name: str) -> RelationIndex | None:
@@ -226,7 +245,7 @@ class IndexAccess(AccessMethod):
         fetched = tuple(
             id_map[tuple_id] for tuple_id in candidate_ids if tuple_id in id_map
         )
-        self.lookups += 1
+        self._lookups.inc()
         return EvaluationResult(
             matching=EncryptedRelation(schema=stored.schema, encrypted_tuples=fetched),
             examined=len(fetched),  # the O(result) headline stat

@@ -40,6 +40,7 @@ import asyncio
 import contextlib
 import socket
 import threading
+import time
 from typing import Sequence
 
 from repro.net import wire
@@ -56,8 +57,9 @@ from repro.net.framing import (
     Frame,
     FramingError,
 )
+from repro.obs import current_trace
 from repro.outsourcing import protocol
-from repro.outsourcing.protocol import SUPPORTED_VERSIONS
+from repro.outsourcing.protocol import PROTOCOL_V3, SUPPORTED_VERSIONS
 
 
 class EventLoopThread:
@@ -444,15 +446,28 @@ class AsyncRemoteServerProxy(RemoteProxyBase):
     # The async call surface (what the cluster's event-loop scatter drives)
     # ------------------------------------------------------------------ #
 
-    async def handle_message_async(self, raw: bytes) -> bytes:
+    async def handle_message_async(
+        self, raw: bytes, trace_id: bytes | None = None
+    ) -> bytes:
         """Async twin of :meth:`handle_message`, same retry semantics."""
         _, kind, _ = protocol.peek_envelope(raw)  # O(header) on the loop thread
         return await self.call_envelope_async(
-            raw, idempotent=kind not in self.NON_IDEMPOTENT_KINDS
+            raw, idempotent=kind not in self.NON_IDEMPOTENT_KINDS, trace_id=trace_id
         )
 
-    async def call_envelope_async(self, raw: bytes, idempotent: bool = True) -> bytes:
-        """Ship one envelope over the pipelined connection."""
+    async def call_envelope_async(
+        self, raw: bytes, idempotent: bool = True, trace_id: bytes | None = None
+    ) -> bytes:
+        """Ship one envelope over the pipelined connection.
+
+        ``trace_id`` is attached (rewriting the envelope to protocol v3)
+        only when this session negotiated v3; older providers never see
+        trace bytes.  Coroutines cannot rely on the ambient trace -- the
+        caller captured it on its own thread -- so the id arrives here as
+        an explicit argument.
+        """
+        if trace_id is not None and self._negotiated_version >= PROTOCOL_V3:
+            raw = protocol.attach_trace(raw, trace_id)
         frame = await self._acall(raw, CHANNEL_ENVELOPE, idempotent)
         if frame.channel == CHANNEL_CONTROL:
             # The server only answers an envelope with a control frame to
@@ -511,7 +526,28 @@ class AsyncRemoteServerProxy(RemoteProxyBase):
     # ------------------------------------------------------------------ #
 
     def _transport_envelope(self, raw: bytes, idempotent: bool) -> bytes:
-        return self._loop_thread.run(self.call_envelope_async(raw, idempotent))
+        # The ambient trace is captured *here*, on the caller's thread --
+        # the coroutine runs on the loop thread where the contextvar is
+        # unset -- and the span is recorded into the captured Trace object
+        # (which is thread-safe) once the round trip completes.
+        trace = current_trace()
+        trace_id = trace.trace_id if trace is not None else None
+        started = time.time()
+        mono = time.monotonic()
+        try:
+            return self._loop_thread.run(
+                self.call_envelope_async(raw, idempotent, trace_id=trace_id)
+            )
+        finally:
+            if trace is not None:
+                trace.record(
+                    "proxy.request",
+                    started,
+                    time.monotonic() - mono,
+                    transport="tcp-async",
+                    host=self._host,
+                    port=self._port,
+                )
 
     def _control(self, op: str, *, idempotent: bool = True, **fields) -> dict:
         return self._loop_thread.run(

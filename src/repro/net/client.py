@@ -36,6 +36,7 @@ import base64
 import contextlib
 import socket
 import threading
+import time
 from typing import Sequence
 from urllib.parse import urlsplit
 
@@ -55,6 +56,7 @@ from repro.net.framing import (
     FramingError,
 )
 from repro.net import wire
+from repro.obs import current_trace
 from repro.outsourcing import protocol
 from repro.outsourcing.protocol import (
     Message,
@@ -62,6 +64,7 @@ from repro.outsourcing.protocol import (
     MessageV2,
     PROTOCOL_V1,
     PROTOCOL_V2,
+    PROTOCOL_V3,
     SUPPORTED_VERSIONS,
 )
 from repro.outsourcing.server import ServerError
@@ -183,8 +186,15 @@ class RemoteConnection:
         self.server_software: str = parsed.software
         self.server_max_frame_size: int = parsed.max_frame_size
 
-    def call_envelope(self, raw: bytes) -> bytes:
-        """One protocol round trip: envelope bytes out, envelope bytes back."""
+    def call_envelope(self, raw: bytes, trace_id: bytes | None = None) -> bytes:
+        """One protocol round trip: envelope bytes out, envelope bytes back.
+
+        ``trace_id`` is attached to the envelope (rewriting it to protocol
+        v3, an O(1) byte splice) only when this connection negotiated v3 --
+        older providers never see trace bytes they could not parse.
+        """
+        if trace_id is not None and self.negotiated_version >= PROTOCOL_V3:
+            raw = protocol.attach_trace(raw, trace_id)
         frame = self._round_trip(raw, CHANNEL_ENVELOPE)
         if frame.channel == CHANNEL_CONTROL:
             # The server only answers an envelope with a control frame to
@@ -538,6 +548,29 @@ class RemoteProxyBase:
         response = self._control("stats")
         return {key: value for key, value in response.items() if key != "ok"}
 
+    def metrics(self, format: str | None = None) -> dict:
+        """The provider's metrics snapshot (or its Prometheus rendering).
+
+        With ``format="prometheus"`` the response carries a ``prometheus``
+        text body instead of the structured ``metrics`` snapshot.
+        """
+        fields = {"format": format} if format is not None else {}
+        response = self._control("metrics", **fields)
+        return {key: value for key, value in response.items() if key != "ok"}
+
+    def collect_trace(self, trace_id: bytes) -> list[dict]:
+        """The spans this provider recorded under ``trace_id`` (may be [])."""
+        response = self._control("trace", trace_id=trace_id.hex())
+        trace = response.get("trace")
+        if not trace:
+            return []
+        return list(trace.get("spans", ()))
+
+    def recent_traces(self, limit: int = 10) -> dict:
+        """The provider's most recent traces and slow-query entries."""
+        response = self._control("trace", limit=limit)
+        return {key: value for key, value in response.items() if key != "ok"}
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
@@ -643,9 +676,25 @@ class RemoteServerProxy(RemoteProxyBase):
     # ------------------------------------------------------------------ #
 
     def _transport_envelope(self, raw: bytes, idempotent: bool) -> bytes:
-        return self._call(
-            lambda connection: connection.call_envelope(raw), idempotent=idempotent
-        )
+        trace = current_trace()
+        trace_id = trace.trace_id if trace is not None else None
+        started = time.time()
+        mono = time.monotonic()
+        try:
+            return self._call(
+                lambda connection: connection.call_envelope(raw, trace_id=trace_id),
+                idempotent=idempotent,
+            )
+        finally:
+            if trace is not None:
+                trace.record(
+                    "proxy.request",
+                    started,
+                    time.monotonic() - mono,
+                    transport="tcp",
+                    host=self._host,
+                    port=self._port,
+                )
 
     def _control(self, op: str, *, idempotent: bool = True, **fields) -> dict:
         return self._call(

@@ -53,12 +53,21 @@ import concurrent.futures
 import contextlib
 import json
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
 from repro.net import framing
+from repro.obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    Trace,
+    TraceBuffer,
+    render_prometheus,
+    use_trace,
+)
 from repro.net.evaluators import EvaluatorDescriptionError, build_evaluator
 from repro.net.framing import (
     CHANNEL_CONTROL,
@@ -207,30 +216,92 @@ class ConnectionStats:
         return self.in_flight > 0
 
 
-@dataclass
 class TcpServerStats:
-    """Aggregate counters across the server's lifetime."""
+    """Aggregate counters across the server's lifetime.
 
-    connections_total: int = 0
-    connections_active: int = 0
-    frames_received: int = 0
-    frames_sent: int = 0
-    bytes_received: int = 0
-    bytes_sent: int = 0
-    envelope_frames: int = 0
-    control_frames: int = 0
-    framing_errors: int = 0
-    #: Size of the dispatch pool (requests touching different relations
-    #: execute concurrently up to this many at a time).
-    dispatch_workers: int = 0
-    #: Most requests ever executing simultaneously on the dispatch pool.
-    peak_concurrent_dispatch: int = 0
-    #: Requests the dispatch pool has completed.
-    requests_dispatched: int = 0
+    A facade over a :class:`~repro.obs.MetricsRegistry`: the counters keep
+    their historical names (attribute reads, :meth:`as_dict` keys and the
+    ``stats`` control operation are unchanged), but every mutation now goes
+    through a locked registry instrument.  The old dataclass was bumped
+    with bare ``+=`` from responder tasks *and* dispatcher threads, so
+    counts could be lost under concurrency.
+    """
+
+    #: Monotonic counters, in their historical ``as_dict`` order.
+    _COUNTERS = (
+        "connections_total",
+        "frames_received",
+        "frames_sent",
+        "bytes_received",
+        "bytes_sent",
+        "envelope_frames",
+        "control_frames",
+        "framing_errors",
+    )
+    #: Set/adjustable values: live connections, the dispatch pool's size
+    #: and its peak/total numbers (refreshed from the dispatcher).
+    _GAUGES = (
+        "connections_active",
+        "dispatch_workers",
+        "peak_concurrent_dispatch",
+        "requests_dispatched",
+    )
+    _FIELD_ORDER = (
+        "connections_total",
+        "connections_active",
+        "frames_received",
+        "frames_sent",
+        "bytes_received",
+        "bytes_sent",
+        "envelope_frames",
+        "control_frames",
+        "framing_errors",
+        "dispatch_workers",
+        "peak_concurrent_dispatch",
+        "requests_dispatched",
+    )
+
+    def __init__(
+        self, metrics: MetricsRegistry | None = None, dispatch_workers: int = 0
+    ) -> None:
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        instruments = {}
+        for name in self._COUNTERS:
+            instruments[name] = self._metrics.counter(f"server_{name}")
+        for name in self._GAUGES:
+            instruments[name] = self._metrics.gauge(f"server_{name}")
+        self._instruments = instruments
+        instruments["dispatch_workers"].set(dispatch_workers)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The backing registry."""
+        return self._metrics
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Thread-safe increment of one counter (or gauge) by name."""
+        self._instruments[name].inc(amount)
+
+    def dec(self, name: str, amount: int = 1) -> None:
+        """Thread-safe decrement of one gauge by name."""
+        self._instruments[name].dec(amount)
+
+    def set(self, name: str, value: int) -> None:
+        """Set one gauge by name."""
+        self._instruments[name].set(value)
+
+    def __getattr__(self, name: str):
+        # Preserve the dataclass read surface: stats.connections_total etc.
+        try:
+            return object.__getattribute__(self, "_instruments")[name].value
+        except KeyError:
+            raise AttributeError(name) from None
 
     def as_dict(self) -> dict:
         """JSON-able snapshot (what the ``stats`` control operation returns)."""
-        return dict(self.__dict__)
+        return {
+            name: self._instruments[name].value for name in self._FIELD_ORDER
+        }
 
     def throughput_summary(self) -> str:
         """One-line human summary (printed by ``repro serve`` on shutdown)."""
@@ -256,6 +327,8 @@ class DatabaseTcpServer:
         max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
         dispatch_workers: int = DEFAULT_DISPATCH_WORKERS,
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        trace_buffer_size: int = 256,
+        slow_query_threshold: float = 1.0,
     ) -> None:
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
@@ -273,7 +346,19 @@ class DatabaseTcpServer:
         self._dispatcher = KeyedSerialDispatcher(dispatch_workers)
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._connections: dict[asyncio.Task, ConnectionStats] = {}
-        self._stats = TcpServerStats(dispatch_workers=dispatch_workers)
+        # Share the wrapped provider's registry when it has one, so the
+        # metrics control operation answers with one unified snapshot.
+        database_metrics = getattr(self._database, "metrics", None)
+        self._metrics = (
+            database_metrics
+            if isinstance(database_metrics, MetricsRegistry)
+            else MetricsRegistry()
+        )
+        self._stats = TcpServerStats(
+            metrics=self._metrics, dispatch_workers=dispatch_workers
+        )
+        self._traces = TraceBuffer(trace_buffer_size)
+        self._slow_queries = SlowQueryLog(slow_query_threshold)
         self._stopping = False
 
     # ------------------------------------------------------------------ #
@@ -288,9 +373,24 @@ class DatabaseTcpServer:
     @property
     def stats(self) -> TcpServerStats:
         """Aggregate traffic counters (dispatch numbers refreshed live)."""
-        self._stats.peak_concurrent_dispatch = self._dispatcher.peak_concurrency
-        self._stats.requests_dispatched = self._dispatcher.total_dispatched
+        self._stats.set("peak_concurrent_dispatch", self._dispatcher.peak_concurrency)
+        self._stats.set("requests_dispatched", self._dispatcher.total_dispatched)
         return self._stats
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry behind this server's (and its provider's) metrics."""
+        return self._metrics
+
+    @property
+    def trace_buffer(self) -> TraceBuffer:
+        """Completed server-side traces, keyed by trace id."""
+        return self._traces
+
+    @property
+    def slow_queries(self) -> SlowQueryLog:
+        """Requests slower than the configured threshold."""
+        return self._slow_queries
 
     @property
     def dispatch_workers(self) -> int:
@@ -363,8 +463,8 @@ class DatabaseTcpServer:
         connection = ConnectionStats(peer=str(peername))
         if task is not None:
             self._connections[task] = connection
-        self._stats.connections_total += 1
-        self._stats.connections_active += 1
+        self._stats.inc("connections_total")
+        self._stats.inc("connections_active")
         decoder = FrameDecoder(self._max_frame_size)
         in_flight: set[asyncio.Task] = set()
         admission = asyncio.Semaphore(self._max_in_flight)
@@ -377,14 +477,14 @@ class DatabaseTcpServer:
                 try:
                     frames = decoder.feed(chunk)
                 except FramingError as exc:
-                    self._stats.framing_errors += 1
+                    self._stats.inc("framing_errors")
                     await self._send_control(
                         writer, connection, {"ok": False, "error": str(exc)}
                     )
                     break
                 for frame in frames:
                     connection.frames_received += 1
-                    self._stats.frames_received += 1
+                    self._stats.inc("frames_received")
                     if not await self._admit_frame(
                         writer, connection, in_flight, admission, frame
                     ):
@@ -406,7 +506,7 @@ class DatabaseTcpServer:
                 for responder in tuple(in_flight):
                     responder.cancel()
             finally:
-                self._stats.connections_active -= 1
+                self._stats.dec("connections_active")
                 writer.close()
                 with contextlib.suppress(Exception):
                     await writer.wait_closed()
@@ -432,10 +532,10 @@ class DatabaseTcpServer:
             len(frame.payload) + framing.LENGTH_PREFIX_SIZE + framing.FRAME_HEADER_SIZE
         )
         connection.bytes_received += frame_size
-        self._stats.bytes_received += frame_size
+        self._stats.inc("bytes_received", frame_size)
         if frame.channel == CHANNEL_CONTROL:
             connection.control_frames += 1
-            self._stats.control_frames += 1
+            self._stats.inc("control_frames")
             try:
                 request = json.loads(frame.payload.decode("utf-8"))
                 if not isinstance(request, dict) or "op" not in request:
@@ -473,7 +573,7 @@ class DatabaseTcpServer:
             )
             return True
         connection.envelope_frames += 1
-        self._stats.envelope_frames += 1
+        self._stats.inc("envelope_frames")
         if connection.negotiated_version is None:
             await self._send_control(
                 writer,
@@ -499,8 +599,11 @@ class DatabaseTcpServer:
         await admission.acquire()
         future = self._dispatcher.submit(
             ("rel", relation_name),
-            self._database.handle_message,
+            self._dispatch_envelope,
+            protocol.peek_trace_id(frame.payload),
+            relation_name,
             frame.payload,
+            time.monotonic(),
         )
         self._spawn_responder(
             in_flight,
@@ -528,6 +631,39 @@ class DatabaseTcpServer:
             admission.release()
 
         task.add_done_callback(_done)
+
+    def _dispatch_envelope(
+        self,
+        trace_id: bytes | None,
+        relation_name: str,
+        payload: bytes,
+        submitted_mono: float,
+    ) -> bytes:
+        """Run one envelope on a pool worker, with queue-wait accounting.
+
+        Runs after the FIFO queue, so ``now - submitted_mono`` is the time
+        the request spent waiting behind same-relation work.  When the
+        envelope carries a v3 trace id the whole dispatch executes under
+        that trace, producing the server-side span and feeding the trace
+        buffer and slow-query log.
+        """
+        queue_wait = time.monotonic() - submitted_mono
+        self._metrics.histogram(
+            "server_dispatch_queue_seconds", relation=relation_name
+        ).observe(queue_wait)
+        if trace_id is None:
+            return self._database.handle_message(payload)
+        trace = Trace(trace_id)
+        try:
+            with use_trace(trace), trace.span(
+                "server.dispatch",
+                relation=relation_name,
+                queue_wait_s=round(queue_wait, 6),
+            ):
+                return self._database.handle_message(payload)
+        finally:
+            self._traces.record(trace)
+            self._slow_queries.observe(trace)
 
     async def _deliver_envelope(
         self,
@@ -652,6 +788,24 @@ class DatabaseTcpServer:
             if index_stats is not None:
                 report["indexes"] = index_stats()
             return report
+        if op == "metrics":
+            snapshot_fn = getattr(self._database, "metrics_snapshot", None)
+            snapshot = (
+                snapshot_fn() if snapshot_fn is not None else self._metrics.snapshot()
+            )
+            if request.get("format") == "prometheus":
+                return {"ok": True, "prometheus": render_prometheus(snapshot)}
+            return {"ok": True, "metrics": snapshot}
+        if op == "trace":
+            trace_hex = request.get("trace_id")
+            if trace_hex:
+                return {"ok": True, "trace": self._traces.get(bytes.fromhex(str(trace_hex)))}
+            limit = int(request.get("limit", 10))
+            return {
+                "ok": True,
+                "traces": self._traces.recent(limit),
+                "slow": self._slow_queries.entries(limit),
+            }
         raise ServerError(f"unknown control operation {op!r}")
 
     # ------------------------------------------------------------------ #
@@ -674,8 +828,8 @@ class DatabaseTcpServer:
         )
         connection.frames_sent += 1
         connection.bytes_sent += len(frame)
-        self._stats.frames_sent += 1
-        self._stats.bytes_sent += len(frame)
+        self._stats.inc("frames_sent")
+        self._stats.inc("bytes_sent", len(frame))
         # write() appends the whole frame to the transport buffer in one
         # synchronous step, so concurrent responder tasks cannot interleave
         # partial frames; drain() only applies backpressure.

@@ -1,0 +1,31 @@
+"""One-line structured JSON logs for long-running processes.
+
+``repro serve`` and friends report periodic state as single-line JSON
+records instead of ad-hoc prose, so a log shipper (or a human with
+``jq``) can consume them without a parser per message shape::
+
+    {"event": "stats", "ts": 1754650000.12, "connections_total": 4, ...}
+
+Every record carries ``event`` and a wall-clock ``ts``; everything else is
+caller-supplied and must be JSON-able.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+def format_json(event: str, **fields) -> str:
+    """The one-line JSON record for ``event`` (no trailing newline)."""
+    record = {"event": event, "ts": round(time.time(), 6)}
+    record.update(fields)
+    return json.dumps(record, sort_keys=False, default=str)
+
+
+def log_json(event: str, stream=None, **fields) -> None:
+    """Write one structured record to ``stream`` (default stdout) and flush."""
+    stream = stream if stream is not None else sys.stdout
+    stream.write(format_json(event, **fields) + "\n")
+    stream.flush()

@@ -18,10 +18,20 @@ Two envelope versions coexist:
   plus ``ACK`` responses carrying counts and query results that include the
   server's evaluation statistics.
 
-:func:`peek_version` distinguishes the two on the wire (v1 envelopes start
-with a 4-byte length prefix whose leading bytes are zero; v2 envelopes start
-with :data:`V2_MAGIC`), and :func:`negotiate_version` picks the highest
-version both endpoints support.
+* **v3** -- byte-for-byte the v2 layout with version byte ``3`` and exactly
+  :data:`TRACE_ID_SIZE` trailing bytes carrying a trace id (see
+  :mod:`repro.obs.trace`).  The fixed trailing length makes trace handling
+  O(1) on raw frames: :func:`attach_trace` upgrades a serialized v2
+  envelope without re-encoding it, :func:`peek_trace_id` reads the id
+  without parsing, and :func:`strip_trace` downgrades back to v2.
+  Responses never carry trace ids; only requests do.
+
+:func:`peek_version` distinguishes the versions on the wire (v1 envelopes
+start with a 4-byte length prefix whose leading bytes are zero; v2+
+envelopes start with :data:`V2_MAGIC` followed by the version byte), and
+:func:`negotiate_version` picks the highest version both endpoints
+support -- a v1 or pre-trace v2 peer simply never negotiates v3, so mixed
+fleets degrade to untraced envelopes shard by shard.
 
 Encoding conventions: all integers are big-endian; variable-length byte
 strings are length-prefixed with 4 bytes; sequences are prefixed with a
@@ -45,7 +55,11 @@ from repro.relational.schema import RelationSchema
 #: Protocol versions this module can speak.
 PROTOCOL_V1 = 1
 PROTOCOL_V2 = 2
-SUPPORTED_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2)
+PROTOCOL_V3 = 3
+SUPPORTED_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3)
+
+#: Size of the trace id a v3 envelope carries as its trailing bytes.
+TRACE_ID_SIZE = 16
 
 #: Leading magic of versioned (v2+) envelopes.  A v1 envelope starts with the
 #: 4-byte big-endian length of its kind string (< 2**16), so its first byte is
@@ -303,12 +317,20 @@ V2_ONLY_KINDS = frozenset(
 )
 
 
-def _decode_envelope_fields(raw: bytes, offset: int) -> tuple[MessageKind, str, bytes]:
-    """Parse the ``kind | relation_name | body`` triple shared by both envelopes."""
+def _decode_envelope_fields(
+    raw: bytes, offset: int, end: int | None = None
+) -> tuple[MessageKind, str, bytes]:
+    """Parse the ``kind | relation_name | body`` triple shared by all envelopes.
+
+    ``end`` bounds the envelope fields when the frame carries trailing
+    trace bytes (v3); it defaults to the end of ``raw``.
+    """
+    if end is None:
+        end = len(raw)
     kind_bytes, offset = _decode_bytes(raw, offset)
     name_bytes, offset = _decode_bytes(raw, offset)
     body, offset = _decode_bytes(raw, offset)
-    if offset != len(raw):
+    if offset != end:
         raise ProtocolError("trailing bytes after message")
     try:
         kind = MessageKind(kind_bytes.decode("utf-8"))
@@ -355,29 +377,37 @@ class Message:
 
 @dataclass(frozen=True)
 class MessageV2:
-    """A versioned (v2) protocol message.
+    """A versioned (v2/v3) protocol message.
 
     The frame is ``V2_MAGIC | version (1 byte) | kind | relation_name | body``
-    with the usual length prefixes on the three variable parts.
+    with the usual length prefixes on the three variable parts.  When
+    ``trace_id`` is set the envelope serializes as v3: the same layout with
+    version byte ``3`` and the :data:`TRACE_ID_SIZE` id bytes appended.
     """
 
     kind: MessageKind
     relation_name: str
     body: bytes = b""
+    trace_id: bytes | None = None
 
     @property
     def version(self) -> int:
-        """The envelope version."""
-        return PROTOCOL_V2
+        """The envelope version (3 when a trace id rides along)."""
+        return PROTOCOL_V2 if self.trace_id is None else PROTOCOL_V3
 
     def to_bytes(self) -> bytes:
         """Serialize the envelope."""
+        if self.trace_id is not None and len(self.trace_id) != TRACE_ID_SIZE:
+            raise ProtocolError(
+                f"trace ids are {TRACE_ID_SIZE} bytes, got {len(self.trace_id)}"
+            )
         return (
             V2_MAGIC
-            + bytes([PROTOCOL_V2])
+            + bytes([self.version])
             + _encode_bytes(self.kind.value.encode("utf-8"))
             + _encode_bytes(self.relation_name.encode("utf-8"))
             + _encode_bytes(self.body)
+            + (self.trace_id or b"")
         )
 
     @classmethod
@@ -387,10 +417,19 @@ class MessageV2:
         if len(raw) < header or raw[: len(V2_MAGIC)] != V2_MAGIC:
             raise ProtocolError("not a versioned protocol envelope")
         version = raw[len(V2_MAGIC)]
-        if version != PROTOCOL_V2:
+        if version not in (PROTOCOL_V2, PROTOCOL_V3):
             raise ProtocolError(f"unsupported protocol version {version}")
-        kind, relation_name, body = _decode_envelope_fields(raw, header)
-        return cls(kind=kind, relation_name=relation_name, body=body)
+        trace_id = None
+        end = len(raw)
+        if version == PROTOCOL_V3:
+            if len(raw) < header + TRACE_ID_SIZE:
+                raise ProtocolError("truncated trace id")
+            end -= TRACE_ID_SIZE
+            trace_id = raw[end:]
+        kind, relation_name, body = _decode_envelope_fields(raw, header, end)
+        return cls(
+            kind=kind, relation_name=relation_name, body=body, trace_id=trace_id
+        )
 
 
 def peek_version(raw: bytes) -> int:
@@ -428,14 +467,19 @@ def peek_envelope(raw: bytes) -> tuple[int, MessageKind, str]:
     offset = 0 if version == PROTOCOL_V1 else len(V2_MAGIC) + 1
     if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"unsupported protocol version {version}")
+    end = len(raw)
+    if version == PROTOCOL_V3:
+        if end < offset + TRACE_ID_SIZE:
+            raise ProtocolError("truncated trace id")
+        end -= TRACE_ID_SIZE
     kind_bytes, offset = _decode_bytes(raw, offset)
     name_bytes, offset = _decode_bytes(raw, offset)
     if offset + 4 > len(raw):
         raise ProtocolError("truncated length prefix")
     body_length = int.from_bytes(raw[offset: offset + 4], "big")
-    if offset + 4 + body_length < len(raw):
+    if offset + 4 + body_length < end:
         raise ProtocolError("trailing bytes after message")
-    if offset + 4 + body_length > len(raw):
+    if offset + 4 + body_length > end:
         raise ProtocolError("truncated byte string")
     try:
         kind = MessageKind(kind_bytes.decode("utf-8"))
@@ -450,6 +494,52 @@ def peek_envelope(raw: bytes) -> tuple[int, MessageKind, str]:
     except UnicodeDecodeError as exc:
         raise ProtocolError(f"relation name {name_bytes!r} is not valid UTF-8") from exc
     return version, kind, relation_name
+
+
+def attach_trace(raw: bytes, trace_id: bytes) -> bytes:
+    """Upgrade a serialized v2 envelope to v3, appending ``trace_id``.
+
+    O(1) on the frame structure -- the version byte flips and the id bytes
+    are appended; the kind/name/body encoding is reused verbatim, never
+    re-parsed.  A v1 frame cannot carry a trace id and is returned
+    unchanged (the transport gates on the negotiated version, so this is
+    the belt to that suspender); a frame that already carries one is a
+    caller bug.
+    """
+    if len(trace_id) != TRACE_ID_SIZE:
+        raise ProtocolError(
+            f"trace ids are {TRACE_ID_SIZE} bytes, got {len(trace_id)}"
+        )
+    version = peek_version(raw)
+    if version == PROTOCOL_V1:
+        return raw
+    if version != PROTOCOL_V2:
+        raise ProtocolError(f"cannot attach a trace id to a v{version} envelope")
+    header = len(V2_MAGIC)
+    return V2_MAGIC + bytes([PROTOCOL_V3]) + raw[header + 1:] + trace_id
+
+
+def strip_trace(raw: bytes) -> bytes:
+    """Downgrade a serialized v3 envelope to v2, dropping its trace id.
+
+    Non-v3 frames pass through unchanged, so a relay in front of a
+    pre-trace peer can call this unconditionally.
+    """
+    if peek_version(raw) != PROTOCOL_V3:
+        return raw
+    if len(raw) < len(V2_MAGIC) + 1 + TRACE_ID_SIZE:
+        raise ProtocolError("truncated trace id")
+    header = len(V2_MAGIC)
+    return V2_MAGIC + bytes([PROTOCOL_V2]) + raw[header + 1: -TRACE_ID_SIZE]
+
+
+def peek_trace_id(raw: bytes) -> bytes | None:
+    """The trace id of a raw v3 frame (None for untraced versions), O(1)."""
+    if peek_version(raw) != PROTOCOL_V3:
+        return None
+    if len(raw) < len(V2_MAGIC) + 1 + TRACE_ID_SIZE:
+        raise ProtocolError("truncated trace id")
+    return raw[-TRACE_ID_SIZE:]
 
 
 def negotiate_version(

@@ -19,6 +19,7 @@ and provider.  Evaluators are registered out-of-band
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -30,6 +31,7 @@ from repro.core.dph import (
     EvaluationResult,
     ServerEvaluator,
 )
+from repro.obs import MetricsRegistry, span as obs_span
 from repro.outsourcing import protocol
 from repro.outsourcing.audit import AuditEventKind, ServerAuditLog
 from repro.outsourcing.protocol import (
@@ -38,6 +40,7 @@ from repro.outsourcing.protocol import (
     MessageV2,
     PROTOCOL_V1,
     PROTOCOL_V2,
+    PROTOCOL_V3,
     ProtocolError,
 )
 from repro.outsourcing.storage import (
@@ -69,12 +72,13 @@ class OutsourcedDatabaseServer:
     """The untrusted service provider, generic over its storage backend."""
 
     #: Protocol versions this server implementation can speak.
-    SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2)
+    SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3)
 
     def __init__(
         self,
         audit_log: ServerAuditLog | None = None,
         storage: StorageBackend | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         # Imported here, not at module top: repro.index.wire speaks this
         # package's protocol, so a top-level import would be circular.
@@ -83,16 +87,36 @@ class OutsourcedDatabaseServer:
         self._storage = storage if storage is not None else InMemoryStorageBackend()
         self._evaluators: dict[str, ServerEvaluator] = {}
         self._audit = audit_log if audit_log is not None else ServerAuditLog()
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._scan_access = ScanAccess(self.execute_query)
-        self._index_access = IndexAccess()
+        self._index_access = IndexAccess(metrics=self._metrics)
         #: Lookup strategies in preference order; first that can serve wins.
         self._access_methods = (self._index_access, self._scan_access)
-        self._index_scan_fallbacks = 0
+        self._scan_fallback_counter = self._metrics.counter(
+            "index_scan_fallbacks_total"
+        )
 
     @property
     def index_access(self):
         """The provider's index-serving strategy (stats, installed indexes)."""
         return self._index_access
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """This provider's metrics registry (shared with its TCP front-end)."""
+        return self._metrics
+
+    def metrics_snapshot(self) -> dict:
+        """A registry snapshot with the audit-log gauges refreshed.
+
+        The audit log is a ring buffer mutated on every operation; rather
+        than double-count through parallel instruments, its totals are
+        copied into gauges at snapshot time.
+        """
+        self._metrics.gauge("audit_events_dropped").set(self._audit.dropped_events)
+        for kind, count in self._audit.summary().items():
+            self._metrics.gauge("audit_events", kind=kind).set(count)
+        return self._metrics.snapshot()
 
     @property
     def audit_log(self) -> ServerAuditLog:
@@ -342,9 +366,21 @@ class OutsourcedDatabaseServer:
         for method in self._access_methods:
             if not method.can_serve(name, request):
                 continue
-            if method is self._scan_access:
-                self._index_scan_fallbacks += 1
-            result = method.search(name, stored, request)
+            fallback_taken = method is self._scan_access
+            if fallback_taken:
+                self._scan_fallback_counter.inc()
+            started = time.monotonic()
+            with obs_span(
+                f"access.{method.name}",
+                relation=name,
+                fallback_taken=fallback_taken,
+            ) as access_span:
+                result = method.search(name, stored, request)
+                access_span.annotations["examined"] = result.examined
+                access_span.annotations["result_size"] = len(result.matching)
+            self._metrics.histogram(
+                "index_lookup_seconds", access_method=method.name, relation=name
+            ).observe(time.monotonic() - started)
             self._audit.record(
                 AuditEventKind.INDEX_LOOKUP_SERVED,
                 name,
@@ -362,7 +398,7 @@ class OutsourcedDatabaseServer:
     def index_stats(self) -> dict:
         """Index-serving statistics for operators (``repro serve`` stats)."""
         stats = dict(self._index_access.stats())
-        stats["scan_fallbacks"] = self._index_scan_fallbacks
+        stats["scan_fallbacks"] = self._scan_fallback_counter.value
         return stats
 
     def storage_in_bytes(self, name: str | None = None) -> int:
@@ -386,14 +422,30 @@ class OutsourcedDatabaseServer:
         remote provider would do.
         """
         request = protocol.parse_message(raw)
-        try:
-            return self._dispatch(request).to_bytes()
-        # ValueError covers malformed scheme tokens rejected deep inside an
-        # evaluator (e.g. SwpToken.from_bytes on truncated bytes).
-        except (ServerError, StorageError, ProtocolError, DphError, ValueError) as exc:
-            return self._respond(
-                request, MessageKind.ERROR, str(exc).encode("utf-8")
-            ).to_bytes()
+        started = time.monotonic()
+        outcome = "ok"
+        with obs_span(
+            f"provider.{request.kind.value}", relation=request.relation_name
+        ) as op_span:
+            try:
+                response = self._dispatch(request)
+            # ValueError covers malformed scheme tokens rejected deep inside
+            # an evaluator (e.g. SwpToken.from_bytes on truncated bytes).
+            except (
+                ServerError, StorageError, ProtocolError, DphError, ValueError
+            ) as exc:
+                outcome = "error"
+                op_span.annotations["error"] = str(exc)
+                response = self._respond(
+                    request, MessageKind.ERROR, str(exc).encode("utf-8")
+                )
+        self._metrics.histogram(
+            "provider_op_seconds",
+            op_kind=request.kind.value,
+            relation=request.relation_name,
+            outcome=outcome,
+        ).observe(time.monotonic() - started)
+        return response.to_bytes()
 
     def _dispatch(self, request: Message | MessageV2) -> Message | MessageV2:
         name = request.relation_name

@@ -17,7 +17,7 @@ from repro.cluster import (
     parse_cluster_url,
 )
 from repro.outsourcing import OutsourcedDatabaseServer, OutsourcingClient
-from repro.outsourcing.protocol import PROTOCOL_V1, PROTOCOL_V2
+from repro.outsourcing.protocol import PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3
 from repro.relational import Selection
 
 EMP_DECL = "Emp(name:string[14], dept:string[5], salary:int[6])"
@@ -125,7 +125,7 @@ class TestDuckType:
             SUPPORTED_PROTOCOL_VERSIONS = (PROTOCOL_V1,)
 
         full = ShardRouter(backends)
-        assert full.supported_protocol_versions == (PROTOCOL_V1, PROTOCOL_V2)
+        assert full.supported_protocol_versions == (PROTOCOL_V1, PROTOCOL_V2, PROTOCOL_V3)
         mixed = ShardRouter([OutsourcedDatabaseServer(), V1Only()])
         assert mixed.supported_protocol_versions == (PROTOCOL_V1,)
 

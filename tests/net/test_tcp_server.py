@@ -51,7 +51,7 @@ class TestHelloNegotiation:
         try:
             hello = send_hello(sock)
             assert hello["ok"] and hello["version"] == 2
-            assert hello["versions"] == [1, 2]
+            assert hello["versions"] == [1, 2, 3]
             assert hello["max_frame_size"] > 0
         finally:
             sock.close()

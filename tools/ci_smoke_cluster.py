@@ -1,6 +1,6 @@
 """CI smoke test of the sharded multi-provider deployment.
 
-Four phases, every wait bounded so a hung provider fails the CI step
+Five phases, every wait bounded so a hung provider fails the CI step
 instead of wedging it:
 
 1. **Scatter-gather CRUD** -- starts ``repro cluster spawn --shards 2`` as
@@ -33,6 +33,13 @@ instead of wedging it:
    in ~O(result) provider work (asserted via the per-query ``examined``
    stat), every indexed result is compared against a plain scanning
    session on the same fleet, and the router's index counters must fire.
+
+5. **Metrics plane** -- two ``repro serve`` subprocesses worked through a
+   ``cluster://`` session, then scraped mid-workload over the ``metrics``
+   control operation: every shard must expose a snapshot with non-zero
+   latency-histogram counts and a parseable Prometheus text rendering,
+   and the per-shard snapshots must merge into fleet-wide p50/p95/p99
+   summaries.
 
 Usage::
 
@@ -354,6 +361,85 @@ def smoke_indexed_fleet() -> int:
                     proc.wait(timeout=10)
 
 
+def smoke_metrics_plane() -> int:
+    procs: list[subprocess.Popen] = []
+    try:
+        hosts = []
+        for _ in range(2):
+            proc, host = _spawn_provider()
+            procs.append(proc)
+            hosts.append(host)
+        url = "cluster://" + ",".join(hosts)
+        print(f"metrics fleet up at {url}")
+
+        from repro.api import EncryptedDatabase
+        from repro.net.client import RemoteServerProxy
+        from repro.obs import histogram_summaries, merge_snapshots
+
+        with EncryptedDatabase.connect(url, timeout=STARTUP_TIMEOUT_S) as db:
+            db.create_table(
+                "Smoke(name:string[10], value:int[4])",
+                rows=[(f"row{i}", i % 3) for i in range(NUM_ROWS)],
+            )
+            for _ in range(3):
+                db.select("SELECT * FROM Smoke WHERE value = 1")
+
+            # Scrape every shard mid-workload, exactly like `repro stats`.
+            snapshots = []
+            for host in hosts:
+                with RemoteServerProxy.connect(
+                    f"tcp://{host}", pool_size=1, timeout=STARTUP_TIMEOUT_S
+                ) as probe:
+                    snapshot = probe.metrics().get("metrics")
+                    if not snapshot:
+                        print(f"FAIL: {host} exposed no metrics snapshot")
+                        return 1
+                    if not any(h["count"] > 0 for h in snapshot["histograms"]):
+                        print(f"FAIL: {host} served traffic but every latency "
+                              "histogram is empty")
+                        return 1
+                    text = probe.metrics(format="prometheus").get("prometheus", "")
+                    if "# TYPE" not in text:
+                        print(f"FAIL: {host} Prometheus rendering has no TYPE lines")
+                        return 1
+                    for line in text.splitlines():
+                        if line.startswith("#") or not line:
+                            continue
+                        try:
+                            float(line.rsplit(" ", 1)[1])
+                        except (IndexError, ValueError):
+                            print(f"FAIL: unparseable Prometheus line {line!r}")
+                            return 1
+                    snapshots.append(snapshot)
+
+            merged = merge_snapshots(*snapshots)
+            dispatch = [
+                s for s in histogram_summaries(merged)
+                if s["name"] == "server_dispatch_queue_seconds"
+            ]
+            if not dispatch or all(s["count"] == 0 for s in dispatch):
+                print("FAIL: merged fleet snapshot lost the dispatch histograms")
+                return 1
+            worst = max(dispatch, key=lambda s: s["p99"])
+            print(
+                f"metrics plane ok: {len(snapshots)} shard snapshot(s) merged, "
+                f"dispatch-queue p50={worst['p50']:.6f}s p99={worst['p99']:.6f}s "
+                f"over {sum(s['count'] for s in dispatch)} request(s)"
+            )
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.communicate(timeout=SHUTDOWN_TIMEOUT_S)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+
 def main() -> int:
     exit_code = smoke_scatter_gather_crud()
     if exit_code != 0:
@@ -364,7 +450,10 @@ def main() -> int:
     exit_code = smoke_async_transport()
     if exit_code != 0:
         return exit_code
-    return smoke_indexed_fleet()
+    exit_code = smoke_indexed_fleet()
+    if exit_code != 0:
+        return exit_code
+    return smoke_metrics_plane()
 
 
 if __name__ == "__main__":
