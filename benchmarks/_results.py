@@ -1,51 +1,41 @@
 """Machine-readable benchmark results.
 
 Every benchmark's human-readable table already lands in
-``benchmarks/results/<name>.txt``; this module adds a structured twin,
-``benchmarks/results/<name>.json``, so the performance trajectory of the
-repository can be tracked across commits by tooling instead of eyeballs.
+``benchmarks/results/<name>.txt``; this module adds a structured twin
+recorded through the per-revision result store (:mod:`repro.bench.store`):
+the durable copy lives in ``benchmarks/results/<git-rev>/<name>.json`` so
+runs accumulate across commits instead of clobbering each other, and a
+"latest" copy stays at the legacy ``benchmarks/results/<name>.json`` path
+for anything still reading it.
 
-The JSON payload carries the rendered table (columns + rows), an optional
-``metrics`` object of headline numbers (scaling factors, throughputs), the
-benchmark's ``params`` (sizes, seeds, shard counts), and the git revision
-the numbers were produced at.  The shared :func:`write_result_json` is
-called by the ``record_table`` fixture (see ``conftest.py``), so every
-``bench_e*`` gets its JSON file without writing any plumbing.
+Payloads carry the rendered table (columns + rows), optional headline
+``metrics`` and ``params``, and a ``runtime_metrics`` snapshot of the
+PR 7 observability plane.  The store stamps ``schema_version``,
+``git_rev``, a ``dirty`` flag and ``generated_at``.  The shared
+:func:`write_result_json` is called by the ``record_table`` fixture (see
+``conftest.py``), so every ``bench_e*`` gets its JSON history without
+writing any plumbing -- and ``repro bench report`` / ``repro bench gate``
+read the same layout.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
-import subprocess
-import time
+
+from repro.bench.store import ResultStore, git_revision  # noqa: F401 - re-export
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-
-def git_revision() -> str | None:
-    """The current commit hash, or None outside a usable git checkout."""
-    try:
-        completed = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            cwd=pathlib.Path(__file__).parent,
-            capture_output=True,
-            text=True,
-            timeout=10,
-            check=False,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return None
-    revision = completed.stdout.strip()
-    return revision if completed.returncode == 0 and revision else None
+_STORE = ResultStore(RESULTS_DIR)
 
 
 def runtime_metrics_snapshot() -> dict:
     """The process-wide observability snapshot, if the obs plane is importable.
 
     Merges every live :class:`~repro.obs.MetricsRegistry` (session, server,
-    router), so the latency histograms behind each benchmark's numbers ride
-    along in its JSON.  Degrades to an empty dict rather than failing a
+    router).  Prefer passing ``record_table``'s *delta* snapshot instead:
+    this whole-process view includes every benchmark the pytest session ran
+    before this one.  Degrades to an empty dict rather than failing a
     benchmark over a diagnostics import.
     """
     try:
@@ -66,20 +56,23 @@ def write_result_json(
     rows: list[list[str]] | None = None,
     metrics: dict | None = None,
     params: dict | None = None,
+    runtime_metrics: dict | None = None,
 ) -> pathlib.Path:
-    """Persist one benchmark's structured result; returns the written path."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    """Persist one benchmark's structured result; returns the per-rev path.
+
+    ``runtime_metrics`` should be the delta snapshot scoped to this
+    benchmark's own operations (the ``record_table`` fixture computes it);
+    when omitted the process-wide aggregate is recorded as before.
+    """
     payload = {
         "benchmark": name,
-        "git_rev": git_revision(),
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "title": title,
         "table": {"columns": columns or [], "rows": rows or []},
         "metrics": metrics or {},
         "params": params or {},
-        "runtime_metrics": runtime_metrics_snapshot(),
+        "runtime_metrics": (
+            runtime_metrics if runtime_metrics is not None
+            else runtime_metrics_snapshot()
+        ),
     }
-    path = RESULTS_DIR / f"{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
-                    encoding="utf-8")
-    return path
+    return _STORE.write(name, payload)

@@ -8,9 +8,11 @@ Every benchmark regenerates one experiment table (E1-E10, see DESIGN.md) and
 * writes the rendered table to ``benchmarks/results/<experiment>.txt`` so the
   rows can be compared against ``EXPERIMENTS.md`` even when pytest captures
   stdout;
-* writes a machine-readable twin to ``benchmarks/results/<experiment>.json``
-  (table + optional headline metrics/params + git revision, see
-  ``_results.py``) so the performance trajectory is trackable by tooling.
+* writes a machine-readable twin through the per-revision result store
+  (``benchmarks/results/<git-rev>/<experiment>.json`` plus a latest copy at
+  the legacy path; table + optional headline metrics/params + git revision,
+  see ``_results.py``) so the performance trajectory accumulates across
+  commits and is trackable by ``repro bench report`` / ``gate``.
 """
 
 from __future__ import annotations
@@ -29,8 +31,15 @@ def record_table():
     """Return a callable that persists a rendered experiment table.
 
     ``metrics`` and ``params`` are optional headline numbers and experiment
-    parameters folded into the JSON twin of the table.
+    parameters folded into the JSON twin of the table.  The fixture
+    snapshots the process-wide metrics plane at setup and records only the
+    *delta* at record time, so one benchmark's ``runtime_metrics`` reflects
+    its own operations -- not the histograms of every benchmark the pytest
+    session ran before it.
     """
+    from repro.obs.metrics import aggregate_snapshot, snapshot_delta
+
+    baseline = aggregate_snapshot()
 
     def _record(name: str, table, metrics: dict | None = None,
                 params: dict | None = None) -> str:
@@ -44,6 +53,7 @@ def record_table():
             rows=[list(row) for row in table.rows],
             metrics=metrics,
             params=params,
+            runtime_metrics=snapshot_delta(baseline, aggregate_snapshot()),
         )
         print()
         print(rendered)

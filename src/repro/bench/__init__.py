@@ -1,0 +1,66 @@
+"""Declarative benchmark orchestration with per-revision history and gates.
+
+The measurement discipline of the repository, FuzzBench-style: *what* to
+measure is a checked-in JSON matrix config (benchmark x scheme x transport
+x shards x in-flight depth, see :mod:`repro.bench.config`), *how* is the
+runner's warmup/repeat/variance loop over real deployments
+(:mod:`repro.bench.runner`), and every run lands in a per-git-revision
+result store (:mod:`repro.bench.store`) that the trend report
+(:mod:`repro.bench.report`) and the CI regression gates
+(:mod:`repro.bench.gates`) consume.  Surfaced as ``repro bench
+run / report / gate``.
+"""
+
+from repro.bench.config import (
+    BENCHMARKS,
+    CellConfig,
+    ConfigError,
+    GateSpec,
+    MatrixConfig,
+    TRANSPORTS,
+    expand_matrix_entry,
+)
+from repro.bench.gates import GateError, GateReport, GateViolation, evaluate_gates
+from repro.bench.report import collect_trend, render_trend_markdown
+from repro.bench.runner import (
+    BenchError,
+    ProviderFleet,
+    SLOWDOWN_ENV,
+    injected_slowdown_s,
+    run_cell,
+    run_matrix,
+)
+from repro.bench.store import (
+    ResultStore,
+    SCHEMA_VERSION,
+    UNVERSIONED,
+    git_dirty,
+    git_revision,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchError",
+    "CellConfig",
+    "ConfigError",
+    "GateError",
+    "GateReport",
+    "GateSpec",
+    "GateViolation",
+    "MatrixConfig",
+    "ProviderFleet",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SLOWDOWN_ENV",
+    "TRANSPORTS",
+    "UNVERSIONED",
+    "collect_trend",
+    "evaluate_gates",
+    "expand_matrix_entry",
+    "git_dirty",
+    "git_revision",
+    "injected_slowdown_s",
+    "render_trend_markdown",
+    "run_cell",
+    "run_matrix",
+]

@@ -1,0 +1,205 @@
+"""The gate engine: declarative thresholds over recorded history.
+
+Gates make the result store *enforceable*: CI runs the quick-tier matrix,
+then evaluates the experiment's declared thresholds against a baseline
+revision and fails the build on violation, so a hot-path regression is a
+red build instead of a number someone might notice.
+
+Two threshold kinds (see :class:`~repro.bench.config.GateSpec`):
+
+``max_regression_pct``
+    Differential: each cell's mean throughput may not drop more than this
+    percentage against the same cell at the baseline revision.  Cells
+    without a baseline counterpart are noted, not failed -- a brand-new
+    matrix cell must not brick CI.
+
+``max_p99_s``
+    Absolute: the candidate's p99 for a named latency histogram may not
+    exceed its ceiling, baseline or no baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.config import MatrixConfig
+from repro.bench.report import cell_p99
+from repro.bench.store import ResultStore
+
+
+class GateError(ValueError):
+    """A gate evaluation that cannot even start (missing runs, bad revs)."""
+
+
+@dataclass(frozen=True)
+class GateViolation:
+    """One tripped threshold."""
+
+    config_id: str
+    kind: str  # "regression" | "p99"
+    measured: float
+    limit: float
+    detail: str
+
+    def render(self) -> str:
+        return f"FAIL {self.config_id}: {self.detail}"
+
+
+@dataclass
+class GateReport:
+    """The outcome of one gate evaluation."""
+
+    experiment: str
+    baseline_rev: str | None
+    candidate_rev: str
+    violations: list[GateViolation] = field(default_factory=list)
+    checks: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        baseline = self.baseline_rev or "(none)"
+        lines = [
+            f"gate {self.experiment}: candidate {self.candidate_rev} "
+            f"vs baseline {baseline}: {self.checks} check(s), "
+            f"{len(self.violations)} violation(s)"
+        ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for violation in self.violations:
+            lines.append(f"  {violation.render()}")
+        lines.append("gate PASSED" if self.passed else "gate FAILED")
+        return "\n".join(lines)
+
+
+def evaluate_gates(
+    config: MatrixConfig,
+    store: ResultStore,
+    *,
+    candidate: str | None = None,
+    baseline: str | None = None,
+    require_baseline: bool = False,
+) -> GateReport:
+    """Check an experiment's thresholds; raises :class:`GateError` on
+    missing candidate runs or unknown revision labels.
+
+    ``candidate`` defaults to the newest recorded revision, ``baseline``
+    to the one recorded just before it.
+    """
+    result_name = config.result_name
+    revisions = store.revisions(result_name)
+    if not revisions:
+        raise GateError(
+            f"no recorded runs of {result_name} under {store.root}; "
+            f"run `repro bench run` first"
+        )
+    if candidate is None:
+        candidate = revisions[-1]
+    candidate_payload = store.load(result_name, candidate)
+    if candidate_payload is None:
+        raise GateError(
+            f"candidate revision {candidate!r} has no {result_name} result "
+            f"(recorded: {', '.join(revisions)})"
+        )
+    if baseline is None:
+        earlier = [rev for rev in revisions if rev != candidate]
+        # The newest run that is not the candidate itself.
+        baseline = earlier[-1] if earlier else None
+    baseline_payload = store.load(result_name, baseline) if baseline else None
+    if baseline is not None and baseline_payload is None:
+        raise GateError(
+            f"baseline revision {baseline!r} has no {result_name} result "
+            f"(recorded: {', '.join(revisions)})"
+        )
+
+    report = GateReport(
+        experiment=config.experiment,
+        baseline_rev=baseline,
+        candidate_rev=candidate,
+    )
+    if baseline_payload is None:
+        note = "no baseline revision recorded; regression checks skipped"
+        if require_baseline:
+            raise GateError(note)
+        report.notes.append(note)
+
+    baseline_cells = {
+        cell["config_id"]: cell
+        for cell in (baseline_payload or {}).get("cells", ())
+        if "config_id" in cell
+    }
+    for cell in candidate_payload.get("cells", ()):
+        config_id = cell.get("config_id", "?")
+        _check_regression(report, config, config_id, cell, baseline_cells)
+        _check_p99(report, config, config_id, cell)
+    return report
+
+
+def _check_regression(
+    report: GateReport,
+    config: MatrixConfig,
+    config_id: str,
+    cell: dict,
+    baseline_cells: dict,
+) -> None:
+    limit = config.gates.max_regression_pct
+    if limit is None or not baseline_cells:
+        return
+    base = baseline_cells.get(config_id)
+    if base is None:
+        report.notes.append(
+            f"{config_id}: not in the baseline run; regression check skipped"
+        )
+        return
+    base_mean = base.get("mean_ops_per_s")
+    cand_mean = cell.get("mean_ops_per_s")
+    if not base_mean or cand_mean is None:
+        report.notes.append(
+            f"{config_id}: baseline throughput unusable; regression check skipped"
+        )
+        return
+    report.checks += 1
+    regression_pct = (base_mean - cand_mean) / base_mean * 100.0
+    if regression_pct > limit:
+        report.violations.append(
+            GateViolation(
+                config_id=config_id,
+                kind="regression",
+                measured=regression_pct,
+                limit=limit,
+                detail=(
+                    f"throughput {cand_mean:.1f} ops/s is {regression_pct:.1f}% "
+                    f"below baseline {base_mean:.1f} ops/s "
+                    f"(max_regression_pct {limit:g})"
+                ),
+            )
+        )
+
+
+def _check_p99(
+    report: GateReport, config: MatrixConfig, config_id: str, cell: dict
+) -> None:
+    for metric, ceiling in config.gates.max_p99_s.items():
+        p99 = cell_p99(cell, metric)
+        if p99 is None:
+            report.notes.append(
+                f"{config_id}: no {metric} samples; p99 check skipped"
+            )
+            continue
+        report.checks += 1
+        if p99 > ceiling:
+            report.violations.append(
+                GateViolation(
+                    config_id=config_id,
+                    kind="p99",
+                    measured=p99,
+                    limit=ceiling,
+                    detail=(
+                        f"{metric} p99 {p99:.6f}s exceeds the "
+                        f"{ceiling:g}s ceiling (max_p99_s)"
+                    ),
+                )
+            )

@@ -1,0 +1,144 @@
+"""Markdown trend reports over the per-revision result history.
+
+The report walks every revision the store has recorded for one experiment
+(oldest run first), pivots the cells into a ``config x revision`` grid and
+renders GitHub-flavoured markdown: one throughput table (mean +- stddev
+ops/s, with the percentage change against the previous recorded revision
+inline) and one latency table (the p99 of each cell's dominant
+``session_op_seconds`` histogram).  Because every payload is stamped with
+its ``git_rev`` and ``dirty`` flag by the store, the trajectory is read
+straight off disk -- no benchmark re-runs, no external state.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import MatrixConfig
+from repro.bench.store import ResultStore
+
+#: The latency histogram summarized per cell in the p99 table: the
+#: session-level end-to-end op time exists for every transport.
+HEADLINE_LATENCY_METRIC = "session_op_seconds"
+
+
+def collect_trend(store: ResultStore, result_name: str) -> dict:
+    """The pivoted history: revisions (oldest first), config ids, cells.
+
+    Returns ``{"revisions": [...], "payloads": {rev: payload},
+    "config_ids": [...]}`` where config ids keep first-seen order.
+    """
+    revisions = store.revisions(result_name)
+    payloads: dict[str, dict] = {}
+    config_ids: list[str] = []
+    for rev in revisions:
+        payload = store.load(result_name, rev)
+        if payload is None:
+            continue
+        payloads[rev] = payload
+        for cell in payload.get("cells", ()):
+            config_id = cell.get("config_id")
+            if config_id and config_id not in config_ids:
+                config_ids.append(config_id)
+    return {
+        "revisions": [rev for rev in revisions if rev in payloads],
+        "payloads": payloads,
+        "config_ids": config_ids,
+    }
+
+
+def cell_p99(cell: dict, metric: str = HEADLINE_LATENCY_METRIC) -> float | None:
+    """The worst p99 of a cell's summaries for ``metric``, or None."""
+    candidates = [
+        entry["p99"]
+        for entry in cell.get("latency", ())
+        if entry.get("name") == metric and entry.get("count")
+    ]
+    return max(candidates) if candidates else None
+
+
+def _cells_by_id(payload: dict) -> dict[str, dict]:
+    return {
+        cell["config_id"]: cell
+        for cell in payload.get("cells", ())
+        if "config_id" in cell
+    }
+
+
+def _rev_heading(rev: str, payload: dict) -> str:
+    label = rev if len(rev) <= 10 else rev[:10]
+    if payload.get("dirty"):
+        label += "\N{DAGGER}"
+    return label
+
+
+def render_trend_markdown(store: ResultStore, experiment: str) -> str:
+    """The full markdown trend report for one experiment's history."""
+    result_name = f"bench_{experiment}"
+    trend = collect_trend(store, result_name)
+    revisions = trend["revisions"]
+    lines = [f"# Benchmark trend: {experiment}", ""]
+    if not revisions:
+        lines.append(
+            f"No recorded runs of `{result_name}` in `{store.root}`; "
+            f"run `repro bench run` first."
+        )
+        return "\n".join(lines) + "\n"
+    payloads = trend["payloads"]
+    headings = [_rev_heading(rev, payloads[rev]) for rev in revisions]
+    generated = [payloads[rev].get("generated_at", "?") for rev in revisions]
+    lines.append(
+        f"{len(revisions)} recorded revision(s), oldest first "
+        f"({generated[0]} .. {generated[-1]}). "
+        "\N{DAGGER} marks a dirty checkout."
+    )
+    lines.append("")
+
+    lines.append("## Throughput (mean \N{PLUS-MINUS SIGN} stddev ops/s)")
+    lines.append("")
+    lines.append("| config | " + " | ".join(headings) + " |")
+    lines.append("|---" * (len(headings) + 1) + "|")
+    for config_id in trend["config_ids"]:
+        row = [f"`{config_id}`"]
+        previous_mean: float | None = None
+        for rev in revisions:
+            cell = _cells_by_id(payloads[rev]).get(config_id)
+            if cell is None:
+                row.append("-")
+                continue
+            mean = cell.get("mean_ops_per_s")
+            stddev = cell.get("stddev_ops_per_s", 0.0)
+            if mean is None:
+                row.append("-")
+                continue
+            rendered = f"{mean:.1f} \N{PLUS-MINUS SIGN}{stddev:.1f}"
+            if previous_mean:
+                change = (mean - previous_mean) / previous_mean * 100.0
+                rendered += f" ({change:+.1f}%)"
+            previous_mean = mean
+            row.append(rendered)
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+
+    lines.append(f"## Latency p99 (s, `{HEADLINE_LATENCY_METRIC}`)")
+    lines.append("")
+    lines.append("| config | " + " | ".join(headings) + " |")
+    lines.append("|---" * (len(headings) + 1) + "|")
+    for config_id in trend["config_ids"]:
+        row = [f"`{config_id}`"]
+        for rev in revisions:
+            cell = _cells_by_id(payloads[rev]).get(config_id)
+            p99 = cell_p99(cell) if cell is not None else None
+            row.append(f"{p99:.6f}" if p99 is not None else "-")
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def render_config_summary(config: MatrixConfig) -> str:
+    """A one-line-per-cell description of what an experiment will run."""
+    lines = [
+        f"experiment {config.experiment!r}: {len(config.cells)} cell(s), "
+        f"warmup {config.warmup}, repeats {config.repeats}, seed {config.seed}"
+    ]
+    for cell in config.cells:
+        lines.append(f"  {cell.config_id}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Per-revision benchmark result store.
+
+Every benchmark artifact -- the ``bench_e*`` JSON twins and the
+:mod:`repro.bench` orchestrator's experiment runs -- lands in one layout::
+
+    <root>/<git-rev>/<name>.json     the durable per-revision history
+    <root>/<name>.json               a "latest" copy at the legacy path
+
+The per-revision copy is what :mod:`repro.bench.report` and
+:mod:`repro.bench.gates` consume: results accumulate across commits instead
+of clobbering each other, so metric trajectories and regression checks are
+computed from recorded history rather than a single overwritten file.
+
+Payloads are stamped with a ``schema_version``, the producing ``git_rev``,
+a ``dirty`` flag (uncommitted changes make a number non-attributable to its
+revision) and a ``generated_at`` UTC timestamp.  Revisions are ordered by
+the newest ``generated_at`` they contain, so "previous revision" means
+"previous *run*" even when branch history is nonlinear.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+
+#: Bumped whenever the stamped payload layout changes shape.
+SCHEMA_VERSION = 2
+
+#: Revision label used when the store runs outside a usable git checkout.
+UNVERSIONED = "unversioned"
+
+
+def git_revision(cwd: pathlib.Path | str | None = None) -> str | None:
+    """The current commit hash, or None outside a usable git checkout."""
+    completed = _git(["rev-parse", "HEAD"], cwd)
+    if completed is None or completed.returncode != 0:
+        return None
+    revision = completed.stdout.strip()
+    return revision or None
+
+
+def git_dirty(cwd: pathlib.Path | str | None = None) -> bool | None:
+    """True when the checkout has uncommitted changes, None outside git."""
+    completed = _git(["status", "--porcelain"], cwd)
+    if completed is None or completed.returncode != 0:
+        return None
+    return bool(completed.stdout.strip())
+
+
+def _git(args: list[str], cwd) -> subprocess.CompletedProcess | None:
+    try:
+        return subprocess.run(
+            ["git", *args],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+
+
+class ResultStore:
+    """Reads and writes the per-revision result layout under ``root``."""
+
+    def __init__(self, root: pathlib.Path | str) -> None:
+        self.root = pathlib.Path(root)
+
+    def write(
+        self,
+        name: str,
+        payload: dict,
+        *,
+        rev: str | None = None,
+        latest_copy: bool = True,
+    ) -> pathlib.Path:
+        """Stamp and persist one result; returns the per-revision path.
+
+        ``rev`` overrides the revision label (CI uses synthetic labels to
+        record several runs of one checkout); it defaults to the current
+        git revision, or :data:`UNVERSIONED` outside a checkout.
+        """
+        if rev is None:
+            rev = git_revision(self.root) or UNVERSIONED
+        stamped = {
+            "schema_version": SCHEMA_VERSION,
+            "git_rev": rev,
+            "dirty": git_dirty(self.root),
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            **payload,
+        }
+        rendered = json.dumps(stamped, indent=2, sort_keys=False) + "\n"
+        rev_dir = self.root / _safe_rev(rev)
+        rev_dir.mkdir(parents=True, exist_ok=True)
+        path = rev_dir / f"{name}.json"
+        path.write_text(rendered, encoding="utf-8")
+        if latest_copy:
+            (self.root / f"{name}.json").write_text(rendered, encoding="utf-8")
+        return path
+
+    def revisions(self, name: str | None = None) -> list[str]:
+        """Recorded revision labels, oldest run first.
+
+        With ``name`` given, only revisions holding that result count.
+        """
+        stamps: list[tuple[float, str]] = []
+        if not self.root.is_dir():
+            return []
+        for rev_dir in self.root.iterdir():
+            if not rev_dir.is_dir():
+                continue
+            files = (
+                [rev_dir / f"{name}.json"]
+                if name is not None
+                else list(rev_dir.glob("*.json"))
+            )
+            newest: float | None = None
+            for path in files:
+                if not path.is_file():
+                    continue
+                stamp = _generated_stamp(path)
+                if newest is None or stamp > newest:
+                    newest = stamp
+            if newest is not None:
+                stamps.append((newest, rev_dir.name))
+        return [rev for _, rev in sorted(stamps)]
+
+    def names(self, rev: str) -> list[str]:
+        """Result names recorded at one revision."""
+        rev_dir = self.root / _safe_rev(rev)
+        if not rev_dir.is_dir():
+            return []
+        return sorted(path.stem for path in rev_dir.glob("*.json"))
+
+    def load(self, name: str, rev: str | None = None) -> dict | None:
+        """One stamped payload, or None; ``rev=None`` reads the latest copy."""
+        if rev is None:
+            path = self.root / f"{name}.json"
+        else:
+            path = self.root / _safe_rev(rev) / f"{name}.json"
+        if not path.is_file():
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+
+def _safe_rev(rev: str) -> str:
+    # Revision labels become directory names; keep path separators out.
+    return rev.replace("/", "_") or UNVERSIONED
+
+
+def _generated_stamp(path: pathlib.Path) -> float:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        recorded = payload.get("generated_at")
+        if recorded:
+            return time.mktime(time.strptime(recorded, "%Y-%m-%dT%H:%M:%SZ"))
+    except (OSError, json.JSONDecodeError, ValueError, OverflowError):
+        pass
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return 0.0

@@ -23,6 +23,7 @@ from repro.obs.metrics import (
     histogram_summaries,
     merge_snapshots,
     render_prometheus,
+    snapshot_delta,
 )
 from repro.obs.trace import (
     TRACE_ID_SIZE,
@@ -45,6 +46,7 @@ __all__ = [
     "histogram_summaries",
     "merge_snapshots",
     "render_prometheus",
+    "snapshot_delta",
     "TRACE_ID_SIZE",
     "SlowQueryLog",
     "Span",

@@ -283,6 +283,71 @@ def merge_snapshots(*snapshots: dict) -> dict:
     }
 
 
+def snapshot_delta(before: dict, after: dict) -> dict:
+    """What happened *between* two (possibly merged) snapshots.
+
+    Counters and histogram bucket counts subtract element-wise (clamped at
+    zero: a registry that died between the snapshots can make ``after``
+    smaller than ``before``, and a negative delta is meaningless); gauges
+    are point-in-time readings, so the ``after`` value is kept as-is.
+    Instruments present only in ``before`` -- or whose delta is empty --
+    are dropped, so the result describes exactly the activity of the
+    window.  This is how the benchmark harness scopes the process-wide
+    :func:`aggregate_snapshot` to a single benchmark's operations instead
+    of everything the pytest session ran before it.
+    """
+    before_counters = {
+        (e["name"], _label_key(e["labels"])): e for e in before.get("counters", ())
+    }
+    before_histograms = {
+        (e["name"], _label_key(e["labels"])): e for e in before.get("histograms", ())
+    }
+    counters = []
+    for entry in after.get("counters", ()):
+        key = (entry["name"], _label_key(entry["labels"]))
+        base = before_counters.get(key)
+        value = entry["value"] - (base["value"] if base else 0)
+        if value > 0:
+            counters.append(
+                {"name": entry["name"], "labels": dict(entry["labels"]), "value": value}
+            )
+    gauges = [
+        {"name": e["name"], "labels": dict(e["labels"]), "value": e["value"]}
+        for e in after.get("gauges", ())
+    ]
+    histograms = []
+    for entry in after.get("histograms", ()):
+        key = (entry["name"], _label_key(entry["labels"]))
+        base = before_histograms.get(key)
+        if base is None:
+            buckets = list(entry["buckets"])
+            count = entry["count"]
+            total = entry["sum"]
+        else:
+            buckets = [
+                max(0, after_count - before_count)
+                for after_count, before_count in zip(entry["buckets"], base["buckets"])
+            ]
+            count = max(0, entry["count"] - base["count"])
+            total = max(0.0, entry["sum"] - base["sum"])
+        if count > 0:
+            histograms.append(
+                {
+                    "name": entry["name"],
+                    "labels": dict(entry["labels"]),
+                    "count": count,
+                    "sum": total,
+                    "buckets": buckets,
+                }
+            )
+    return {
+        "bucket_bounds": list(BUCKET_BOUNDS),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
 def _merge_scalar(into: dict, entry: dict) -> None:
     key = (entry["name"], _label_key(entry["labels"]))
     merged = into.get(key)

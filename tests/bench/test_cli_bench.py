@@ -1,0 +1,205 @@
+"""The ``repro bench`` CLI surface: run, report, gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import SLOWDOWN_ENV
+from repro.cli import build_parser, main
+
+MINI_CONFIG = {
+    "experiment": "mini",
+    "warmup": 0,
+    "repeats": 2,
+    "seed": 1,
+    "matrix": [
+        {
+            "benchmark": "exact_select",
+            "transport": "in-process",
+            "table_size": 16,
+            "operations": 3,
+        }
+    ],
+    "gates": {
+        "max_regression_pct": 20,
+        "max_p99_s": {"session_op_seconds": 30.0},
+    },
+}
+
+
+@pytest.fixture
+def mini_config(tmp_path):
+    path = tmp_path / "mini.json"
+    path.write_text(json.dumps(MINI_CONFIG), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    return tmp_path / "results"
+
+
+class TestParser:
+    def test_bench_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["bench", "run", "--config", "c.json"])
+        assert args.config == "c.json"
+        assert args.results_dir == "benchmarks/results"
+        assert args.rev is None and args.repeats is None and args.warmup is None
+
+    def test_gate_flags(self):
+        args = build_parser().parse_args([
+            "bench", "gate", "--config", "c.json",
+            "--baseline", "a", "--candidate", "b", "--require-baseline",
+        ])
+        assert args.baseline == "a" and args.candidate == "b"
+        assert args.require_baseline is True
+
+
+class TestRun:
+    def test_run_records_and_prints_summary(
+        self, mini_config, results_dir, capsys, monkeypatch
+    ):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        exit_code = main([
+            "bench", "run", "--config", str(mini_config),
+            "--results-dir", str(results_dir), "--rev", "r1",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "recorded 1 cell(s)" in captured.out
+        assert "ops/s over 2 repeat(s)" in captured.out
+        stored = json.loads(
+            (results_dir / "r1" / "bench_mini.json").read_text(encoding="utf-8")
+        )
+        assert stored["experiment"] == "mini"
+
+    def test_run_overrides_discipline(
+        self, mini_config, results_dir, capsys, monkeypatch
+    ):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        exit_code = main([
+            "bench", "run", "--config", str(mini_config),
+            "--results-dir", str(results_dir), "--rev", "r1",
+            "--repeats", "3", "--warmup", "0",
+        ])
+        assert exit_code == 0
+        capsys.readouterr()
+        stored = json.loads(
+            (results_dir / "r1" / "bench_mini.json").read_text(encoding="utf-8")
+        )
+        assert stored["params"]["repeats"] == 3
+        assert len(stored["cells"][0]["samples"]["ops_per_s"]) == 3
+
+    def test_run_rejects_bad_overrides(self, mini_config, results_dir, capsys):
+        assert main([
+            "bench", "run", "--config", str(mini_config),
+            "--results-dir", str(results_dir), "--repeats", "0",
+        ]) == 2
+        assert main([
+            "bench", "run", "--config", str(mini_config),
+            "--results-dir", str(results_dir), "--warmup", "-1",
+        ]) == 2
+        capsys.readouterr()
+
+    def test_run_rejects_a_missing_config(self, tmp_path, results_dir, capsys):
+        exit_code = main([
+            "bench", "run", "--config", str(tmp_path / "nope.json"),
+            "--results-dir", str(results_dir),
+        ])
+        assert exit_code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestReportAndGate:
+    def _run(self, mini_config, results_dir, rev):
+        assert main([
+            "bench", "run", "--config", str(mini_config),
+            "--results-dir", str(results_dir), "--rev", rev,
+        ]) == 0
+
+    def test_full_roundtrip_clean_and_degraded(
+        self, mini_config, results_dir, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        self._run(mini_config, results_dir, "base")
+        # A degraded second revision via the injected per-op slowdown.
+        monkeypatch.setenv(SLOWDOWN_ENV, "0.05")
+        self._run(mini_config, results_dir, "slow")
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        capsys.readouterr()
+
+        # Report spans both revisions.
+        assert main([
+            "bench", "report", "--experiment", "mini",
+            "--results-dir", str(results_dir),
+        ]) == 0
+        report = capsys.readouterr().out
+        assert "base" in report and "slow" in report
+        assert "Benchmark trend: mini" in report
+
+    def test_gate_passes_clean_and_fails_degraded(
+        self, mini_config, results_dir, capsys, monkeypatch
+    ):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        self._run(mini_config, results_dir, "base")
+        monkeypatch.setenv(SLOWDOWN_ENV, "0.05")
+        self._run(mini_config, results_dir, "slow")
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        capsys.readouterr()
+
+        clean = main([
+            "bench", "gate", "--config", str(mini_config),
+            "--results-dir", str(results_dir),
+            "--baseline", "base", "--candidate", "base",
+        ])
+        assert clean == 0
+        assert "gate PASSED" in capsys.readouterr().out
+
+        degraded = main([
+            "bench", "gate", "--config", str(mini_config),
+            "--results-dir", str(results_dir),
+            "--baseline", "base", "--candidate", "slow",
+        ])
+        assert degraded == 1
+        out = capsys.readouterr().out
+        assert "gate FAILED" in out
+        assert "max_regression_pct" in out
+
+    def test_report_to_file(
+        self, mini_config, results_dir, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        self._run(mini_config, results_dir, "r1")
+        capsys.readouterr()
+        output = tmp_path / "out" / "trend.md"
+        assert main([
+            "bench", "report", "--config", str(mini_config),
+            "--results-dir", str(results_dir), "--output", str(output),
+        ]) == 0
+        assert "trend report written" in capsys.readouterr().out
+        assert "Benchmark trend: mini" in output.read_text(encoding="utf-8")
+
+    def test_report_needs_exactly_one_source(self, mini_config, capsys):
+        assert main(["bench", "report"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main([
+            "bench", "report", "--config", str(mini_config),
+            "--experiment", "mini",
+        ]) == 2
+        capsys.readouterr()
+
+    def test_gate_without_recorded_runs_is_a_usage_error(
+        self, mini_config, results_dir, capsys
+    ):
+        exit_code = main([
+            "bench", "gate", "--config", str(mini_config),
+            "--results-dir", str(results_dir),
+        ])
+        assert exit_code == 2
+        assert "no recorded runs" in capsys.readouterr().err

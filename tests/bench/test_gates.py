@@ -1,0 +1,193 @@
+"""The gate engine over synthetic recorded history."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import GateError, MatrixConfig, ResultStore, evaluate_gates
+
+
+def _config(**gates) -> MatrixConfig:
+    return MatrixConfig.from_dict(
+        {
+            "experiment": "t",
+            "matrix": [{"benchmark": "exact_select"}],
+            "gates": gates,
+        }
+    )
+
+
+def _cell(config_id: str, mean: float, p99: float = 0.01) -> dict:
+    return {
+        "config_id": config_id,
+        "mean_ops_per_s": mean,
+        "stddev_ops_per_s": 0.0,
+        "latency": [
+            {
+                "name": "session_op_seconds",
+                "labels": {"op_kind": "select"},
+                "count": 10,
+                "mean": p99,
+                "p50": p99,
+                "p95": p99,
+                "p99": p99,
+            }
+        ],
+    }
+
+
+def _record(store: ResultStore, rev: str, *cells: dict, stamp: str | None = None) -> None:
+    store.write("bench_t", {"cells": list(cells)}, rev=rev)
+    if stamp is not None:
+        path = store.root / rev / "bench_t.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["generated_at"] = stamp
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestRegressionGate:
+    def test_within_threshold_passes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "base", _cell("c1", 100.0))
+        _record(store, "cand", _cell("c1", 85.0))
+        report = evaluate_gates(
+            _config(max_regression_pct=20), store,
+            baseline="base", candidate="cand",
+        )
+        assert report.passed
+        assert report.checks >= 1
+
+    def test_breach_fails_with_the_measured_numbers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "base", _cell("c1", 100.0))
+        _record(store, "cand", _cell("c1", 70.0))
+        report = evaluate_gates(
+            _config(max_regression_pct=20), store,
+            baseline="base", candidate="cand",
+        )
+        assert not report.passed
+        violation = report.violations[0]
+        assert violation.kind == "regression"
+        assert violation.config_id == "c1"
+        assert violation.measured == pytest.approx(30.0)
+        assert "30.0%" in violation.detail
+
+    def test_improvement_passes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "base", _cell("c1", 100.0))
+        _record(store, "cand", _cell("c1", 250.0))
+        report = evaluate_gates(
+            _config(max_regression_pct=20), store,
+            baseline="base", candidate="cand",
+        )
+        assert report.passed
+
+    def test_new_cell_is_noted_not_failed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "base", _cell("c1", 100.0))
+        _record(store, "cand", _cell("c1", 100.0), _cell("c2-new", 5.0))
+        report = evaluate_gates(
+            _config(max_regression_pct=20), store,
+            baseline="base", candidate="cand",
+        )
+        assert report.passed
+        assert any("c2-new" in note for note in report.notes)
+
+    def test_self_comparison_is_zero_regression(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "only", _cell("c1", 42.0))
+        report = evaluate_gates(
+            _config(max_regression_pct=20), store,
+            baseline="only", candidate="only",
+        )
+        assert report.passed
+
+
+class TestP99Gate:
+    def test_ceiling_violation_fails(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "cand", _cell("c1", 100.0, p99=0.5))
+        report = evaluate_gates(
+            _config(max_p99_s={"session_op_seconds": 0.1}), store,
+            candidate="cand",
+        )
+        assert not report.passed
+        assert report.violations[0].kind == "p99"
+        assert report.violations[0].limit == pytest.approx(0.1)
+
+    def test_ceiling_respected_passes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "cand", _cell("c1", 100.0, p99=0.05))
+        report = evaluate_gates(
+            _config(max_p99_s={"session_op_seconds": 0.1}), store,
+            candidate="cand",
+        )
+        assert report.passed
+
+    def test_absent_metric_is_noted_not_failed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "cand", _cell("c1", 100.0))
+        report = evaluate_gates(
+            _config(max_p99_s={"router_scatter_seconds": 0.1}), store,
+            candidate="cand",
+        )
+        assert report.passed
+        assert any("router_scatter_seconds" in note for note in report.notes)
+
+
+class TestRevisionSelection:
+    def test_defaults_pick_newest_candidate_and_previous_baseline(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "old", _cell("c1", 100.0), stamp="2026-01-01T00:00:00Z")
+        _record(store, "new", _cell("c1", 50.0), stamp="2026-02-01T00:00:00Z")
+        report = evaluate_gates(_config(max_regression_pct=20), store)
+        assert report.candidate_rev == "new"
+        assert report.baseline_rev == "old"
+        assert not report.passed
+
+    def test_single_run_without_baseline_is_noted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "only", _cell("c1", 100.0))
+        report = evaluate_gates(_config(max_regression_pct=20), store)
+        assert report.passed
+        assert report.baseline_rev is None
+        assert any("no baseline" in note for note in report.notes)
+
+    def test_require_baseline_raises_without_one(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "only", _cell("c1", 100.0))
+        with pytest.raises(GateError, match="no baseline"):
+            evaluate_gates(
+                _config(max_regression_pct=20), store, require_baseline=True
+            )
+
+    def test_no_recorded_runs_raises(self, tmp_path):
+        with pytest.raises(GateError, match="no recorded runs"):
+            evaluate_gates(_config(), ResultStore(tmp_path))
+
+    def test_unknown_revision_labels_raise(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "r1", _cell("c1", 100.0))
+        with pytest.raises(GateError, match="candidate revision"):
+            evaluate_gates(_config(), store, candidate="nope")
+        with pytest.raises(GateError, match="baseline revision"):
+            evaluate_gates(_config(), store, candidate="r1", baseline="nope")
+
+    def test_report_renders_verdict_and_violations(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "base", _cell("c1", 100.0))
+        _record(store, "cand", _cell("c1", 10.0))
+        report = evaluate_gates(
+            _config(max_regression_pct=20), store,
+            baseline="base", candidate="cand",
+        )
+        rendered = report.render()
+        assert "gate FAILED" in rendered
+        assert "FAIL c1" in rendered
+        passing = evaluate_gates(
+            _config(max_regression_pct=20), store,
+            baseline="base", candidate="base",
+        )
+        assert "gate PASSED" in passing.render()

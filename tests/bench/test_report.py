@@ -1,0 +1,88 @@
+"""The markdown trend report over recorded history."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import ResultStore, collect_trend, render_trend_markdown
+
+
+def _cell(config_id: str, mean: float, p99: float = 0.01) -> dict:
+    return {
+        "config_id": config_id,
+        "mean_ops_per_s": mean,
+        "stddev_ops_per_s": 1.5,
+        "latency": [
+            {
+                "name": "session_op_seconds",
+                "labels": {"op_kind": "select"},
+                "count": 4,
+                "mean": p99,
+                "p50": p99,
+                "p95": p99,
+                "p99": p99,
+            }
+        ],
+    }
+
+
+def _record(store, rev, stamp, *cells, dirty=False) -> None:
+    store.write("bench_t", {"cells": list(cells)}, rev=rev)
+    path = store.root / rev / "bench_t.json"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["generated_at"] = stamp
+    payload["dirty"] = dirty
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestCollectTrend:
+    def test_pivot_keeps_rev_order_and_first_seen_configs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "old", "2026-01-01T00:00:00Z", _cell("c1", 10.0))
+        _record(store, "new", "2026-02-01T00:00:00Z",
+                _cell("c1", 12.0), _cell("c2", 3.0))
+        trend = collect_trend(store, "bench_t")
+        assert trend["revisions"] == ["old", "new"]
+        assert trend["config_ids"] == ["c1", "c2"]
+        assert trend["payloads"]["new"]["cells"][1]["config_id"] == "c2"
+
+
+class TestRenderMarkdown:
+    def test_table_spans_revisions_with_inline_change(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "old1234567890", "2026-01-01T00:00:00Z", _cell("c1", 100.0))
+        _record(store, "new1234567890", "2026-02-01T00:00:00Z", _cell("c1", 50.0))
+        rendered = render_trend_markdown(store, "t")
+        assert "# Benchmark trend: t" in rendered
+        assert "2 recorded revision(s)" in rendered
+        # Revision labels are truncated headings.
+        assert "old1234567" in rendered and "new1234567" in rendered
+        assert "`c1`" in rendered
+        assert "100.0" in rendered
+        assert "(-50.0%)" in rendered
+
+    def test_latency_table_reports_p99(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "r1", "2026-01-01T00:00:00Z", _cell("c1", 10.0, p99=0.25))
+        rendered = render_trend_markdown(store, "t")
+        assert "Latency p99" in rendered
+        assert "0.250000" in rendered
+
+    def test_missing_cells_render_as_dashes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "old", "2026-01-01T00:00:00Z", _cell("c1", 10.0))
+        _record(store, "new", "2026-02-01T00:00:00Z", _cell("c2", 5.0))
+        rendered = render_trend_markdown(store, "t")
+        rows = [line for line in rendered.splitlines() if line.startswith("| `c1`")]
+        assert rows and rows[0].rstrip().endswith("- |")
+
+    def test_dirty_revisions_are_marked(self, tmp_path):
+        store = ResultStore(tmp_path)
+        _record(store, "r1", "2026-01-01T00:00:00Z", _cell("c1", 10.0), dirty=True)
+        rendered = render_trend_markdown(store, "t")
+        assert "r1\N{DAGGER}" in rendered
+
+    def test_empty_history_renders_a_pointer(self, tmp_path):
+        rendered = render_trend_markdown(ResultStore(tmp_path), "t")
+        assert "No recorded runs" in rendered
+        assert "repro bench run" in rendered

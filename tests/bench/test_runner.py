@@ -1,0 +1,128 @@
+"""The runner's measurement discipline (in-process cells: fast, hermetic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchError,
+    CellConfig,
+    MatrixConfig,
+    ResultStore,
+    SCHEMA_VERSION,
+    SLOWDOWN_ENV,
+    injected_slowdown_s,
+    run_cell,
+    run_matrix,
+)
+
+CELL = CellConfig(
+    benchmark="exact_select", scheme="swp", transport="in-process",
+    table_size=24, operations=4,
+)
+
+
+class TestSlowdownKnob:
+    def test_absent_means_zero(self, monkeypatch):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        assert injected_slowdown_s() == 0.0
+
+    def test_parses_seconds(self, monkeypatch):
+        monkeypatch.setenv(SLOWDOWN_ENV, "0.25")
+        assert injected_slowdown_s() == 0.25
+
+    def test_rejects_garbage_and_negatives(self, monkeypatch):
+        monkeypatch.setenv(SLOWDOWN_ENV, "fast")
+        with pytest.raises(BenchError, match="not a number"):
+            injected_slowdown_s()
+        monkeypatch.setenv(SLOWDOWN_ENV, "-1")
+        with pytest.raises(BenchError, match="non-negative"):
+            injected_slowdown_s()
+
+
+class TestRunCell:
+    def test_select_cell_records_samples_and_latency(self, monkeypatch):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        result = run_cell(CELL, warmup=1, repeats=2, seed=3)
+        assert result["config_id"] == CELL.config_id
+        assert result["params"] == CELL.as_dict()
+        assert len(result["samples"]["seconds"]) == 2
+        assert len(result["samples"]["ops_per_s"]) == 2
+        assert result["ops_per_repeat"] == 4
+        assert result["mean_ops_per_s"] > 0
+        assert result["stddev_ops_per_s"] >= 0
+        # The metrics delta covers exactly the timed window: warmup and
+        # seeding are excluded, so the select histogram counts the
+        # repeats' operations alone.
+        selects = [
+            entry for entry in result["latency"]
+            if entry["name"] == "session_op_seconds"
+            and entry["labels"].get("op_kind") == "select"
+        ]
+        assert sum(entry["count"] for entry in selects) == 2 * 4
+        assert all(entry["p99"] > 0 for entry in selects)
+
+    def test_insert_cell_runs(self, monkeypatch):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        cell = CellConfig(
+            benchmark="insert", transport="in-process",
+            table_size=8, operations=6,
+        )
+        result = run_cell(cell, warmup=1, repeats=2, seed=3)
+        assert result["mean_ops_per_s"] > 0
+        inserts = [
+            entry for entry in result["latency"]
+            if entry["name"] == "session_op_seconds"
+            and entry["labels"].get("op_kind") == "insert"
+        ]
+        assert sum(entry["count"] for entry in inserts) == 2 * 6
+
+    def test_injected_slowdown_bounds_throughput(self, monkeypatch):
+        monkeypatch.setenv(SLOWDOWN_ENV, "0.02")
+        result = run_cell(CELL, warmup=0, repeats=1, seed=3)
+        # Each of the 4 operations sleeps 20ms inside the timed loop, so
+        # throughput is deterministically capped at 50 ops/s.
+        assert result["mean_ops_per_s"] <= 50.0
+        assert result["slowdown_injected_s"] == 0.02
+
+    def test_invalid_cell_is_rejected_before_deploying(self):
+        bad = CellConfig(benchmark="exact_select", in_flight=2)
+        with pytest.raises(Exception, match="in_flight"):
+            run_cell(bad, warmup=0, repeats=1, seed=0)
+
+
+class TestRunMatrix:
+    def test_run_writes_through_the_store(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(SLOWDOWN_ENV, raising=False)
+        config = MatrixConfig.from_dict(
+            {
+                "experiment": "mini",
+                "warmup": 0,
+                "repeats": 2,
+                "seed": 5,
+                "matrix": [
+                    {
+                        "benchmark": "exact_select",
+                        "transport": "in-process",
+                        "table_size": 16,
+                        "operations": 3,
+                    }
+                ],
+                "gates": {"max_regression_pct": 20},
+            }
+        )
+        store = ResultStore(tmp_path)
+        payload = run_matrix(config, store=store, rev="r1")
+        stored = store.load("bench_mini", "r1")
+        assert stored is not None
+        assert stored["schema_version"] == SCHEMA_VERSION
+        assert stored["git_rev"] == "r1"
+        assert stored["experiment"] == "mini"
+        assert stored["params"] == {"warmup": 0, "repeats": 2, "seed": 5}
+        assert stored["gates"]["max_regression_pct"] == 20.0
+        assert len(stored["cells"]) == 1
+        assert stored["cells"][0]["config_id"] == config.cells[0].config_id
+        assert stored["runtime_metrics"]["histograms"]
+        assert payload["result_path"].endswith("bench_mini.json")
+        # The latest copy rides along at the legacy flat path.
+        assert store.load("bench_mini") is not None

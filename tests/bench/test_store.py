@@ -1,0 +1,121 @@
+"""The per-revision result store: layout, stamps, ordering."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench import SCHEMA_VERSION, UNVERSIONED, ResultStore, git_dirty, git_revision
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _set_generated_at(store: ResultStore, rev: str, name: str, stamp: str) -> None:
+    """Rewrite a stored file's timestamp (writes within one second tie)."""
+    path = store.root / rev / f"{name}.json"
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    payload["generated_at"] = stamp
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+class TestGitProbes:
+    def test_revision_and_dirty_inside_a_checkout(self):
+        revision = git_revision(REPO_ROOT)
+        assert revision is not None and len(revision) == 40
+        assert git_dirty(REPO_ROOT) in (True, False)
+
+    def test_outside_a_checkout_degrades_to_none(self, tmp_path):
+        assert git_revision(tmp_path) is None
+        assert git_dirty(tmp_path) is None
+
+
+class TestWrite:
+    def test_write_lands_per_rev_plus_latest_copy(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.write("bench_x", {"metrics": {"qps": 10}}, rev="abc123")
+        assert path == tmp_path / "abc123" / "bench_x.json"
+        per_rev = json.loads(path.read_text(encoding="utf-8"))
+        latest = json.loads((tmp_path / "bench_x.json").read_text(encoding="utf-8"))
+        assert per_rev == latest
+
+    def test_payload_is_stamped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_x", {"metrics": {}}, rev="abc123")
+        payload = store.load("bench_x", "abc123")
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["git_rev"] == "abc123"
+        assert "dirty" in payload
+        assert "generated_at" in payload
+
+    def test_default_rev_outside_git_is_unversioned(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_x", {})
+        assert store.load("bench_x", UNVERSIONED) is not None
+
+    def test_rev_labels_cannot_escape_the_root(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.write("bench_x", {}, rev="feature/speedup")
+        assert path.parent.name == "feature_speedup"
+        assert path.parent.parent == tmp_path
+
+    def test_latest_copy_can_be_suppressed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_x", {}, rev="r1", latest_copy=False)
+        assert not (tmp_path / "bench_x.json").exists()
+
+    def test_reruns_at_one_rev_overwrite_that_rev_only(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_x", {"metrics": {"qps": 1}}, rev="r1")
+        store.write("bench_x", {"metrics": {"qps": 2}}, rev="r1")
+        assert store.load("bench_x", "r1")["metrics"] == {"qps": 2}
+        assert store.revisions("bench_x") == ["r1"]
+
+
+class TestReads:
+    def test_revisions_order_by_generated_at(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for rev in ("zz-old", "aa-new"):
+            store.write("bench_x", {}, rev=rev)
+        _set_generated_at(store, "zz-old", "bench_x", "2026-01-01T00:00:00Z")
+        _set_generated_at(store, "aa-new", "bench_x", "2026-02-01T00:00:00Z")
+        assert store.revisions() == ["zz-old", "aa-new"]
+        assert store.revisions("bench_x") == ["zz-old", "aa-new"]
+
+    def test_revisions_filtered_by_name(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_x", {}, rev="r1")
+        store.write("bench_y", {}, rev="r2")
+        assert store.revisions("bench_x") == ["r1"]
+        assert set(store.revisions()) == {"r1", "r2"}
+
+    def test_latest_copies_do_not_masquerade_as_revisions(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_x", {}, rev="r1")
+        # The latest copy lives as a *file* directly under the root.
+        assert (tmp_path / "bench_x.json").is_file()
+        assert store.revisions() == ["r1"]
+
+    def test_load_without_rev_reads_the_latest_copy(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_x", {"metrics": {"qps": 1}}, rev="r1")
+        store.write("bench_x", {"metrics": {"qps": 2}}, rev="r2")
+        assert store.load("bench_x")["metrics"] == {"qps": 2}
+
+    def test_missing_results_load_as_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load("bench_x") is None
+        assert store.load("bench_x", "r1") is None
+        assert store.revisions() == []
+        assert store.names("r1") == []
+
+    def test_names_lists_one_revisions_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_b", {}, rev="r1")
+        store.write("bench_a", {}, rev="r1")
+        assert store.names("r1") == ["bench_a", "bench_b"]
+
+    def test_corrupt_json_loads_as_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("bench_x", {}, rev="r1")
+        (tmp_path / "r1" / "bench_x.json").write_text("{broken", encoding="utf-8")
+        assert store.load("bench_x", "r1") is None

@@ -13,6 +13,7 @@ from repro.obs import (
     histogram_summaries,
     merge_snapshots,
     render_prometheus,
+    snapshot_delta,
 )
 from repro.obs.metrics import percentile_from_buckets
 
@@ -196,3 +197,88 @@ class TestMergeAndExposition:
             c for c in merged["counters"] if c["name"] == "aggregate_probe_total"
         ]
         assert probes and probes[0]["value"] >= 41
+
+
+class TestSnapshotDelta:
+    def test_counter_delta_is_the_window_activity(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total", op_kind="select").inc(5)
+        before = registry.snapshot()
+        registry.counter("ops_total", op_kind="select").inc(3)
+        delta = snapshot_delta(before, registry.snapshot())
+        entries = [c for c in delta["counters"] if c["name"] == "ops_total"]
+        assert entries == [
+            {"name": "ops_total", "labels": {"op_kind": "select"}, "value": 3}
+        ]
+
+    def test_idle_instruments_are_dropped(self):
+        registry = MetricsRegistry()
+        registry.counter("idle_total").inc(7)
+        registry.histogram("idle_seconds").observe(0.1)
+        before = registry.snapshot()
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"] == []
+        assert delta["histograms"] == []
+
+    def test_histogram_delta_subtracts_buckets_count_and_sum(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("op_seconds", op_kind="select")
+        histogram.observe(0.001)
+        before = registry.snapshot()
+        histogram.observe(0.002)
+        histogram.observe(0.004)
+        delta = snapshot_delta(before, registry.snapshot())
+        entry = delta["histograms"][0]
+        assert entry["count"] == 2
+        assert entry["sum"] == pytest.approx(0.006)
+        assert sum(entry["buckets"]) == 2
+        summaries = histogram_summaries(delta)
+        assert summaries[0]["count"] == 2
+
+    def test_instruments_born_inside_the_window_pass_through(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.counter("fresh_total").inc(2)
+        registry.histogram("fresh_seconds").observe(0.01)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"][0]["value"] == 2
+        assert delta["histograms"][0]["count"] == 1
+
+    def test_gauges_keep_their_point_in_time_reading(self):
+        registry = MetricsRegistry()
+        registry.gauge("active").set(9)
+        before = registry.snapshot()
+        registry.gauge("active").set(4)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["gauges"] == [{"name": "active", "labels": {}, "value": 4}]
+
+    def test_dead_registry_shrinkage_clamps_at_zero(self):
+        # A registry that dies between the snapshots makes the merged
+        # "after" smaller than "before"; the delta must not go negative.
+        survivor = MetricsRegistry()
+        survivor.counter("ops_total").inc(1)
+        doomed = MetricsRegistry()
+        doomed.counter("ops_total").inc(100)
+        doomed.histogram("op_seconds").observe(0.5)
+        before = merge_snapshots(survivor.snapshot(), doomed.snapshot())
+        survivor.counter("ops_total").inc(2)
+        delta = snapshot_delta(before, survivor.snapshot())
+        entries = [c for c in delta["counters"] if c["name"] == "ops_total"]
+        assert entries == []  # 3 - 101 clamps to zero and is dropped
+        assert delta["histograms"] == []
+
+    def test_delta_scopes_one_benchmark_among_many(self):
+        # The conftest bleed scenario: benchmark 1's histograms must not
+        # appear in benchmark 2's delta.
+        registry = MetricsRegistry()
+        registry.histogram("op_seconds", op_kind="select").observe(0.1)
+        baseline = aggregate_snapshot()
+        registry.histogram("op_seconds", op_kind="insert").observe(0.2)
+        delta = snapshot_delta(baseline, aggregate_snapshot())
+        kinds = {
+            entry["labels"].get("op_kind")
+            for entry in delta["histograms"]
+            if entry["name"] == "op_seconds"
+        }
+        assert "insert" in kinds
+        assert "select" not in kinds

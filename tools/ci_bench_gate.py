@@ -1,0 +1,118 @@
+"""CI smoke test of the benchmark orchestrator's regression gate.
+
+Runs the checked-in quick-tier matrix twice through the real ``repro
+bench`` CLI in subprocesses -- once clean, once with an injected
+per-operation slowdown (``REPRO_BENCH_SLOWDOWN_S``) -- into a throwaway
+result store, then asserts the gate machinery actually discriminates:
+
+* ``repro bench gate`` PASSES (exit 0) when the candidate is the clean
+  run itself (zero regression, p99 ceilings checked against real numbers);
+* ``repro bench gate`` FAILS (exit 1) when the candidate is the degraded
+  run, because the injected slowdown trips ``max_regression_pct``;
+* ``repro bench report`` renders a markdown trend table spanning both
+  recorded revisions.
+
+Usage::
+
+    PYTHONPATH=src python tools/ci_bench_gate.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CONFIG = REPO_ROOT / "benchmarks" / "configs" / "quick.json"
+STEP_TIMEOUT_S = 300
+
+#: Large enough that even the noisiest CI runner sees >>20% regression.
+INJECTED_SLOWDOWN_S = "0.05"
+
+
+def _bench(args: list[str], *, env: dict | None = None) -> subprocess.CompletedProcess:
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + merged.get("PYTHONPATH", "")
+    )
+    merged.pop("REPRO_BENCH_SLOWDOWN_S", None)
+    if env:
+        merged.update(env)
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "bench", *args],
+        capture_output=True,
+        text=True,
+        timeout=STEP_TIMEOUT_S,
+        env=merged,
+        cwd=REPO_ROOT,
+        check=False,
+    )
+    return completed
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-gate-") as results_dir:
+        common = ["--config", str(CONFIG), "--results-dir", results_dir]
+
+        print("== clean run (rev ci-base) ==", flush=True)
+        clean = _bench(["run", *common, "--rev", "ci-base"])
+        if clean.returncode != 0:
+            print(f"FAIL: clean bench run exited {clean.returncode}\n"
+                  f"{clean.stdout}\n{clean.stderr}")
+            return 1
+        print(clean.stdout.strip().splitlines()[-1])
+
+        print("== degraded run (rev ci-degraded, injected slowdown) ==", flush=True)
+        degraded = _bench(
+            ["run", *common, "--rev", "ci-degraded"],
+            env={"REPRO_BENCH_SLOWDOWN_S": INJECTED_SLOWDOWN_S},
+        )
+        if degraded.returncode != 0:
+            print(f"FAIL: degraded bench run exited {degraded.returncode}\n"
+                  f"{degraded.stdout}\n{degraded.stderr}")
+            return 1
+        print(degraded.stdout.strip().splitlines()[-1])
+
+        print("== gate: clean candidate vs clean baseline must pass ==", flush=True)
+        gate_clean = _bench(
+            ["gate", *common, "--baseline", "ci-base", "--candidate", "ci-base"]
+        )
+        print(gate_clean.stdout.strip())
+        if gate_clean.returncode != 0:
+            print(f"FAIL: clean gate exited {gate_clean.returncode}, expected 0\n"
+                  f"{gate_clean.stderr}")
+            return 1
+
+        print("== gate: degraded candidate must fail ==", flush=True)
+        gate_bad = _bench(
+            ["gate", *common, "--baseline", "ci-base", "--candidate", "ci-degraded"]
+        )
+        print(gate_bad.stdout.strip())
+        if gate_bad.returncode != 1:
+            print(f"FAIL: degraded gate exited {gate_bad.returncode}, expected 1\n"
+                  f"{gate_bad.stderr}")
+            return 1
+        if "max_regression_pct" not in gate_bad.stdout:
+            print("FAIL: degraded gate did not report a regression violation")
+            return 1
+
+        print("== report: trend table must span both revisions ==", flush=True)
+        report = _bench(
+            ["report", "--experiment", "quick", "--results-dir", results_dir]
+        )
+        if report.returncode != 0:
+            print(f"FAIL: report exited {report.returncode}\n{report.stderr}")
+            return 1
+        if "ci-base" not in report.stdout or "ci-degrade" not in report.stdout:
+            print(f"FAIL: report does not span both revisions\n{report.stdout}")
+            return 1
+        print(report.stdout.strip())
+        print("bench gate smoke: OK")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
