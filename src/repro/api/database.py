@@ -34,6 +34,7 @@ import contextlib
 import time
 from dataclasses import dataclass
 
+from repro.cache import CacheError, ResultCache, coerce_cache_config
 from repro.core.dph import DatabasePrivacyHomomorphism, EvaluationResult
 from repro.crypto.keys import SecretKey
 from repro.crypto.rng import RandomSource
@@ -105,6 +106,7 @@ class EncryptedDatabase:
         rng: RandomSource | None = None,
         scheme_options: dict | None = None,
         index: bool = False,
+        cache=None,
     ) -> None:
         self._key = key
         self._server = server
@@ -128,6 +130,17 @@ class EncryptedDatabase:
         self._trace_buffer = TraceBuffer()
         self._slow_queries = SlowQueryLog()
         self._last_trace_id: bytes | None = None
+        # The client-side hot-key result cache (see repro.cache): keyed on
+        # ciphertext query tokens, invalidated by this session's own writes.
+        try:
+            cache_config = coerce_cache_config(cache)
+        except CacheError as exc:
+            raise DatabaseError(str(exc)) from exc
+        self._cache = (
+            ResultCache(cache_config, metrics=self._metrics, tier="client")
+            if cache_config is not None
+            else None
+        )
 
     @classmethod
     def open(
@@ -142,6 +155,7 @@ class EncryptedDatabase:
         rng: RandomSource | None = None,
         scheme_options: dict | None = None,
         index: bool = False,
+        cache=None,
     ) -> "EncryptedDatabase":
         """Open a session.
 
@@ -181,6 +195,15 @@ class EncryptedDatabase:
             exact selects via ``INDEX_LOOKUP`` in O(result) provider
             work, falling back to the linear scan whenever the provider
             (or the negotiated protocol version) cannot serve it.
+        cache:
+            Keep a client-side result cache of this session's reads (see
+            :mod:`repro.cache`): repeated hot queries are answered from
+            memory without a provider round trip.  Keys are ciphertext
+            query tokens; entries are invalidated by this session's own
+            writes (and bounded by a TTL against writers this session
+            cannot see).  ``True`` enables the defaults; an int sets the
+            entry budget; a :class:`~repro.cache.CacheConfig` (or dict of
+            its fields) sets everything.  Off by default.
         """
         if key is None:
             key = SecretKey.generate(rng=rng)
@@ -209,7 +232,13 @@ class EncryptedDatabase:
         elif storage is not None:
             raise DatabaseError("pass either a server or a storage backend, not both")
         return cls(
-            key, server, scheme, rng=rng, scheme_options=scheme_options, index=index
+            key,
+            server,
+            scheme,
+            rng=rng,
+            scheme_options=scheme_options,
+            index=index,
+            cache=cache,
         )
 
     @classmethod
@@ -227,6 +256,7 @@ class EncryptedDatabase:
         shard_timeout: float | None = None,
         replicas: int | None = None,
         index: bool | None = None,
+        cache=None,
     ) -> "EncryptedDatabase":
         """Open a session against a provider given by URL (or server object).
 
@@ -270,6 +300,17 @@ class EncryptedDatabase:
         inverted indexes and answer exact selects via ``INDEX_LOOKUP``
         (see :mod:`repro.index`), scan-falling-back wherever unsupported.
 
+        A ``cache=1`` URL option opts into the hot-key result cache tier
+        (see :mod:`repro.cache`) that matches the transport: on a
+        ``tcp://...?cache=1`` URL it is this session's client-side cache
+        (same as the ``cache`` keyword, and they must agree when both are
+        given), while on a ``cluster://...?cache=1`` URL it is the
+        *coordinator-side* cache shared by every session routed through
+        the :class:`~repro.cluster.router.ShardRouter` -- hot reads are
+        absorbed before any shard is touched, and invalidation rides the
+        router's write paths.  The ``cache`` keyword always configures
+        the session's own client-side tier (both tiers compose).
+
         Anything that is not a URL string is treated as a server object and
         handed to :meth:`open` unchanged, so call sites can take "where is
         the provider" as a single configuration value.
@@ -278,6 +319,7 @@ class EncryptedDatabase:
         is_manifest = owns_proxy and provider.startswith("cluster+file://")
         is_cluster = is_manifest or (owns_proxy and provider.startswith("cluster://"))
         url_index: bool | None = None
+        url_cache: bool | None = None
         if not is_cluster and (policy, shard_timeout, replicas) != (
             "fail_fast",
             None,
@@ -327,6 +369,7 @@ class EncryptedDatabase:
                 else:
                     host, port, options = parse_tcp_options(provider)
                     url_index = options.get("index")
+                    url_cache = options.get("cache")
                     if options.get("async"):
                         from repro.net.aio import AsyncRemoteServerProxy
 
@@ -352,6 +395,13 @@ class EncryptedDatabase:
                     f"conflicting index settings: the URL says index={url_index}, "
                     f"the caller says index={index}"
                 )
+            if cache is None:
+                cache = bool(url_cache) if url_cache is not None else None
+            elif url_cache is not None and bool(url_cache) != bool(cache):
+                raise DatabaseError(
+                    f"conflicting cache settings: the URL says cache={url_cache}, "
+                    f"the caller says cache={cache}"
+                )
             return cls.open(
                 key,
                 server=provider,
@@ -359,6 +409,7 @@ class EncryptedDatabase:
                 rng=rng,
                 scheme_options=scheme_options,
                 index=index,
+                cache=cache,
             )
         except BaseException:
             if owns_proxy:
@@ -388,6 +439,11 @@ class EncryptedDatabase:
     def index_active(self) -> bool:
         """True while indexed serving is enabled *and* the provider plays along."""
         return self._index_enabled and not self._index_unsupported
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The session's client-side result cache, or None when disabled."""
+        return self._cache
 
     @property
     def server(self) -> OutsourcedDatabaseServer:
@@ -570,6 +626,8 @@ class EncryptedDatabase:
         except DatabaseError:
             del self._tables[name]
             raise
+        finally:
+            self._invalidate_cache(name)
         if handle.indexer is not None and not self._index_unsupported:
             snapshot = handle.indexer.snapshot(relation, encrypted)
             self._index_request(
@@ -652,6 +710,8 @@ class EncryptedDatabase:
         except ServerError as exc:
             del self._tables[name]
             raise DatabaseError(str(exc)) from exc
+        finally:
+            self._invalidate_cache(name)
         del self._tables[name]
 
     # ------------------------------------------------------------------ #
@@ -665,24 +725,32 @@ class EncryptedDatabase:
             handle = self.table(table)
             relation_tuple = self._as_tuple(handle, row)
             encrypted = handle.scheme.encrypt_tuple(relation_tuple)
-            if handle.indexer is not None and not self._index_unsupported:
-                # Postings first, tuple second: a crash in between leaves a
-                # stale posting whose id fetches nothing (a harmless
-                # superset); the other order could leave an indexed lookup
-                # missing a tuple.
-                delta = handle.indexer.insert_delta(relation_tuple, encrypted.tuple_id)
-                self._index_request(
-                    MessageKind.INDEX_DELTA,
+            try:
+                if handle.indexer is not None and not self._index_unsupported:
+                    # Postings first, tuple second: a crash in between leaves a
+                    # stale posting whose id fetches nothing (a harmless
+                    # superset); the other order could leave an indexed lookup
+                    # missing a tuple.
+                    delta = handle.indexer.insert_delta(
+                        relation_tuple, encrypted.tuple_id
+                    )
+                    self._index_request(
+                        MessageKind.INDEX_DELTA,
+                        table,
+                        encode_index_delta(delta),
+                        expect=MessageKind.ACK,
+                    )
+                self._request(
+                    MessageKind.INSERT_TUPLE,
                     table,
-                    encode_index_delta(delta),
+                    protocol.encode_encrypted_tuple(encrypted),
                     expect=MessageKind.ACK,
                 )
-            self._request(
-                MessageKind.INSERT_TUPLE,
-                table,
-                protocol.encode_encrypted_tuple(encrypted),
-                expect=MessageKind.ACK,
-            )
+            finally:
+                # Even a failed insert may have mutated provider state (the
+                # index delta can land without the tuple), so the bump is
+                # unconditional: one extra miss beats one stale hit.
+                self._invalidate_cache(table)
 
     def insert_many(self, table: str, rows) -> int:
         """Insert several rows; returns how many were shipped."""
@@ -779,18 +847,34 @@ class EncryptedDatabase:
             op_span.annotations["batch_size"] = len(resolved)
             handle = self.table(name)
             encrypted = [handle.scheme.encrypt_query(parsed) for _, parsed in resolved]
-            response = self._request(
-                MessageKind.BATCH_QUERY,
-                name,
-                protocol.encode_query_batch(encrypted),
-                expect=MessageKind.BATCH_RESULT,
-            )
-            results = protocol.decode_result_batch(response.body)
-            if len(results) != len(resolved):
-                raise DatabaseError(
-                    f"provider answered {len(results)} results "
-                    f"for {len(resolved)} queries"
+            tokens = [protocol.encode_encrypted_query(e) for e in encrypted]
+            results: list[EvaluationResult | None] = [None] * len(resolved)
+            generation = None
+            if self._cache is not None:
+                # Serve what we can from the cache and ship only the misses
+                # in the batch round trip (an all-hit batch skips it).
+                for position, token in enumerate(tokens):
+                    results[position] = self._cache.lookup(name, token)
+                generation = self._cache.generation(name)
+            missing = [i for i, result in enumerate(results) if result is None]
+            op_span.annotations["batch_misses"] = len(missing)
+            if missing:
+                response = self._request(
+                    MessageKind.BATCH_QUERY,
+                    name,
+                    protocol.encode_query_batch([encrypted[i] for i in missing]),
+                    expect=MessageKind.BATCH_RESULT,
                 )
+                fetched = protocol.decode_result_batch(response.body)
+                if len(fetched) != len(missing):
+                    raise DatabaseError(
+                        f"provider answered {len(fetched)} results "
+                        f"for {len(missing)} queries"
+                    )
+                for position, result in zip(missing, fetched):
+                    results[position] = result
+                    if self._cache is not None:
+                        self._cache.put(name, tokens[position], result, generation)
             return [
                 self._outcome(handle, result, parsed)
                 for result, (_, parsed) in zip(results, resolved)
@@ -812,6 +896,11 @@ class EncryptedDatabase:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _invalidate_cache(self, relation: str) -> None:
+        """Bump the client cache's generation for one relation (write path)."""
+        if self._cache is not None:
+            self._cache.invalidate(relation)
 
     def _stored(self, table: str):
         """The provider's ciphertext copy, with errors in the facade's type."""
@@ -871,7 +960,31 @@ class EncryptedDatabase:
         return table, parsed
 
     def _run_query(self, handle: TableHandle, parsed: Query) -> EvaluationResult:
-        """One encrypted read round trip for an already-resolved query.
+        """One encrypted read for an already-resolved query, cache included.
+
+        On cache-enabled sessions the encoded encrypted query is the cache
+        token: schemes encrypt queries deterministically, so a hot query
+        repeats byte-identically and its result is served from memory with
+        no round trip.  The fill is generation-checked (see
+        :class:`~repro.cache.ResultCache`): a write landing while the read
+        was in flight drops the fill instead of caching a stale answer.
+        """
+        encrypted_query = handle.scheme.encrypt_query(parsed)
+        token = protocol.encode_encrypted_query(encrypted_query)
+        if self._cache is not None:
+            cached = self._cache.lookup(handle.name, token)
+            if cached is not None:
+                return cached
+            generation = self._cache.generation(handle.name)
+        result = self._fetch_query_result(handle, parsed, encrypted_query, token)
+        if self._cache is not None:
+            self._cache.put(handle.name, token, result, generation)
+        return result
+
+    def _fetch_query_result(
+        self, handle: TableHandle, parsed: Query, encrypted_query, token: bytes
+    ) -> EvaluationResult:
+        """The provider round trip behind :meth:`_run_query`.
 
         Indexed sessions prefer ``INDEX_LOOKUP``: trapdoor labels plus the
         ordinary encrypted query as the embedded scan fallback, so any
@@ -880,7 +993,6 @@ class EncryptedDatabase:
         filter below discards index false candidates exactly as it
         discards scheme false positives).
         """
-        encrypted_query = handle.scheme.encrypt_query(parsed)
         if handle.indexer is not None and not self._index_unsupported:
             try:
                 labels = handle.indexer.query_labels(parsed)
@@ -901,7 +1013,7 @@ class EncryptedDatabase:
         response = self._request(
             MessageKind.QUERY,
             handle.name,
-            protocol.encode_encrypted_query(encrypted_query),
+            token,
             expect=MessageKind.QUERY_RESULT,
         )
         return self._decode_query_result(response)
@@ -916,6 +1028,14 @@ class EncryptedDatabase:
         """
         handle = self.table(name)
         body = protocol.encode_tuple_ids([t.tuple_id for t, _ in matches])
+        try:
+            return self._delete_matches_uncached(handle, name, body, matches)
+        finally:
+            self._invalidate_cache(name)
+
+    def _delete_matches_uncached(
+        self, handle: TableHandle, name: str, body: bytes, matches: list[tuple]
+    ) -> int:
         if handle.indexer is not None and not self._index_unsupported:
             response = self._index_request(
                 MessageKind.DELETE_TUPLES_EXACT,

@@ -43,6 +43,20 @@ BENCHMARKS = ("exact_select", "insert")
 #: variants ride the pipelined ``?async=1`` client).
 TRANSPORTS = ("in-process", "tcp", "tcp-async", "cluster", "cluster-async")
 
+#: Key-popularity axis for read workloads: ``uniform`` cycles evenly over
+#: the table, ``zipfian`` skews towards hot keys (the million-user regime
+#: the cache tier targets), shaped by ``zipf_exponent``.
+WORKLOADS = ("uniform", "zipfian")
+
+#: Cache-tier axis: which hot-key result caches (see :mod:`repro.cache`)
+#: the deployment runs with.  ``coordinator`` and ``both`` need a cluster
+#: transport (the coordinator cache lives in the shard router).
+CACHE_MODES = ("off", "client", "coordinator", "both")
+
+#: Default Zipf skew; only recorded in the config_id when it matters
+#: (zipfian cells), so pre-existing ids stay stable.
+DEFAULT_ZIPF_EXPONENT = 1.1
+
 
 class ConfigError(ValueError):
     """A matrix config that cannot be run."""
@@ -59,14 +73,27 @@ class CellConfig:
     in_flight: int = 1
     table_size: int = 100
     operations: int = 10
+    workload: str = "uniform"
+    zipf_exponent: float = DEFAULT_ZIPF_EXPONENT
+    cache: str = "off"
 
     @property
     def config_id(self) -> str:
-        """Stable identity of this cell across revisions (the join key)."""
+        """Stable identity of this cell across revisions (the join key).
+
+        The workload and cache axes only appear for non-default values,
+        so every pre-existing cell keeps the id its history was recorded
+        under.
+        """
+        suffix = ""
+        if self.workload != "uniform":
+            suffix += f":w{self.workload}:z{self.zipf_exponent:g}"
+        if self.cache != "off":
+            suffix += f":c{self.cache}"
         return (
             f"{self.benchmark}:{self.scheme}:{self.transport}"
             f":s{self.shards}:d{self.in_flight}"
-            f":n{self.table_size}:q{self.operations}"
+            f":n{self.table_size}:q{self.operations}{suffix}"
         )
 
     @property
@@ -82,6 +109,9 @@ class CellConfig:
             "in_flight": self.in_flight,
             "table_size": self.table_size,
             "operations": self.operations,
+            "workload": self.workload,
+            "zipf_exponent": self.zipf_exponent,
+            "cache": self.cache,
         }
 
     def validate(self) -> None:
@@ -108,6 +138,34 @@ class CellConfig:
             raise ConfigError(
                 "in-process sessions are single-threaded; in_flight must be 1 "
                 "(use a tcp or cluster transport for concurrent clients)"
+            )
+        if self.workload not in WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {self.workload!r}; pick one of {WORKLOADS}"
+            )
+        if (
+            not isinstance(self.zipf_exponent, (int, float))
+            or isinstance(self.zipf_exponent, bool)
+            or self.zipf_exponent <= 0
+        ):
+            raise ConfigError(
+                f"zipf_exponent must be a positive number, got {self.zipf_exponent!r}"
+            )
+        if self.cache not in CACHE_MODES:
+            raise ConfigError(
+                f"unknown cache mode {self.cache!r}; pick one of {CACHE_MODES}"
+            )
+        if self.cache in ("coordinator", "both") and not self.transport.startswith(
+            "cluster"
+        ):
+            raise ConfigError(
+                f"cache mode {self.cache!r} needs a cluster transport "
+                "(the coordinator cache lives in the shard router)"
+            )
+        if self.benchmark != "exact_select" and self.workload != "uniform":
+            raise ConfigError(
+                f"the workload axis shapes read key popularity; "
+                f"benchmark {self.benchmark!r} only supports 'uniform'"
             )
 
 
@@ -223,7 +281,7 @@ class MatrixConfig:
 
 
 _AXES = ("benchmark", "scheme", "transport", "shards", "in_flight",
-         "table_size", "operations")
+         "table_size", "operations", "workload", "zipf_exponent", "cache")
 
 
 def expand_matrix_entry(entry: dict, *, position: int = 0) -> list[CellConfig]:

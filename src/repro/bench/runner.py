@@ -143,12 +143,28 @@ def _rows(count: int) -> list[tuple]:
     return [(f"emp{i}", f"G{i % 7}", 1000 + i) for i in range(count)]
 
 
-def _statements(cell: CellConfig) -> list[str]:
-    step = max(1, cell.table_size // cell.operations)
+def _statements(cell: CellConfig, seed: int = 0) -> list[str]:
+    """The cell's read statements: an even sweep, or a zipfian hot-key draw.
+
+    The zipfian variant samples row indices from
+    :class:`~repro.workloads.distributions.ZipfDistribution` under a
+    seeded rng, so every repeat (and every revision) replays the same
+    skewed key sequence.
+    """
+    if cell.workload == "zipfian":
+        from repro.workloads.distributions import ZipfDistribution
+
+        distribution = ZipfDistribution(
+            range(cell.table_size), exponent=cell.zipf_exponent
+        )
+        rng = DeterministicRng(seed)
+        indices = distribution.sample_many(rng, cell.operations)
+    else:
+        step = max(1, cell.table_size // cell.operations)
+        indices = [(i * step) % cell.table_size for i in range(cell.operations)]
     return [
-        f"SELECT * FROM {TABLE_NAME} WHERE name = "
-        f"'emp{(i * step) % cell.table_size}'"
-        for i in range(cell.operations)
+        f"SELECT * FROM {TABLE_NAME} WHERE name = 'emp{index}'"
+        for index in indices
     ]
 
 
@@ -166,6 +182,13 @@ def run_cell(
     cell.validate()
     slowdown = injected_slowdown_s()
     secret_key = SecretKey.generate(rng=DeterministicRng(seed))
+    # "client"/"both" add the per-session cache; "coordinator"/"both" add
+    # the shared router cache (cluster transports only, enforced by
+    # validate): every session then rides ONE cache-enabled ShardRouter
+    # instead of a private router each, which is the deployment shape the
+    # coordinator tier exists for.
+    session_cache = True if cell.cache in ("client", "both") else None
+    router = None
     fleet: ProviderFleet | None = None
     sessions: list = []
     try:
@@ -174,18 +197,45 @@ def run_cell(
                 cell.shards if cell.transport.startswith("cluster") else 1
             )
             url = fleet.url(cell)
-            seeder = EncryptedDatabase.connect(
-                url, secret_key, scheme=cell.scheme, rng=DeterministicRng(seed)
-            )
-            sessions.append(seeder)
-            for _ in range(1, cell.in_flight):
-                extra = EncryptedDatabase.connect(
-                    url, secret_key, scheme=cell.scheme, rng=DeterministicRng(seed)
+            if cell.cache in ("coordinator", "both"):
+                from repro.cluster.router import ShardRouter
+
+                router = ShardRouter.connect(url, cache=True)
+                for _ in range(cell.in_flight):
+                    sessions.append(
+                        EncryptedDatabase.open(
+                            secret_key,
+                            server=router,
+                            scheme=cell.scheme,
+                            rng=DeterministicRng(seed),
+                            cache=session_cache,
+                        )
+                    )
+                seeder = sessions[0]
+            else:
+                seeder = EncryptedDatabase.connect(
+                    url,
+                    secret_key,
+                    scheme=cell.scheme,
+                    rng=DeterministicRng(seed),
+                    cache=session_cache,
                 )
-                sessions.append(extra)
+                sessions.append(seeder)
+                for _ in range(1, cell.in_flight):
+                    extra = EncryptedDatabase.connect(
+                        url,
+                        secret_key,
+                        scheme=cell.scheme,
+                        rng=DeterministicRng(seed),
+                        cache=session_cache,
+                    )
+                    sessions.append(extra)
         else:
             seeder = EncryptedDatabase.open(
-                secret_key, scheme=cell.scheme, rng=DeterministicRng(seed)
+                secret_key,
+                scheme=cell.scheme,
+                rng=DeterministicRng(seed),
+                cache=session_cache,
             )
             sessions.append(seeder)
         seeder.create_table(TABLE_DECL, rows=_rows(cell.table_size))
@@ -194,12 +244,12 @@ def run_cell(
 
         fresh_names = iter(f"new{i}" for i in range(10_000_000))
         for _ in range(warmup):
-            _one_round(cell, sessions, fresh_names, slowdown=0.0)
+            _one_round(cell, sessions, fresh_names, seed, slowdown=0.0)
 
         before = aggregate_snapshot()
         seconds: list[float] = []
         for repeat in range(repeats):
-            elapsed = _one_round(cell, sessions, fresh_names, slowdown=slowdown)
+            elapsed = _one_round(cell, sessions, fresh_names, seed, slowdown=slowdown)
             seconds.append(elapsed)
             if log is not None:
                 log(
@@ -207,10 +257,20 @@ def run_cell(
                     f"{cell.operations / elapsed:.1f} ops/s"
                 )
         delta = snapshot_delta(before, aggregate_snapshot())
+        cache_stats = {}
+        if sessions and sessions[0].cache is not None:
+            cache_stats["client"] = sessions[0].cache.stats()
+        if router is not None and router.cache is not None:
+            cache_stats["coordinator"] = router.cache.stats()
     finally:
         for session in sessions:
             try:
                 session.close()
+            except Exception:  # noqa: BLE001 - teardown must not mask results
+                pass
+        if router is not None:
+            try:
+                router.close()
             except Exception:  # noqa: BLE001 - teardown must not mask results
                 pass
         if fleet is not None:
@@ -230,14 +290,18 @@ def run_cell(
         "stddev_ops_per_s": round(statistics.pstdev(ops_per_s), 3),
         "latency": histogram_summaries(delta),
         "slowdown_injected_s": slowdown,
+        "cache": cache_stats,
     }
 
 
-def _one_round(cell: CellConfig, sessions: list, fresh_names, *, slowdown: float) -> float:
+def _one_round(
+    cell: CellConfig, sessions: list, fresh_names, seed: int = 0, *, slowdown: float
+) -> float:
     """One timed pass over the cell's operations; returns elapsed seconds."""
     if cell.benchmark == "exact_select":
+        statements = _statements(cell, seed)
         work = [
-            (session, _statements(cell)[index :: len(sessions)])
+            (session, statements[index :: len(sessions)])
             for index, session in enumerate(sessions)
         ]
 

@@ -1,0 +1,299 @@
+"""A thread-safe LRU + TTL result cache with write-path invalidation.
+
+One :class:`ResultCache` backs both tiers of the hot-key cache (the
+client session's and the coordinator's).  Entries are keyed on
+``(relation, token)`` where *token* is opaque ciphertext -- the encoded
+encrypted query (client tier) or the raw request body (coordinator
+tier) -- so the cache never holds a key the provider has not already
+seen on the wire.
+
+Correctness model
+-----------------
+
+Writes race in-flight reads: a ``delete`` can land between a cache miss
+and the provider's answer arriving, and blindly storing that answer
+would resurrect the deleted tuple for every later hit.  The cache
+therefore runs **generation-checked fills**: readers capture the
+relation's :meth:`~ResultCache.generation` *before* the round trip and
+hand it back to :meth:`~ResultCache.put`, which silently drops the fill
+if any invalidation bumped the generation in between.  Invalidation
+itself is cheap (bump an integer, drop the relation's entries), so every
+write path can afford to call it unconditionally -- including failed
+writes, where the conservative bump costs one extra miss instead of a
+stale hit.
+
+:meth:`~ResultCache.flush` bumps a global epoch covering relations the
+cache has never even seen, which is what membership changes and
+rebalances use: after shards move, no pre-flush fill may survive.
+
+Observability
+-------------
+
+Counters (``cache_hits_total``, ``cache_misses_total``,
+``cache_evictions_total``, ``cache_invalidations_total``) and gauges
+(``cache_entries``, ``cache_hit_ratio``) are registered in the owning
+component's :class:`~repro.obs.MetricsRegistry` labelled with the cache
+``tier``, so they ride the existing snapshot/merge/Prometheus plane and
+show up in ``repro stats``.  :meth:`~ResultCache.lookup` records a
+``cache.lookup`` trace span with the outcome.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.obs import MetricsRegistry
+from repro.obs import span as trace_span
+
+#: Default entry budget: generous for hot-key traffic (the point of the
+#: cache is that the hot set is small) while bounding worst-case memory.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Default TTL.  Generations catch every write the cache's owner sees;
+#: the TTL bounds staleness from writers it cannot see (another session
+#: writing through a different coordinator, a provider restored from a
+#: backup).  ``ttl_s=None`` disables the bound for single-writer setups.
+DEFAULT_TTL_S = 60.0
+
+
+class CacheError(ValueError):
+    """An invalid cache configuration."""
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Knobs for one :class:`ResultCache` tier."""
+
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    ttl_s: float | None = DEFAULT_TTL_S
+
+    def validate(self) -> "CacheConfig":
+        if not isinstance(self.max_entries, int) or isinstance(self.max_entries, bool):
+            raise CacheError(
+                f"cache max_entries must be an int, got {self.max_entries!r}"
+            )
+        if self.max_entries < 1:
+            raise CacheError(
+                f"cache max_entries must be >= 1, got {self.max_entries}"
+            )
+        if self.ttl_s is not None:
+            if isinstance(self.ttl_s, bool) or not isinstance(self.ttl_s, (int, float)):
+                raise CacheError(f"cache ttl_s must be a number, got {self.ttl_s!r}")
+            if self.ttl_s <= 0:
+                raise CacheError(f"cache ttl_s must be positive, got {self.ttl_s}")
+        return self
+
+
+def coerce_cache_config(value: Any) -> CacheConfig | None:
+    """Normalize the public ``cache=`` option to a config (or None for off).
+
+    Accepted forms: ``None`` / ``False`` (disabled), ``True`` (defaults),
+    an ``int`` (entry budget), a ``CacheConfig``, or a dict of
+    ``CacheConfig`` fields.  Anything else raises :class:`CacheError`.
+    """
+    if value is None or value is False:
+        return None
+    if value is True:
+        return CacheConfig()
+    if isinstance(value, CacheConfig):
+        return value.validate()
+    if isinstance(value, int):
+        return CacheConfig(max_entries=value).validate()
+    if isinstance(value, dict):
+        unknown = set(value) - {"max_entries", "ttl_s"}
+        if unknown:
+            raise CacheError(
+                f"unknown cache option(s) {sorted(unknown)} "
+                "(supported: max_entries, ttl_s)"
+            )
+        return CacheConfig(**value).validate()
+    raise CacheError(
+        f"cache must be a bool, int, dict or CacheConfig, got {type(value).__name__}"
+    )
+
+
+class _Entry:
+    __slots__ = ("value", "expires_at")
+
+    def __init__(self, value: Any, expires_at: float | None) -> None:
+        self.value = value
+        self.expires_at = expires_at
+
+
+class ResultCache:
+    """Thread-safe LRU + TTL cache with per-relation generations.
+
+    ``metrics`` is the owner's registry (a private one is created when
+    omitted, e.g. in unit tests); ``tier`` labels every instrument so the
+    client and coordinator tiers stay distinguishable after fleet-wide
+    snapshot merging.  ``clock`` is injectable for deterministic TTL
+    tests and must be monotonic.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tier: str = "client",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = (config or CacheConfig()).validate()
+        self._clock = clock
+        self._tier = tier
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, Hashable], _Entry]" = OrderedDict()
+        self._generations: dict[str, int] = {}
+        self._epoch = 0
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._metrics = registry
+        self._hits = registry.counter("cache_hits_total", tier=tier)
+        self._misses = registry.counter("cache_misses_total", tier=tier)
+        self._evictions = registry.counter("cache_evictions_total", tier=tier)
+        self._invalidations = registry.counter("cache_invalidations_total", tier=tier)
+        self._entries_gauge = registry.gauge("cache_entries", tier=tier)
+        self._hit_ratio = registry.gauge("cache_hit_ratio", tier=tier)
+
+    @property
+    def config(self) -> CacheConfig:
+        return self._config
+
+    @property
+    def tier(self) -> str:
+        return self._tier
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+
+    def generation(self, relation: str) -> tuple[int, int]:
+        """The fill token for ``relation``; capture *before* the round trip.
+
+        Opaque to callers: hand it back to :meth:`put`, which drops the
+        fill if any invalidation or flush happened in between.
+        """
+        with self._lock:
+            return (self._epoch, self._generations.get(relation, 0))
+
+    def lookup(self, relation: str, token: Hashable) -> Any | None:
+        """:meth:`get` wrapped in a ``cache.lookup`` trace span."""
+        with trace_span("cache.lookup", tier=self._tier, relation=relation) as entry:
+            value = self.get(relation, token)
+            entry.annotations["outcome"] = "miss" if value is None else "hit"
+            return value
+
+    def get(self, relation: str, token: Hashable) -> Any | None:
+        """The cached value, or None on miss/expiry (which counts a miss)."""
+        key = (relation, token)
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.expires_at is not None and now >= entry.expires_at:
+                # TTL eviction happens lazily, on the access that finds the
+                # entry dead -- no sweeper thread to manage.
+                del self._entries[key]
+                self._evictions.inc()
+                entry = None
+            if entry is None:
+                self._misses.inc()
+                self._refresh_gauges_locked()
+                return None
+            self._entries.move_to_end(key)
+            self._hits.inc()
+            self._refresh_gauges_locked()
+            return entry.value
+
+    def put(
+        self,
+        relation: str,
+        token: Hashable,
+        value: Any,
+        generation: tuple[int, int],
+    ) -> bool:
+        """Fill one entry; returns False if the fill was stale and dropped.
+
+        ``generation`` must come from :meth:`generation` *before* the
+        provider round trip that produced ``value``: if a write
+        invalidated the relation (or a flush bumped the epoch) while the
+        read was in flight, the answer may predate the write and is
+        discarded rather than cached.
+        """
+        with self._lock:
+            if generation != (self._epoch, self._generations.get(relation, 0)):
+                return False
+            expires_at = (
+                None
+                if self._config.ttl_s is None
+                else self._clock() + self._config.ttl_s
+            )
+            key = (relation, token)
+            self._entries[key] = _Entry(value, expires_at)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._config.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions.inc()
+            self._refresh_gauges_locked()
+            return True
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+
+    def invalidate(self, relation: str) -> None:
+        """A write touched ``relation``: drop its entries, bump its generation."""
+        with self._lock:
+            self._generations[relation] = self._generations.get(relation, 0) + 1
+            self._invalidations.inc()
+            dead = [key for key in self._entries if key[0] == relation]
+            for key in dead:
+                del self._entries[key]
+            self._refresh_gauges_locked()
+
+    def flush(self) -> None:
+        """Drop everything and fence *all* in-flight fills (epoch bump).
+
+        The conservative hammer for events that move data between shards
+        (membership changes, rebalances): even a fill for a relation the
+        cache has never seen is dropped if its read started pre-flush.
+        """
+        with self._lock:
+            self._epoch += 1
+            self._invalidations.inc()
+            self._entries.clear()
+            self._refresh_gauges_locked()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """A JSON-able summary (the ``cluster status`` / smoke-test surface)."""
+        with self._lock:
+            hits = self._hits.value
+            misses = self._misses.value
+            lookups = hits + misses
+            return {
+                "tier": self._tier,
+                "entries": len(self._entries),
+                "max_entries": self._config.max_entries,
+                "ttl_s": self._config.ttl_s,
+                "hits": hits,
+                "misses": misses,
+                "evictions": self._evictions.value,
+                "invalidations": self._invalidations.value,
+                "hit_ratio": (hits / lookups) if lookups else 0.0,
+            }
+
+    def _refresh_gauges_locked(self) -> None:
+        self._entries_gauge.set(len(self._entries))
+        hits = self._hits.value
+        lookups = hits + self._misses.value
+        self._hit_ratio.set((hits / lookups) if lookups else 0.0)

@@ -210,13 +210,25 @@ class ClusterManifest:
 
 
 def parse_cluster_file_url(url: str) -> pathlib.Path:
-    """Extract the manifest path from a ``cluster+file://PATH`` URL."""
+    """Extract the manifest path from a ``cluster+file://PATH`` URL.
+
+    Query strings are rejected rather than folded into the file name:
+    the manifest itself carries the topology options, and a stray
+    ``?async=1`` silently becoming part of the path would surface as a
+    baffling "no such file" instead of the real mistake.
+    """
     if not url.startswith(CLUSTER_FILE_URL_PREFIX):
         raise ManifestError(
             f"unsupported manifest URL {url!r} "
             f"(want {CLUSTER_FILE_URL_PREFIX}path/to/fleet.json)"
         )
     path = url[len(CLUSTER_FILE_URL_PREFIX):]
+    if "?" in path or "#" in path:
+        raise ManifestError(
+            f"manifest URL {url!r} carries a query or fragment; "
+            "cluster+file:// URLs take no options (the manifest itself "
+            "carries the topology)"
+        )
     if not path:
         raise ManifestError(f"manifest URL {url!r} names no file")
     return pathlib.Path(path)

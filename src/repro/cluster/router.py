@@ -58,6 +58,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.cache import CacheError, ResultCache, coerce_cache_config
 from repro.core.dph import (
     DphError,
     EncryptedQuery,
@@ -97,9 +98,12 @@ def parse_cluster_options(url: str) -> tuple[tuple[str, ...], dict]:
     Returns the per-shard ``tcp://`` URLs plus the parsed query options:
     ``replicas`` (the replication factor of the deployment), ``async``
     (drive the fleet over pipelined asyncio connections from one
-    event-loop thread instead of a blocking pool per shard) and ``index``
+    event-loop thread instead of a blocking pool per shard), ``index``
     (the session maintains encrypted inverted indexes and serves exact
-    selects through ``INDEX_LOOKUP``).
+    selects through ``INDEX_LOOKUP``) and ``cache`` (the router keeps a
+    coordinator-side result cache shared by every session it serves).
+    Unknown options are rejected rather than ignored: a typo silently
+    dropping ``?async=1`` would be a silent performance change.
     """
     from repro.net.client import RemoteError, parse_bool_option, parse_tcp_url
 
@@ -122,7 +126,7 @@ def parse_cluster_options(url: str) -> tuple[tuple[str, ...], dict]:
                     raise ClusterError(
                         f"cluster URL option replicas must be an integer, got {value!r}"
                     ) from exc
-            elif key in ("async", "index"):
+            elif key in ("async", "index", "cache"):
                 try:
                     options[key] = parse_bool_option(key, value)
                 except RemoteError as exc:
@@ -130,7 +134,7 @@ def parse_cluster_options(url: str) -> tuple[tuple[str, ...], dict]:
             else:
                 raise ClusterError(
                     f"unknown cluster URL option {key!r} "
-                    "(supported: replicas, async, index)"
+                    "(supported: replicas, async, index, cache)"
                 )
     parts = [part.strip() for part in rest.split(",")]
     parts = [part for part in parts if part]
@@ -308,6 +312,7 @@ class ShardRouter:
         pool_size: int = 4,
         timeout: float | None = 30.0,
         async_transport: bool = False,
+        cache=None,
     ) -> None:
         """Build a router over backends (server objects and/or tcp:// URLs).
 
@@ -348,6 +353,19 @@ class ShardRouter:
             Envelope scatters then run on the event loop whenever every
             addressed shard is pipelined; mixed fleets (object backends
             alongside URLs) fall back to the thread pool per call.
+        cache:
+            Keep a coordinator-side result cache (see :mod:`repro.cache`):
+            repeated hot reads are answered from the router's memory
+            before any shard is touched, and the cache is shared by every
+            session this router serves.  Invalidation rides the existing
+            write paths (ring-routed inserts invalidate only the owning
+            relation, delete fan-outs likewise; membership changes and
+            rebalances flush everything), and degraded reads are never
+            cached, so replication and failover cannot resurrect stale
+            entries.  ``True`` enables the defaults; an int sets the entry
+            budget; a :class:`~repro.cache.CacheConfig` (or dict of its
+            fields) sets everything (``cluster://...?cache=1``).  Off by
+            default.
         """
         if not shards:
             raise ClusterError("a cluster needs at least one shard")
@@ -385,6 +403,16 @@ class ShardRouter:
         self._schemas: dict[str, Any] = {}
         self._metrics = MetricsRegistry()
         self._stats = ClusterStats(metrics=self._metrics)
+        try:
+            cache_config = coerce_cache_config(cache)
+        except CacheError as exc:
+            raise ClusterError(str(exc)) from exc
+        self._cache = (
+            ResultCache(cache_config, metrics=self._metrics, tier="coordinator")
+            if cache_config is not None
+            else None
+        )
+        self._closed = False
         # Room for several concurrent scatters (threads are created lazily,
         # so the headroom is free when idle).  Note the per-shard timeout is
         # measured from the scatter call, so under heavier concurrency than
@@ -422,12 +450,14 @@ class ShardRouter:
         pool_size: int = 4,
         timeout: float | None = 30.0,
         async_transport: bool | None = None,
+        cache=None,
     ) -> "ShardRouter":
         """Open a router from a ``cluster://h1:p1[?replicas=R&async=1]`` URL.
 
-        The replication factor and the transport can come from the URL
-        query or the keywords (they must agree when both are given);
-        replication defaults to 1, the transport to blocking pools.
+        The replication factor, the transport and the coordinator cache
+        can come from the URL query or the keywords (they must agree when
+        both are given); replication defaults to 1, the transport to
+        blocking pools, the cache to off.
         """
         urls, options = parse_cluster_options(url)
         url_replicas = options.get("replicas")
@@ -446,6 +476,14 @@ class ShardRouter:
                 f"conflicting transports: the URL says async={url_async}, "
                 f"the caller says async_transport={async_transport}"
             )
+        url_cache = options.get("cache")
+        if cache is None:
+            cache = bool(url_cache) if url_cache is not None else None
+        elif url_cache is not None and bool(url_cache) != bool(cache):
+            raise ClusterError(
+                f"conflicting cache settings: the URL says cache={url_cache}, "
+                f"the caller says cache={cache}"
+            )
         return cls(
             urls,
             replicas=replicas,
@@ -455,6 +493,7 @@ class ShardRouter:
             pool_size=pool_size,
             timeout=timeout,
             async_transport=async_transport,
+            cache=cache,
         )
 
     @classmethod
@@ -467,6 +506,7 @@ class ShardRouter:
         pool_size: int = 4,
         timeout: float | None = 30.0,
         async_transport: bool | None = None,
+        cache=None,
     ) -> "ShardRouter":
         """Open a router from a :class:`~repro.cluster.manifest.ClusterManifest`.
 
@@ -492,6 +532,7 @@ class ShardRouter:
                 if async_transport is None
                 else async_transport
             ),
+            cache=cache,
         )
 
     def _open_backend(
@@ -560,6 +601,11 @@ class ShardRouter:
         """Scatter/routing counters."""
         return self._stats
 
+    @property
+    def cache(self) -> ResultCache | None:
+        """The coordinator-side result cache, or None when disabled."""
+        return self._cache
+
     def shard(self, shard_id: str) -> Any:
         """The backend registered under one ring identifier."""
         try:
@@ -603,6 +649,11 @@ class ShardRouter:
             except Exception as exc:  # noqa: BLE001 - a status probe never raises
                 entry = {"ok": False, "error": str(exc)}
             status[shard.shard_id] = entry
+        if self._cache is not None:
+            # The coordinator itself is part of the serving picture when it
+            # absorbs reads; consumers iterating per-shard entries can key
+            # on "cache" to tell this row apart (it still reports ok=True).
+            status["coordinator-cache"] = {"ok": True, "cache": self._cache.stats()}
         return status
 
     @property
@@ -660,7 +711,14 @@ class ShardRouter:
         return spans
 
     def close(self) -> None:
-        """Close owned backends, the scatter pool, and the loop thread."""
+        """Close owned backends, the scatter pool, and the loop thread.
+
+        Idempotent: several sessions may share one router (the coordinator
+        cache deployment), and each closing session closes its server.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for shard in self._shards.values():
             if shard.owned:
                 shard.server.close()
@@ -782,13 +840,26 @@ class ShardRouter:
 
     def drop_relation(self, name: str) -> None:
         """Drop the relation on every shard (fail-fast: no half-dropped state)."""
-        self._gather(
-            f"drop-relation({name!r})",
-            self._all_shards(lambda server: server.drop_relation(name)),
-            policy=FAIL_FAST,
-        )
+        try:
+            self._gather(
+                f"drop-relation({name!r})",
+                self._all_shards(lambda server: server.drop_relation(name)),
+                policy=FAIL_FAST,
+            )
+        finally:
+            self._invalidate_cache(name)
         self._evaluators.pop(name, None)
         self._schemas.pop(name, None)
+
+    def _invalidate_cache(self, relation: str) -> None:
+        """Bump the coordinator cache's generation for one relation."""
+        if self._cache is not None:
+            self._cache.invalidate(relation)
+
+    def _flush_cache(self) -> None:
+        """Conservative full flush: data may have moved between shards."""
+        if self._cache is not None:
+            self._cache.flush()
 
     # ------------------------------------------------------------------ #
     # The OutsourcedDatabaseServer duck-type: wire level
@@ -808,7 +879,123 @@ class ShardRouter:
                 request, MessageKind.ERROR, str(exc).encode("utf-8")
             ).to_bytes()
 
+    #: Envelope kinds that mutate a relation's data (or its index): each
+    #: invalidates the coordinator cache's entries for that relation, even
+    #: on failure -- a fail-fast write can still have landed on some
+    #: replicas before failing, and one extra miss beats one stale hit.
+    _WRITE_KINDS = frozenset(
+        {
+            MessageKind.INSERT_TUPLE,
+            MessageKind.STORE_RELATION,
+            MessageKind.DELETE_TUPLES,
+            MessageKind.DELETE_TUPLES_EXACT,
+            MessageKind.INDEX_PUT,
+            MessageKind.INDEX_DELTA,
+        }
+    )
+
     def _route_envelope(self, request: Message | MessageV2, raw: bytes) -> bytes:
+        """Cache-aware routing: reads consult the coordinator cache, writes
+        invalidate it; everything else goes straight to the fleet."""
+        if self._cache is not None:
+            kind = request.kind
+            if kind in self._WRITE_KINDS:
+                try:
+                    return self._route_envelope_uncached(request, raw)
+                finally:
+                    self._cache.invalidate(request.relation_name)
+            if kind is MessageKind.QUERY:
+                return self._cached_query(request, raw)
+            if kind is MessageKind.BATCH_QUERY:
+                return self._cached_batch(request, raw)
+            if kind is MessageKind.INDEX_LOOKUP:
+                return self._cached_index_lookup(request, raw)
+        return self._route_envelope_uncached(request, raw)
+
+    def _cached_query(self, request: Message | MessageV2, raw: bytes) -> bytes:
+        """Serve one QUERY from the cache, or scatter and fill.
+
+        The token is the encoded encrypted query -- exactly the envelope
+        body -- shared with the batch path, so a single-query fill serves
+        later batch elements and vice versa.  Only *complete* answers are
+        cached: a degraded read (some ring segment unanswered) is correct
+        to serve once but must not be replayed after the shards recover.
+        """
+        name = request.relation_name
+        token = ("query", request.body)
+        merged = self._cache.lookup(name, token)
+        if merged is None:
+            generation = self._cache.generation(name)
+            merged, complete = self._scatter_query(request, raw)
+            if complete:
+                self._cache.put(name, token, merged, generation)
+        return self._query_result_response(request, merged)
+
+    def _cached_batch(self, request: Message | MessageV2, raw: bytes) -> bytes:
+        """Element-wise batch caching: only the missing queries scatter."""
+        name = request.relation_name
+        queries = protocol.decode_query_batch(request.body)
+        tokens = [("query", protocol.encode_encrypted_query(q)) for q in queries]
+        results: list[EvaluationResult | None] = [
+            self._cache.lookup(name, token) for token in tokens
+        ]
+        missing = [i for i, result in enumerate(results) if result is None]
+        if missing:
+            generation = self._cache.generation(name)
+            sub_raw = self._respond(
+                request,
+                MessageKind.BATCH_QUERY,
+                protocol.encode_query_batch([queries[i] for i in missing]),
+            ).to_bytes()
+            fetched, complete = self._scatter_batch(request, sub_raw)
+            if len(fetched) != len(missing):
+                raise ClusterError(
+                    f"shards answered {len(fetched)} results "
+                    f"for {len(missing)} queries"
+                )
+            for position, result in zip(missing, fetched):
+                results[position] = result
+                if complete:
+                    self._cache.put(name, tokens[position], result, generation)
+        return self._respond(
+            request,
+            MessageKind.BATCH_RESULT,
+            protocol.encode_result_batch(results),
+        ).to_bytes()
+
+    def _cached_index_lookup(self, request: Message | MessageV2, raw: bytes) -> bytes:
+        """Serve one INDEX_LOOKUP from the cache, or scatter and fill.
+
+        Keyed on the raw lookup body (labels + embedded fallback query):
+        an indexed session re-asks a hot query with byte-identical labels,
+        so the token repeats exactly like the plain-query one.
+        """
+        name = request.relation_name
+        token = ("index", request.body)
+        merged = self._cache.lookup(name, token)
+        if merged is None:
+            generation = self._cache.generation(name)
+            merged, complete = self._scatter_index_lookup(request, raw)
+            if complete:
+                self._cache.put(name, token, merged, generation)
+        return self._respond(
+            request,
+            MessageKind.QUERY_RESULT,
+            protocol.encode_evaluation_result(merged),
+        ).to_bytes()
+
+    def _query_result_response(
+        self, request: Message | MessageV2, merged: EvaluationResult
+    ) -> bytes:
+        if request.version == protocol.PROTOCOL_V1:
+            body = protocol.encode_encrypted_relation(merged.matching)
+        else:
+            body = protocol.encode_evaluation_result(merged)
+        return self._respond(request, MessageKind.QUERY_RESULT, body).to_bytes()
+
+    def _route_envelope_uncached(
+        self, request: Message | MessageV2, raw: bytes
+    ) -> bytes:
         kind = request.kind
         if kind is MessageKind.INSERT_TUPLE:
             encrypted_tuple, consumed = protocol.decode_encrypted_tuple(request.body)
@@ -847,14 +1034,10 @@ class ShardRouter:
                 request, MessageKind.ACK, protocol.encode_count(deleted)
             ).to_bytes()
         if kind is MessageKind.QUERY:
-            merged = self._scatter_query(request, raw)
-            if request.version == protocol.PROTOCOL_V1:
-                body = protocol.encode_encrypted_relation(merged.matching)
-            else:
-                body = protocol.encode_evaluation_result(merged)
-            return self._respond(request, MessageKind.QUERY_RESULT, body).to_bytes()
+            merged, _ = self._scatter_query(request, raw)
+            return self._query_result_response(request, merged)
         if kind is MessageKind.BATCH_QUERY:
-            merged_batch = self._scatter_batch(request, raw)
+            merged_batch, _ = self._scatter_batch(request, raw)
             return self._respond(
                 request,
                 MessageKind.BATCH_RESULT,
@@ -908,7 +1091,7 @@ class ShardRouter:
                 request, MessageKind.ACK, protocol.encode_count(max(counts))
             ).to_bytes()
         if kind is MessageKind.INDEX_LOOKUP:
-            merged = self._scatter_index_lookup(request, raw)
+            merged, _ = self._scatter_index_lookup(request, raw)
             return self._respond(
                 request,
                 MessageKind.QUERY_RESULT,
@@ -982,7 +1165,13 @@ class ShardRouter:
 
     def _scatter_query(
         self, request: Message | MessageV2, raw: bytes
-    ) -> EvaluationResult:
+    ) -> tuple[EvaluationResult, bool]:
+        """The merged result plus whether it is *complete* (not degraded).
+
+        Failover reads are complete -- the survivors provably cover every
+        ring segment -- so they stay cacheable; only a DEGRADED-policy
+        answer that actually lost data reports False.
+        """
         gathered = self._gather_envelopes(
             f"query({request.relation_name!r})",
             {shard_id: raw for shard_id in self._shards},
@@ -991,11 +1180,11 @@ class ShardRouter:
             read=True,
         )
         results = [self._decode_result(request, response) for response in gathered.values]
-        return merge_evaluation_results(results)
+        return merge_evaluation_results(results), not gathered.degraded
 
     def _scatter_index_lookup(
         self, request: Message | MessageV2, raw: bytes
-    ) -> EvaluationResult:
+    ) -> tuple[EvaluationResult, bool]:
         """Scatter an ``INDEX_LOOKUP``, per-shard scan fallback included.
 
         A fleet member that does not speak the op (an older build in a
@@ -1037,7 +1226,7 @@ class ShardRouter:
             async_calls=async_calls,
         )
         results = [self._decode_result(request, response) for response in gathered.values]
-        return merge_evaluation_results(results)
+        return merge_evaluation_results(results), not gathered.degraded
 
     #: The error text a provider answers for a message kind it cannot serve;
     #: the lookup scatter keys its per-shard scan fallback on it.
@@ -1106,7 +1295,7 @@ class ShardRouter:
 
     def _scatter_batch(
         self, request: Message | MessageV2, raw: bytes
-    ) -> list[EvaluationResult]:
+    ) -> tuple[list[EvaluationResult], bool]:
         gathered = self._gather_envelopes(
             f"batch-query({request.relation_name!r})",
             {shard_id: raw for shard_id in self._shards},
@@ -1122,10 +1311,11 @@ class ShardRouter:
             raise ClusterError(
                 f"shards answered differing batch sizes: {sorted(lengths)}"
             )
-        return [
+        merged = [
             merge_evaluation_results([results[i] for results in per_shard])
             for i in range(lengths.pop())
         ]
+        return merged, not gathered.degraded
 
     @staticmethod
     def _decode_result(
@@ -1230,26 +1420,29 @@ class ShardRouter:
         self.register_evaluator(name, evaluator)
         self._schemas[name] = encrypted_relation.schema
         groups = self._partition_tuples(encrypted_relation)
-        self._gather(
-            f"store-relation({name!r})",
-            [
-                (
-                    shard_id,
+        try:
+            self._gather(
+                f"store-relation({name!r})",
+                [
                     (
-                        lambda sv, part: lambda: sv.store_relation(
-                            name,
-                            EncryptedRelation(
-                                schema=encrypted_relation.schema,
-                                encrypted_tuples=tuple(part),
-                            ),
-                            evaluator,
-                        )
-                    )(self.shard(shard_id), tuples),
-                )
-                for shard_id, tuples in groups.items()
-            ],
-            policy=FAIL_FAST,
-        )
+                        shard_id,
+                        (
+                            lambda sv, part: lambda: sv.store_relation(
+                                name,
+                                EncryptedRelation(
+                                    schema=encrypted_relation.schema,
+                                    encrypted_tuples=tuple(part),
+                                ),
+                                evaluator,
+                            )
+                        )(self.shard(shard_id), tuples),
+                    )
+                    for shard_id, tuples in groups.items()
+                ],
+                policy=FAIL_FAST,
+            )
+        finally:
+            self._invalidate_cache(name)
 
     def insert_tuple(self, name: str, encrypted_tuple: EncryptedTuple) -> None:
         """Append one ciphertext on all R of its ring-assigned replica shards.
@@ -1261,22 +1454,25 @@ class ShardRouter:
         """
         targets = self.replica_shards(encrypted_tuple.tuple_id)
         self._stats.record_routed_insert()
-        if len(targets) == 1:  # unreplicated fast path: no scatter hop
-            self.shard(targets[0]).insert_tuple(name, encrypted_tuple)
-            return
-        self._gather(
-            f"insert-tuple({name!r})",
-            [
-                (
-                    shard_id,
-                    (lambda sv: lambda: sv.insert_tuple(name, encrypted_tuple))(
-                        self.shard(shard_id)
-                    ),
-                )
-                for shard_id in targets
-            ],
-            policy=FAIL_FAST,
-        )
+        try:
+            if len(targets) == 1:  # unreplicated fast path: no scatter hop
+                self.shard(targets[0]).insert_tuple(name, encrypted_tuple)
+                return
+            self._gather(
+                f"insert-tuple({name!r})",
+                [
+                    (
+                        shard_id,
+                        (lambda sv: lambda: sv.insert_tuple(name, encrypted_tuple))(
+                            self.shard(shard_id)
+                        ),
+                    )
+                    for shard_id in targets
+                ],
+                policy=FAIL_FAST,
+            )
+        finally:
+            self._invalidate_cache(name)
 
     def delete_tuples(self, name: str, tuple_ids: Sequence[bytes]) -> int:
         """Delete ids on every shard; returns the *logical* count removed.
@@ -1297,11 +1493,14 @@ class ShardRouter:
         ):
             return len(self.delete_tuples_exact(name, tuple_ids))
         ids = list(tuple_ids)
-        gathered = self._gather(
-            f"delete-tuples({name!r})",
-            self._all_shards(lambda server: server.delete_tuples(name, ids)),
-            policy=FAIL_FAST,
-        )
+        try:
+            gathered = self._gather(
+                f"delete-tuples({name!r})",
+                self._all_shards(lambda server: server.delete_tuples(name, ids)),
+                policy=FAIL_FAST,
+            )
+        finally:
+            self._invalidate_cache(name)
         return self._logical_deletions(gathered.values, len(ids))
 
     def delete_tuples_exact(self, name: str, tuple_ids: Sequence[bytes]) -> tuple[bytes, ...]:
@@ -1316,11 +1515,16 @@ class ShardRouter:
         if not tuple_ids:
             return ()
         ids = list(tuple_ids)
-        gathered = self._gather(
-            f"delete-tuples-exact({name!r})",
-            self._all_shards(lambda server: tuple(server.delete_tuples_exact(name, ids))),
-            policy=FAIL_FAST,
-        )
+        try:
+            gathered = self._gather(
+                f"delete-tuples-exact({name!r})",
+                self._all_shards(
+                    lambda server: tuple(server.delete_tuples_exact(name, ids))
+                ),
+                policy=FAIL_FAST,
+            )
+        finally:
+            self._invalidate_cache(name)
         deleted: set[bytes] = set()
         for shard_deleted in gathered.values:
             deleted.update(shard_deleted)
@@ -1330,28 +1534,64 @@ class ShardRouter:
         self, name: str, encrypted_query: EncryptedQuery
     ) -> EvaluationResult:
         """Scatter one encrypted query and merge the per-shard results."""
+        token = None
+        generation = None
+        if self._cache is not None:
+            # Same token namespace as the QUERY envelope path (whose body
+            # *is* the encoded encrypted query), so both surfaces share hits.
+            token = ("query", protocol.encode_encrypted_query(encrypted_query))
+            cached = self._cache.lookup(name, token)
+            if cached is not None:
+                return cached
+            generation = self._cache.generation(name)
         gathered = self._gather(
             f"query({name!r})",
             self._all_shards(lambda server: server.execute_query(name, encrypted_query)),
             policy=self._policy,
             read=True,
         )
-        return merge_evaluation_results(list(gathered.values))
+        merged = merge_evaluation_results(list(gathered.values))
+        if self._cache is not None and not gathered.degraded:
+            self._cache.put(name, token, merged, generation)
+        return merged
 
     def execute_batch(
         self, name: str, encrypted_queries: Sequence[EncryptedQuery]
     ) -> list[EvaluationResult]:
-        """Scatter a query batch and merge element-wise."""
+        """Scatter a query batch and merge element-wise (cache-aware)."""
+        queries = list(encrypted_queries)
+        if self._cache is None:
+            return self._scatter_object_batch(name, queries)[0]
+        tokens = [("query", protocol.encode_encrypted_query(q)) for q in queries]
+        results: list[EvaluationResult | None] = [
+            self._cache.lookup(name, token) for token in tokens
+        ]
+        missing = [i for i, value in enumerate(results) if value is None]
+        if missing:
+            generation = self._cache.generation(name)
+            fetched, complete = self._scatter_object_batch(
+                name, [queries[i] for i in missing]
+            )
+            for i, merged in zip(missing, fetched):
+                results[i] = merged
+                if complete:
+                    self._cache.put(name, tokens[i], merged, generation)
+        return list(results)
+
+    def _scatter_object_batch(
+        self, name: str, queries: Sequence[EncryptedQuery]
+    ) -> tuple[list[EvaluationResult], bool]:
         gathered = self._gather(
             f"batch-query({name!r})",
-            self._all_shards(lambda server: server.execute_batch(name, encrypted_queries)),
+            self._all_shards(lambda server: server.execute_batch(name, queries)),
             policy=self._policy,
             read=True,
         )
-        return [
+        merged = [
             merge_evaluation_results([results[i] for results in gathered.values])
-            for i in range(len(encrypted_queries))
+            for i in range(len(queries))
         ]
+        return merged, not gathered.degraded
 
     # ------------------------------------------------------------------ #
     # Elastic membership
@@ -1398,6 +1638,9 @@ class ShardRouter:
         self._shards[shard.shard_id] = shard
         self._ring.add_shard(shard.shard_id)
         self._resize_executor()
+        # The ring changed: routed reads may now land on the (still empty)
+        # newcomer, so no pre-join cache entry may survive.
+        self._flush_cache()
         if not rebalance:
             return None
         return self.rebalance()
@@ -1446,8 +1689,10 @@ class ShardRouter:
         except BaseException:
             # Put the shard back: its data was not (fully) drained.
             self._ring.add_shard(shard_id)
+            self._flush_cache()
             raise
         del self._shards[shard_id]
+        self._flush_cache()
         if leaving.owned:
             leaving.server.close()
         return report
@@ -1456,12 +1701,17 @@ class ShardRouter:
         """Repair every tuple's placement to exactly its R ring successors."""
         from repro.cluster.rebalance import rebalance as run_rebalance
 
-        return run_rebalance(
-            {shard_id: shard.server for shard_id, shard in self._shards.items()},
-            self._ring,
-            self.relation_names,
-            replication=self._replication,
-        )
+        try:
+            return run_rebalance(
+                {shard_id: shard.server for shard_id, shard in self._shards.items()},
+                self._ring,
+                self.relation_names,
+                replication=self._replication,
+            )
+        finally:
+            # Tuples moved between shards: even a partial move invalidates
+            # any cached merge that predates it.
+            self._flush_cache()
 
     def _any_schema(self, name: str):
         """The (public) schema of a stored relation.

@@ -110,9 +110,13 @@ def parse_tcp_options(url: str) -> tuple[str, int, dict]:
 
     Returns ``(host, port, options)``; the supported options are ``async``
     (picks the pipelined asyncio transport, see
-    :class:`~repro.net.aio.AsyncRemoteServerProxy`) and ``index`` (the
+    :class:`~repro.net.aio.AsyncRemoteServerProxy`), ``index`` (the
     session maintains encrypted inverted indexes and serves exact selects
-    through ``INDEX_LOOKUP``).
+    through ``INDEX_LOOKUP``) and ``cache`` (the session keeps a
+    client-side result cache of its reads, see :mod:`repro.cache`).
+    Unknown options are rejected, not ignored: a silently dropped typo
+    like ``?asnyc=1`` would quietly run the session on the wrong
+    transport.
     """
     parts = urlsplit(url)
     if parts.scheme != "tcp":
@@ -131,9 +135,10 @@ def parse_tcp_options(url: str) -> tuple[str, int, dict]:
             if not item:
                 continue
             key, _, value = item.partition("=")
-            if key not in ("async", "index"):
+            if key not in ("async", "index", "cache"):
                 raise RemoteError(
-                    f"unknown provider URL option {key!r} (supported: async, index)"
+                    f"unknown provider URL option {key!r} "
+                    "(supported: async, index, cache)"
                 )
             options[key] = parse_bool_option(key, value)
     return hostname, port, options

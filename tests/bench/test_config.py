@@ -93,6 +93,43 @@ class TestCellValidation:
         with pytest.raises(ConfigError, match="operations"):
             CellConfig(benchmark="insert", operations=-1).validate()
 
+    def test_workload_axis_validated(self):
+        CellConfig(benchmark="exact_select", workload="zipfian").validate()
+        with pytest.raises(ConfigError, match="unknown workload"):
+            CellConfig(benchmark="exact_select", workload="zipf").validate()
+        with pytest.raises(ConfigError, match="zipf_exponent"):
+            CellConfig(
+                benchmark="exact_select", workload="zipfian", zipf_exponent=0
+            ).validate()
+        with pytest.raises(ConfigError, match="only supports 'uniform'"):
+            CellConfig(benchmark="insert", workload="zipfian").validate()
+
+    def test_cache_axis_validated(self):
+        CellConfig(benchmark="exact_select", cache="client").validate()
+        CellConfig(
+            benchmark="exact_select", transport="cluster", shards=2,
+            in_flight=2, cache="coordinator",
+        ).validate()
+        with pytest.raises(ConfigError, match="unknown cache mode"):
+            CellConfig(benchmark="exact_select", cache="on").validate()
+        with pytest.raises(ConfigError, match="needs a cluster transport"):
+            CellConfig(benchmark="exact_select", cache="coordinator").validate()
+        with pytest.raises(ConfigError, match="needs a cluster transport"):
+            CellConfig(
+                benchmark="exact_select", transport="tcp", cache="both"
+            ).validate()
+
+    def test_default_workload_and_cache_keep_legacy_config_ids(self):
+        # The new axes must not rename pre-existing cells: their history
+        # in the result store is keyed on config_id.
+        cell = CellConfig(benchmark="exact_select", transport="tcp")
+        assert cell.config_id == "exact_select:swp:tcp:s1:d1:n100:q10"
+        zipf = CellConfig(
+            benchmark="exact_select", workload="zipfian", zipf_exponent=1.3,
+            cache="client",
+        )
+        assert zipf.config_id.endswith(":wzipfian:z1.3:cclient")
+
 
 class TestMatrixConfig:
     def test_full_document_parses(self):

@@ -1,0 +1,172 @@
+"""ResultCache unit behavior: LRU, TTL, generations, flush, config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheConfig, CacheError, ResultCache, coerce_cache_config
+
+
+class FakeClock:
+    """An injectable monotonic clock tests can advance by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _fill(cache: ResultCache, relation: str, token, value):
+    generation = cache.generation(relation)
+    return cache.put(relation, token, value, generation)
+
+
+class TestConfigCoercion:
+    def test_disabled_forms(self):
+        assert coerce_cache_config(None) is None
+        assert coerce_cache_config(False) is None
+
+    def test_true_yields_defaults(self):
+        config = coerce_cache_config(True)
+        assert config == CacheConfig()
+
+    def test_int_sets_the_entry_budget(self):
+        assert coerce_cache_config(16).max_entries == 16
+
+    def test_dict_sets_fields(self):
+        config = coerce_cache_config({"max_entries": 8, "ttl_s": 2.5})
+        assert (config.max_entries, config.ttl_s) == (8, 2.5)
+
+    def test_config_passthrough_is_validated(self):
+        with pytest.raises(CacheError, match="max_entries"):
+            coerce_cache_config(CacheConfig(max_entries=0))
+
+    def test_unknown_dict_keys_rejected(self):
+        with pytest.raises(CacheError, match=r"unknown cache option.*max_size"):
+            coerce_cache_config({"max_size": 8})
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CacheError, match="bool, int, dict or CacheConfig"):
+            coerce_cache_config("yes")
+
+    def test_ttl_validation(self):
+        with pytest.raises(CacheError, match="ttl_s must be positive"):
+            coerce_cache_config({"ttl_s": 0})
+        with pytest.raises(CacheError, match="ttl_s must be a number"):
+            coerce_cache_config({"ttl_s": "soon"})
+        assert coerce_cache_config({"ttl_s": None}).ttl_s is None
+
+
+class TestLookupAndLru:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.lookup("Emp", b"t1") is None
+        assert _fill(cache, "Emp", b"t1", "value")
+        assert cache.lookup("Emp", b"t1") == "value"
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+        assert stats["hit_ratio"] == 0.5
+
+    def test_keys_are_scoped_by_relation(self):
+        cache = ResultCache()
+        _fill(cache, "Emp", b"t", "emp-answer")
+        assert cache.lookup("Dept", b"t") is None
+
+    def test_lru_evicts_the_coldest_entry(self):
+        cache = ResultCache(CacheConfig(max_entries=2, ttl_s=None))
+        _fill(cache, "Emp", b"a", 1)
+        _fill(cache, "Emp", b"b", 2)
+        assert cache.get("Emp", b"a") == 1  # touch: "b" is now coldest
+        _fill(cache, "Emp", b"c", 3)
+        assert cache.get("Emp", b"b") is None
+        assert cache.get("Emp", b"a") == 1
+        assert cache.get("Emp", b"c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_len_reports_live_entries(self):
+        cache = ResultCache()
+        assert len(cache) == 0
+        _fill(cache, "Emp", b"a", 1)
+        assert len(cache) == 1
+
+
+class TestTtl:
+    def test_expired_entries_miss_and_count_as_evictions(self):
+        clock = FakeClock()
+        cache = ResultCache(CacheConfig(ttl_s=10.0), clock=clock)
+        _fill(cache, "Emp", b"t", "value")
+        clock.advance(9.9)
+        assert cache.get("Emp", b"t") == "value"
+        clock.advance(0.2)
+        assert cache.get("Emp", b"t") is None
+        assert cache.stats()["evictions"] == 1
+
+    def test_ttl_none_never_expires(self):
+        clock = FakeClock()
+        cache = ResultCache(CacheConfig(ttl_s=None), clock=clock)
+        _fill(cache, "Emp", b"t", "value")
+        clock.advance(1e9)
+        assert cache.get("Emp", b"t") == "value"
+
+
+class TestGenerations:
+    def test_invalidate_drops_only_that_relation(self):
+        cache = ResultCache()
+        _fill(cache, "Emp", b"a", 1)
+        _fill(cache, "Dept", b"b", 2)
+        cache.invalidate("Emp")
+        assert cache.get("Emp", b"a") is None
+        assert cache.get("Dept", b"b") == 2
+        assert cache.stats()["invalidations"] == 1
+
+    def test_stale_fill_is_dropped(self):
+        # A write landing while the read is in flight must fence the fill.
+        cache = ResultCache()
+        generation = cache.generation("Emp")
+        cache.invalidate("Emp")
+        assert not cache.put("Emp", b"t", "pre-write answer", generation)
+        assert cache.get("Emp", b"t") is None
+
+    def test_flush_fences_every_relation(self):
+        cache = ResultCache()
+        generation = cache.generation("NeverSeen")
+        _fill(cache, "Emp", b"a", 1)
+        cache.flush()
+        assert cache.get("Emp", b"a") is None
+        # even a fill for a relation the cache never held is rejected
+        assert not cache.put("NeverSeen", b"t", "old", generation)
+
+    def test_fresh_generation_after_invalidate_fills_fine(self):
+        cache = ResultCache()
+        cache.invalidate("Emp")
+        assert _fill(cache, "Emp", b"t", "new answer")
+        assert cache.get("Emp", b"t") == "new answer"
+
+
+class TestObservability:
+    def test_metrics_flow_into_the_owner_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ResultCache(metrics=registry, tier="coordinator")
+        cache.lookup("Emp", b"t")
+        snapshot = registry.snapshot()
+        misses = [
+            c
+            for c in snapshot["counters"]
+            if c["name"] == "cache_misses_total"
+            and c["labels"] == {"tier": "coordinator"}
+        ]
+        assert misses and misses[0]["value"] == 1
+        assert any(g["name"] == "cache_hit_ratio" for g in snapshot["gauges"])
+
+    def test_stats_surface(self):
+        cache = ResultCache(CacheConfig(max_entries=7, ttl_s=3.0), tier="client")
+        stats = cache.stats()
+        assert stats["tier"] == "client"
+        assert stats["max_entries"] == 7
+        assert stats["ttl_s"] == 3.0

@@ -455,10 +455,48 @@ class TestConstruction:
         assert urls == ("tcp://h1:1", "tcp://h2:2")
         assert options == {"replicas": 2}
         assert parse_cluster_options("cluster://h1:1")[1] == {}
+        assert parse_cluster_options("cluster://h1:1?cache=1")[1] == {"cache": True}
         with pytest.raises(ClusterError, match="unknown cluster URL option"):
             parse_cluster_options("cluster://h1:1?quorum=2")
         with pytest.raises(ClusterError, match="integer"):
             parse_cluster_options("cluster://h1:1?replicas=two")
+
+    def test_option_typos_rejected_with_supported_list(self):
+        # A silently dropped ?asnyc=1 would quietly run the session on the
+        # wrong transport -- the error must name the typo and the options.
+        with pytest.raises(
+            ClusterError,
+            match=r"unknown cluster URL option 'asnyc' "
+            r"\(supported: replicas, async, index, cache\)",
+        ):
+            parse_cluster_options("cluster://h1:1?asnyc=1")
+        from repro.net.client import RemoteError, parse_tcp_options
+
+        with pytest.raises(
+            RemoteError,
+            match=r"unknown provider URL option 'asnyc' "
+            r"\(supported: async, index, cache\)",
+        ):
+            parse_tcp_options("tcp://h1:1?asnyc=1")
+
+    def test_connect_surfaces_url_typos_as_database_errors(self):
+        with pytest.raises(DatabaseError, match="unknown provider URL option"):
+            EncryptedDatabase.connect("tcp://h1:1?asnyc=1")
+        with pytest.raises(DatabaseError, match="unknown cluster URL option"):
+            EncryptedDatabase.connect("cluster://h1:1?asnyc=1")
+        with pytest.raises(DatabaseError, match="takes? no options"):
+            EncryptedDatabase.connect("cluster+file:///fleet.json?cache=1")
+
+    def test_manifest_url_rejects_query_and_fragment(self):
+        from repro.cluster.manifest import ManifestError, parse_cluster_file_url
+
+        assert str(parse_cluster_file_url("cluster+file:///a/fleet.json")).endswith(
+            "fleet.json"
+        )
+        with pytest.raises(ManifestError, match="query or fragment"):
+            parse_cluster_file_url("cluster+file:///a/fleet.json?async=1")
+        with pytest.raises(ManifestError, match="query or fragment"):
+            parse_cluster_file_url("cluster+file:///a/fleet.json#frag")
 
     def test_replication_factor_validation(self):
         with pytest.raises(ClusterError, match="replication factor"):

@@ -1,6 +1,6 @@
 """CI smoke test of the sharded multi-provider deployment.
 
-Five phases, every wait bounded so a hung provider fails the CI step
+Six phases, every wait bounded so a hung provider fails the CI step
 instead of wedging it:
 
 1. **Scatter-gather CRUD** -- starts ``repro cluster spawn --shards 2`` as
@@ -40,6 +40,13 @@ instead of wedging it:
    latency-histogram counts and a parseable Prometheus text rendering,
    and the per-shard snapshots must merge into fleet-wide p50/p95/p99
    summaries.
+
+6. **Coordinator cache** -- three ``repro serve`` subprocesses behind a
+   ``cluster://...?cache=1`` session: a zipfian point-select burst must
+   land a non-zero hit ratio on the coordinator cache (scraped from the
+   ``coordinator-cache`` entry in ``cluster status``), then a fleet-wide
+   delete followed by a full re-read sweep must serve *zero* stale rows
+   and bump the cache's invalidation counter.
 
 Usage::
 
@@ -440,6 +447,91 @@ def smoke_metrics_plane() -> int:
                     proc.wait(timeout=10)
 
 
+def smoke_cache_tier() -> int:
+    procs: list[subprocess.Popen] = []
+    try:
+        hosts = []
+        for _ in range(3):
+            proc, host = _spawn_provider()
+            procs.append(proc)
+            hosts.append(host)
+        url = "cluster://" + ",".join(hosts) + "?cache=1"
+        print(f"cached fleet up at {url}")
+
+        from repro.api import EncryptedDatabase
+        from repro.crypto.rng import DeterministicRng
+        from repro.workloads.distributions import ZipfDistribution
+
+        with EncryptedDatabase.connect(url, timeout=STARTUP_TIMEOUT_S) as db:
+            db.create_table(
+                "Smoke(name:string[10], value:int[4])",
+                rows=[(f"row{i}", i % 3) for i in range(NUM_ROWS)],
+            )
+            # A skewed read burst: the hot keys repeat, so the coordinator
+            # cache must absorb most of the scatter round trips.
+            distribution = ZipfDistribution(range(NUM_ROWS), exponent=1.3)
+            for index in distribution.sample_many(DeterministicRng(6), 40):
+                hits = db.select(f"SELECT * FROM Smoke WHERE name = 'row{index}'")
+                if len(hits.relation) != 1:
+                    print(
+                        f"FAIL: point select for row{index} answered "
+                        f"{len(hits.relation)} rows"
+                    )
+                    return 1
+            entry = db.server.cluster_status().get("coordinator-cache")
+            if not entry or not entry.get("ok"):
+                print(f"FAIL: cluster status does not report the cache: {entry}")
+                return 1
+            stats = entry["cache"]
+            if stats["hits"] == 0 or stats["hit_ratio"] <= 0.0:
+                print(f"FAIL: zipfian burst never hit the cache: {stats}")
+                return 1
+            print(
+                f"zipfian burst hit ratio {stats['hit_ratio']:.2f} "
+                f"({stats['hits']} hits / {stats['misses']} misses)"
+            )
+
+            # The write path must invalidate: after a fleet-wide delete,
+            # a full re-read sweep may serve zero stale rows.
+            if db.delete("SELECT * FROM Smoke WHERE value = 2") != NUM_ROWS // 3:
+                print("FAIL: cached-fleet delete mismatch")
+                return 1
+            if len(db.select("SELECT * FROM Smoke WHERE value = 2").relation) != 0:
+                print("FAIL: stale rows served after delete")
+                return 1
+            for index in range(NUM_ROWS):
+                rows = db.select(
+                    f"SELECT * FROM Smoke WHERE name = 'row{index}'"
+                ).relation
+                expected = 0 if index % 3 == 2 else 1
+                if len(rows) != expected:
+                    print(
+                        f"FAIL: stale cached answer for row{index}: "
+                        f"{len(rows)} rows (expected {expected})"
+                    )
+                    return 1
+            after = db.server.cluster_status()["coordinator-cache"]["cache"]
+            if after["invalidations"] <= stats["invalidations"]:
+                print(f"FAIL: the delete did not bump invalidations: {after}")
+                return 1
+            print(
+                "delete invalidated the coordinator cache "
+                f"(invalidations={after['invalidations']}), zero stale re-reads"
+            )
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    proc.communicate(timeout=SHUTDOWN_TIMEOUT_S)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+
 def main() -> int:
     exit_code = smoke_scatter_gather_crud()
     if exit_code != 0:
@@ -453,7 +545,10 @@ def main() -> int:
     exit_code = smoke_indexed_fleet()
     if exit_code != 0:
         return exit_code
-    return smoke_metrics_plane()
+    exit_code = smoke_metrics_plane()
+    if exit_code != 0:
+        return exit_code
+    return smoke_cache_tier()
 
 
 if __name__ == "__main__":
